@@ -1,0 +1,1 @@
+bin/arpanet_sim.mli:

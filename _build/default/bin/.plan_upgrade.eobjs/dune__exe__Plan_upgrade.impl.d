@@ -1,0 +1,1 @@
+bin/plan_upgrade.ml: Arg Arpanet Array Builder Cmd Cmdliner Float Format Graph Line_type Link List Printf Routing_metric Routing_sim Routing_stats Routing_topology Term Traffic_matrix

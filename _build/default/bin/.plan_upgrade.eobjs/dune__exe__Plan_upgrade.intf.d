@@ -1,0 +1,1 @@
+bin/plan_upgrade.mli:

@@ -1,0 +1,1 @@
+bin/replay.ml: Arg Cmd Cmdliner Filename Format Graph List Printf Routing_metric Routing_sim Routing_stats Routing_topology Term Traffic_matrix

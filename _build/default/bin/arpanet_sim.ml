@@ -1,0 +1,218 @@
+(* arpanet_sim — command-line front end for the simulators.
+
+     dune exec bin/arpanet_sim.exe -- --help
+     dune exec bin/arpanet_sim.exe -- --metric dspf --minutes 30
+     dune exec bin/arpanet_sim.exe -- --topology milnet --scale 1.5 --packet-level
+     dune exec bin/arpanet_sim.exe -- --compare --scale 1.2
+
+   Runs the chosen metric over the chosen topology and prints the Table-1
+   style network indicators; [--compare] runs min-hop, D-SPF and HN-SPF on
+   identical traffic side by side. *)
+
+open Routing_topology
+module Flow_sim = Routing_sim.Flow_sim
+module Network = Routing_sim.Network
+module Measure = Routing_sim.Measure
+module Metric = Routing_metric.Metric
+module Units = Routing_metric.Units
+module Rng = Routing_stats.Rng
+module Table = Routing_stats.Table
+
+type topology = Arpanet | Milnet | Two_region
+
+let build_scenario topology file seed scale =
+  match file with
+  | Some path -> (
+    match Serial.load path with
+    | Ok (g, tm) -> (g, Traffic_matrix.scale tm scale)
+    | Error message ->
+      Format.eprintf "cannot load %s: %s@." path message;
+      exit 1)
+  | None ->
+  let rng = Rng.create seed in
+  match topology with
+  | Arpanet ->
+    let g = Arpanet.topology () in
+    (g, Traffic_matrix.scale (Arpanet.peak_traffic rng g) scale)
+  | Milnet ->
+    let g = Milnet.topology () in
+    (g, Traffic_matrix.scale (Milnet.peak_traffic rng g) scale)
+  | Two_region ->
+    let g, _ = Generators.two_region () in
+    let tm = Traffic_matrix.create ~nodes:(Graph.node_count g) in
+    Graph.iter_nodes g (fun src ->
+        Graph.iter_nodes g (fun dst ->
+            let sn = Graph.node_name g src and dn = Graph.node_name g dst in
+            if sn.[0] = 'L' && dn.[0] = 'R' then
+              Traffic_matrix.set tm ~src ~dst (1300. *. scale)));
+    (g, tm)
+
+let run_flow g tm kind ~minutes ~warmup_minutes =
+  let periods_per_minute = int_of_float (60. /. Units.routing_period_s) in
+  let sim = Flow_sim.create g kind tm in
+  ignore (Flow_sim.run sim ~periods:((minutes + warmup_minutes) * periods_per_minute));
+  Flow_sim.indicators sim ~skip:(warmup_minutes * periods_per_minute) ()
+
+let run_packet g tm kind ~minutes ~warmup_minutes ~seed =
+  let config = { (Network.default_config kind) with Network.seed } in
+  let net = Network.create ~config g tm in
+  Network.run net ~duration_s:(float_of_int warmup_minutes *. 60.);
+  Network.reset_measurements net;
+  Network.run net ~duration_s:(float_of_int minutes *. 60.);
+  Network.indicators net
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* Run briefly and write a utilization-colored Graphviz rendering. *)
+let write_dot g tm metric path =
+  let sim = Flow_sim.create g metric tm in
+  let nl = Graph.link_count g in
+  let sums = Array.make nl 0. in
+  let periods = 60 and warmup = 20 in
+  for p = 1 to periods do
+    ignore (Flow_sim.step sim);
+    if p > warmup then
+      Graph.iter_links g (fun (l : Link.t) ->
+          let i = Link.id_to_int l.Link.id in
+          sums.(i) <- sums.(i) +. Flow_sim.link_utilization sim l.Link.id)
+  done;
+  let n = float_of_int (periods - warmup) in
+  Dot.save path
+    ~label:(Printf.sprintf "%s, mean utilization" (Metric.kind_name metric))
+    ~utilization:(fun (l : Link.t) ->
+      let i = Link.id_to_int l.Link.id in
+      let r = Link.id_to_int l.Link.reverse in
+      Some (Float.max (sums.(i) /. n) (sums.(r) /. n)))
+    g;
+  Format.printf "wrote %s (render with: dot -Tsvg %s -o net.svg)@." path path
+
+let main topology file dump dot metrics scale minutes warmup packet_level seed =
+  let g, tm = build_scenario topology file seed scale in
+  if dump then print_string (Serial.to_string g (Some tm))
+  else match dot with
+  | Some path -> write_dot g tm (List.hd metrics) path
+  | None -> begin
+  Format.printf "topology: %a@." Graph.pp_summary g;
+  Format.printf "traffic:  %a (scale %.2fx)@." Traffic_matrix.pp_summary tm scale;
+  Format.printf "engine:   %s, %d min after %d min warm-up@.@."
+    (if packet_level then "packet-level DES" else "flow simulator")
+    minutes warmup;
+  let runs =
+    List.map
+      (fun kind ->
+        let i =
+          if packet_level then
+            run_packet g tm kind ~minutes ~warmup_minutes:warmup ~seed
+          else run_flow g tm kind ~minutes ~warmup_minutes:warmup
+        in
+        (Metric.kind_name kind, i))
+      metrics
+  in
+  print_string
+    (Table.to_string (Measure.comparison_table ~title:"Network indicators" runs))
+  end
+
+open Cmdliner
+
+let topology_arg =
+  let parse = function
+    | "arpanet" -> Ok Arpanet
+    | "milnet" -> Ok Milnet
+    | "two-region" -> Ok Two_region
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf
+      (match t with Arpanet -> "arpanet" | Milnet -> "milnet" | Two_region -> "two-region")
+  in
+  Arg.conv (parse, print)
+
+let metric_arg =
+  let parse s =
+    match Metric.kind_of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown metric %S" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Metric.kind_name k) in
+  Arg.conv (parse, print)
+
+let cmd =
+  let topology =
+    Arg.(value & opt topology_arg Arpanet
+         & info [ "t"; "topology" ] ~docv:"TOPO"
+             ~doc:"Topology: arpanet, milnet or two-region.")
+  in
+  let metric =
+    Arg.(value & opt metric_arg Metric.Hn_spf
+         & info [ "m"; "metric" ] ~docv:"METRIC"
+             ~doc:"Routing metric: min-hop, static-capacity, dspf or hnspf.")
+  in
+  let compare =
+    Arg.(value & flag
+         & info [ "c"; "compare" ]
+             ~doc:"Run all three metrics on the same traffic side by side.")
+  in
+  let scale =
+    Arg.(value & opt float 1.0
+         & info [ "s"; "scale" ] ~docv:"X" ~doc:"Traffic matrix scale factor.")
+  in
+  let minutes =
+    Arg.(value & opt int 20
+         & info [ "minutes" ] ~docv:"MIN" ~doc:"Measured simulation minutes.")
+  in
+  let warmup =
+    Arg.(value & opt int 5
+         & info [ "warmup" ] ~docv:"MIN" ~doc:"Warm-up minutes excluded from stats.")
+  in
+  let packet_level =
+    Arg.(value & flag
+         & info [ "p"; "packet-level" ]
+             ~doc:"Use the packet-level DES instead of the flow simulator.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let file =
+    Arg.(value & opt (some file) None
+         & info [ "f"; "file" ] ~docv:"SCENARIO"
+             ~doc:"Load topology and demands from a scenario file (see \
+                   lib/topology/serial.mli for the format) instead of a \
+                   built-in topology.")
+  in
+  let dump =
+    Arg.(value & flag
+         & info [ "dump" ]
+             ~doc:"Print the selected scenario in the file format and exit \
+                   (a starting point for custom scenarios).")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE"
+             ~doc:"Simulate 10 minutes under the selected metric and write a \
+                   Graphviz rendering with utilization-colored trunks.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Log simulator events (link flaps, \
+                                         metric switches, update bursts).")
+  in
+  let run topology file dump dot metric compare scale minutes warmup
+      packet_level seed verbose =
+    setup_logging verbose;
+    let metrics =
+      if compare then
+        [ Metric.Min_hop; Metric.Static_capacity; Metric.D_spf; Metric.Hn_spf ]
+      else [ metric ]
+    in
+    main topology file dump dot metrics scale minutes warmup packet_level seed
+  in
+  Cmd.v
+    (Cmd.info "arpanet_sim"
+       ~doc:"Simulate ARPANET routing under min-hop, D-SPF or HN-SPF")
+    Term.(
+      const run $ topology $ file $ dump $ dot $ metric $ compare $ scale
+      $ minutes $ warmup $ packet_level $ seed $ verbose)
+
+let () = exit (Cmd.eval cmd)

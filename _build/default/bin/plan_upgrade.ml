@@ -1,0 +1,192 @@
+(* plan_upgrade — a small capacity-planning tool on top of the simulator.
+
+     dune exec bin/plan_upgrade.exe -- --scale 1.3 --candidates 6
+
+   §5.3: "When designing a network, one matches the network topology and
+   link capacity to match cost and performance requirements … HN-SPF is
+   the safety net that compensates for bad network designs and unexpected
+   changes in traffic patterns."  This tool is the other half of that
+   loop: it finds where the safety net is carrying the load and proposes
+   the trunk upgrade that relieves it.
+
+   Method: run the scenario under HN-SPF, rank trunks by mean utilization,
+   then for each of the hottest candidates re-run the scenario with (a) a
+   second parallel trunk and (b) the next line speed class, reporting the
+   improvement in delivered traffic, round-trip delay and drops.  The
+   parallel-trunk option also demonstrates a single-path routing subtlety:
+   it does nothing for captive tails (SPF cannot split a tie), while the
+   adaptive metric does alternate between parallel trunks on contested
+   cuts. *)
+
+open Routing_topology
+module Flow_sim = Routing_sim.Flow_sim
+module Measure = Routing_sim.Measure
+module Metric = Routing_metric.Metric
+module Rng = Routing_stats.Rng
+module Table = Routing_stats.Table
+
+let periods = 120
+
+let warmup = 30
+
+(* Mean per-link utilization over the tail of a run. *)
+let run_baseline g tm =
+  let sim = Flow_sim.create g Metric.Hn_spf tm in
+  let nl = Graph.link_count g in
+  let sums = Array.make nl 0. in
+  for p = 1 to periods do
+    ignore (Flow_sim.step sim);
+    if p > warmup then
+      Graph.iter_links g (fun (l : Link.t) ->
+          let i = Link.id_to_int l.Link.id in
+          sums.(i) <- sums.(i) +. Flow_sim.link_utilization sim l.Link.id)
+  done;
+  let n = float_of_int (periods - warmup) in
+  let means = Array.map (fun s -> s /. n) sums in
+  (Flow_sim.indicators sim ~skip:warmup (), means)
+
+(* The next line type up the speed ladder (same medium). *)
+let faster = function
+  | Line_type.T9_6 -> Some Line_type.T56
+  | Line_type.S9_6 -> Some Line_type.S56
+  | Line_type.T56 -> Some Line_type.T112
+  | Line_type.S56 -> Some Line_type.S112
+  | Line_type.T112 -> Some Line_type.T224
+  | Line_type.S112 -> None
+  | Line_type.T224 -> Some Line_type.T448
+  | Line_type.T448 -> None
+
+type upgrade =
+  | Parallel_trunk  (** add a second identical trunk *)
+  | Faster_line of Line_type.t  (** replace with the next speed class *)
+
+let upgrade_name = function
+  | Parallel_trunk -> "2nd trunk"
+  | Faster_line lt -> "-> " ^ Line_type.name lt
+
+(* Rebuild the topology applying [upgrade] to the [target] trunk. *)
+let rebuilt g (target : Link.t) upgrade =
+  let b = Builder.create () in
+  (* Register nodes in id order so names and demands keep their ids. *)
+  Graph.iter_nodes g (fun n -> ignore (Builder.add_node b (Graph.node_name g n)));
+  Graph.iter_links g (fun (l : Link.t) ->
+      if Link.id_compare l.Link.id l.Link.reverse < 0 then begin
+        let line_type =
+          match upgrade with
+          | Faster_line lt when Link.id_equal l.Link.id target.Link.id -> lt
+          | _ -> l.Link.line_type
+        in
+        ignore
+          (Builder.trunk b ~propagation_s:l.Link.propagation_s line_type
+             (Graph.node_name g l.Link.src)
+             (Graph.node_name g l.Link.dst))
+      end);
+  (match upgrade with
+  | Parallel_trunk ->
+    ignore
+      (Builder.trunk b ~propagation_s:target.Link.propagation_s
+         target.Link.line_type
+         (Graph.node_name g target.Link.src)
+         (Graph.node_name g target.Link.dst))
+  | Faster_line _ -> ());
+  Builder.build b
+
+let evaluate_candidate g tm (candidate : Link.t) upgrade =
+  let g' = rebuilt g candidate upgrade in
+  let sim = Flow_sim.create g' Metric.Hn_spf tm in
+  ignore (Flow_sim.run sim ~periods);
+  Flow_sim.indicators sim ~skip:warmup ()
+
+let main scale candidates seed =
+  let g = Arpanet.topology () in
+  let tm = Traffic_matrix.scale (Arpanet.peak_traffic (Rng.create seed) g) scale in
+  Format.printf "scenario: %a, %a (x%.2f)@.@." Graph.pp_summary g
+    Traffic_matrix.pp_summary tm scale;
+  let baseline, means = run_baseline g tm in
+  Format.printf "baseline: %a@.@." Measure.pp_indicators baseline;
+  (* Hottest trunks, one direction per physical trunk. *)
+  let hot =
+    Graph.links g
+    |> List.filter (fun (l : Link.t) -> Link.id_compare l.Link.id l.Link.reverse < 0)
+    |> List.map (fun (l : Link.t) ->
+           let i = Link.id_to_int l.Link.id in
+           let r = Link.id_to_int l.Link.reverse in
+           (l, Float.max means.(i) means.(r)))
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  in
+  let t =
+    Table.create ~title:"trunk upgrade candidates"
+      [ ("candidate", Table.Left); ("util now", Table.Right);
+        ("delivered kb/s", Table.Right); ("rtt ms", Table.Right);
+        ("drops/s", Table.Right); ("delay saved", Table.Right) ]
+  in
+  ignore
+    (Table.add_float_row t "(baseline)"
+       [ 0.; baseline.Measure.internode_traffic_bps /. 1000.;
+         baseline.Measure.round_trip_delay_ms; baseline.Measure.dropped_per_s;
+         0. ]);
+  Table.add_separator t;
+  let best = ref None in
+  List.iteri
+    (fun rank (l, u) ->
+      if rank < candidates then begin
+        let options =
+          Parallel_trunk
+          :: (match faster l.Link.line_type with
+             | Some lt -> [ Faster_line lt ]
+             | None -> [])
+        in
+        List.iter
+          (fun upgrade ->
+            let i = evaluate_candidate g tm l upgrade in
+            let name =
+              Printf.sprintf "%s-%s (%s) %s"
+                (Graph.node_name g l.Link.src)
+                (Graph.node_name g l.Link.dst)
+                (Line_type.name l.Link.line_type)
+                (upgrade_name upgrade)
+            in
+            let saved =
+              baseline.Measure.round_trip_delay_ms
+              -. i.Measure.round_trip_delay_ms
+            in
+            ignore
+              (Table.add_float_row t name
+                 [ u; i.Measure.internode_traffic_bps /. 1000.;
+                   i.Measure.round_trip_delay_ms; i.Measure.dropped_per_s;
+                   saved ]);
+            match !best with
+            | Some (_, s) when s >= saved -> ()
+            | _ -> best := Some (name, saved))
+          options
+      end)
+    hot;
+  print_string (Table.to_string t);
+  match !best with
+  | Some (name, saved) when saved > 0. ->
+    Format.printf "@.recommendation: add a trunk at %s (saves %.0f ms rtt).@."
+      name saved
+  | _ -> Format.printf "@.no candidate improves on the baseline.@."
+
+open Cmdliner
+
+let cmd =
+  let scale =
+    Arg.(value & opt float 1.3
+         & info [ "s"; "scale" ] ~docv:"X"
+             ~doc:"Traffic scale relative to the 1987 peak matrix.")
+  in
+  let candidates =
+    Arg.(value & opt int 6
+         & info [ "c"; "candidates" ] ~docv:"N"
+             ~doc:"How many of the hottest trunks to evaluate.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Traffic seed.")
+  in
+  Cmd.v
+    (Cmd.info "plan_upgrade"
+       ~doc:"Propose the trunk upgrade that most improves the ARPANET scenario")
+    Term.(const main $ scale $ candidates $ seed)
+
+let () = exit (Cmd.eval cmd)

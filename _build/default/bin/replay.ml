@@ -1,0 +1,82 @@
+(* replay — run a scripted scenario file on the flow simulator.
+
+     dune exec bin/replay.exe -- scenarios/outage_demo.scn
+     dune exec bin/replay.exe -- my.scn --periods 120 --metric dspf --csv
+
+   The file format is Routing_topology.Serial plus timed `at` events; see
+   lib/sim/script.mli and scenarios/outage_demo.scn. *)
+
+open Routing_topology
+module Script = Routing_sim.Script
+module Flow_sim = Routing_sim.Flow_sim
+module Measure = Routing_sim.Measure
+module Metric = Routing_metric.Metric
+module Table = Routing_stats.Table
+
+let main path periods metric warmup csv =
+  match Script.load path with
+  | Error message ->
+    Format.eprintf "%s: %s@." path message;
+    exit 1
+  | Ok script ->
+    Format.printf "scenario: %a, %a, %d events@.@." Graph.pp_summary
+      script.Script.graph Traffic_matrix.pp_summary script.Script.traffic
+      (List.length script.Script.events);
+    if csv then
+      print_endline
+        "time_s,offered_bps,delivered_bps,dropped_bps,mean_delay_ms,updates,\
+         max_utilization,congested_links,routes_changed";
+    let sim =
+      Script.run ~metric script ~periods ~on_period:(fun _ stats ->
+          if csv then
+            Printf.printf "%.0f,%.0f,%.0f,%.0f,%.1f,%d,%.3f,%d,%d\n"
+              stats.Flow_sim.time_s stats.Flow_sim.offered_bps
+              stats.Flow_sim.delivered_bps stats.Flow_sim.dropped_bps
+              (1000. *. stats.Flow_sim.mean_delay_s)
+              stats.Flow_sim.updates stats.Flow_sim.max_utilization
+              stats.Flow_sim.congested_links stats.Flow_sim.routes_changed)
+    in
+    if not csv then begin
+      let i = Flow_sim.indicators sim ~skip:warmup () in
+      print_string
+        (Table.to_string
+           (Measure.comparison_table ~title:"Replay indicators"
+              [ (Filename.basename path, i) ]))
+    end
+
+open Cmdliner
+
+let metric_arg =
+  let parse s =
+    match Metric.kind_of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown metric %S" s))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Metric.kind_name k))
+
+let cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SCENARIO" ~doc:"Scenario file with optional at-events.")
+  in
+  let periods =
+    Arg.(value & opt int 90
+         & info [ "p"; "periods" ] ~docv:"N" ~doc:"Routing periods to run (10 s each).")
+  in
+  let metric =
+    Arg.(value & opt metric_arg Metric.Hn_spf
+         & info [ "m"; "metric" ] ~docv:"METRIC" ~doc:"Initial routing metric.")
+  in
+  let warmup =
+    Arg.(value & opt int 10
+         & info [ "warmup" ] ~docv:"N" ~doc:"Periods excluded from the summary.")
+  in
+  let csv =
+    Arg.(value & flag
+         & info [ "csv" ] ~doc:"Emit one CSV row per period instead of a summary.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a scripted scenario on the flow simulator")
+    Term.(const main $ file $ periods $ metric $ warmup $ csv)
+
+let () = exit (Cmd.eval cmd)

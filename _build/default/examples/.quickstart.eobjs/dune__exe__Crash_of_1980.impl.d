@@ -1,0 +1,1 @@
+examples/crash_of_1980.ml: Array Format Generators Graph Link List Node Routing_flooding Routing_stats Routing_topology

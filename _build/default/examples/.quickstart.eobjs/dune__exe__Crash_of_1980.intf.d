@@ -1,0 +1,1 @@
+examples/crash_of_1980.mli:

@@ -1,0 +1,1 @@
+examples/large_flows_multipath.ml: Builder Format Graph Line_type Link List Option Routing_metric Routing_multipath Routing_sim Routing_topology String Traffic_matrix

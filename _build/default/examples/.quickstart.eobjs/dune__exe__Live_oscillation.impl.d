@@ -1,0 +1,1 @@
+examples/live_oscillation.ml: A Float Generators Graph I Link List Notty Notty_unix Printf Routing_metric Routing_sim Routing_topology String Traffic_matrix Unix

@@ -1,0 +1,1 @@
+examples/metric_explorer.ml: Arg Builder Cmd Cmdliner Format Graph Line_type Link List Printf Routing_equilibrium Routing_metric Routing_stats Routing_topology String Term

@@ -1,0 +1,1 @@
+examples/metric_explorer.mli:

@@ -1,0 +1,1 @@
+examples/milnet_heterogeneous.ml: Format Graph Line_type Link List Milnet Printf Routing_metric Routing_sim Routing_stats Routing_topology Traffic_matrix

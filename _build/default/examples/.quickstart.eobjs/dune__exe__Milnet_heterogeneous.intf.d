@@ -1,0 +1,1 @@
+examples/milnet_heterogeneous.mli:

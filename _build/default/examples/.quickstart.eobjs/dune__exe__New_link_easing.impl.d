@@ -1,0 +1,1 @@
+examples/new_link_easing.ml: Arpanet Float Format Graph Link List Routing_metric Routing_sim Routing_stats Routing_topology

@@ -1,0 +1,1 @@
+examples/new_link_easing.mli:

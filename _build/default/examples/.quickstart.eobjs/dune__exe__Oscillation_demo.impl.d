@@ -1,0 +1,1 @@
+examples/oscillation_demo.ml: Float Format Generators Graph List Routing_metric Routing_sim Routing_topology String Traffic_matrix

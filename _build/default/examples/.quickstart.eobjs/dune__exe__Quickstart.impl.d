@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Format Graph Line_type Link List Node Option Routing_metric Routing_sim Routing_spf Routing_topology String Traffic_matrix

@@ -1,0 +1,135 @@
+(* Interactive explorer for the cost curves of Figs 4 and 5.
+
+     dune exec examples/metric_explorer.exe -- --line-type 56T
+     dune exec examples/metric_explorer.exe -- --line-type 9.6S --metric dspf
+     dune exec examples/metric_explorer.exe -- --table
+
+   Prints reported cost (routing units and hops) as a function of link
+   utilization, plus the full HNM parameter table with [--table]. *)
+
+open Routing_topology
+module Metric = Routing_metric.Metric
+module Hnm_params = Routing_metric.Hnm_params
+module Metric_map = Routing_equilibrium.Metric_map
+module Table = Routing_stats.Table
+
+let make_link line_type =
+  let b = Builder.create () in
+  let _ = Builder.trunk b line_type "A" "B" in
+  let g = Builder.build b in
+  Graph.link g (Link.id_of_int 0)
+
+let print_params () =
+  let t =
+    Table.create ~title:"HNM parameter table (derived in lib/core/hnm_params.ml)"
+      [ ("line type", Table.Left); ("min", Table.Right); ("max", Table.Right);
+        ("slope", Table.Right); ("offset", Table.Right); ("max up", Table.Right);
+        ("max down", Table.Right); ("threshold", Table.Right) ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [ Line_type.name p.Hnm_params.line_type;
+          string_of_int p.Hnm_params.base_min;
+          string_of_int p.Hnm_params.max_cost;
+          Printf.sprintf "%.0f" p.Hnm_params.slope;
+          Printf.sprintf "%.0f" p.Hnm_params.offset;
+          string_of_int p.Hnm_params.max_up;
+          string_of_int p.Hnm_params.max_down;
+          string_of_int p.Hnm_params.min_change ])
+    Hnm_params.all;
+  print_string (Table.to_string t)
+
+let print_curve line_type kinds samples =
+  let link = make_link line_type in
+  let columns =
+    ("utilization", Table.Right)
+    :: List.concat_map
+         (fun k ->
+           [ (Metric.kind_name k ^ " (units)", Table.Right);
+             (Metric.kind_name k ^ " (hops)", Table.Right) ])
+         kinds
+  in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "Reported cost vs utilization, %s line"
+                (Line_type.name line_type))
+      columns
+  in
+  for i = 0 to samples - 1 do
+    let u = 0.99 *. float_of_int i /. float_of_int (samples - 1) in
+    let cells =
+      Printf.sprintf "%.2f" u
+      :: List.concat_map
+           (fun k ->
+             let c = Metric.equilibrium_cost k link ~utilization:u in
+             let hops = Metric_map.cost_in_hops k link ~utilization:u in
+             [ string_of_int c; Printf.sprintf "%.2f" hops ])
+           kinds
+    in
+    Table.add_row t cells
+  done;
+  print_string (Table.to_string t)
+
+open Cmdliner
+
+let line_type_arg =
+  let parse s =
+    match Line_type.of_name s with
+    | Some lt -> Ok lt
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown line type %S (one of: %s)" s
+             (String.concat ", " (List.map Line_type.name Line_type.all))))
+  in
+  let print ppf lt = Format.pp_print_string ppf (Line_type.name lt) in
+  Arg.conv (parse, print)
+
+let metric_arg =
+  let parse s =
+    match Metric.kind_of_name s with
+    | Some k -> Ok (Some k)
+    | None -> Error (`Msg (Printf.sprintf "unknown metric %S" s))
+  in
+  let print ppf = function
+    | Some k -> Format.pp_print_string ppf (Metric.kind_name k)
+    | None -> Format.pp_print_string ppf "all"
+  in
+  Arg.conv (parse, print)
+
+let run line_type metric samples table =
+  if table then print_params ()
+  else begin
+    let kinds =
+      match metric with
+      | Some k -> [ k ]
+      | None -> [ Metric.D_spf; Metric.Hn_spf ]
+    in
+    print_curve line_type kinds samples
+  end
+
+let cmd =
+  let line_type =
+    Arg.(value & opt line_type_arg Line_type.T56
+         & info [ "l"; "line-type" ] ~docv:"TYPE"
+             ~doc:"Line type: 9.6T, 9.6S, 56T, 56S, 112T, 112S, 224T, 448T.")
+  in
+  let metric =
+    Arg.(value & opt metric_arg None
+         & info [ "m"; "metric" ] ~docv:"METRIC"
+             ~doc:"Metric to plot (min-hop, dspf, hnspf); default both dynamic ones.")
+  in
+  let samples =
+    Arg.(value & opt int 21
+         & info [ "s"; "samples" ] ~docv:"N" ~doc:"Utilization samples.")
+  in
+  let table =
+    Arg.(value & flag
+         & info [ "t"; "table" ] ~doc:"Print the HNM parameter table and exit.")
+  in
+  Cmd.v
+    (Cmd.info "metric_explorer" ~doc:"Explore ARPANET link metric curves")
+    Term.(const run $ line_type $ metric $ samples $ table)
+
+let () = exit (Cmd.eval cmd)

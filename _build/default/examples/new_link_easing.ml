@@ -1,0 +1,58 @@
+(* Easing in a new line (§5.4 / Fig 12).
+
+   A cross-country trunk fails and later comes back.  Under HN-SPF the
+   revived line advertises its *maximum* cost and pulls routes back a few
+   at a time as the cost walks down (at most a half-hop per period); under
+   D-SPF the revived line immediately advertises a near-idle delay and the
+   whole network stampedes onto it at once, knocking neighbouring links
+   out of their equilibria.
+
+     dune exec examples/new_link_easing.exe
+*)
+
+open Routing_topology
+module Flow_sim = Routing_sim.Flow_sim
+module Metric = Routing_metric.Metric
+module Rng = Routing_stats.Rng
+
+let () =
+  let g = Arpanet.topology () in
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  let victim = List.hd (Arpanet.bridge_links g) in
+  let reverse = Graph.reverse g victim in
+  Format.printf "victim trunk: %s <-> %s (56 kb/s cross-country)@.@."
+    (Graph.node_name g victim.Link.src)
+    (Graph.node_name g victim.Link.dst);
+  List.iter
+    (fun kind ->
+      Format.printf "=== %s ===@." (Metric.kind_name kind);
+      let sim = Flow_sim.create g kind tm in
+      let show label =
+        Format.printf "  %-12s cost=%3d  utilization=%4.2f  max-link=%4.2f@."
+          label
+          (Flow_sim.link_cost sim victim.Link.id)
+          (Flow_sim.link_utilization sim victim.Link.id)
+          (List.fold_left
+             (fun acc s -> Float.max acc s.Flow_sim.max_utilization)
+             0.
+             (match Flow_sim.history sim with [] -> [] | h -> [ List.hd (List.rev h) ]))
+      in
+      ignore (Flow_sim.run sim ~periods:12);
+      show "steady:";
+      Flow_sim.set_link_up sim victim.Link.id false;
+      Flow_sim.set_link_up sim reverse.Link.id false;
+      ignore (Flow_sim.run sim ~periods:12);
+      show "down 2 min:";
+      Flow_sim.set_link_up sim victim.Link.id true;
+      Flow_sim.set_link_up sim reverse.Link.id true;
+      for period = 1 to 10 do
+        ignore (Flow_sim.step sim);
+        Format.printf "  +%3d s      cost=%3d  utilization=%4.2f@." (10 * period)
+          (Flow_sim.link_cost sim victim.Link.id)
+          (Flow_sim.link_utilization sim victim.Link.id)
+      done;
+      Format.printf "@.")
+    [ Metric.Hn_spf; Metric.D_spf ];
+  Format.printf
+    "HN-SPF revives at its ceiling and eases down; D-SPF re-announces a@.\
+     near-idle delay immediately and takes the full load back in one period.@."

@@ -1,0 +1,63 @@
+(* Three generations of ARPANET routing in one run (§2's history).
+
+   1969: distributed Bellman-Ford over the instantaneous queue length —
+         converges on paper, loops in practice because the metric is "an
+         instantaneous sample rather than an average".
+   1979: SPF over measured delay (D-SPF) — loop-free, but oscillates under
+         load (§3).
+   1987: SPF over the revised hop-normalized metric (HN-SPF) — this paper.
+
+     dune exec examples/three_generations.exe
+*)
+
+open Routing_topology
+module Bf_sim = Routing_bellman.Bellman_sim
+module Flow_sim = Routing_sim.Flow_sim
+module Measure = Routing_sim.Measure
+module Metric = Routing_metric.Metric
+module Rng = Routing_stats.Rng
+
+let () =
+  let rng = Rng.create 31 in
+  let g = Generators.ring_chord rng ~nodes:16 ~chords:10 in
+  let tm =
+    Traffic_matrix.scale
+      (Traffic_matrix.gravity (Rng.create 32) ~nodes:(Graph.node_count g)
+         ~total_bps:250_000.)
+      1.9
+  in
+  Format.printf "mesh: %a@." Graph.pp_summary g;
+  Format.printf "offered: %.0f kb/s (heavy)@.@."
+    (Traffic_matrix.total_bps tm /. 1000.);
+
+  Format.printf "=== 1969: distributed Bellman-Ford, queue-length metric ===@.";
+  let bf = Bf_sim.create ~seed:5 g tm in
+  for period = 1 to 12 do
+    let s = Bf_sim.step bf in
+    if period mod 3 = 0 then
+      Format.printf
+        "  t=%4.0fs  delivered %5.1f kb/s  rtt %4.0f ms  looping pairs: %d@."
+        s.Bf_sim.time_s
+        (s.Bf_sim.delivered_bps /. 1000.)
+        (2000. *. s.Bf_sim.mean_delay_s)
+        s.Bf_sim.looping_pairs
+  done;
+
+  List.iter
+    (fun (year, kind) ->
+      Format.printf "@.=== %s: SPF, %s metric ===@." year (Metric.kind_name kind);
+      let sim = Flow_sim.create g kind tm in
+      for period = 1 to 12 do
+        let s = Flow_sim.step sim in
+        if period mod 3 = 0 then
+          Format.printf
+            "  t=%4.0fs  delivered %5.1f kb/s  rtt %4.0f ms  hottest link %4.2f@."
+            s.Flow_sim.time_s
+            (s.Flow_sim.delivered_bps /. 1000.)
+            (2000. *. s.Flow_sim.mean_delay_s)
+            s.Flow_sim.max_utilization
+      done)
+    [ ("1979", Metric.D_spf); ("1987", Metric.Hn_spf) ];
+  Format.printf
+    "@.Each generation fixed its predecessor's pathology: SPF killed the@.\
+     loops; the hop-normalized metric killed the oscillations.@."

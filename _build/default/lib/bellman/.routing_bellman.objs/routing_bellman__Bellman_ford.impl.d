@@ -1,0 +1,1 @@
+lib/bellman/bellman_ford.ml: Array Graph Import Link List Node Option

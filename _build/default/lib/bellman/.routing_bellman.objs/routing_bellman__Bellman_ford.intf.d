@@ -1,0 +1,1 @@
+lib/bellman/bellman_ford.mli: Graph Import Link Node

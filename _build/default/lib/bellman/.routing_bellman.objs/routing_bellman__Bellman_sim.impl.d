@@ -1,0 +1,1 @@
+lib/bellman/bellman_sim.ml: Array Bellman_ford Float Graph Import Link List Node Routing_metric Routing_stats Traffic_matrix

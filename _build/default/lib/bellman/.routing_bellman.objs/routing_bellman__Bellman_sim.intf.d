@@ -1,0 +1,1 @@
+lib/bellman/bellman_sim.mli: Graph Import Link Traffic_matrix

@@ -1,0 +1,1 @@
+lib/bellman/import.ml: Routing_metric Routing_topology

@@ -1,0 +1,111 @@
+open! Import
+
+type t = {
+  graph : Graph.t;
+  (* dist.(src).(dst): current estimate at node src, max_int = unknown *)
+  dist : int array array;
+  hop : Link.id option array array;
+}
+
+let exchange_interval_s = 2. /. 3.
+
+let create graph =
+  let n = Graph.node_count graph in
+  let dist = Array.init n (fun _ -> Array.make n max_int) in
+  let hop = Array.init n (fun _ -> Array.make n None) in
+  for i = 0 to n - 1 do
+    dist.(i).(i) <- 0
+  done;
+  { graph; dist; hop }
+
+let graph t = t.graph
+
+(* Compute the vector node [i] would derive from its neighbors' current
+   tables: min over out-links of cost(l) + table(neighbor)(dst). *)
+let derive t ~link_cost i =
+  let n = Graph.node_count t.graph in
+  let best = Array.make n max_int in
+  let via = Array.make n None in
+  best.(i) <- 0;
+  List.iter
+    (fun (l : Link.t) ->
+      let c = link_cost l.Link.id in
+      let neighbor = Node.to_int l.Link.dst in
+      for dst = 0 to n - 1 do
+        if dst <> i then begin
+          let d = t.dist.(neighbor).(dst) in
+          if d <> max_int && c + d < best.(dst) then begin
+            best.(dst) <- c + d;
+            via.(dst) <- Some l.Link.id
+          end
+        end
+      done)
+    (Graph.out_links t.graph (Node.of_int i));
+  (best, via)
+
+let round t ~link_cost =
+  let n = Graph.node_count t.graph in
+  (* Synchronous: every node derives from the *previous* epoch's tables. *)
+  let derived = Array.init n (fun i -> derive t ~link_cost i) in
+  for i = 0 to n - 1 do
+    let best, via = derived.(i) in
+    Array.blit best 0 t.dist.(i) 0 n;
+    Array.blit via 0 t.hop.(i) 0 n
+  done
+
+let distance t ~from dst =
+  let d = t.dist.(Node.to_int from).(Node.to_int dst) in
+  if d = max_int then None else Some d
+
+let next_hop t ~from dst =
+  Option.map (Graph.link t.graph) t.hop.(Node.to_int from).(Node.to_int dst)
+
+let converged t ~link_cost =
+  let n = Graph.node_count t.graph in
+  let rec check i =
+    if i >= n then true
+    else begin
+      let best, _ = derive t ~link_cost i in
+      let same = ref true in
+      for dst = 0 to n - 1 do
+        if best.(dst) <> t.dist.(i).(dst) then same := false
+      done;
+      if !same then check (i + 1) else false
+    end
+  in
+  check 0
+
+let rounds_to_converge t ~link_cost ~max_rounds =
+  let rec run k =
+    if converged t ~link_cost then Some k
+    else if k >= max_rounds then None
+    else begin
+      round t ~link_cost;
+      run (k + 1)
+    end
+  in
+  run 0
+
+let forwarding_loops t =
+  let n = Graph.node_count t.graph in
+  let loops = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        let visited = Array.make n false in
+        let rec walk i =
+          if i = dst then ()
+          else if visited.(i) then
+            loops := (Node.of_int src, Node.of_int dst) :: !loops
+          else begin
+            visited.(i) <- true;
+            match t.hop.(i).(dst) with
+            | None -> () (* no route yet: a gap, not a loop *)
+            | Some lid -> walk (Node.to_int (Graph.link t.graph lid).Link.dst)
+          end
+        in
+        walk src
+      end
+    done
+  done;
+  List.rev !loops

@@ -1,0 +1,51 @@
+open! Import
+
+(** The original (1969) ARPANET routing algorithm: distributed Bellman-Ford
+    (§2.1).
+
+    "Each node maintained a table of its estimated shortest distance to all
+    other nodes.  These tables were exchanged between neighbors every 2/3
+    seconds.  Each node updated its distance estimates periodically, based
+    on information received from neighbors and its own estimate of the
+    distance to each of its neighbors" — where that last quantity, the link
+    metric, "was simply the instantaneous queue length at the moment of
+    updating plus a fixed constant".
+
+    The implementation runs the exchange in synchronous rounds (one round =
+    one 2/3-second exchange epoch).  Because the metric is an instantaneous
+    sample and estimates propagate one hop per round, the algorithm forms
+    transient (and with volatile queues, persistent) loops — which
+    {!forwarding_loops} makes measurable, reproducing the §2.1 criticism. *)
+
+type t
+
+val exchange_interval_s : float
+(** 2/3 s. *)
+
+val create : Graph.t -> t
+(** Tables start knowing only [dist(self) = 0]. *)
+
+val graph : t -> Graph.t
+
+val round : t -> link_cost:(Link.id -> int) -> unit
+(** One synchronous exchange: every node sends its current vector to every
+    neighbor; every node then recomputes
+    [dist(dst) = min over out-links (cost(l) + neighbor_table(dst))].
+    [link_cost] is sampled at this instant — feed it
+    {!Routing_metric.Legacy.cost_of_queue} of the current queue lengths. *)
+
+val distance : t -> from:Node.t -> Node.t -> int option
+(** Current estimate, [None] while unknown. *)
+
+val next_hop : t -> from:Node.t -> Node.t -> Link.t option
+
+val converged : t -> link_cost:(Link.id -> int) -> bool
+(** Would another {!round} with the same costs change any estimate? *)
+
+val rounds_to_converge : t -> link_cost:(Link.id -> int) -> max_rounds:int -> int option
+(** Run rounds with static costs until quiescent; [None] if not within
+    [max_rounds]. *)
+
+val forwarding_loops : t -> (Node.t * Node.t) list
+(** Source/destination pairs whose current next-hop chains revisit a node
+    instead of arriving — the long-term loops §2 warns about. *)

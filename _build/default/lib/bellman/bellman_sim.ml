@@ -1,0 +1,135 @@
+open! Import
+module Rng = Routing_stats.Rng
+module Queueing = Routing_metric.Queueing
+module Units = Routing_metric.Units
+
+type period_stats = {
+  time_s : float;
+  offered_bps : float;
+  delivered_bps : float;
+  dropped_bps : float;
+  looping_bps : float;
+  looping_pairs : int;
+  mean_delay_s : float;
+  max_utilization : float;
+}
+
+type t = {
+  graph : Graph.t;
+  rng : Rng.t;
+  bf : Bellman_ford.t;
+  tm : Traffic_matrix.t;
+  utilization : float array;
+  mutable period : int;
+  mutable history : period_stats list; (* newest first *)
+}
+
+let create ?(seed = 42) graph tm =
+  { graph;
+    rng = Rng.create seed;
+    bf = Bellman_ford.create graph;
+    tm;
+    utilization = Array.make (Graph.link_count graph) 0.;
+    period = 0;
+    history = [] }
+
+let graph t = t.graph
+
+let exchanges_per_period =
+  int_of_float
+    (Float.round (Units.routing_period_s /. Bellman_ford.exchange_interval_s))
+
+(* The 1969 link metric: the queue length *at this instant*, which we model
+   as a Poisson draw around the M/M/1 mean occupancy for the link's
+   current utilization, plus the stabilizing constant. *)
+let sample_cost t (lid : Link.id) =
+  let link = Graph.link t.graph lid in
+  let mean =
+    Queueing.queue_length link.Link.line_type
+      ~utilization:t.utilization.(Link.id_to_int lid)
+  in
+  let queue = if mean <= 0. then 0 else Rng.poisson t.rng ~mean in
+  Routing_metric.Legacy.cost_of_queue ~queue_length:queue
+
+let step t =
+  (* 15 exchanges at 2/3 s, each against a fresh instantaneous sample. *)
+  for _ = 1 to exchanges_per_period do
+    Bellman_ford.round t.bf ~link_cost:(sample_cost t)
+  done;
+  (* Route the matrix over the resulting next-hop chains. *)
+  let nl = Graph.link_count t.graph in
+  let offered_links = Array.make nl 0. in
+  let looping = ref 0. in
+  let looping_pairs = ref 0 in
+  let unrouted = ref 0. in
+  let flows = ref [] in
+  Traffic_matrix.iter t.tm (fun ~src ~dst demand ->
+      let n = Graph.node_count t.graph in
+      let visited = Array.make n false in
+      let rec walk node acc =
+        if Node.equal node dst then Some (List.rev acc)
+        else if visited.(Node.to_int node) then None
+        else begin
+          visited.(Node.to_int node) <- true;
+          match Bellman_ford.next_hop t.bf ~from:node dst with
+          | None -> None
+          | Some l -> walk l.Link.dst (l :: acc)
+        end
+      in
+      match walk src [] with
+      | Some path ->
+        List.iter
+          (fun (l : Link.t) ->
+            let i = Link.id_to_int l.Link.id in
+            offered_links.(i) <- offered_links.(i) +. demand)
+          path;
+        flows := (demand, path) :: !flows
+      | None ->
+        (* Either a loop or a not-yet-learned route; with converged-ish
+           tables it is a loop. *)
+        incr looping_pairs;
+        looping := !looping +. demand;
+        unrouted := !unrouted +. demand);
+  for i = 0 to nl - 1 do
+    let link = Graph.link t.graph (Link.id_of_int i) in
+    t.utilization.(i) <- offered_links.(i) /. Link.capacity_bps link
+  done;
+  (* Delay and loss along the successfully routed flows. *)
+  let delivered = ref 0. in
+  let dropped = ref 0. in
+  let delay_weighted = ref 0. in
+  List.iter
+    (fun (demand, path) ->
+      let share = ref 1. in
+      let delay = ref 0. in
+      List.iter
+        (fun (l : Link.t) ->
+          let u = t.utilization.(Link.id_to_int l.Link.id) in
+          share := !share *. (1. -. Queueing.mm1k_blocking ~utilization:u);
+          delay := !delay +. Queueing.mm1k_delay_s l ~utilization:u)
+        path;
+      let carried = demand *. !share in
+      delivered := !delivered +. carried;
+      dropped := !dropped +. (demand -. carried);
+      delay_weighted := !delay_weighted +. (!delay *. carried))
+    !flows;
+  t.period <- t.period + 1;
+  let stats =
+    { time_s = float_of_int t.period *. Units.routing_period_s;
+      offered_bps = Traffic_matrix.total_bps t.tm;
+      delivered_bps = !delivered;
+      dropped_bps = !dropped;
+      looping_bps = !looping;
+      looping_pairs = !looping_pairs;
+      mean_delay_s =
+        (if !delivered > 0. then !delay_weighted /. !delivered else 0.);
+      max_utilization = Array.fold_left Float.max 0. t.utilization }
+  in
+  t.history <- stats :: t.history;
+  stats
+
+let run t ~periods = List.init periods (fun _ -> step t)
+
+let link_utilization t lid = t.utilization.(Link.id_to_int lid)
+
+let history t = List.rev t.history

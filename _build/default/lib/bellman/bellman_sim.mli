@@ -1,0 +1,40 @@
+open! Import
+
+(** Period-driven simulator for the original (1969) routing: distributed
+    Bellman-Ford over the instantaneous queue-length metric.
+
+    One {!step} is a 10-second window (to compare against the SPF
+    simulators) containing 15 table exchanges at the 2/3-second cadence.
+    Each exchange samples every link's queue {e instantaneously} — a
+    Poisson draw around the M/M/1 mean for the link's current utilization
+    — so the metric fluctuates the way §2.1 complains about: "an
+    instantaneous sample rather than an average … a poor indicator of
+    expected delay".  Traffic then follows the resulting next-hop tables;
+    flows whose next-hop chain loops are counted (and lost), reproducing
+    the original algorithm's signature failure. *)
+
+type period_stats = {
+  time_s : float;
+  offered_bps : float;
+  delivered_bps : float;
+  dropped_bps : float;  (** buffer loss on overloaded links *)
+  looping_bps : float;  (** demand caught in a forwarding loop *)
+  looping_pairs : int;  (** source/destination pairs currently looping *)
+  mean_delay_s : float;  (** delivered-weighted *)
+  max_utilization : float;
+}
+
+type t
+
+val create : ?seed:int -> Graph.t -> Traffic_matrix.t -> t
+
+val graph : t -> Graph.t
+
+val step : t -> period_stats
+
+val run : t -> periods:int -> period_stats list
+
+val link_utilization : t -> Link.id -> float
+
+val history : t -> period_stats list
+(** Oldest first. *)

@@ -1,0 +1,7 @@
+(* Substrate aliases opened by every module in this library. *)
+
+module Node = Routing_topology.Node
+module Link = Routing_topology.Link
+module Graph = Routing_topology.Graph
+module Legacy = Routing_metric.Legacy
+module Traffic_matrix = Routing_topology.Traffic_matrix

@@ -1,0 +1,1 @@
+lib/core/dspf.ml: Float Import Link Queueing Units

@@ -1,0 +1,1 @@
+lib/core/dspf.mli: Import Line_type Link

@@ -1,0 +1,1 @@
+lib/core/hnm.ml: Filter Float Hnm_params Import Link Queueing

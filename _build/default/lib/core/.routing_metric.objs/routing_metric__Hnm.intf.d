@@ -1,0 +1,1 @@
+lib/core/hnm.mli: Hnm_params Import Line_type Link

@@ -1,0 +1,1 @@
+lib/core/hnm_params.ml: Array Format Import Line_type Link List

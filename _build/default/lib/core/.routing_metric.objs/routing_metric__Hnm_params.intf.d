@@ -1,0 +1,1 @@
+lib/core/hnm_params.mli: Format Import Line_type Link

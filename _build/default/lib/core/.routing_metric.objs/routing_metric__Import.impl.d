@@ -1,0 +1,1 @@
+lib/core/import.ml: Routing_stats Routing_topology

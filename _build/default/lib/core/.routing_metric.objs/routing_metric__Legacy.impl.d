@@ -1,0 +1,1 @@
+lib/core/legacy.ml: Float Import Queueing Units

@@ -1,0 +1,1 @@
+lib/core/legacy.mli: Import Line_type

@@ -1,0 +1,1 @@
+lib/core/metric.ml: Array Dspf Graph Hnm Hnm_params Import Link Queueing Significance

@@ -1,0 +1,1 @@
+lib/core/queueing.ml: Float Import Line_type Link Units

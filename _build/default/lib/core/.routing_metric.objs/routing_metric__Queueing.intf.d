@@ -1,0 +1,1 @@
+lib/core/queueing.mli: Import Line_type Link

@@ -1,0 +1,1 @@
+lib/core/significance.ml: Float Hnm_params Import Units

@@ -1,0 +1,1 @@
+lib/core/significance.mli: Import Line_type

@@ -1,0 +1,30 @@
+open! Import
+
+type t = { link : Link.t; bias : int; mutable last : int }
+
+let bias lt =
+  max 1
+    (int_of_float (Float.ceil (Queueing.service_time_s lt *. 1000. /. Units.unit_ms)))
+
+let cost_of_delay link ~delay_s =
+  max (bias link.Link.line_type) (Units.of_delay delay_s)
+
+let create link =
+  let b = bias link.Link.line_type in
+  let idle =
+    Link.transmission_s link ~bits:Units.average_packet_bits
+    +. link.Link.propagation_s
+  in
+  { link; bias = b; last = max b (Units.of_delay idle) }
+
+let link t = t.link
+
+let period_update t ~measured_delay_s =
+  let c = max t.bias (Units.of_delay measured_delay_s) in
+  t.last <- c;
+  c
+
+let current_cost t = t.last
+
+let cost_of_utilization link ~utilization =
+  cost_of_delay link ~delay_s:(Queueing.delay_s link ~utilization)

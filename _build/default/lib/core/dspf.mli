@@ -1,0 +1,30 @@
+open! Import
+
+(** The delay metric (D-SPF), in service May 1979 – July 1987.
+
+    The reported cost is the 10-second average measured delay converted to
+    routing units, floored at a per-line-speed {e bias} "to prevent an idle
+    line from reporting a zero delay value" (§2.2) and capped at
+    {!Units.max_cost}.  No smoothing, no movement limits — which is exactly
+    why it oscillates under load (§3). *)
+
+type t
+
+val create : Link.t -> t
+
+val link : t -> Link.t
+
+val bias : Line_type.t -> int
+(** The per-line-speed floor: 2 units for a 56 kb/s line (§4.2), larger for
+    slower lines (one average-packet transmission time, rounded up). *)
+
+val period_update : t -> measured_delay_s:float -> int
+(** Convert one period's average measured delay into the reported cost. *)
+
+val current_cost : t -> int
+(** Cost as of the last update; an idle line's report before any update. *)
+
+val cost_of_utilization : Link.t -> utilization:float -> int
+(** Equilibrium D-SPF cost at a steady utilization (the §5.3 Metric map):
+    M/M/1 delay at that utilization plus propagation, in units, biased and
+    capped. *)

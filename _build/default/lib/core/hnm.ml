@@ -1,0 +1,92 @@
+open! Import
+
+type config = {
+  params : Hnm_params.t;
+  averaging : bool;
+  movement_limits : bool;
+  march_up : bool;
+}
+
+let default_config line_type =
+  { params = Hnm_params.for_line_type line_type;
+    averaging = true;
+    movement_limits = true;
+    march_up = true }
+
+type t = {
+  link : Link.t;
+  config : config;
+  min_cost : int;
+  average : Filter.ewma;
+  mutable last_reported : int;
+}
+
+let clip t c = max t.min_cost (min t.config.params.Hnm_params.max_cost c)
+
+(* The per-link floor still tracks the configured propagation delay, scaled
+   to custom bounds: base_min plus the standard adjustment, capped under
+   the ceiling. *)
+let effective_min config (link : Link.t) =
+  let p = config.params in
+  let adjust = int_of_float (link.Link.propagation_s *. 1000. /. 25.) in
+  min (p.Hnm_params.max_cost - 1)
+    (p.Hnm_params.base_min + min p.Hnm_params.base_min adjust)
+
+let create_custom config link =
+  let min_cost = effective_min config link in
+  { link;
+    config;
+    min_cost;
+    average = Filter.ewma ~gain:(if config.averaging then 0.5 else 1.0);
+    last_reported = min_cost }
+
+let create link = create_custom (default_config link.Link.line_type) link
+
+let create_custom_easing_in config link =
+  let t = create_custom config link in
+  (* A new line advertises its ceiling and lets the movement limit walk the
+     cost down one step per period as traffic trickles in. *)
+  Filter.ewma_set t.average 1.0;
+  t.last_reported <- t.config.params.Hnm_params.max_cost;
+  t
+
+let create_easing_in link =
+  create_custom_easing_in (default_config link.Link.line_type) link
+
+let link t = t.link
+
+let params t = t.config.params
+
+let limit_movement t raw =
+  if not t.config.movement_limits then raw
+  else begin
+    let p = t.config.params in
+    let down = if t.config.march_up then p.Hnm_params.max_down else p.Hnm_params.max_up in
+    let up_limit = t.last_reported + p.Hnm_params.max_up in
+    let down_limit = t.last_reported - down in
+    max down_limit (min up_limit raw)
+  end
+
+let period_update t ~measured_delay_s =
+  let sample =
+    Queueing.utilization_of_delay t.link ~delay_s:measured_delay_s
+  in
+  let average = Filter.ewma_update t.average sample in
+  let raw =
+    int_of_float
+      (Float.round (Hnm_params.raw_cost t.config.params ~utilization:average))
+  in
+  let revised = clip t (limit_movement t raw) in
+  t.last_reported <- revised;
+  revised
+
+let current_cost t = t.last_reported
+
+let average_utilization t = Filter.ewma_value t.average
+
+let cost_of_utilization link ~utilization =
+  let params = Hnm_params.for_line_type link.Link.line_type in
+  let raw =
+    int_of_float (Float.round (Hnm_params.raw_cost params ~utilization))
+  in
+  max (Hnm_params.min_cost link) (min params.Hnm_params.max_cost raw)

@@ -1,0 +1,81 @@
+open! Import
+
+(** The HN-SPF Module (HNM) — the paper's contribution.
+
+    One [t] per outgoing link.  Each routing period the PSN feeds in the
+    measured average delay and gets back the cost to (possibly) flood.
+    The transformation is exactly Fig 3 of the paper:
+
+    {v
+    Sample'Utilization = delay'to'utilization[Measured'Delay]
+    Average'Utilization = .5 * Sample'Utilization + .5 * Last'Average
+    Last'Average = Average'Utilization                  (stored per link)
+    Raw'Cost = Slope[Line'Type] * Average'Utilization + Offset[Line'Type]
+    Limited'Cost = Limit'Movement(Raw'Cost, Last'Reported, Line'Type)
+    Revised'Cost = Clip(Limited'Cost, Max[Line'Type], Min[Line'Type])
+    Last'Reported = Revised'Cost                        (stored per link)
+    v}
+
+    with the asymmetric movement limits (max down one unit less than max
+    up) that make an oscillating link's reported cost march up one unit per
+    cycle (§5.4), and the easing-in rule that starts a fresh link at its
+    maximum cost (§5.4). *)
+
+type t
+
+(** {2 Configuration}
+
+    §4.4: "We designed the HN-SPF module so that these values would be
+    easy to change, and envisioned that parameter sets would be tailored
+    to the needs of individual networks."  A [config] carries the
+    per-line-type constants plus switches for each mechanism of the Fig 3
+    pipeline, so ablation studies can turn the paper's design choices off
+    one at a time (see the [ablate] bench target). *)
+
+type config = {
+  params : Hnm_params.t;  (** bounds, slope/offset, limits, threshold *)
+  averaging : bool;  (** the 0.5/0.5 recursive filter (off: raw sample) *)
+  movement_limits : bool;  (** per-period up/down clamps (off: jump freely) *)
+  march_up : bool;  (** asymmetric limits, down one less than up
+                        (off: symmetric — no per-cycle climb) *)
+}
+
+val default_config : Line_type.t -> config
+(** The production HNM: everything on, table values from
+    {!Hnm_params.for_line_type}. *)
+
+val create : Link.t -> t
+(** State for a link that has been up since before we started watching: the
+    average starts at the first sample and the first report starts from the
+    link's minimum cost. *)
+
+val create_custom : config -> Link.t -> t
+(** Like {!create} with explicit configuration. *)
+
+val create_custom_easing_in : config -> Link.t -> t
+
+val create_easing_in : Link.t -> t
+(** State for a link that just came up: "when a link comes up it starts with
+    its highest cost" and pulls in a little more traffic with each routing
+    period. *)
+
+val link : t -> Link.t
+
+val params : t -> Hnm_params.t
+
+val period_update : t -> measured_delay_s:float -> int
+(** One routing period: transform the measured average delay into the
+    revised cost.  Mutates the per-link averaging filter and last-reported
+    state. *)
+
+val current_cost : t -> int
+(** The cost as of the last {!period_update} (the link's minimum before any
+    update, its maximum for an easing-in link). *)
+
+val average_utilization : t -> float
+(** The smoothed utilization estimate (diagnostic). *)
+
+val cost_of_utilization : Link.t -> utilization:float -> int
+(** The {e equilibrium} HN-SPF cost for a link held at a steady utilization:
+    the linear transform plus clipping, with no movement history.  This is
+    the "Metric map" of §5.3 (Figs 4 and 5). *)

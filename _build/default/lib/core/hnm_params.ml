@@ -1,0 +1,53 @@
+open! Import
+
+type t = {
+  line_type : Line_type.t;
+  base_min : int;
+  max_cost : int;
+  slope : float;
+  offset : float;
+  max_up : int;
+  max_down : int;
+  min_change : int;
+}
+
+(* base_min per speed class; anchors are the paper's 56 kb/s (30 units) and
+   9.6 kb/s (70 units) values; multi-trunk bundles follow the same
+   inverse-square-root-of-bandwidth trend so that faster lines look
+   cheaper but never free. *)
+let base_min_of_bandwidth bps =
+  if bps <= 9_600. then 70
+  else if bps <= 56_000. then 30
+  else if bps <= 112_000. then 21
+  else if bps <= 224_000. then 15
+  else 11
+
+let make line_type =
+  let base_min = base_min_of_bandwidth (Line_type.bandwidth_bps line_type) in
+  { line_type;
+    base_min;
+    max_cost = 3 * base_min;
+    slope = float_of_int (4 * base_min);
+    offset = -.float_of_int base_min;
+    max_up = (base_min / 2) + 1;
+    max_down = base_min / 2;
+    min_change = (base_min / 2) - 1 }
+
+let table = Array.of_list (List.map make Line_type.all)
+
+let for_line_type lt = table.(Line_type.index lt)
+
+let min_cost (link : Link.t) =
+  let p = for_line_type link.line_type in
+  let adjust = int_of_float (link.propagation_s *. 1000. /. 25.) in
+  p.base_min + min p.base_min adjust
+
+let raw_cost p ~utilization = (p.slope *. utilization) +. p.offset
+
+let all = Array.to_list table
+
+let pp ppf p =
+  Format.fprintf ppf
+    "%s: min=%d max=%d slope=%.0f offset=%.0f up=%d down=%d thresh=%d"
+    (Line_type.name p.line_type) p.base_min p.max_cost p.slope p.offset
+    p.max_up p.max_down p.min_change

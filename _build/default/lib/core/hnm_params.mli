@@ -1,0 +1,49 @@
+open! Import
+
+(** Per-line-type parameter tables for the HN-SPF metric.
+
+    BBN's exact constants were published only in BBN Report 6714 (not
+    public); this table derives a set from every constraint the paper
+    states (see DESIGN.md §2).  All values follow from one per-speed
+    anchor, [base_min] — the cost of an idle zero-propagation line:
+
+    - 56 kb/s: [base_min = 30] and a saturated line reports 90, i.e. at
+      most "two additional hops in a homogeneous network" (§4.2);
+    - 9.6 kb/s: [base_min = 70], so a full 9.6 line reports 210 ≈ 7× an
+      idle 56 line (§4.4) and [max = 3 × base_min] holds exactly;
+    - the cost is flat until 50 % utilization, then linear to [max] at
+      100 % (§4.2): [raw = slope·u + offset] with [slope = 4·base_min],
+      [offset = −base_min];
+    - movement limits: up a little more than a half-hop
+      ([base_min/2 + 1]), down one unit less (§5.4's march-up heuristic);
+    - the significance threshold is a little less than a half-hop
+      ([base_min/2 − 1], §4.3);
+    - the per-link minimum grows slowly with configured propagation delay
+      (+1 unit per 25 ms, capped at [base_min]), which is what makes an
+      idle satellite line dearer than its terrestrial twin at low load yet
+      "treated equally when highly utilized" (§4.4). *)
+
+type t = {
+  line_type : Line_type.t;
+  base_min : int;  (** idle cost of a zero-propagation line, routing units *)
+  max_cost : int;  (** absolute ceiling, [3 * base_min] *)
+  slope : float;  (** linear transform: cost per unit utilization *)
+  offset : float;
+  max_up : int;  (** largest allowed increase per routing period *)
+  max_down : int;  (** largest allowed decrease per routing period *)
+  min_change : int;  (** significance threshold for flooding an update *)
+}
+
+val for_line_type : Line_type.t -> t
+
+val min_cost : Link.t -> int
+(** The per-link lower bound: [base_min] plus the propagation-delay
+    adjustment. *)
+
+val raw_cost : t -> utilization:float -> float
+(** The unclipped linear transform [slope * u + offset]. *)
+
+val all : t list
+(** The full table, one entry per {!Line_type.t}. *)
+
+val pp : Format.formatter -> t -> unit

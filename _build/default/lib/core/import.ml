@@ -1,0 +1,7 @@
+(* Substrate aliases opened by every module in this library. *)
+
+module Node = Routing_topology.Node
+module Line_type = Routing_topology.Line_type
+module Link = Routing_topology.Link
+module Graph = Routing_topology.Graph
+module Filter = Routing_stats.Filter

@@ -1,0 +1,11 @@
+open! Import
+
+let constant = 4
+
+let cost_of_queue ~queue_length =
+  if queue_length < 0 then invalid_arg "Legacy.cost_of_queue: negative queue";
+  min Units.max_cost (queue_length + constant)
+
+let cost_of_utilization lt ~utilization =
+  let q = Queueing.queue_length lt ~utilization in
+  cost_of_queue ~queue_length:(int_of_float (Float.round q))

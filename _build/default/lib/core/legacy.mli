@@ -1,0 +1,21 @@
+open! Import
+
+(** The original 1969 link metric: instantaneous queue length plus a fixed
+    constant (§2.1).
+
+    "The link metric … was simply the instantaneous queue length at the
+    moment of updating plus a fixed constant."  It was an instantaneous
+    sample, not an average — "a poor indicator of expected delay" — and is
+    implemented here so the Bellman-Ford substrate can reproduce the
+    original algorithm's volatility. *)
+
+val constant : int
+(** The stabilizing additive constant (4): "the positive constant added to
+    the metric helped to alleviate" routing oscillations. *)
+
+val cost_of_queue : queue_length:int -> int
+(** [queue_length + constant], capped at {!Units.max_cost}. *)
+
+val cost_of_utilization : Line_type.t -> utilization:float -> int
+(** Analytic variant for flow-level studies: expected M/M/1 queue length at
+    the utilization, plus the constant. *)

@@ -1,0 +1,31 @@
+open! Import
+
+type t = {
+  link : Link.t;
+  mutable sum_s : float;
+  mutable packets : int;
+}
+
+let create link = { link; sum_s = 0.; packets = 0 }
+
+let link t = t.link
+
+let record_packet t ~delay_s =
+  t.sum_s <- t.sum_s +. delay_s;
+  t.packets <- t.packets + 1
+
+let packet_count t = t.packets
+
+let idle_delay_s t =
+  Link.transmission_s t.link ~bits:Units.average_packet_bits
+  +. t.link.Link.propagation_s
+
+let peek_average t =
+  if t.packets = 0 then idle_delay_s t
+  else t.sum_s /. float_of_int t.packets
+
+let finish_period t =
+  let avg = peek_average t in
+  t.sum_s <- 0.;
+  t.packets <- 0;
+  avg

@@ -1,0 +1,37 @@
+open! Import
+
+(** The per-link 10-second delay measurement.
+
+    "For every packet the PSN receives and forwards, it measures queueing
+    and processing delay to which it adds tabled values of transmission and
+    propagation delay.  For each of its outgoing links, it averages this
+    total delay over a ten-second period" (§2.2).
+
+    A [t] accumulates per-packet delays for one link; at the end of each
+    routing period the PSN reads the average and restarts the window.  An
+    idle period reports the link's intrinsic delay (transmission of an
+    average packet plus propagation) — an idle line never reports zero. *)
+
+type t
+
+val create : Link.t -> t
+
+val link : t -> Link.t
+
+val record_packet : t -> delay_s:float -> unit
+(** Fold in one forwarded packet's total delay (queueing + transmission +
+    propagation). *)
+
+val packet_count : t -> int
+(** Packets recorded in the current window. *)
+
+val idle_delay_s : t -> float
+(** What an empty window reports: average-packet transmission plus
+    propagation. *)
+
+val finish_period : t -> float
+(** Average delay over the window just ended (seconds), and reset for the
+    next window. *)
+
+val peek_average : t -> float
+(** Current window average without resetting. *)

@@ -1,0 +1,159 @@
+open! Import
+
+type kind = Min_hop | Static_capacity | D_spf | Hn_spf
+
+let kind_name = function
+  | Min_hop -> "min-hop"
+  | Static_capacity -> "static-capacity"
+  | D_spf -> "D-SPF"
+  | Hn_spf -> "HN-SPF"
+
+let kind_of_name = function
+  | "min-hop" | "minhop" -> Some Min_hop
+  | "static-capacity" | "static" | "ospf" -> Some Static_capacity
+  | "D-SPF" | "dspf" | "d-spf" -> Some D_spf
+  | "HN-SPF" | "hnspf" | "hn-spf" -> Some Hn_spf
+  | _ -> None
+
+type link_state =
+  | Static
+  | Static_cost of int
+  | Delay of Dspf.t * Significance.t
+  | Hop_normalized of Hnm.t * Significance.t
+
+type t = {
+  kind : kind;
+  graph : Graph.t;
+  hnm_config : Link.t -> Hnm.config;  (* used by Hn_spf states *)
+  states : link_state array;
+  flooded : int array;  (* what the network believes, per link *)
+  mutable updates : int;
+}
+
+let hnm_significance config h =
+  Significance.create
+    (Significance.Fixed config.Hnm.params.Hnm_params.min_change)
+    ~initial_cost:(Hnm.current_cost h)
+
+let make_state kind hnm_config link =
+  match kind with
+  | Min_hop -> Static
+  | Static_capacity -> Static_cost (Hnm_params.min_cost link)
+  | D_spf ->
+    let d = Dspf.create link in
+    Delay (d, Significance.create Significance.dspf_policy
+             ~initial_cost:(Dspf.current_cost d))
+  | Hn_spf ->
+    let config = hnm_config link in
+    let h = Hnm.create_custom config link in
+    Hop_normalized (h, hnm_significance config h)
+
+let initial_cost = function
+  | Static -> 1
+  | Static_cost c -> c
+  | Delay (d, _) -> Dspf.current_cost d
+  | Hop_normalized (h, _) -> Hnm.current_cost h
+
+let create_custom_hnspf hnm_config graph =
+  let states =
+    Array.init (Graph.link_count graph) (fun i ->
+        make_state Hn_spf hnm_config (Graph.link graph (Link.id_of_int i)))
+  in
+  { kind = Hn_spf;
+    graph;
+    hnm_config;
+    states;
+    flooded = Array.map initial_cost states;
+    updates = 0 }
+
+let create kind graph =
+  let hnm_config (link : Link.t) = Hnm.default_config link.Link.line_type in
+  let states =
+    Array.init (Graph.link_count graph) (fun i ->
+        make_state kind hnm_config (Graph.link graph (Link.id_of_int i)))
+  in
+  { kind;
+    graph;
+    hnm_config;
+    states;
+    flooded = Array.map initial_cost states;
+    updates = 0 }
+
+let kind t = t.kind
+
+let graph t = t.graph
+
+let cost t lid = t.flooded.(Link.id_to_int lid)
+
+let local_cost t lid =
+  match t.states.(Link.id_to_int lid) with
+  | Static -> 1
+  | Static_cost c -> c
+  | Delay (d, _) -> Dspf.current_cost d
+  | Hop_normalized (h, _) -> Hnm.current_cost h
+
+let cost_fn t lid = cost t lid
+
+let flood t lid c =
+  t.flooded.(Link.id_to_int lid) <- c;
+  t.updates <- t.updates + 1
+
+let period_update t lid ~measured_delay_s =
+  match t.states.(Link.id_to_int lid) with
+  | Static | Static_cost _ -> None
+  | Delay (d, sig_state) ->
+    let c = Dspf.period_update d ~measured_delay_s in
+    if Significance.consider sig_state ~cost:c then begin
+      flood t lid c;
+      Some c
+    end
+    else None
+  | Hop_normalized (h, sig_state) ->
+    let c = Hnm.period_update h ~measured_delay_s in
+    if Significance.consider sig_state ~cost:c then begin
+      flood t lid c;
+      Some c
+    end
+    else None
+
+let period_update_utilization t lid ~utilization =
+  let link = Graph.link t.graph lid in
+  period_update t lid ~measured_delay_s:(Queueing.delay_s link ~utilization)
+
+let link_up t lid =
+  let link = Graph.link t.graph lid in
+  let i = Link.id_to_int lid in
+  (match t.kind with
+  | Min_hop -> ()
+  | Static_capacity ->
+    flood t lid t.flooded.(i) (* cost unchanged; announce reachability *)
+  | D_spf ->
+    let d = Dspf.create link in
+    let c = Dspf.current_cost d in
+    let s = Significance.create Significance.dspf_policy ~initial_cost:c in
+    t.states.(i) <- Delay (d, s);
+    flood t lid c
+  | Hn_spf ->
+    let config = t.hnm_config link in
+    let h = Hnm.create_custom_easing_in config link in
+    let c = Hnm.current_cost h in
+    t.states.(i) <- Hop_normalized (h, hnm_significance config h);
+    flood t lid c)
+
+let updates_flooded t = t.updates
+
+let reset_update_counter t = t.updates <- 0
+
+let idle_cost kind link =
+  match kind with
+  | Min_hop -> 1
+  | Static_capacity -> Hnm_params.min_cost link
+  | D_spf -> Dspf.current_cost (Dspf.create link)
+  | Hn_spf -> Hnm.current_cost (Hnm.create link)
+
+let equilibrium_cost kind link ~utilization =
+  match kind with
+  | Min_hop -> 1
+  | Static_capacity -> Hnm_params.min_cost link
+  | D_spf -> Dspf.cost_of_utilization link ~utilization
+  | Hn_spf -> Hnm.cost_of_utilization link ~utilization

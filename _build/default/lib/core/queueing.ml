@@ -1,0 +1,67 @@
+open! Import
+
+let max_utilization = 0.99
+
+let clamp rho = Float.max 0. (Float.min max_utilization rho)
+
+let service_time_s lt = Units.average_packet_bits /. Line_type.bandwidth_bps lt
+
+let sojourn_s lt ~utilization =
+  let rho = clamp utilization in
+  service_time_s lt /. (1. -. rho)
+
+let delay_s (link : Link.t) ~utilization =
+  sojourn_s link.line_type ~utilization +. link.propagation_s
+
+let utilization_of_sojourn lt ~sojourn_s =
+  let s = service_time_s lt in
+  if sojourn_s <= s then 0. else clamp (1. -. (s /. sojourn_s))
+
+let utilization_of_delay (link : Link.t) ~delay_s =
+  utilization_of_sojourn link.line_type
+    ~sojourn_s:(delay_s -. link.propagation_s)
+
+let queue_length _lt ~utilization =
+  let rho = clamp utilization in
+  rho /. (1. -. rho)
+
+let md1_sojourn_s lt ~utilization =
+  let rho = clamp utilization in
+  let s = service_time_s lt in
+  s *. (1. +. (rho /. (2. *. (1. -. rho))))
+
+let buffer_capacity = 40
+
+(* M/M/1/K with K = buffer_capacity packets in system.  rho is the offered
+   load and may exceed 1; near rho = 1 the closed forms are 0/0, so a small
+   neighbourhood falls back to the exact rho = 1 values. *)
+let k_float = float_of_int buffer_capacity
+
+let mm1k_blocking ~utilization =
+  let rho = Float.max 0. utilization in
+  if Float.abs (rho -. 1.) < 1e-9 then 1. /. (k_float +. 1.)
+  else begin
+    let rk = rho ** k_float in
+    (1. -. rho) *. rk /. (1. -. (rk *. rho))
+  end
+
+let mm1k_number_in_system rho =
+  if Float.abs (rho -. 1.) < 1e-9 then k_float /. 2.
+  else begin
+    let rk1 = rho ** (k_float +. 1.) in
+    rho /. (1. -. rho)
+    -. ((k_float +. 1.) *. rk1 /. (1. -. rk1))
+  end
+
+let mm1k_sojourn_s lt ~utilization =
+  let rho = Float.max 0. utilization in
+  let s = service_time_s lt in
+  if rho <= 0. then s
+  else begin
+    let little_l = mm1k_number_in_system rho in
+    let accepted_rate = rho /. s *. (1. -. mm1k_blocking ~utilization:rho) in
+    little_l /. accepted_rate
+  end
+
+let mm1k_delay_s (link : Link.t) ~utilization =
+  mm1k_sojourn_s link.line_type ~utilization +. link.propagation_s

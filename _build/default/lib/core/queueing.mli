@@ -1,0 +1,73 @@
+open! Import
+
+(** The M/M/1 queueing model relating link delay and utilization.
+
+    "A simple M/M/1 queueing model is used with the service time being the
+    network-wide average packet size (600 bits/packet) divided by the
+    trunk's bandwidth" (§4.1).  All utilization↔delay transformations in
+    the paper's own analysis use this model, and so do ours — both inside
+    the HNM (delay → utilization estimate) and in the flow simulator
+    (utilization → expected delay). *)
+
+val max_utilization : float
+(** 0.99 — utilization estimates are clamped here; the reported-delay
+    inversion is undefined at exactly 1. *)
+
+val service_time_s : Line_type.t -> float
+(** Mean transmission time of a 600-bit packet on the line. *)
+
+val sojourn_s : Line_type.t -> utilization:float -> float
+(** Expected M/M/1 time-in-system (queueing + transmission):
+    [s / (1 - rho)].  Utilization is clamped to
+    [\[0, max_utilization\]]. *)
+
+val delay_s : Link.t -> utilization:float -> float
+(** {!sojourn_s} plus the link's propagation delay — the quantity a PSN
+    would measure per packet. *)
+
+val utilization_of_sojourn : Line_type.t -> sojourn_s:float -> float
+(** Invert {!sojourn_s}: [rho = 1 - s/w], clamped to
+    [\[0, max_utilization\]].  Sojourns at or below the service time map
+    to 0. *)
+
+val utilization_of_delay : Link.t -> delay_s:float -> float
+(** Invert {!delay_s} by first stripping the link's configured propagation
+    delay — the PSN knows it from its line tables. *)
+
+val queue_length : Line_type.t -> utilization:float -> float
+(** Expected number in system, [rho / (1 - rho)] — used by the 1969 legacy
+    metric's analytic mode. *)
+
+(** {2 Finite buffers (M/M/1/K)}
+
+    A real PSN holds at most {!buffer_capacity} packets per line, so the
+    delay it {e measures} is bounded — roughly [K] service times — and the
+    excess arrivals are the dropped packets Fig 13 counts.  The simulators
+    use these; the §5 analytic reproductions keep the paper's pure M/M/1.
+    The offered [utilization] argument may exceed 1. *)
+
+val buffer_capacity : int
+(** 40 packets in system per line — sized so that a saturated 56 kb/s line
+    measures ≈430 ms and reports ≈20× its idle cost, and a saturated
+    9.6 kb/s line pegs the 254-unit ceiling: the §3.2 ratios. *)
+
+val mm1k_blocking : utilization:float -> float
+(** Probability an arriving packet finds the buffer full (is dropped). *)
+
+val mm1k_sojourn_s : Line_type.t -> utilization:float -> float
+(** Expected time in system of {e accepted} packets. *)
+
+val mm1k_delay_s : Link.t -> utilization:float -> float
+(** {!mm1k_sojourn_s} plus propagation — what the PSN's 10-second window
+    measures on a line offered that load. *)
+
+(** {2 Robustness check (M/D/1)}
+
+    The paper uses M/M/1 "for illustrative purposes"; real 1987 packets
+    were not exponentially sized.  The deterministic-service M/D/1 sojourn
+    lets tests confirm the qualitative results do not hinge on the
+    exponential assumption — its queueing term is exactly half M/M/1's. *)
+
+val md1_sojourn_s : Line_type.t -> utilization:float -> float
+(** Pollaczek–Khinchine with zero service variance:
+    [s * (1 + rho / (2 (1 - rho)))], clamped like {!sojourn_s}. *)

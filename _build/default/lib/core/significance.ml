@@ -1,0 +1,55 @@
+open! Import
+
+type policy = Decaying of { initial : float; step : float } | Fixed of int
+
+let dspf_policy = Decaying { initial = 6.4; step = 1.28 }
+
+let hnm_policy lt =
+  Fixed (Hnm_params.for_line_type lt).Hnm_params.min_change
+
+type t = {
+  policy : policy;
+  mutable last_flooded : int;
+  mutable periods : int;  (* periods since last flood *)
+  mutable threshold : float;  (* current decaying threshold *)
+}
+
+let initial_threshold = function
+  | Decaying { initial; _ } -> initial
+  | Fixed k -> float_of_int k
+
+let create policy ~initial_cost =
+  { policy;
+    last_flooded = initial_cost;
+    periods = 0;
+    threshold = initial_threshold policy }
+
+let last_flooded t = t.last_flooded
+
+let periods_since_flood t = t.periods
+
+let max_quiet_periods =
+  int_of_float (Units.max_update_interval_s /. Units.routing_period_s)
+
+let consider t ~cost =
+  t.periods <- t.periods + 1;
+  let delta = abs (cost - t.last_flooded) in
+  let significant = float_of_int delta >= t.threshold in
+  let timer_expired = t.periods >= max_quiet_periods in
+  if significant || timer_expired then begin
+    t.last_flooded <- cost;
+    t.periods <- 0;
+    t.threshold <- initial_threshold t.policy;
+    true
+  end
+  else begin
+    (match t.policy with
+    | Decaying { step; _ } -> t.threshold <- Float.max 0. (t.threshold -. step)
+    | Fixed _ -> ());
+    false
+  end
+
+let force t ~cost =
+  t.last_flooded <- cost;
+  t.periods <- 0;
+  t.threshold <- initial_threshold t.policy

@@ -1,0 +1,1 @@
+lib/equilibrium/cobweb.ml: Dspf Float Hnm Import List Metric Metric_map Queueing Response_map Units

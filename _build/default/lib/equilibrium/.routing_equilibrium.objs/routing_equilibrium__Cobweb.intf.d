@@ -1,0 +1,1 @@
+lib/equilibrium/cobweb.mli: Import Link Metric Response_map

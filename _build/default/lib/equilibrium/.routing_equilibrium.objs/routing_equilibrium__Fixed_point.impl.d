@@ -1,0 +1,1 @@
+lib/equilibrium/fixed_point.ml: Float Import List Metric Metric_map Response_map

@@ -1,0 +1,1 @@
+lib/equilibrium/fixed_point.mli: Import Link Metric Response_map

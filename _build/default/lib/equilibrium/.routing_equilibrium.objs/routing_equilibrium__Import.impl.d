@@ -1,0 +1,1 @@
+lib/equilibrium/import.ml: Routing_metric Routing_spf Routing_stats Routing_topology

@@ -1,0 +1,1 @@
+lib/equilibrium/metric_map.ml: Array Dspf Import Link Metric Queueing

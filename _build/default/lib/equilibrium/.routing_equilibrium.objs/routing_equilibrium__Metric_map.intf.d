@@ -1,0 +1,1 @@
+lib/equilibrium/metric_map.mli: Import Link Metric

@@ -1,0 +1,1 @@
+lib/equilibrium/response_map.ml: Array Dijkstra Float Graph Hashtbl Import Int Link List Node Spf_tree Traffic_matrix Welford

@@ -1,0 +1,1 @@
+lib/equilibrium/response_map.mli: Graph Import Link Traffic_matrix

@@ -1,0 +1,1 @@
+lib/equilibrium/stability.ml: Dspf Float Import Link List Metric Queueing Response_map Routing_metric Units

@@ -1,0 +1,1 @@
+lib/equilibrium/stability.mli: Import Link Metric Response_map

@@ -1,0 +1,94 @@
+open! Import
+
+type point = {
+  period : int;
+  cost : int;
+  cost_hops : float;
+  utilization : float;
+}
+
+type start = From_idle | From_max | From_cost of int
+
+(* A single-link metric stepper: current cost, and advance-by-one-period. *)
+type stepper = {
+  current : unit -> int;
+  advance : utilization:float -> int;
+}
+
+let make_stepper kind link start =
+  match kind with
+  | Metric.Min_hop ->
+    { current = (fun () -> 1); advance = (fun ~utilization:_ -> 1) }
+  | Metric.Static_capacity ->
+    let c = Metric.idle_cost Metric.Static_capacity link in
+    { current = (fun () -> c); advance = (fun ~utilization:_ -> c) }
+  | Metric.Hn_spf ->
+    let state =
+      match start with
+      | From_idle -> Hnm.create link
+      | From_max -> Hnm.create_easing_in link
+      | From_cost _ -> Hnm.create link
+    in
+    (match start with
+    | From_cost _ ->
+      invalid_arg
+        "Cobweb: HN-SPF state is a filter, not a cost; use From_idle/From_max"
+    | From_idle | From_max -> ());
+    { current = (fun () -> Hnm.current_cost state);
+      advance =
+        (fun ~utilization ->
+          Hnm.period_update state
+            ~measured_delay_s:(Queueing.delay_s link ~utilization)) }
+  | Metric.D_spf ->
+    let state = Dspf.create link in
+    let initial =
+      match start with
+      | From_idle -> Dspf.current_cost state
+      | From_max -> Units.max_cost
+      | From_cost c -> c
+    in
+    (* D-SPF is memoryless between periods: the "state" is just the last
+       reported value, so seeding it is a plain override. *)
+    let cost = ref initial in
+    { current = (fun () -> !cost);
+      advance =
+        (fun ~utilization ->
+          cost :=
+            Dspf.period_update state
+              ~measured_delay_s:(Queueing.delay_s link ~utilization);
+          !cost) }
+
+let trace kind link response ~offered_load ~start ~periods =
+  let stepper = make_stepper kind link start in
+  let idle = float_of_int (Metric_map.idle_cost kind link) in
+  let observe period cost =
+    let cost_hops = float_of_int cost /. idle in
+    let utilization =
+      offered_load *. Response_map.traffic_at response cost_hops
+    in
+    ({ period; cost; cost_hops; utilization }, utilization)
+  in
+  let rec loop period cost acc =
+    let point, utilization = observe period cost in
+    if period >= periods then List.rev (point :: acc)
+    else begin
+      let next = stepper.advance ~utilization in
+      loop (period + 1) next (point :: acc)
+    end
+  in
+  loop 0 (stepper.current ()) []
+
+let tail_amplitude points ~last =
+  let tail =
+    let n = List.length points in
+    List.filteri (fun i _ -> i >= n - last) points
+  in
+  match tail with
+  | [] -> 0.
+  | _ ->
+    let hops = List.map (fun p -> p.cost_hops) tail in
+    List.fold_left Float.max neg_infinity hops
+    -. List.fold_left Float.min infinity hops
+
+let converged points ~last ~tolerance_hops =
+  tail_amplitude points ~last <= tolerance_hops

@@ -1,0 +1,42 @@
+open! Import
+
+(** Dynamic behaviour of the routing loop (§5.4, Figs 11 and 12).
+
+    Iterate the real (stateful) metric against the Network Response map,
+    one routing period per step: the current reported cost determines the
+    traffic the network sends over the link; that utilization feeds the
+    metric; the metric emits the next reported cost.  D-SPF started away
+    from its equilibrium diverges into a full-amplitude oscillation (Fig
+    11); HN-SPF converges — or oscillates within the half-hop movement
+    bound — and a link started at its maximum cost eases in (Fig 12). *)
+
+type point = {
+  period : int;
+  cost : int;  (** routing units reported after this period *)
+  cost_hops : float;  (** cost normalized by the idle cost *)
+  utilization : float;  (** raw offered utilization during the period *)
+}
+
+type start =
+  | From_idle  (** metric state of a long-idle link *)
+  | From_max  (** a freshly revived link (HN-SPF eases in; D-SPF has no
+                  such mechanism and just starts from its ceiling) *)
+  | From_cost of int  (** arbitrary initial reported cost, routing units *)
+
+val trace :
+  Metric.kind ->
+  Link.t ->
+  Response_map.t ->
+  offered_load:float ->
+  start:start ->
+  periods:int ->
+  point list
+(** The trajectory, oldest first; [period 0] is the starting cost with the
+    traffic it attracts. *)
+
+val tail_amplitude : point list -> last:int -> float
+(** Peak-to-peak swing of [cost_hops] over the final [last] points — the
+    oscillation amplitude once transients die out. *)
+
+val converged : point list -> last:int -> tolerance_hops:float -> bool
+(** True when the tail amplitude is within the tolerance. *)

@@ -1,0 +1,46 @@
+open! Import
+
+type equilibrium = {
+  cost_hops : float;
+  utilization : float;
+  carried : float;
+}
+
+let clamp01 u = Float.min 1. u
+
+(* Offered utilization when the link reports [x] hops: the response map is
+   normalized to 1 at one hop, so scaling by the min-hop load gives raw
+   utilization. *)
+let offered response ~offered_load x =
+  offered_load *. Response_map.traffic_at response x
+
+let metric_hops kind link u =
+  Metric_map.cost_in_hops kind link ~utilization:(Float.min u 0.99)
+
+let equilibrium kind link response ~offered_load =
+  match kind with
+  | Metric.Min_hop | Metric.Static_capacity ->
+    (* Static metrics sit at one (relative) hop regardless of load. *)
+    let u = offered response ~offered_load 1. in
+    { cost_hops = 1.; utilization = u; carried = clamp01 u }
+  | Metric.D_spf | Metric.Hn_spf ->
+    (* f(x) = M(load * n(x)) - x is strictly decreasing (M rises with
+       utilization, n falls with cost), so bisection finds the unique
+       root. *)
+    let f x = metric_hops kind link (offered response ~offered_load x) -. x in
+    let lo = ref 0.25 and hi = ref 16. in
+    if f !lo <= 0. then lo := !lo (* equilibrium at or below the floor *);
+    for _ = 1 to 60 do
+      let mid = (!lo +. !hi) /. 2. in
+      if f mid > 0. then lo := mid else hi := mid
+    done;
+    let x = (!lo +. !hi) /. 2. in
+    let u = offered response ~offered_load x in
+    { cost_hops = x; utilization = u; carried = clamp01 u }
+
+let equilibrium_curve kind link response ~loads =
+  List.map
+    (fun load -> (load, equilibrium kind link response ~offered_load:load))
+    loads
+
+let ideal_carried load = Float.min 1. load

@@ -1,0 +1,39 @@
+open! Import
+
+(** Equilibrium calculation (§5.3, Figs 9 and 10).
+
+    "Equilibrium is achieved when the reported cost from one period results
+    in a traffic level on the link that in turn results in the same cost for
+    the next period."  The two mappings are the Metric map
+    (utilization → cost, {!Metric_map}) and the Network Response map
+    (cost → traffic, {!Response_map}); their composition is monotone
+    decreasing in the reported cost, so the fixed point is found by
+    bisection — the "numerical techniques" the paper resorts to.
+
+    [offered_load] is the paper's normalizer: "the percentage the 'average
+    link' would be utilized if min-hop routing were in effect". *)
+
+type equilibrium = {
+  cost_hops : float;  (** reported cost at the fixed point, in hops *)
+  utilization : float;  (** raw offered utilization at the fixed point
+                            (may exceed 1 when the link is oversubscribed) *)
+  carried : float;  (** utilization capped at capacity — what the line
+                        actually transmits *)
+}
+
+val equilibrium :
+  Metric.kind -> Link.t -> Response_map.t -> offered_load:float -> equilibrium
+(** Solve [cost = M(load * n(cost))].  Min-hop is the degenerate case
+    [cost = 1]. *)
+
+val equilibrium_curve :
+  Metric.kind ->
+  Link.t ->
+  Response_map.t ->
+  loads:float list ->
+  (float * equilibrium) list
+(** Fig 10: one equilibrium per offered load. *)
+
+val ideal_carried : float -> float
+(** The routing ideal the paper describes: carry everything up to capacity,
+    shed the excess — [min load 1.]. *)

@@ -1,0 +1,28 @@
+open! Import
+
+let curve kind link ~samples =
+  if samples < 2 then invalid_arg "Metric_map.curve: samples < 2";
+  Array.init samples (fun i ->
+      let u =
+        Queueing.max_utilization *. float_of_int i /. float_of_int (samples - 1)
+      in
+      (u, Metric.equilibrium_cost kind link ~utilization:u))
+
+let idle_cost kind link =
+  match kind with
+  | Metric.Min_hop -> 1
+  | Metric.D_spf ->
+    (* The delay metric's bias is its idle floor (§4.2). *)
+    Dspf.bias link.Link.line_type
+  | Metric.Static_capacity | Metric.Hn_spf ->
+    Metric.equilibrium_cost kind link ~utilization:0.
+
+let normalized kind link ~samples =
+  let idle = float_of_int (idle_cost kind link) in
+  Array.map
+    (fun (u, c) -> (u, float_of_int c /. idle))
+    (curve kind link ~samples)
+
+let cost_in_hops kind link ~utilization =
+  float_of_int (Metric.equilibrium_cost kind link ~utilization)
+  /. float_of_int (idle_cost kind link)

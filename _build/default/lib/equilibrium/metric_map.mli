@@ -1,0 +1,24 @@
+open! Import
+
+(** Metric maps: equilibrium reported cost as a function of held link
+    utilization (§5.3, Figs 4 and 5).
+
+    Figure 4 normalizes each metric "by the value reported by an idle line,
+    for the purpose of making a meaningful comparison" — 30 routing units
+    for HN-SPF on a 56 kb/s line, 2 units for D-SPF.  {!normalized} applies
+    the same convention, so its output reads directly in {e hops}. *)
+
+val curve :
+  Metric.kind -> Link.t -> samples:int -> (float * int) array
+(** [(utilization, cost)] pairs at [samples] evenly spaced utilizations in
+    [\[0, 0.99\]]. *)
+
+val idle_cost : Metric.kind -> Link.t -> int
+(** The normalizer: what an idle line reports. *)
+
+val normalized :
+  Metric.kind -> Link.t -> samples:int -> (float * float) array
+(** [(utilization, cost / idle_cost)] — relative cost in hops. *)
+
+val cost_in_hops : Metric.kind -> Link.t -> utilization:float -> float
+(** Point query of the normalized map. *)

@@ -1,0 +1,129 @@
+open! Import
+
+type shed_stat = {
+  route_hops : int;
+  routes : int;
+  mean_shed_hops : float;
+  stddev_shed_hops : float;
+  min_shed_hops : float;
+  max_shed_hops : float;
+}
+
+(* Hop-count distance matrix of the graph with one link removed. *)
+let distances_avoiding g probe =
+  let n = Graph.node_count g in
+  let d = Array.init n (fun _ -> Array.make n max_int) in
+  for src = 0 to n - 1 do
+    let tree =
+      Dijkstra.min_hop_tree
+        ~enabled:(fun lid -> not (Link.id_equal lid probe))
+        g (Node.of_int src)
+    in
+    for dst = 0 to n - 1 do
+      let node = Node.of_int dst in
+      if Spf_tree.reached tree node then d.(src).(dst) <- Spf_tree.hops tree node
+    done
+  done;
+  d
+
+(* Visit every flow's relationship to one probe link: its route length
+   through the probe and the probe cost (integer hops) at which it sheds.
+   Flows that cannot route through the probe at all are skipped. *)
+let iter_probe_flows g tm probe ~max_shed f =
+  let link = Graph.link g probe in
+  let d = distances_avoiding g probe in
+  let u = Node.to_int link.Link.src and v = Node.to_int link.Link.dst in
+  Traffic_matrix.iter tm (fun ~src ~dst demand ->
+      let s = Node.to_int src and t = Node.to_int dst in
+      let d1 = d.(s).(u) and d2 = d.(v).(t) in
+      if d1 <> max_int && d2 <> max_int then begin
+        let alt = d.(s).(t) in
+        let captive = alt = max_int in
+        let shed = if captive then max_shed else min (alt - d1 - d2) max_shed in
+        f ~route_hops:(d1 + 1 + d2) ~shed ~captive ~demand
+      end)
+
+let shed_statistics ?(include_captive = false) ?(max_shed_hops = 16.)
+    ?(links = fun _ -> true) g tm =
+  let max_shed = int_of_float max_shed_hops in
+  let by_length = Hashtbl.create 16 in
+  Graph.iter_links g (fun (l : Link.t) ->
+      if links l then
+      iter_probe_flows g tm l.Link.id ~max_shed
+        (fun ~route_hops ~shed ~captive ~demand:_ ->
+          (* Only routes actually on the link at ambient cost (ties in
+             favor): shed >= 1. *)
+          if shed >= 1 && ((not captive) || include_captive) then begin
+            let w =
+              match Hashtbl.find_opt by_length route_hops with
+              | Some w -> w
+              | None ->
+                let w = Welford.create () in
+                Hashtbl.add by_length route_hops w;
+                w
+            in
+            Welford.add w (float_of_int shed)
+          end));
+  Hashtbl.fold
+    (fun route_hops w acc ->
+      { route_hops;
+        routes = Welford.count w;
+        mean_shed_hops = Welford.mean w;
+        stddev_shed_hops = Welford.stddev w;
+        min_shed_hops = Welford.min_value w;
+        max_shed_hops = Welford.max_value w }
+      :: acc)
+    by_length []
+  |> List.sort (fun a b -> Int.compare a.route_hops b.route_hops)
+
+type t = { xs : float array; ys : float array }
+
+let compute ?(max_hops = 9.) g tm =
+  let max_shed = int_of_float (Float.ceil max_hops) + 1 in
+  (* Per probe link: traffic staying at favor(k) = total demand with
+     shed >= k, for k = 1 .. max_shed; plotted at x = k - 0.5. *)
+  let steps = max_shed in
+  let acc = Array.make steps 0. in
+  let contributing = ref 0 in
+  Graph.iter_links g (fun (l : Link.t) ->
+      let staying = Array.make (steps + 1) 0. in
+      iter_probe_flows g tm l.Link.id ~max_shed
+        (fun ~route_hops:_ ~shed ~captive:_ ~demand ->
+          if shed >= 1 then begin
+            (* This flow is on the link for every favor(k) with k <= shed. *)
+            let top = min shed steps in
+            for k = 1 to top do
+              staying.(k) <- staying.(k) +. demand
+            done
+          end);
+      let base = (staying.(1) +. staying.(min 2 steps)) /. 2. in
+      if base > 0. then begin
+        incr contributing;
+        for k = 1 to steps do
+          acc.(k - 1) <- acc.(k - 1) +. (staying.(k) /. base)
+        done
+      end);
+  if !contributing = 0 then invalid_arg "Response_map.compute: no traffic";
+  let xs = Array.init steps (fun i -> float_of_int (i + 1) -. 0.5) in
+  let ys = Array.map (fun total -> total /. float_of_int !contributing) acc in
+  { xs; ys }
+
+let points t = Array.map2 (fun x y -> (x, y)) t.xs t.ys
+
+let traffic_at t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    let rec find i = if t.xs.(i + 1) >= x then i else find (i + 1) in
+    let i = find 0 in
+    let frac = (x -. t.xs.(i)) /. (t.xs.(i + 1) -. t.xs.(i)) in
+    t.ys.(i) +. (frac *. (t.ys.(i + 1) -. t.ys.(i)))
+  end
+
+let base_utilization _t g tm (link : Link.t) =
+  let staying = ref 0. in
+  iter_probe_flows g tm link.Link.id ~max_shed:2
+    (fun ~route_hops:_ ~shed ~captive:_ ~demand ->
+      if shed >= 1 then staying := !staying +. demand);
+  !staying /. Link.capacity_bps link

@@ -1,0 +1,65 @@
+open! Import
+
+(** The Network Response Map (§5.1–5.2, Figs 7 and 8).
+
+    "Each link is taken one at a time and statistics are collected relating
+    the reported cost needed (in hops) to shed each route and its traffic.
+    Ties are always broken in favor of using the given link.  The statistics
+    are aggregated over the whole network to get the characteristics of the
+    'average link'."
+
+    All other links report the ambient value (one hop), so distances reduce
+    to hop counts.  For a probe link u→v and a route src→dst, the cheapest
+    path through the probe costs [d(src,u) + x + d(v,dst)] hops when the
+    probe reports [x]; the best alternative costs [d'(src,dst)] hops, both
+    measured on the graph with the probe removed.  The route stays on the
+    probe while [d(src,u) + x + d(v,dst) <= d'(src,dst)] (ties in favor);
+    the half-hop granularity of Fig 8's X axis falls out of flipping the
+    tie-break. *)
+
+type shed_stat = {
+  route_hops : int;  (** route length through the probe link, in links *)
+  routes : int;  (** number of such routes network-wide *)
+  mean_shed_hops : float;  (** average reported cost that sheds them *)
+  stddev_shed_hops : float;
+  min_shed_hops : float;
+  max_shed_hops : float;
+}
+
+val shed_statistics :
+  ?include_captive:bool ->
+  ?max_shed_hops:float ->
+  ?links:(Link.t -> bool) ->
+  Graph.t ->
+  Traffic_matrix.t ->
+  shed_stat list
+(** Fig 7's data, one entry per observed route length (ascending).  Routes
+    with no alternative path at all (single-homed destinations) cannot be
+    shed at any cost; they are excluded unless [include_captive] (default
+    false), in which case they count as shedding at [max_shed_hops]
+    (default 16., beyond Fig 7's axis).  [links] (default: all) restricts
+    which probe links contribute — the paper notes "the characteristics of
+    individual links differ from the 'average' link", and the restriction
+    lets experiments compare link classes (backbone vs tails vs
+    satellite). *)
+
+type t
+(** The average-link response map: normalized traffic as a function of the
+    probe's reported cost in hops. *)
+
+val compute : ?max_hops:float -> Graph.t -> Traffic_matrix.t -> t
+(** Evaluate at half-hop steps up to [max_hops] (default 9.), averaging the
+    per-link normalized curves over every link that carries traffic at
+    ambient cost. *)
+
+val points : t -> (float * float) array
+(** [(cost_hops, normalized_traffic)], normalized so the curve is 1 at one
+    hop. *)
+
+val traffic_at : t -> float -> float
+(** Linear interpolation between {!points}; clamped at the ends. *)
+
+val base_utilization : t -> Graph.t -> Traffic_matrix.t -> Link.t -> float
+(** The probe link's min-hop-routing utilization — the "offered load"
+    normalizer used by Figs 9–12: its ambient-cost traffic divided by its
+    capacity. *)

@@ -1,0 +1,1 @@
+lib/flooding/broadcast.ml: Array Flooder Graph Import Link List Node Queue Update

@@ -1,0 +1,1 @@
+lib/flooding/broadcast.mli: Flooder Graph Import Update

@@ -1,0 +1,1 @@
+lib/flooding/flooder.ml: Array Graph Import Link List Node Sequence Update

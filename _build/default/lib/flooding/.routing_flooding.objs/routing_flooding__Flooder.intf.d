@@ -1,0 +1,1 @@
+lib/flooding/flooder.mli: Graph Import Link Node Sequence Update

@@ -1,0 +1,1 @@
+lib/flooding/import.ml: Routing_topology

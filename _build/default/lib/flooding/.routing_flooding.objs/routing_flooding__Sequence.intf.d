@@ -1,0 +1,1 @@
+lib/flooding/sequence.mli: Format

@@ -1,0 +1,1 @@
+lib/flooding/update.ml: Format Import Link List Node Sequence String

@@ -1,0 +1,1 @@
+lib/flooding/update.mli: Format Import Link Node Sequence

@@ -1,0 +1,44 @@
+open! Import
+
+type outcome = {
+  reached : int;
+  transmissions : int;
+  duplicates : int;
+  bits : float;
+}
+
+let flood g flooders (u : Update.t) =
+  let reached = ref 0 in
+  let transmissions = ref 0 in
+  let duplicates = ref 0 in
+  let queue = Queue.create () in
+  (* Injection at the origin: no arrival link. *)
+  Queue.add (None, Node.to_int u.origin) queue;
+  while not (Queue.is_empty queue) do
+    let arrived_on, node = Queue.pop queue in
+    match Flooder.receive flooders.(node) ~arrived_on u with
+    | Flooder.Duplicate -> incr duplicates
+    | Flooder.Fresh forward ->
+      incr reached;
+      List.iter
+        (fun lid ->
+          incr transmissions;
+          let dst = (Graph.link g lid).Link.dst in
+          Queue.add (Some lid, Node.to_int dst) queue)
+        forward
+  done;
+  { reached = !reached;
+    transmissions = !transmissions;
+    duplicates = !duplicates;
+    bits = float_of_int !transmissions *. Update.size_bits u }
+
+let flood_all g flooders updates =
+  List.fold_left
+    (fun acc u ->
+      let o = flood g flooders u in
+      { reached = max acc.reached o.reached;
+        transmissions = acc.transmissions + o.transmissions;
+        duplicates = acc.duplicates + o.duplicates;
+        bits = acc.bits +. o.bits })
+    { reached = 0; transmissions = 0; duplicates = 0; bits = 0. }
+    updates

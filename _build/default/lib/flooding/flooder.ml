@@ -1,0 +1,69 @@
+open! Import
+
+type t = {
+  graph : Graph.t;
+  owner : Node.t;
+  newest : Sequence.t option array; (* per origin node *)
+  mutable own_seq : Sequence.t;
+  mutable accepted : int;
+  mutable duplicates : int;
+}
+
+let create graph ~owner =
+  { graph;
+    owner;
+    newest = Array.make (Graph.node_count graph) None;
+    own_seq = Sequence.zero;
+    accepted = 0;
+    duplicates = 0 }
+
+let owner t = t.owner
+
+let is_fresh t (u : Update.t) =
+  match t.newest.(Node.to_int u.origin) with
+  | None -> true
+  | Some seen -> Sequence.newer u.seq seen
+
+let note_seen t (u : Update.t) =
+  t.newest.(Node.to_int u.origin) <- Some u.seq
+
+let originate t ~costs =
+  t.own_seq <- Sequence.next t.own_seq;
+  let u = { Update.origin = t.owner; seq = t.own_seq; costs } in
+  note_seen t u;
+  u
+
+type verdict = Fresh of Link.id list | Duplicate
+
+let receive t ~arrived_on (u : Update.t) =
+  (* A local injection is always propagated: the originator has necessarily
+     already recorded its own sequence number in [originate]. *)
+  let fresh = match arrived_on with None -> true | Some _ -> is_fresh t u in
+  if fresh then begin
+    note_seen t u;
+    t.accepted <- t.accepted + 1;
+    let forward =
+      Graph.out_links t.graph t.owner
+      |> List.filter_map (fun (l : Link.t) ->
+             (* Never send an update back over the line it arrived on —
+                the neighbour there has it by construction. *)
+             let came_back =
+               match arrived_on with
+               | Some in_link ->
+                 Link.id_equal (Graph.reverse t.graph l).Link.id in_link
+               | None -> false
+             in
+             if came_back then None else Some l.Link.id)
+    in
+    Fresh forward
+  end
+  else begin
+    t.duplicates <- t.duplicates + 1;
+    Duplicate
+  end
+
+let accepted_count t = t.accepted
+
+let duplicate_count t = t.duplicates
+
+let last_seq t origin = t.newest.(Node.to_int origin)

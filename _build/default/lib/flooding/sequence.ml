@@ -1,0 +1,21 @@
+type t = int
+
+let space = 65536
+
+let zero = 0
+
+let of_int i =
+  if i < 0 then invalid_arg "Sequence.of_int: negative";
+  i mod space
+
+let to_int t = t
+
+let next t = (t + 1) mod space
+
+let newer a b =
+  let diff = (a - b + space) mod space in
+  diff > 0 && diff < space / 2
+
+let equal = Int.equal
+
+let pp ppf t = Format.fprintf ppf "#%d" t

@@ -1,0 +1,29 @@
+(** Wrapping update sequence numbers.
+
+    Rosen's updating protocol orders updates from the same PSN with a small
+    circular sequence-number space.  [newer a b] implements the standard
+    half-space comparison: [a] is newer than [b] when it lies in the half of
+    the circle ahead of [b].  The space is 2^16, far more than the ~6
+    updates a PSN can emit per minute, so wrap ambiguity never arises in
+    practice. *)
+
+type t = private int
+
+val space : int
+(** Size of the circular space (65536). *)
+
+val zero : t
+
+val of_int : int -> t
+(** Reduced modulo {!space}.  @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+
+val next : t -> t
+
+val newer : t -> t -> bool
+(** [newer a b] — strict: [newer a a = false]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

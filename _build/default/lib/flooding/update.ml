@@ -1,0 +1,16 @@
+open! Import
+
+type t = {
+  origin : Node.t;
+  seq : Sequence.t;
+  costs : (Link.id * int) list;
+}
+
+let size_bits t = 128. +. (48. *. float_of_int (List.length t.costs))
+
+let pp ppf t =
+  Format.fprintf ppf "update %a%a [%s]" Node.pp t.origin Sequence.pp t.seq
+    (String.concat "; "
+       (List.map
+          (fun (l, c) -> Format.asprintf "%a=%d" Link.pp_id l c)
+          t.costs))

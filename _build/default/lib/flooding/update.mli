@@ -1,0 +1,21 @@
+open! Import
+
+(** Routing update messages.
+
+    "Routing updates contain only link cost information; no other routing
+    information is disseminated through the network" (§2.2).  An update
+    announces the originating PSN's current costs for its outgoing links,
+    stamped with a per-origin sequence number. *)
+
+type t = {
+  origin : Node.t;  (** the PSN reporting its local links *)
+  seq : Sequence.t;
+  costs : (Link.id * int) list;  (** the origin's outgoing links *)
+}
+
+val size_bits : t -> float
+(** Wire size used for overhead accounting: 128 bits of header plus 48 bits
+    per reported link (16-bit link id, 8-bit cost, 24 bits of protocol
+    framing) — C/30-era message proportions. *)
+
+val pp : Format.formatter -> t -> unit

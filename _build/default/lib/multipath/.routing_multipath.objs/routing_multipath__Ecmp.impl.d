@@ -1,0 +1,1 @@
+lib/multipath/ecmp.ml: Array Graph Hashtbl Import Link List Node Option Reverse_spf Traffic_matrix

@@ -1,0 +1,1 @@
+lib/multipath/ecmp.mli: Graph Import Link Node Reverse_spf Traffic_matrix

@@ -1,0 +1,1 @@
+lib/multipath/import.ml: Routing_flooding Routing_metric Routing_spf Routing_topology

@@ -1,0 +1,1 @@
+lib/multipath/multipath_sim.ml: Array Broadcast Ecmp Float Flooder Graph Hashtbl Import Link List Metric Node Option Queueing Reverse_spf Traffic_matrix Units

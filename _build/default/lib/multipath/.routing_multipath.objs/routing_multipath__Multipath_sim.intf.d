@@ -1,0 +1,1 @@
+lib/multipath/multipath_sim.mli: Graph Import Link Metric Traffic_matrix

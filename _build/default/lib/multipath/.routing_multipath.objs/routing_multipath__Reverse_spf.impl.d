@@ -1,0 +1,1 @@
+lib/multipath/reverse_spf.ml: Array Graph Import Int Link List Node Priority_queue

@@ -1,0 +1,1 @@
+lib/multipath/reverse_spf.mli: Graph Import Link Node

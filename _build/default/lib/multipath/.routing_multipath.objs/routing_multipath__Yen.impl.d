@@ -1,0 +1,1 @@
+lib/multipath/yen.ml: Array Dijkstra Graph Hashtbl Import Int Link List Node Spf_tree

@@ -1,0 +1,1 @@
+lib/multipath/yen.mli: Graph Import Link Node

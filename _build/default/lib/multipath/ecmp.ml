@@ -1,0 +1,125 @@
+open! Import
+
+type loads = {
+  offered_bps : float array;
+  delivered_bps : float;
+  unrouted_bps : float;
+}
+
+(* Propagate per-destination demand down the ECMP DAG: nodes in order of
+   decreasing distance-to-destination, each splitting (its own demand +
+   transit demand) equally over its next-hop set. *)
+let spread_destination g rspf ~demand ~offered =
+  let demand_at node = if Reverse_spf.reaches rspf node then demand node else 0. in
+  let n = Graph.node_count g in
+  let through = Array.make n 0. in
+  Graph.iter_nodes g (fun node ->
+      through.(Node.to_int node) <- demand_at node);
+  let delivered = ref 0. in
+  List.iter
+    (fun node ->
+      let i = Node.to_int node in
+      if Node.equal node (Reverse_spf.destination rspf) then
+        delivered := !delivered +. through.(i)
+      else begin
+        let load = through.(i) in
+        if load > 0. then begin
+          match Reverse_spf.next_hops rspf node with
+          | [] -> () (* unreachable despite demand: counted by the caller *)
+          | hops ->
+            let share = load /. float_of_int (List.length hops) in
+            List.iter
+              (fun (l : Link.t) ->
+                offered.(Link.id_to_int l.Link.id) <-
+                  offered.(Link.id_to_int l.Link.id) +. share;
+                through.(Node.to_int l.Link.dst) <-
+                  through.(Node.to_int l.Link.dst) +. share)
+              hops
+        end
+      end)
+    (Reverse_spf.nodes_by_descending_distance rspf);
+  !delivered
+
+let spread ?enabled g ~cost tm =
+  let offered = Array.make (Graph.link_count g) 0. in
+  let delivered = ref 0. in
+  let unrouted = ref 0. in
+  Graph.iter_nodes g (fun dst ->
+      let column_total = ref 0. in
+      Graph.iter_nodes g (fun src ->
+          column_total := !column_total +. Traffic_matrix.get tm ~src ~dst);
+      if !column_total > 0. then begin
+        let rspf = Reverse_spf.compute ?enabled g ~cost dst in
+        Graph.iter_nodes g (fun src ->
+            if not (Reverse_spf.reaches rspf src) then
+              unrouted := !unrouted +. Traffic_matrix.get tm ~src ~dst);
+        delivered :=
+          !delivered
+          +. spread_destination g rspf
+               ~demand:(fun src -> Traffic_matrix.get tm ~src ~dst)
+               ~offered
+      end);
+  { offered_bps = offered; delivered_bps = !delivered; unrouted_bps = !unrouted }
+
+type path_expectation = {
+  expected_hops : float;
+  expected_delay_s : float;
+  delivery_fraction : float;
+}
+
+let expectation ?(link_loss = fun _ -> 0.) rspf ~link_delay_s src =
+  if not (Reverse_spf.reaches rspf src) then None
+  else begin
+    let memo = Hashtbl.create 16 in
+    let rec from node =
+      if Node.equal node (Reverse_spf.destination rspf) then (0., 0., 1.)
+      else
+        match Hashtbl.find_opt memo (Node.to_int node) with
+        | Some v -> v
+        | None ->
+          let hops = Reverse_spf.next_hops rspf node in
+          let k = float_of_int (List.length hops) in
+          let result =
+            List.fold_left
+              (fun (h, d, s) (l : Link.t) ->
+                let h', d', s' = from l.Link.dst in
+                ( h +. ((1. +. h') /. k),
+                  d +. ((link_delay_s l +. d') /. k),
+                  s +. ((1. -. link_loss l) *. s' /. k) ))
+              (0., 0., 0.) hops
+          in
+          Hashtbl.add memo (Node.to_int node) result;
+          result
+    in
+    let expected_hops, expected_delay_s, delivery_fraction = from src in
+    Some { expected_hops; expected_delay_s; delivery_fraction }
+  end
+
+let split_fractions rspf ~src =
+  (* Push a unit of demand from [src] down the DAG, recording per-link
+     fractions as it splits. *)
+  let fractions = Hashtbl.create 16 in
+  let through = Hashtbl.create 16 in
+  let add table key v =
+    Hashtbl.replace table key
+      (v +. Option.value ~default:0. (Hashtbl.find_opt table key))
+  in
+  Hashtbl.replace through (Node.to_int src) 1.;
+  List.iter
+    (fun node ->
+      let load =
+        Option.value ~default:0. (Hashtbl.find_opt through (Node.to_int node))
+      in
+      if load > 0. && not (Node.equal node (Reverse_spf.destination rspf))
+      then begin
+        let hops = Reverse_spf.next_hops rspf node in
+        let share = load /. float_of_int (List.length hops) in
+        List.iter
+          (fun (l : Link.t) ->
+            add fractions (Link.id_to_int l.Link.id) share;
+            add through (Node.to_int l.Link.dst) share)
+          hops
+      end)
+    (Reverse_spf.nodes_by_descending_distance rspf);
+  Hashtbl.fold (fun lid f acc -> (Link.id_of_int lid, f) :: acc) fractions []
+  |> List.sort (fun (a, _) (b, _) -> Link.id_compare a b)

@@ -1,0 +1,61 @@
+open! Import
+
+(** Equal-cost multipath traffic spreading.
+
+    §4.5: single-path routing "will be most effective when network traffic
+    consists of several small node-to-node flows.  To accomplish
+    load-sharing when network traffic is dominated by several large flows
+    would require a multi-path routing algorithm."  This module is that
+    extension: every flow is split equally across its node's equal-cost
+    next hops, recursively, so one large flow can ride several paths at
+    once.
+
+    Loads are computed per destination by propagating demand down the ECMP
+    DAG in order of decreasing distance-to-destination. *)
+
+type loads = {
+  offered_bps : float array;  (** per link id *)
+  delivered_bps : float;  (** demand that reached a destination *)
+  unrouted_bps : float;  (** demand with no route at all *)
+}
+
+val spread :
+  ?enabled:(Link.id -> bool) ->
+  Graph.t ->
+  cost:(Link.id -> int) ->
+  Traffic_matrix.t ->
+  loads
+(** Per-link offered load under ECMP splitting of the whole matrix. *)
+
+val spread_destination :
+  Graph.t ->
+  Reverse_spf.t ->
+  demand:(Node.t -> float) ->
+  offered:float array ->
+  float
+(** Spread one destination's demand column down its ECMP DAG, accumulating
+    into [offered] (indexed by link id); returns the demand that reached
+    the destination.  Sources that cannot reach it contribute nothing. *)
+
+type path_expectation = {
+  expected_hops : float;  (** mean links traversed over all splits *)
+  expected_delay_s : float;  (** mean path delay given per-link delays *)
+  delivery_fraction : float;  (** probability of surviving per-link loss *)
+}
+
+val expectation :
+  ?link_loss:(Link.t -> float) ->
+  Reverse_spf.t ->
+  link_delay_s:(Link.t -> float) ->
+  Node.t ->
+  path_expectation option
+(** Expected hop count, delay and survival from a source over the ECMP DAG
+    to the map's destination ([None] if unreachable).  [link_loss] (default
+    zero) is each link's drop probability.  Linear in the DAG size via
+    memoization. *)
+
+val split_fractions :
+  Reverse_spf.t -> src:Node.t -> (Link.id * float) list
+(** Fraction of a [src]->destination flow carried by each link (nonzero
+    entries only), summing to 1 when the destination is reachable.  Mostly
+    a test/debug aid; {!spread} does this for the whole matrix at once. *)

@@ -1,0 +1,149 @@
+open! Import
+
+type period_stats = {
+  time_s : float;
+  offered_bps : float;
+  delivered_bps : float;
+  dropped_bps : float;
+  mean_delay_s : float;
+  updates : int;
+  update_bits : float;
+  max_utilization : float;
+}
+
+type t = {
+  graph : Graph.t;
+  metric : Metric.t;
+  tm : Traffic_matrix.t;
+  flooders : Flooder.t array;
+  utilization : float array;
+  mutable period : int;
+  mutable history : period_stats list; (* newest first *)
+}
+
+let create_with graph metric tm =
+  { graph;
+    metric;
+    tm;
+    flooders =
+      Array.init (Graph.node_count graph) (fun i ->
+          Flooder.create graph ~owner:(Node.of_int i));
+    utilization = Array.make (Graph.link_count graph) 0.;
+    period = 0;
+    history = [] }
+
+let create graph kind tm = create_with graph (Metric.create kind graph) tm
+
+let graph t = t.graph
+
+let metric t = t.metric
+
+let step t =
+  let cost = Metric.cost_fn t.metric in
+  (* Pass 1: destination-rooted ECMP DAGs and per-link offered load; keep
+     the DAGs for the delay pass. *)
+  let offered = Array.make (Graph.link_count t.graph) 0. in
+  let rspfs = ref [] in
+  let unrouted = ref 0. in
+  Graph.iter_nodes t.graph (fun dst ->
+      let column = ref 0. in
+      Graph.iter_nodes t.graph (fun src ->
+          column := !column +. Traffic_matrix.get t.tm ~src ~dst);
+      if !column > 0. then begin
+        let rspf = Reverse_spf.compute t.graph ~cost dst in
+        Graph.iter_nodes t.graph (fun src ->
+            if not (Reverse_spf.reaches rspf src) then
+              unrouted := !unrouted +. Traffic_matrix.get t.tm ~src ~dst);
+        ignore
+          (Ecmp.spread_destination t.graph rspf
+             ~demand:(fun src -> Traffic_matrix.get t.tm ~src ~dst)
+             ~offered);
+        rspfs := (dst, rspf) :: !rspfs
+      end);
+  Graph.iter_links t.graph (fun (l : Link.t) ->
+      t.utilization.(Link.id_to_int l.Link.id) <-
+        offered.(Link.id_to_int l.Link.id) /. Link.capacity_bps l);
+  (* Pass 2: delivered-weighted expected delays and loss over the DAGs. *)
+  let link_delay (l : Link.t) =
+    Queueing.mm1k_delay_s l
+      ~utilization:t.utilization.(Link.id_to_int l.Link.id)
+  in
+  let link_loss (l : Link.t) =
+    Queueing.mm1k_blocking
+      ~utilization:t.utilization.(Link.id_to_int l.Link.id)
+  in
+  let offered_total = ref 0. in
+  let delivered = ref 0. in
+  let delay_weighted = ref 0. in
+  List.iter
+    (fun (dst, rspf) ->
+      Graph.iter_nodes t.graph (fun src ->
+          let demand = Traffic_matrix.get t.tm ~src ~dst in
+          if demand > 0. then begin
+            offered_total := !offered_total +. demand;
+            match
+              Ecmp.expectation ~link_loss rspf ~link_delay_s:link_delay src
+            with
+            | None -> ()
+            | Some e ->
+              let carried = demand *. e.Ecmp.delivery_fraction in
+              delivered := !delivered +. carried;
+              delay_weighted :=
+                !delay_weighted +. (e.Ecmp.expected_delay_s *. carried)
+          end))
+    !rspfs;
+  offered_total := !offered_total +. !unrouted;
+  (* Metric pass: same loop as the single-path simulator. *)
+  let changed_by_origin = Hashtbl.create 16 in
+  Graph.iter_links t.graph (fun (l : Link.t) ->
+      let measured =
+        Queueing.mm1k_delay_s l
+          ~utilization:t.utilization.(Link.id_to_int l.Link.id)
+      in
+      match Metric.period_update t.metric l.Link.id ~measured_delay_s:measured with
+      | Some c ->
+        let origin = Node.to_int l.Link.src in
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt changed_by_origin origin)
+        in
+        Hashtbl.replace changed_by_origin origin ((l.Link.id, c) :: existing)
+      | None -> ());
+  let updates = ref 0 in
+  let update_bits = ref 0. in
+  Hashtbl.iter
+    (fun origin costs ->
+      let update = Flooder.originate t.flooders.(origin) ~costs in
+      let outcome = Broadcast.flood t.graph t.flooders update in
+      incr updates;
+      update_bits := !update_bits +. outcome.Broadcast.bits)
+    changed_by_origin;
+  t.period <- t.period + 1;
+  let stats =
+    { time_s = float_of_int t.period *. Units.routing_period_s;
+      offered_bps = !offered_total;
+      delivered_bps = !delivered;
+      dropped_bps = !offered_total -. !delivered;
+      mean_delay_s =
+        (if !delivered > 0. then !delay_weighted /. !delivered else 0.);
+      updates = !updates;
+      update_bits = !update_bits;
+      max_utilization = Array.fold_left Float.max 0. t.utilization }
+  in
+  t.history <- stats :: t.history;
+  stats
+
+let run t ~periods = List.init periods (fun _ -> step t)
+
+let link_utilization t lid = t.utilization.(Link.id_to_int lid)
+
+let link_cost t lid = Metric.cost t.metric lid
+
+let history t = List.rev t.history
+
+let mean_delivered_bps t ~skip =
+  let kept = List.filteri (fun i _ -> i >= skip) (history t) in
+  match kept with
+  | [] -> 0.
+  | _ ->
+    List.fold_left (fun acc s -> acc +. s.delivered_bps) 0. kept
+    /. float_of_int (List.length kept)

@@ -1,0 +1,101 @@
+open! Import
+
+type path = { links : Link.t list; cost : int }
+
+let path_nodes path ~src =
+  src :: List.map (fun (l : Link.t) -> l.Link.dst) path.links
+
+let path_cost ~cost links =
+  List.fold_left (fun acc (l : Link.t) -> acc + cost l.Link.id) 0 links
+
+let shortest ?enabled g ~cost ~src ~dst =
+  let tree = Dijkstra.compute ?enabled g ~cost src in
+  if Spf_tree.reached tree dst && not (Node.equal src dst) then
+    Some { links = Spf_tree.path tree dst; cost = Spf_tree.dist tree dst }
+  else None
+
+(* Paths compare by cost, then lexicographically by link ids so the
+   candidate set is totally ordered and duplicates are detectable. *)
+let path_ids p = List.map (fun (l : Link.t) -> Link.id_to_int l.Link.id) p.links
+
+let compare_path a b =
+  match Int.compare a.cost b.cost with
+  | 0 -> compare (path_ids a) (path_ids b)
+  | c -> c
+
+let k_shortest ?(enabled = fun _ -> true) g ~cost ~src ~dst ~k =
+  if k < 1 then invalid_arg "Yen.k_shortest: k < 1";
+  if Node.equal src dst then invalid_arg "Yen.k_shortest: src = dst";
+  match shortest ~enabled g ~cost ~src ~dst with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    let candidates = ref [] in
+    let add_candidate p =
+      if
+        (not (List.exists (fun q -> compare_path p q = 0) !candidates))
+        && not (List.exists (fun q -> path_ids p = path_ids q) !accepted)
+      then candidates := p :: !candidates
+    in
+    let rec grow () =
+      if List.length !accepted >= k then ()
+      else begin
+        let prev = List.hd !accepted in
+        let prev_nodes = Array.of_list (path_nodes prev ~src) in
+        let prev_links = Array.of_list prev.links in
+        (* One spur attempt per node of the last accepted path. *)
+        Array.iteri
+          (fun i spur_node ->
+            if i < Array.length prev_links then begin
+              let root_links = Array.to_list (Array.sub prev_links 0 i) in
+              let root_cost = path_cost ~cost root_links in
+              (* Block the next link of every known path sharing this
+                 root, so the spur must deviate here. *)
+              let blocked_links = Hashtbl.create 8 in
+              List.iter
+                (fun p ->
+                  let ids = path_ids p in
+                  let root_ids = List.map (fun (l : Link.t) -> Link.id_to_int l.Link.id) root_links in
+                  let rec shares a b =
+                    match (a, b) with
+                    | [], _ -> true
+                    | x :: a', y :: b' -> x = y && shares a' b'
+                    | _ -> false
+                  in
+                  if shares root_ids ids then
+                    match List.nth_opt p.links i with
+                    | Some l -> Hashtbl.replace blocked_links (Link.id_to_int l.Link.id) ()
+                    | None -> ())
+                !accepted;
+              (* Block the root path's nodes (except the spur) so the
+                 result is loopless. *)
+              let blocked_nodes = Hashtbl.create 8 in
+              for j = 0 to i - 1 do
+                Hashtbl.replace blocked_nodes (Node.to_int prev_nodes.(j)) ()
+              done;
+              let spur_enabled lid =
+                enabled lid
+                && (not (Hashtbl.mem blocked_links (Link.id_to_int lid)))
+                &&
+                let l = Graph.link g lid in
+                (not (Hashtbl.mem blocked_nodes (Node.to_int l.Link.src)))
+                && not (Hashtbl.mem blocked_nodes (Node.to_int l.Link.dst))
+              in
+              match shortest ~enabled:spur_enabled g ~cost ~src:spur_node ~dst with
+              | None -> ()
+              | Some spur ->
+                add_candidate
+                  { links = root_links @ spur.links;
+                    cost = root_cost + spur.cost }
+            end)
+          prev_nodes;
+        match List.sort compare_path !candidates with
+        | [] -> ()
+        | best :: rest ->
+          candidates := rest;
+          accepted := best :: !accepted;
+          grow ()
+      end
+    in
+    grow ();
+    List.sort compare_path !accepted

@@ -1,0 +1,38 @@
+open! Import
+
+(** Yen's algorithm: the k shortest loopless paths between two nodes.
+
+    BBN's own multi-path study (Haimo et al., BBN Report 6363 — the
+    paper's reference [6]) needed candidate path sets beyond the ECMP ties;
+    k-shortest-paths is the standard way to enumerate them, and the
+    analysis layer uses it to quantify "alternate paths only slightly
+    longer" (Fig 7) exactly rather than via the one-link probe. *)
+
+type path = {
+  links : Link.t list;  (** in forwarding order, src to dst *)
+  cost : int;  (** sum of link costs, routing units *)
+}
+
+val path_nodes : path -> src:Node.t -> Node.t list
+(** The node sequence [src; ...; dst]. *)
+
+val shortest :
+  ?enabled:(Link.id -> bool) ->
+  Graph.t ->
+  cost:(Link.id -> int) ->
+  src:Node.t ->
+  dst:Node.t ->
+  path option
+(** Just the shortest path (Dijkstra), as a [path]. *)
+
+val k_shortest :
+  ?enabled:(Link.id -> bool) ->
+  Graph.t ->
+  cost:(Link.id -> int) ->
+  src:Node.t ->
+  dst:Node.t ->
+  k:int ->
+  path list
+(** Up to [k] distinct loopless paths in nondecreasing cost order (fewer
+    when the graph doesn't have [k]).  [k_shortest ~k:1] agrees with
+    {!shortest}.  @raise Invalid_argument if [k < 1] or [src = dst]. *)

@@ -1,0 +1,1 @@
+lib/sim/flow_sim.ml: Array Broadcast Dijkstra Float Flooder Graph Hashtbl Import Link List Logs Measure Metric Node Option Queueing Spf_tree Traffic_matrix Units

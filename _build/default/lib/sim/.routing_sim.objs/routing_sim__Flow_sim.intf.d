@@ -1,0 +1,1 @@
+lib/sim/flow_sim.mli: Graph Import Link Measure Metric Traffic_matrix

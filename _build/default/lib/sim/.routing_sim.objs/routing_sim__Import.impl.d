@@ -1,0 +1,1 @@
+lib/sim/import.ml: Routing_flooding Routing_metric Routing_spf Routing_stats Routing_topology

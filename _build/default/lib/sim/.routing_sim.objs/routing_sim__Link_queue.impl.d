@@ -1,0 +1,1 @@
+lib/sim/link_queue.ml: Engine Import Link Option Packet Queue Queueing Routing_stats

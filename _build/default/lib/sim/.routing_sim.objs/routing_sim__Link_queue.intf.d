@@ -1,0 +1,1 @@
+lib/sim/link_queue.mli: Engine Import Link Packet Routing_stats

@@ -1,0 +1,1 @@
+lib/sim/measure.ml: Format Import List Routing_stats Welford

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Engine Graph Import Link Measure Metric Routing_metric Routing_stats Trace Traffic_matrix Workload

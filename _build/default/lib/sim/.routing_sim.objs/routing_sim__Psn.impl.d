@@ -1,0 +1,1 @@
+lib/sim/psn.ml: Flooder Graph Import Link List Measurement Node Packet Routing_table

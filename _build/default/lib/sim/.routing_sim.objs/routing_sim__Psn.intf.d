@@ -1,0 +1,1 @@
+lib/sim/psn.mli: Flooder Graph Import Link Measurement Node Packet Routing_table

@@ -1,0 +1,1 @@
+lib/sim/script.ml: Float Flow_sim Graph Import In_channel Link List Metric Printf Routing_topology String Traffic_matrix Units

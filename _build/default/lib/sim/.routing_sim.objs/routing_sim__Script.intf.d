@@ -1,0 +1,1 @@
+lib/sim/script.mli: Flow_sim Graph Import Metric Traffic_matrix

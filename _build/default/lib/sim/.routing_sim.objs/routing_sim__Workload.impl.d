@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Engine Float Import List Node Packet Rng Traffic_matrix

@@ -1,0 +1,49 @@
+type t = {
+  queue : Event_queue.t;
+  mutable now : float;
+  mutable processed : int;
+}
+
+let create () = { queue = Event_queue.create (); now = 0.; processed = 0 }
+
+let now t = t.now
+
+let schedule_at t ~at run =
+  if at < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.add t.queue ~time:at run
+
+let schedule t ~after run =
+  if after < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.now +. after) run
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.next_time t.queue with
+    | Some time when time <= horizon -> (
+      match Event_queue.pop t.queue with
+      | Some (time, run) ->
+        t.now <- time;
+        t.processed <- t.processed + 1;
+        run ();
+        loop ()
+      | None -> ())
+    | _ -> ()
+  in
+  loop ();
+  if horizon > t.now then t.now <- horizon
+
+let run_all t =
+  let rec loop () =
+    match Event_queue.pop t.queue with
+    | Some (time, run) ->
+      t.now <- time;
+      t.processed <- t.processed + 1;
+      run ();
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let events_processed t = t.processed
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,71 @@
+type entry = { time : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable heap : entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.; seq = 0; run = ignore }
+
+let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0 }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let first = ref i in
+  if left < t.len && before t.heap.(left) t.heap.(!first) then first := left;
+  if right < t.len && before t.heap.(right) t.heap.(!first) then first := right;
+  if !first <> i then begin
+    swap t i !first;
+    sift_down t !first
+  end
+
+let add t ~time run =
+  if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
+  if t.len = Array.length t.heap then begin
+    let heap = Array.make (2 * t.len) dummy in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end;
+  t.heap.(t.len) <- { time; seq = t.next_seq; run };
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let next_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.run)
+  end
+
+let clear t =
+  t.len <- 0;
+  t.next_seq <- 0

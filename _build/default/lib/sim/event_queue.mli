@@ -1,0 +1,22 @@
+(** Time-ordered event queue for the discrete-event engine.
+
+    Events at equal times fire in insertion order (a strict FIFO tie-break),
+    which keeps simulations deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val add : t -> time:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument on NaN time. *)
+
+val next_time : t -> float option
+
+val pop : t -> (float * (unit -> unit)) option
+(** Earliest event (FIFO among ties). *)
+
+val clear : t -> unit

@@ -1,0 +1,339 @@
+open! Import
+
+let log_src = Logs.Src.create "routing_sim.flow" ~doc:"flow-level simulator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type period_stats = {
+  time_s : float;
+  offered_bps : float;
+  delivered_bps : float;
+  dropped_bps : float;
+  mean_delay_s : float;
+  mean_hops : float;
+  mean_min_hops : float;
+  updates : int;
+  update_bits : float;
+  max_utilization : float;
+  congested_links : int;
+  routes_changed : int;
+}
+
+type flow = { src : Node.t; dst : Node.t; demand_bps : float }
+
+type t = {
+  graph : Graph.t;
+  mutable metric : Metric.t;
+  mutable flows : flow array;
+  mutable flooders : Flooder.t array;
+  link_up : bool array;
+  utilization : float array; (* most recent period, raw offered/capacity *)
+  mutable trees : Spf_tree.t array; (* per source, on flooded costs *)
+  mutable min_trees : Spf_tree.t array; (* per source, min-hop on up links *)
+  mutable costs_dirty : bool;
+  mutable topology_dirty : bool;
+  mutable period : int;
+  mutable history : period_stats list; (* newest first *)
+  mutable stagger : float; (* fraction of nodes applying updates one period late *)
+  mutable prev_costs : int array; (* flooded costs as of the previous period *)
+  mutable adaptive_sources : bool;
+  throttle : (int * int, float) Hashtbl.t; (* (src,dst) -> send fraction *)
+  mutable prev_first_hop : int array; (* per flow index; -1 = none yet *)
+}
+
+let flows_of_matrix tm =
+  Traffic_matrix.fold tm ~init:[] ~f:(fun acc ~src ~dst demand_bps ->
+      { src; dst; demand_bps } :: acc)
+  |> List.rev |> Array.of_list
+
+let make_flooders graph =
+  Array.init (Graph.node_count graph) (fun i ->
+      Flooder.create graph ~owner:(Node.of_int i))
+
+let create_with graph metric tm =
+  let nl = Graph.link_count graph in
+  { graph;
+    metric;
+    flows = flows_of_matrix tm;
+    flooders = make_flooders graph;
+    link_up = Array.make nl true;
+    utilization = Array.make nl 0.;
+    trees = [||];
+    min_trees = [||];
+    costs_dirty = true;
+    topology_dirty = true;
+    period = 0;
+    history = [];
+    stagger = 0.;
+    prev_costs = Array.init nl (fun i -> Metric.cost metric (Link.id_of_int i));
+    adaptive_sources = false;
+    throttle = Hashtbl.create 256;
+    prev_first_hop = [||] }
+
+let create graph kind tm = create_with graph (Metric.create kind graph) tm
+
+let graph t = t.graph
+
+let metric t = t.metric
+
+let time_s t = float_of_int t.period *. Units.routing_period_s
+
+let period_index t = t.period
+
+let enabled t lid = t.link_up.(Link.id_to_int lid)
+
+(* Deterministic membership in the lagging set for a stagger fraction:
+   hash the node id into [0, 1). *)
+let node_lags t i =
+  t.stagger > 0.
+  && float_of_int ((i * 2654435761) land 0xFFFF) /. 65536. < t.stagger
+
+let refresh_trees t =
+  if t.topology_dirty then begin
+    t.min_trees <- Array.init (Graph.node_count t.graph) (fun i ->
+        Dijkstra.min_hop_tree ~enabled:(enabled t) t.graph (Node.of_int i));
+    t.topology_dirty <- false;
+    t.costs_dirty <- true
+  end;
+  if t.costs_dirty || t.stagger > 0. then begin
+    let stale lid = t.prev_costs.(Link.id_to_int lid) in
+    t.trees <-
+      Array.init (Graph.node_count t.graph) (fun i ->
+          let cost = if node_lags t i then stale else Metric.cost_fn t.metric in
+          Dijkstra.compute ~enabled:(enabled t) t.graph ~cost (Node.of_int i));
+    t.costs_dirty <- false
+  end
+
+(* Climb the tree from [dst] to the root, applying [f] to each link id. *)
+let iter_path tree dst f =
+  let g = Spf_tree.graph tree in
+  let rec climb n =
+    match Spf_tree.parent_link tree n with
+    | None -> ()
+    | Some (l : Link.t) ->
+      f l;
+      climb (Graph.link g l.Link.id).Link.src
+  in
+  climb dst
+
+(* End-to-end source adaptation: the 1987 ARPANET's users backed off under
+   loss (TCP and the IMP's own end-to-end mechanisms), so offered traffic
+   tracked what the network could carry.  Multiplicative decrease on
+   significant loss, slow additive recovery. *)
+let throttle_of t flow =
+  if not t.adaptive_sources then 1.
+  else
+    Option.value ~default:1.
+      (Hashtbl.find_opt t.throttle (Node.to_int flow.src, Node.to_int flow.dst))
+
+let update_throttle t flow ~loss_fraction =
+  if t.adaptive_sources then begin
+    let key = (Node.to_int flow.src, Node.to_int flow.dst) in
+    let current = throttle_of t flow in
+    let next =
+      if loss_fraction > 0.02 then Float.max 0.05 (current *. 0.7)
+      else Float.min 1. (current +. 0.05)
+    in
+    Hashtbl.replace t.throttle key next
+  end
+
+let step t =
+  refresh_trees t;
+  (* Snapshot this period's flooded costs for next period's laggards. *)
+  Array.iteri
+    (fun i _ -> t.prev_costs.(i) <- Metric.cost t.metric (Link.id_of_int i))
+    t.prev_costs;
+  let nl = Graph.link_count t.graph in
+  let offered = Array.make nl 0. in
+  if Array.length t.prev_first_hop <> Array.length t.flows then
+    t.prev_first_hop <- Array.make (Array.length t.flows) (-1);
+  let routes_changed = ref 0 in
+  (* Pass 1: load links along each flow's current route, noting first-hop
+     changes against the previous period (§3.3's route oscillation). *)
+  Array.iteri
+    (fun fi flow ->
+      let tree = t.trees.(Node.to_int flow.src) in
+      if Spf_tree.reached tree flow.dst then begin
+        let sending = flow.demand_bps *. throttle_of t flow in
+        let first_hop = ref (-1) in
+        iter_path tree flow.dst (fun l ->
+            let i = Link.id_to_int l.Link.id in
+            (* iter_path climbs destination-to-source: the last link seen
+               leaves the source. *)
+            first_hop := i;
+            offered.(i) <- offered.(i) +. sending);
+        if t.prev_first_hop.(fi) >= 0 && t.prev_first_hop.(fi) <> !first_hop
+        then incr routes_changed;
+        t.prev_first_hop.(fi) <- !first_hop
+      end)
+    t.flows;
+  for i = 0 to nl - 1 do
+    let cap = Link.capacity_bps (Graph.link t.graph (Link.id_of_int i)) in
+    t.utilization.(i) <- (if t.link_up.(i) then offered.(i) /. cap else 0.)
+  done;
+  (* Pass 2: per-flow delay, hop counts and thinning over hot links. *)
+  let total_offered = ref 0. in
+  let delivered = ref 0. in
+  let dropped = ref 0. in
+  let delay_weighted = ref 0. in
+  let hops_weighted = ref 0. in
+  let min_hops_weighted = ref 0. in
+  Array.iter
+    (fun flow ->
+      let sending = flow.demand_bps *. throttle_of t flow in
+      total_offered := !total_offered +. sending;
+      let tree = t.trees.(Node.to_int flow.src) in
+      if not (Spf_tree.reached tree flow.dst) then begin
+        dropped := !dropped +. sending;
+        update_throttle t flow ~loss_fraction:1.
+      end
+      else begin
+        let share = ref 1. in
+        let delay = ref 0. in
+        let hops = ref 0 in
+        iter_path tree flow.dst (fun l ->
+            let i = Link.id_to_int l.Link.id in
+            let u = t.utilization.(i) in
+            share := !share *. (1. -. Queueing.mm1k_blocking ~utilization:u);
+            delay := !delay +. Queueing.mm1k_delay_s l ~utilization:u;
+            incr hops);
+        update_throttle t flow ~loss_fraction:(1. -. !share);
+        let carried = sending *. !share in
+        delivered := !delivered +. carried;
+        dropped := !dropped +. (sending -. carried);
+        delay_weighted := !delay_weighted +. (!delay *. carried);
+        hops_weighted := !hops_weighted +. (float_of_int !hops *. carried);
+        let min_tree = t.min_trees.(Node.to_int flow.src) in
+        let mh =
+          if Spf_tree.reached min_tree flow.dst then
+            Spf_tree.hops min_tree flow.dst
+          else !hops
+        in
+        min_hops_weighted :=
+          !min_hops_weighted +. (float_of_int mh *. carried)
+      end)
+    t.flows;
+  (* Metric pass: feed each up link its period utilization. *)
+  let changed_by_origin = Hashtbl.create 16 in
+  Graph.iter_links t.graph (fun (l : Link.t) ->
+      let i = Link.id_to_int l.Link.id in
+      if t.link_up.(i) then
+        (* The PSN measures what its finite-buffer line actually does. *)
+        let measured = Queueing.mm1k_delay_s l ~utilization:t.utilization.(i) in
+        match Metric.period_update t.metric l.Link.id ~measured_delay_s:measured with
+        | Some cost ->
+          let origin = Node.to_int l.Link.src in
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt changed_by_origin origin)
+          in
+          Hashtbl.replace changed_by_origin origin ((l.Link.id, cost) :: existing)
+        | None -> ());
+  let updates = ref 0 in
+  let update_bits = ref 0. in
+  Hashtbl.iter
+    (fun origin costs ->
+      let update = Flooder.originate t.flooders.(origin) ~costs in
+      let outcome = Broadcast.flood t.graph t.flooders update in
+      incr updates;
+      update_bits := !update_bits +. outcome.Broadcast.bits;
+      t.costs_dirty <- true)
+    changed_by_origin;
+  t.period <- t.period + 1;
+  let max_utilization = Array.fold_left Float.max 0. t.utilization in
+  let congested_links =
+    Array.fold_left (fun acc u -> if u > 0.9 then acc + 1 else acc) 0
+      t.utilization
+  in
+  let stats =
+    { time_s = time_s t;
+      offered_bps = !total_offered;
+      delivered_bps = !delivered;
+      dropped_bps = !dropped;
+      mean_delay_s =
+        (if !delivered > 0. then !delay_weighted /. !delivered else 0.);
+      mean_hops = (if !delivered > 0. then !hops_weighted /. !delivered else 0.);
+      mean_min_hops =
+        (if !delivered > 0. then !min_hops_weighted /. !delivered else 0.);
+      updates = !updates;
+      update_bits = !update_bits;
+      max_utilization;
+      congested_links;
+      routes_changed = !routes_changed }
+  in
+  t.history <- stats :: t.history;
+  stats
+
+let run t ~periods = List.init periods (fun _ -> step t)
+
+let set_traffic t tm =
+  t.flows <- flows_of_matrix tm;
+  t.prev_first_hop <- [||]
+
+let switch_metric t kind =
+  Log.info (fun m ->
+      m "t=%.0fs: switching metric to %s" (time_s t) (Metric.kind_name kind));
+  t.metric <- Metric.create kind t.graph;
+  (* A software reload floods fresh costs for every link at once. *)
+  t.flooders <- make_flooders t.graph;
+  t.costs_dirty <- true
+
+let set_link_up t lid up =
+  let i = Link.id_to_int lid in
+  if t.link_up.(i) <> up then begin
+    Log.info (fun m ->
+        m "t=%.0fs: link %a %s" (time_s t) Link.pp (Graph.link t.graph lid)
+          (if up then "up (easing in)" else "down"));
+    t.link_up.(i) <- up;
+    if up then Metric.link_up t.metric lid;
+    t.topology_dirty <- true
+  end
+
+let set_adaptive_sources t enabled =
+  t.adaptive_sources <- enabled;
+  if not enabled then Hashtbl.reset t.throttle
+
+let set_stagger t fraction =
+  if fraction < 0. || fraction > 1. then invalid_arg "Flow_sim.set_stagger";
+  t.stagger <- fraction;
+  t.costs_dirty <- true
+
+let link_utilization t lid = t.utilization.(Link.id_to_int lid)
+
+let link_cost t lid = Metric.cost t.metric lid
+
+let indicators t ?(skip = 0) () =
+  let all = List.rev t.history in
+  let rec drop k = function
+    | rest when k <= 0 -> rest
+    | [] -> []
+    | _ :: rest -> drop (k - 1) rest
+  in
+  let kept = drop skip all in
+  if kept = [] then invalid_arg "Flow_sim.indicators: no periods retained";
+  let n = List.length kept in
+  let elapsed = float_of_int n *. Units.routing_period_s in
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0. kept in
+  let delivered_total = sum (fun s -> s.delivered_bps) in
+  let weighted f =
+    if delivered_total > 0. then
+      sum (fun s -> f s *. s.delivered_bps) /. delivered_total
+    else 0.
+  in
+  let actual = weighted (fun s -> s.mean_hops) in
+  let minimum = weighted (fun s -> s.mean_min_hops) in
+  let updates = sum (fun s -> float_of_int s.updates) in
+  { Measure.elapsed_s = elapsed;
+    internode_traffic_bps = delivered_total /. float_of_int n;
+    round_trip_delay_ms = 2. *. weighted (fun s -> s.mean_delay_s) *. 1000.;
+    updates_per_s = updates /. elapsed;
+    update_period_per_node_s =
+      (if updates = 0. then infinity
+       else float_of_int (Graph.node_count t.graph) *. elapsed /. updates);
+    actual_path_hops = actual;
+    minimum_path_hops = minimum;
+    path_ratio = (if minimum > 0. then actual /. minimum else 1.);
+    dropped_per_s =
+      sum (fun s -> s.dropped_bps) /. float_of_int n /. 600.;
+    overhead_bps = sum (fun s -> s.update_bits) /. elapsed }
+
+let history t = List.rev t.history

@@ -1,0 +1,110 @@
+open! Import
+
+(** The period-driven flow simulator.
+
+    The paper's own §5 analysis works at the level of 10-second routing
+    periods, M/M/1 delays and a traffic matrix; this simulator runs that
+    control loop directly and is what powers the long experiments (Table 1,
+    Fig 13, the Fig 1 oscillation traces):
+
+    + every PSN routes on the currently flooded costs (one SPF tree per
+      source, ties broken deterministically);
+    + the traffic matrix flows over those routes; per-link offered load,
+      utilization and drops follow;
+    + each link's expected delay comes from the M/M/1 model at its
+      utilization — the same transformation the real PSN's measurement
+      would average;
+    + the metric turns the period's utilization into (possibly) a flooded
+      update; the flooding protocol runs in full for exact overhead
+      accounting;
+    + next period, everyone routes on the new costs.  "All the nodes in a
+      network adjust their routes … simultaneously" (§3.2). *)
+
+type period_stats = {
+  time_s : float;  (** end of the period *)
+  offered_bps : float;
+  delivered_bps : float;
+  dropped_bps : float;
+  mean_delay_s : float;  (** delivered-traffic-weighted one-way delay *)
+  mean_hops : float;  (** traffic-weighted actual path length *)
+  mean_min_hops : float;  (** traffic-weighted min-hop path length *)
+  updates : int;  (** routing updates flooded this period *)
+  update_bits : float;  (** flooding bandwidth spent this period *)
+  max_utilization : float;  (** hottest link *)
+  congested_links : int;
+      (** links offered more than 90 %% of capacity this period — §3.3's
+          "spread of congestion" indicator *)
+  routes_changed : int;
+      (** flows whose first-hop link differs from the previous period —
+          §3.3 item 3's per-flow route oscillation, counted *)
+}
+
+type t
+
+val create : Graph.t -> Metric.kind -> Traffic_matrix.t -> t
+(** The flow simulator is fully deterministic: same inputs, same run. *)
+
+val create_with : Graph.t -> Metric.t -> Traffic_matrix.t -> t
+(** Use a pre-built metric — e.g. a custom-parameterized HNM from
+    {!Routing_metric.Metric.create_custom_hnspf}. *)
+
+val graph : t -> Graph.t
+
+val metric : t -> Metric.t
+
+val time_s : t -> float
+
+val period_index : t -> int
+
+val step : t -> period_stats
+(** Run one routing period and return its statistics (also retained
+    internally for {!indicators}). *)
+
+val run : t -> periods:int -> period_stats list
+(** [periods] consecutive steps, in order. *)
+
+val set_traffic : t -> Traffic_matrix.t -> unit
+(** Replace the offered traffic from the next period on. *)
+
+val switch_metric : t -> Metric.kind -> unit
+(** Swap the metric mid-run — installing the HNM patch.  Link costs restart
+    from the new metric's idle values and flood immediately, as a software
+    reload would. *)
+
+val set_link_up : t -> Link.id -> bool -> unit
+(** Fail or restore one simplex link.  A restored HN-SPF link eases in at
+    its maximum cost. *)
+
+val set_adaptive_sources : t -> bool -> unit
+(** Model end-to-end backoff (off by default): each flow's source reduces
+    its sending rate multiplicatively when its path loses more than 2 %
+    of its traffic in a period and recovers additively otherwise.  The
+    1987 ARPANET's hosts did back off (TCP and the IMP end-to-end
+    mechanisms), which is why the paper's Table 1 shows delivered traffic
+    tracking offered traffic even under the unstable metric; without it
+    the simulator offers the full matrix relentlessly.  Disabling clears
+    all throttles. *)
+
+val set_stagger : t -> float -> unit
+(** What-if knob for §3.2's third oscillation ingredient ("all the nodes
+    in a network adjust their routes ... simultaneously"): make the given
+    fraction of nodes apply routing updates one period late.  The real PSN
+    could not do this — it would break destination-only forwarding — so
+    transient forwarding loops become possible; the flow simulator routes
+    each flow from its source's tree and does not model them.  0 (the
+    default) is faithful ARPANET behaviour.
+    @raise Invalid_argument outside [\[0, 1\]]. *)
+
+val link_utilization : t -> Link.id -> float
+(** Utilization in the most recent period (0 before any step). *)
+
+val link_cost : t -> Link.id -> int
+(** Currently flooded cost. *)
+
+val indicators : t -> ?skip:int -> unit -> Measure.indicators
+(** Aggregate the retained per-period stats into Table-1 indicators,
+    ignoring the first [skip] periods (default 0) as warm-up.
+    @raise Invalid_argument when no periods remain. *)
+
+val history : t -> period_stats list
+(** All periods so far, oldest first. *)

@@ -1,0 +1,20 @@
+(* Substrate aliases opened by every module in this library. *)
+
+module Node = Routing_topology.Node
+module Line_type = Routing_topology.Line_type
+module Link = Routing_topology.Link
+module Graph = Routing_topology.Graph
+module Traffic_matrix = Routing_topology.Traffic_matrix
+module Rng = Routing_stats.Rng
+module Welford = Routing_stats.Welford
+module Time_series = Routing_stats.Time_series
+module Dijkstra = Routing_spf.Dijkstra
+module Spf_tree = Routing_spf.Spf_tree
+module Routing_table = Routing_spf.Routing_table
+module Metric = Routing_metric.Metric
+module Queueing = Routing_metric.Queueing
+module Units = Routing_metric.Units
+module Measurement = Routing_metric.Measurement
+module Flooder = Routing_flooding.Flooder
+module Broadcast = Routing_flooding.Broadcast
+module Update = Routing_flooding.Update

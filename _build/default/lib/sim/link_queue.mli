@@ -1,0 +1,73 @@
+open! Import
+
+(** One simplex link's transmitter: a FIFO buffer in front of the line.
+
+    Packets queue while the line is busy; transmission time is
+    [bits / capacity]; arrival at the far PSN happens one propagation delay
+    after transmission completes.  The buffer is finite (C/30 IMPs had a
+    handful of store-and-forward buffers per line) — a full buffer drops
+    the packet, which is the congestion signal Fig 13 counts.
+
+    When a packet finishes transmission the queue reports the packet's
+    total link delay (queueing + transmission + propagation) to the
+    [on_measured] hook — exactly the per-packet quantity the PSN's
+    10-second measurement averages (§2.2). *)
+
+type t
+
+type drop_reason = Buffer_full | Line_down | Corrupted
+
+val default_buffer_packets : int
+(** {!Routing_metric.Queueing.buffer_capacity} (40) store-and-forward
+    buffers per line, keeping the packet simulator and the flow simulator's
+    M/M/1/K model consistent. *)
+
+val create :
+  ?buffer_packets:int ->
+  ?error_rate:float ->
+  ?rng:Routing_stats.Rng.t ->
+  Engine.t ->
+  Link.t ->
+  on_arrival:(Packet.t -> unit) ->
+  on_measured:(delay_s:float -> unit) ->
+  on_drop:(drop_reason -> Packet.t -> unit) ->
+  t
+(** [error_rate] (default 0) is the per-packet probability that the line
+    corrupts a transmission: the packet occupies the line (and is
+    measured) but never arrives — 1980s trunks had real bit-error rates,
+    which is what made the updating protocol's per-line retransmission
+    necessary (Rosen 1980).  Requires [rng] when nonzero. *)
+
+val link : t -> Link.t
+
+val enqueue : t -> Packet.t -> unit
+(** Accept a packet for transmission (or drop it if the buffer is full). *)
+
+val enqueue_priority : t -> Packet.t -> unit
+(** Accept a routing-update packet: "routing update processing is a high
+    priority process within the PSN" (§3.2), so these jump every waiting
+    data packet (but not the one already on the wire) and are never
+    dropped for buffer exhaustion.  They do not contribute to the delay
+    measurement. *)
+
+val queue_length : t -> int
+(** Packets waiting or in transmission right now — the 1969 metric's
+    instantaneous sample. *)
+
+val set_up : t -> bool -> unit
+(** A downed link drops everything it holds and everything enqueued. *)
+
+val is_up : t -> bool
+
+val transmitted_packets : t -> int
+
+val transmitted_bits : t -> float
+
+val dropped_packets : t -> int
+(** Cumulative counters; window-based statistics are derived by snapshotting
+    them at window boundaries (see {!Measure}). *)
+
+val corrupted_packets : t -> int
+(** Transmissions lost to line errors (a subset of neither {!dropped_packets}
+    nor {!transmitted_packets} — they occupied the line but never arrived;
+    [on_drop] is invoked for them). *)

@@ -1,0 +1,129 @@
+open! Import
+module Table = Routing_stats.Table
+
+type indicators = {
+  elapsed_s : float;
+  internode_traffic_bps : float;
+  round_trip_delay_ms : float;
+  updates_per_s : float;
+  update_period_per_node_s : float;
+  actual_path_hops : float;
+  minimum_path_hops : float;
+  path_ratio : float;
+  dropped_per_s : float;
+  overhead_bps : float;
+}
+
+let pp_indicators ppf i =
+  Format.fprintf ppf
+    "@[<v>traffic %.1f kb/s, rtt %.1f ms, %.2f upd/s (period/node %.1f s),@ \
+     path %.2f vs min %.2f (ratio %.2f), drops %.2f/s, overhead %.1f b/s@]"
+    (i.internode_traffic_bps /. 1000.)
+    i.round_trip_delay_ms i.updates_per_s i.update_period_per_node_s
+    i.actual_path_hops i.minimum_path_hops i.path_ratio i.dropped_per_s
+    i.overhead_bps
+
+let comparison_table ?title runs =
+  let columns =
+    ("Indicator", Table.Left)
+    :: List.map (fun (label, _) -> (label, Table.Right)) runs
+  in
+  let table = Table.create ?title columns in
+  let row label ?(decimals = 2) value =
+    ignore
+      (Table.add_float_row table ~decimals label
+         (List.map (fun (_, i) -> value i) runs))
+  in
+  row "Internode Traffic (kb/s)" (fun i -> i.internode_traffic_bps /. 1000.);
+  row "Round Trip Delay (ms)" (fun i -> i.round_trip_delay_ms);
+  row "Rtng. Updates per Net/s" (fun i -> i.updates_per_s);
+  row "Update Period per Node (s)" (fun i -> i.update_period_per_node_s);
+  row "Internode Actual Path (hops)" (fun i -> i.actual_path_hops);
+  row "Internode Minimum Path (hops)" (fun i -> i.minimum_path_hops);
+  row "Path Ratio (Actual/Min.)" (fun i -> i.path_ratio);
+  row "Dropped Packets (/s)" (fun i -> i.dropped_per_s);
+  row "Routing Overhead (b/s)" ~decimals:0 (fun i -> i.overhead_bps);
+  table
+
+module Quantile = Routing_stats.Quantile
+
+type t = {
+  nodes : int;
+  delay : Welford.t;
+  mutable delay_p50 : Quantile.t;
+  mutable delay_p95 : Quantile.t;
+  hops : Welford.t;
+  min_hops : Welford.t;
+  mutable delivered_bits : float;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable updates : int;
+  mutable update_bits : float;
+}
+
+let create ~nodes =
+  { nodes;
+    delay = Welford.create ();
+    delay_p50 = Quantile.create 0.5;
+    delay_p95 = Quantile.create 0.95;
+    hops = Welford.create ();
+    min_hops = Welford.create ();
+    delivered_bits = 0.;
+    delivered = 0;
+    dropped = 0;
+    updates = 0;
+    update_bits = 0. }
+
+let record_delivery t ~delay_s ~bits ~hops ~min_hops =
+  Welford.add t.delay delay_s;
+  Quantile.add t.delay_p50 delay_s;
+  Quantile.add t.delay_p95 delay_s;
+  Welford.add t.hops (float_of_int hops);
+  Welford.add t.min_hops (float_of_int min_hops);
+  t.delivered_bits <- t.delivered_bits +. bits;
+  t.delivered <- t.delivered + 1
+
+let record_drop t = t.dropped <- t.dropped + 1
+
+let record_updates t ~count ~bits =
+  t.updates <- t.updates + count;
+  t.update_bits <- t.update_bits +. bits
+
+let delivered_packets t = t.delivered
+
+let dropped_packets t = t.dropped
+
+let delay_stats t = t.delay
+
+let median_delay_ms t = 1000. *. Quantile.value t.delay_p50
+
+let p95_delay_ms t = 1000. *. Quantile.value t.delay_p95
+
+let indicators t ~elapsed_s =
+  if elapsed_s <= 0. then invalid_arg "Measure.indicators: elapsed <= 0";
+  let actual = Welford.mean t.hops in
+  let minimum = Welford.mean t.min_hops in
+  { elapsed_s;
+    internode_traffic_bps = t.delivered_bits /. elapsed_s;
+    round_trip_delay_ms = 2. *. Welford.mean t.delay *. 1000.;
+    updates_per_s = float_of_int t.updates /. elapsed_s;
+    update_period_per_node_s =
+      (if t.updates = 0 then infinity
+       else float_of_int t.nodes *. elapsed_s /. float_of_int t.updates);
+    actual_path_hops = actual;
+    minimum_path_hops = minimum;
+    path_ratio = (if minimum > 0. then actual /. minimum else 1.);
+    dropped_per_s = float_of_int t.dropped /. elapsed_s;
+    overhead_bps = t.update_bits /. elapsed_s }
+
+let reset t =
+  Welford.reset t.delay;
+  t.delay_p50 <- Quantile.create 0.5;
+  t.delay_p95 <- Quantile.create 0.95;
+  Welford.reset t.hops;
+  Welford.reset t.min_hops;
+  t.delivered_bits <- 0.;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.updates <- 0;
+  t.update_bits <- 0.

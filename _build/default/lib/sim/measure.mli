@@ -1,0 +1,57 @@
+open! Import
+
+(** Network-wide performance indicators — the quantities of Table 1.
+
+    Both simulators produce the same {!indicators} record so before/after
+    comparisons print uniformly. *)
+
+type indicators = {
+  elapsed_s : float;
+  internode_traffic_bps : float;  (** delivered end-to-end throughput *)
+  round_trip_delay_ms : float;  (** 2 × mean one-way packet delay *)
+  updates_per_s : float;  (** routing updates generated network-wide / s *)
+  update_period_per_node_s : float;  (** mean seconds between one node's updates *)
+  actual_path_hops : float;  (** mean links traversed per delivered message *)
+  minimum_path_hops : float;  (** mean min-hop distance of the same messages *)
+  path_ratio : float;  (** actual / minimum *)
+  dropped_per_s : float;  (** packets dropped per second *)
+  overhead_bps : float;  (** link bandwidth consumed by routing updates *)
+}
+
+val pp_indicators : Format.formatter -> indicators -> unit
+
+val comparison_table :
+  ?title:string -> (string * indicators) list -> Routing_stats.Table.t
+(** Table 1's layout: one column per labelled run, one row per indicator. *)
+
+(** {2 Accumulation} *)
+
+type t
+
+val create : nodes:int -> t
+
+val record_delivery :
+  t -> delay_s:float -> bits:float -> hops:int -> min_hops:int -> unit
+
+val record_drop : t -> unit
+
+val record_updates : t -> count:int -> bits:float -> unit
+
+val delivered_packets : t -> int
+
+val dropped_packets : t -> int
+
+val delay_stats : t -> Welford.t
+
+val median_delay_ms : t -> float
+(** Streaming (P²) estimate of the one-way delay median; [nan] when
+    empty. *)
+
+val p95_delay_ms : t -> float
+(** Streaming (P²) estimate of the 95th-percentile one-way delay — the
+    congested tail Table 1's mean hides. *)
+
+val indicators : t -> elapsed_s:float -> indicators
+(** @raise Invalid_argument if [elapsed_s <= 0]. *)
+
+val reset : t -> unit

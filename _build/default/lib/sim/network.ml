@@ -1,0 +1,482 @@
+open! Import
+
+type config = {
+  metric : Metric.kind;
+  buffer_packets : int;
+  packet_size : Workload.size;
+  seed : int;
+  ttl_hops : int;
+  record_series : bool;
+  instant_flooding : bool;
+  line_error_rate : float;
+  retransmit_interval_s : float;
+  use_incremental_spf : bool;
+  trace_capacity : int;
+}
+
+let log_src = Logs.Src.create "routing_sim.network" ~doc:"packet-level simulator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let default_config metric =
+  { metric;
+    buffer_packets = Link_queue.default_buffer_packets;
+    packet_size = Workload.Exponential 600.;
+    seed = 42;
+    ttl_hops = 64;
+    record_series = true;
+    instant_flooding = true;
+    line_error_rate = 0.;
+    retransmit_interval_s = 1.0;
+    use_incremental_spf = false;
+    trace_capacity = 0 }
+
+type t = {
+  graph : Graph.t;
+  config : config;
+  engine : Engine.t;
+  metric : Metric.t;
+  psns : Psn.t array;
+  mutable queues : Link_queue.t array;
+  flooders : Flooder.t array;
+  mutable workload : Workload.t option;
+  measure : Measure.t;
+  min_hops : int array array; (* src * dst, hop count on the up topology *)
+  link_up : bool array;
+  prev_bits : float array; (* per link, snapshot at last period start *)
+  cost_series : Time_series.t array;
+  util_series : Time_series.t array;
+  (* Non-instant flooding: each node's believed costs, in-flight updates,
+     and the latency from origination to each fresh acceptance. *)
+  views : int array array; (* node x link; used when not instant_flooding *)
+  in_flight : (int, Update.t * float) Hashtbl.t;
+  mutable next_update_token : int;
+  (* Rosen-style per-line reliability: a control packet sent on a link
+     stays pending until the far end acknowledges it; a timer retransmits
+     it meanwhile.  (link id, token) -> still unacknowledged. *)
+  pending_acks : (int * int, unit) Hashtbl.t;
+  link_rng : Rng.t;
+  flood_latency : Welford.t;
+  (* Per-node incremental SPF engines (§2.2's PSN algorithm), used when
+     configured and while the whole topology is up. *)
+  mutable incrementals : Routing_spf.Incremental.t array;
+  trace : Trace.t option;
+  mutable started : bool;
+  mutable tables_dirty : bool;
+}
+
+let trace t make_event =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~time:(Engine.now t.engine) (make_event ())
+
+let link_enabled t lid = t.link_up.(Link.id_to_int lid)
+
+let recompute_min_hops t =
+  let n = Graph.node_count t.graph in
+  for src = 0 to n - 1 do
+    let tree =
+      Dijkstra.min_hop_tree ~enabled:(link_enabled t) t.graph (Node.of_int src)
+    in
+    for dst = 0 to n - 1 do
+      t.min_hops.(src).(dst) <-
+        (let d = Node.of_int dst in
+         if Spf_tree.reached tree d then Spf_tree.hops tree d else max_int)
+    done
+  done
+
+let node_cost_fn t i =
+  if t.config.instant_flooding then Metric.cost_fn t.metric
+  else fun lid -> t.views.(i).(Link.id_to_int lid)
+
+let install_table_for t i =
+  let tree =
+    Dijkstra.compute ~enabled:(link_enabled t) t.graph ~cost:(node_cost_fn t i)
+      (Node.of_int i)
+  in
+  Psn.install_table t.psns.(i) (Routing_table.of_tree tree)
+
+let install_tables t =
+  Array.iteri (fun i _ -> install_table_for t i) t.psns;
+  t.tables_dirty <- false
+
+let all_links_up t = Array.for_all Fun.id t.link_up
+
+let incremental_active t =
+  t.config.use_incremental_spf
+  && t.config.instant_flooding
+  && Array.length t.incrementals > 0
+
+let build_incrementals t =
+  if t.config.use_incremental_spf && t.config.instant_flooding
+     && all_links_up t
+  then
+    t.incrementals <-
+      Array.init (Graph.node_count t.graph) (fun i ->
+          Routing_spf.Incremental.create t.graph ~root:(Node.of_int i)
+            ~initial_cost:(Metric.cost_fn t.metric))
+  else t.incrementals <- [||]
+
+(* Apply one period's flooded cost changes through every node's
+   incremental engine and refresh the forwarding tables from them. *)
+let apply_changes_incrementally t changes =
+  Array.iteri
+    (fun i inc ->
+      List.iter
+        (fun (lid, c) -> Routing_spf.Incremental.set_cost inc lid c)
+        changes;
+      Psn.install_table t.psns.(i)
+        (Routing_table.of_next_hops t.graph ~owner:(Node.of_int i)
+           (Routing_spf.Incremental.next_hop_array inc)))
+    t.incrementals;
+  t.tables_dirty <- false
+
+(* Send one in-flight update over a link as a priority control packet and
+   keep retransmitting on a timer until the far end acknowledges it. *)
+let rec send_control t lid token =
+  match Hashtbl.find_opt t.in_flight token with
+  | None -> ()
+  | Some (u, _) ->
+    let link = Graph.link t.graph lid in
+    let packet =
+      Packet.make ~kind:(Packet.Control token) ~src:link.Link.src
+        ~dst:link.Link.dst ~bits:(Update.size_bits u)
+        (Engine.now t.engine)
+    in
+    Measure.record_updates t.measure ~count:0 ~bits:(Update.size_bits u);
+    let key = (Link.id_to_int lid, token) in
+    Hashtbl.replace t.pending_acks key ();
+    Link_queue.enqueue_priority t.queues.(Link.id_to_int lid) packet;
+    Engine.schedule t.engine ~after:t.config.retransmit_interval_s (fun () ->
+        if Hashtbl.mem t.pending_acks key && t.link_up.(Link.id_to_int lid)
+        then send_control t lid token)
+
+and send_ack t lid token =
+  (* Acknowledge on the reverse of the line the update arrived over. *)
+  let back = Graph.reverse t.graph (Graph.link t.graph lid) in
+  if t.link_up.(Link.id_to_int back.Link.id) then begin
+    let packet =
+      Packet.make ~kind:(Packet.Control_ack token) ~src:back.Link.src
+        ~dst:back.Link.dst ~bits:48.
+        (Engine.now t.engine)
+    in
+    Measure.record_updates t.measure ~count:0 ~bits:48.;
+    Link_queue.enqueue_priority t.queues.(Link.id_to_int back.Link.id) packet
+  end
+
+(* A routing update arrives at a node: accept if fresh, apply the costs to
+   this node's view, recompute its table, and forward. *)
+and deliver_update t node ~via token =
+  match Hashtbl.find_opt t.in_flight token with
+  | None -> ()
+  | Some (u, originated_s) -> (
+    let i = Node.to_int node in
+    match Flooder.receive (Psn.flooder t.psns.(i)) ~arrived_on:(Some via) u with
+    | Flooder.Duplicate -> ()
+    | Flooder.Fresh forward ->
+      Welford.add t.flood_latency (Engine.now t.engine -. originated_s);
+      trace t (fun () ->
+          Trace.Update_accepted
+            { at = node;
+              origin = u.Update.origin;
+              latency_s = Engine.now t.engine -. originated_s });
+      List.iter
+        (fun (lid, c) -> t.views.(i).(Link.id_to_int lid) <- c)
+        u.Update.costs;
+      install_table_for t i;
+      trace t (fun () -> Trace.Tables_recomputed { at = node });
+      List.iter (fun lid -> send_control t lid token) forward)
+
+(* Forwarding: deliver locally, or hand to the next hop's transmitter. *)
+and handle_arrival t (packet : Packet.t) node =
+  match packet.Packet.kind with
+  | Packet.Control token -> (
+    (* Control packets are consumed and re-issued hop by hop; [src] names
+       the tail of the link they just crossed.  Receipt is acknowledged at
+       the line level whether or not the update is fresh. *)
+    match Graph.find_link t.graph ~src:packet.Packet.src ~dst:node with
+    | Some l ->
+      send_ack t l.Link.id token;
+      deliver_update t node ~via:l.Link.id token
+    | None -> ())
+  | Packet.Control_ack token -> (
+    (* The ack for our transmission on the reverse of the arrival link. *)
+    match Graph.find_link t.graph ~src:node ~dst:packet.Packet.src with
+    | Some forward ->
+      Hashtbl.remove t.pending_acks (Link.id_to_int forward.Link.id, token)
+    | None -> ())
+  | Packet.Data -> (
+    let psn = t.psns.(Node.to_int node) in
+    match Psn.route psn packet with
+    | `Deliver ->
+      let src = Node.to_int packet.Packet.src
+      and dst = Node.to_int packet.Packet.dst in
+      let delay_s = Packet.age packet ~now:(Engine.now t.engine) in
+      Measure.record_delivery t.measure ~delay_s ~bits:packet.Packet.bits
+        ~hops:packet.Packet.hops ~min_hops:t.min_hops.(src).(dst);
+      trace t (fun () ->
+          Trace.Packet_delivered
+            { src = packet.Packet.src;
+              dst = packet.Packet.dst;
+              delay_s;
+              hops = packet.Packet.hops })
+    | `No_route ->
+      Measure.record_drop t.measure;
+      trace t (fun () ->
+          Trace.Packet_dropped
+            { at = node; src = packet.Packet.src; dst = packet.Packet.dst;
+              reason = Trace.No_route })
+    | `Forward link ->
+      if packet.Packet.hops >= t.config.ttl_hops then begin
+        Measure.record_drop t.measure;
+        trace t (fun () ->
+            Trace.Packet_dropped
+              { at = node; src = packet.Packet.src; dst = packet.Packet.dst;
+                reason = Trace.Ttl })
+      end
+      else Link_queue.enqueue t.queues.(Link.id_to_int link.Link.id) packet)
+
+and make_queue t (link : Link.t) =
+  Link_queue.create ~buffer_packets:t.config.buffer_packets
+    ~error_rate:t.config.line_error_rate ~rng:t.link_rng t.engine link
+    ~on_arrival:(fun packet -> handle_arrival t packet link.Link.dst)
+    ~on_measured:(fun ~delay_s ->
+      let psn = t.psns.(Node.to_int link.Link.src) in
+      Measurement.record_packet (Psn.measurement psn link.Link.id) ~delay_s)
+    ~on_drop:(fun reason (packet : Packet.t) ->
+      match packet.Packet.kind with
+      | Packet.Data ->
+        Measure.record_drop t.measure;
+        trace t (fun () ->
+            Trace.Packet_dropped
+              { at = link.Link.src;
+                src = packet.Packet.src;
+                dst = packet.Packet.dst;
+                reason =
+                  (match reason with
+                  | Link_queue.Buffer_full -> Trace.Buffer_full
+                  | Link_queue.Line_down -> Trace.Line_down
+                  | Link_queue.Corrupted -> Trace.Line_error) })
+      | Packet.Control _ | Packet.Control_ack _ ->
+        (* Lost to a line error or a downed line; the per-line
+           retransmission timer recovers Control packets, and a
+           retransmitted Control re-triggers the ack. *)
+        ())
+
+(* End-of-period processing: read every measurement, run the metric,
+   flood significant changes, recompute tables if anything changed. *)
+let routing_period t =
+  let period = Units.routing_period_s in
+  let now = Engine.now t.engine in
+  (* Garbage-collect long-finished floods: anything older than 100 s has
+     either been delivered everywhere or superseded by newer sequence
+     numbers (the 50-second reliability refloods guarantee the latter). *)
+  Hashtbl.iter
+    (fun token (_, originated_s) ->
+      if now -. originated_s > 100. then Hashtbl.remove t.in_flight token)
+    (Hashtbl.copy t.in_flight);
+  Hashtbl.iter
+    (fun ((_, token) as key) () ->
+      if not (Hashtbl.mem t.in_flight token) then
+        Hashtbl.remove t.pending_acks key)
+    (Hashtbl.copy t.pending_acks);
+  let changed_by_origin = Hashtbl.create 16 in
+  let all_changes = ref [] in
+  Array.iter
+    (fun psn ->
+      List.iter
+        (fun ((link : Link.t), m) ->
+          if t.link_up.(Link.id_to_int link.Link.id) then begin
+            let avg = Measurement.finish_period m in
+            match
+              Metric.period_update t.metric link.Link.id ~measured_delay_s:avg
+            with
+            | Some cost ->
+              let origin = Node.to_int link.Link.src in
+              let existing =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt changed_by_origin origin)
+              in
+              Hashtbl.replace changed_by_origin origin
+                ((link.Link.id, cost) :: existing);
+              all_changes := (link.Link.id, cost) :: !all_changes
+            | None -> ()
+          end)
+        (Psn.out_measurements psn))
+    t.psns;
+  (* Flood one update per origin that had significant changes. *)
+  if Hashtbl.length changed_by_origin > 0 then
+    Log.debug (fun m ->
+        m "t=%.0fs: %d PSNs flooding updates" now
+          (Hashtbl.length changed_by_origin));
+  Hashtbl.iter
+    (fun origin costs ->
+      trace t (fun () ->
+          Trace.Update_flooded
+            { origin = Node.of_int origin; links = List.length costs });
+      if t.config.instant_flooding then begin
+        let update = Flooder.originate t.flooders.(origin) ~costs in
+        let outcome = Broadcast.flood t.graph t.flooders update in
+        Measure.record_updates t.measure ~count:1 ~bits:outcome.Broadcast.bits;
+        t.tables_dirty <- true
+      end
+      else begin
+        (* Hop-by-hop propagation on the priority lanes. *)
+        let update = Flooder.originate t.flooders.(origin) ~costs in
+        let token = t.next_update_token in
+        t.next_update_token <- token + 1;
+        Hashtbl.replace t.in_flight token (update, Engine.now t.engine);
+        Measure.record_updates t.measure ~count:1 ~bits:0.;
+        List.iter
+          (fun (lid, c) -> t.views.(origin).(Link.id_to_int lid) <- c)
+          costs;
+        install_table_for t origin;
+        List.iter
+          (fun (l : Link.t) ->
+            if t.link_up.(Link.id_to_int l.Link.id) then
+              send_control t l.Link.id token)
+          (Graph.out_links t.graph (Node.of_int origin))
+      end)
+    changed_by_origin;
+  if t.tables_dirty && t.config.instant_flooding then begin
+    if incremental_active t then apply_changes_incrementally t !all_changes
+    else install_tables t
+  end;
+  (* Per-period series. *)
+  if t.config.record_series then
+    Array.iteri
+      (fun i q ->
+        let bits = Link_queue.transmitted_bits q in
+        let cap = Link.capacity_bps (Link_queue.link q) in
+        Time_series.record t.util_series.(i) ~time:now
+          ((bits -. t.prev_bits.(i)) /. (cap *. period));
+        t.prev_bits.(i) <- bits;
+        Time_series.record t.cost_series.(i) ~time:now
+          (float_of_int (Metric.cost t.metric (Link.id_of_int i))))
+      t.queues
+
+let rec schedule_periods t =
+  Engine.schedule t.engine ~after:Units.routing_period_s (fun () ->
+      routing_period t;
+      schedule_periods t)
+
+let create ?config graph tm =
+  let config = Option.value config ~default:(default_config Metric.Hn_spf) in
+  let n = Graph.node_count graph in
+  let nl = Graph.link_count graph in
+  let engine = Engine.create () in
+  let rng = Rng.create config.seed in
+  let metric = Metric.create config.metric graph in
+  let psns = Array.init n (fun i -> Psn.create graph (Node.of_int i)) in
+  let t =
+    { graph;
+      config;
+      engine;
+      metric;
+      psns;
+      queues = [||];
+      flooders = Array.map Psn.flooder psns;
+      workload = None;
+      measure = Measure.create ~nodes:n;
+      min_hops = Array.init n (fun _ -> Array.make n max_int);
+      link_up = Array.make nl true;
+      prev_bits = Array.make nl 0.;
+      views =
+        Array.init (if config.instant_flooding then 0 else n) (fun _ ->
+            Array.init nl (fun i ->
+                Metric.cost metric (Link.id_of_int i)));
+      in_flight = Hashtbl.create 64;
+      next_update_token = 0;
+      pending_acks = Hashtbl.create 64;
+      link_rng = Rng.create (config.seed lxor 0x5F5F5F);
+      flood_latency = Welford.create ();
+      incrementals = [||];
+      trace =
+        (if config.trace_capacity > 0 then
+           Some (Trace.create ~capacity:config.trace_capacity)
+         else None);
+      cost_series =
+        Array.init nl (fun i -> Time_series.create (Printf.sprintf "cost:l%d" i));
+      util_series =
+        Array.init nl (fun i -> Time_series.create (Printf.sprintf "util:l%d" i));
+      started = false;
+      tables_dirty = true }
+  in
+  t.queues <-
+    Array.init nl (fun i -> make_queue t (Graph.link graph (Link.id_of_int i)));
+  build_incrementals t;
+  t.workload <-
+    Some
+      (Workload.create ~size:config.packet_size rng engine tm
+         ~inject:(fun packet -> handle_arrival t packet packet.Packet.src));
+  recompute_min_hops t;
+  install_tables t;
+  t
+
+let graph t = t.graph
+
+let metric t = t.metric
+
+let engine t = t.engine
+
+let run t ~duration_s =
+  if not t.started then begin
+    t.started <- true;
+    Option.iter Workload.start t.workload;
+    schedule_periods t
+  end;
+  Engine.run_until t.engine (Engine.now t.engine +. duration_s)
+
+let indicators t =
+  Measure.indicators t.measure ~elapsed_s:(Float.max 1e-9 (Engine.now t.engine))
+
+let reset_measurements t = Measure.reset t.measure
+
+let set_link_up t lid up =
+  let i = Link.id_to_int lid in
+  if t.link_up.(i) <> up then begin
+    t.link_up.(i) <- up;
+    trace t (fun () -> Trace.Link_state { link = lid; up });
+    Log.info (fun m ->
+        m "t=%.0fs: link %a %s" (Engine.now t.engine) Link.pp
+          (Graph.link t.graph lid)
+          (if up then "up (easing in)" else "down"));
+    if not up then
+      (* Updates pending on a dead line will never be acknowledged. *)
+      Hashtbl.iter
+        (fun (l, token) () ->
+          if l = i then Hashtbl.remove t.pending_acks (l, token))
+        (Hashtbl.copy t.pending_acks);
+    Link_queue.set_up t.queues.(i) up;
+    if up then Metric.link_up t.metric lid;
+    recompute_min_hops t;
+    (* The incremental engines assume a fixed topology: rebuild (all up)
+       or disable (some link down) and recompute from scratch. *)
+    build_incrementals t;
+    install_tables t
+  end
+
+let cost_series t lid = t.cost_series.(Link.id_to_int lid)
+
+let utilization_series t lid = t.util_series.(Link.id_to_int lid)
+
+let median_delay_ms t = Measure.median_delay_ms t.measure
+
+let p95_delay_ms t = Measure.p95_delay_ms t.measure
+
+let delivered_packets t = Measure.delivered_packets t.measure
+
+let dropped_packets t = Measure.dropped_packets t.measure
+
+let flood_latency_stats t = t.flood_latency
+
+let trace_events t =
+  match t.trace with None -> [] | Some tr -> Trace.events tr
+
+let dump_trace t =
+  match t.trace with None -> "" | Some tr -> Trace.dump t.graph tr
+
+let generated_packets t =
+  match t.workload with
+  | Some w -> Workload.generated_packets w
+  | None -> 0

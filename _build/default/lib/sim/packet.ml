@@ -1,0 +1,17 @@
+open! Import
+
+type kind = Data | Control of int | Control_ack of int
+
+type t = {
+  src : Node.t;
+  dst : Node.t;
+  kind : kind;
+  bits : float;
+  created_s : float;
+  mutable hops : int;
+}
+
+let make ?(kind = Data) ~src ~dst ~bits now =
+  { src; dst; kind; bits; created_s = now; hops = 0 }
+
+let age t ~now = now -. t.created_s

@@ -1,0 +1,25 @@
+open! Import
+
+(** Packets in the packet-level simulator: user data, or routing-update
+    control traffic (which rides the priority lane and is consumed
+    hop-by-hop by the flooding logic). *)
+
+type kind =
+  | Data
+  | Control of int  (** token into the simulator's in-flight update table *)
+  | Control_ack of int  (** per-line acknowledgement of a [Control] packet *)
+
+type t = {
+  src : Node.t;
+  dst : Node.t;
+  kind : kind;
+  bits : float;
+  created_s : float;  (** time entered the network *)
+  mutable hops : int;  (** links traversed so far *)
+}
+
+val make : ?kind:kind -> src:Node.t -> dst:Node.t -> bits:float -> float -> t
+(** [make ~src ~dst ~bits now] — [kind] defaults to [Data]. *)
+
+val age : t -> now:float -> float
+(** Seconds in the network so far. *)

@@ -1,0 +1,40 @@
+open! Import
+
+type t = {
+  node : Node.t;
+  mutable table : Routing_table.t option;
+  measurements : (int * Measurement.t) list; (* keyed by link id *)
+  flooder : Flooder.t;
+}
+
+let create graph node =
+  { node;
+    table = None;
+    measurements =
+      List.map
+        (fun (l : Link.t) -> (Link.id_to_int l.Link.id, Measurement.create l))
+        (Graph.out_links graph node);
+    flooder = Flooder.create graph ~owner:node }
+
+let node t = t.node
+
+let install_table t table = t.table <- Some table
+
+let table t = t.table
+
+let route t (packet : Packet.t) =
+  if Node.equal packet.Packet.dst t.node then `Deliver
+  else
+    match t.table with
+    | None -> `No_route
+    | Some table -> (
+      match Routing_table.next_hop table packet.Packet.dst with
+      | Some link -> `Forward link
+      | None -> `No_route)
+
+let measurement t lid = List.assoc (Link.id_to_int lid) t.measurements
+
+let out_measurements t =
+  List.map (fun (_, m) -> (Measurement.link m, m)) t.measurements
+
+let flooder t = t.flooder

@@ -1,0 +1,28 @@
+open! Import
+
+(** One packet-switching node's routing state in the packet simulator:
+    its forwarding table, the per-outgoing-link 10-second delay
+    measurements, and its flooding engine. *)
+
+type t
+
+val create : Graph.t -> Node.t -> t
+(** The table starts empty ([route] answers [`No_route]) until the first
+    {!install_table}. *)
+
+val node : t -> Node.t
+
+val install_table : t -> Routing_table.t -> unit
+
+val table : t -> Routing_table.t option
+
+val route : t -> Packet.t -> [ `Deliver | `Forward of Link.t | `No_route ]
+(** Forwarding decision for a packet currently at this node. *)
+
+val measurement : t -> Link.id -> Measurement.t
+(** The delay accumulator for one of this node's outgoing links.
+    @raise Not_found for a link this node doesn't own. *)
+
+val out_measurements : t -> (Link.t * Measurement.t) list
+
+val flooder : t -> Flooder.t

@@ -1,0 +1,128 @@
+open! Import
+module Serial = Routing_topology.Serial
+
+type action =
+  | Link_down of string * string
+  | Link_up of string * string
+  | Set_metric of Metric.kind
+  | Scale_traffic of float
+  | Adaptive_sources of bool
+
+type event = { at_s : float; action : action }
+
+type t = {
+  graph : Graph.t;
+  traffic : Traffic_matrix.t;
+  events : event list;
+}
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let is_event_line line =
+  let line = String.trim (strip_comment line) in
+  String.length line >= 3 && String.sub line 0 3 = "at "
+
+let parse_action = function
+  | [ "link-down"; a; b ] -> Ok (Link_down (a, b))
+  | [ "link-up"; a; b ] -> Ok (Link_up (a, b))
+  | [ "metric"; name ] -> (
+    match Metric.kind_of_name name with
+    | Some k -> Ok (Set_metric k)
+    | None -> Error (Printf.sprintf "unknown metric %S" name))
+  | [ "scale"; x ] -> (
+    match float_of_string_opt x with
+    | Some f when f >= 0. -> Ok (Scale_traffic f)
+    | _ -> Error (Printf.sprintf "bad scale %S" x))
+  | [ "adaptive"; "on" ] -> Ok (Adaptive_sources true)
+  | [ "adaptive"; "off" ] -> Ok (Adaptive_sources false)
+  | other -> Error (Printf.sprintf "unknown action %S" (String.concat " " other))
+
+let parse_event_line line =
+  let fields =
+    String.split_on_char ' '
+      (String.map (function '\t' -> ' ' | c -> c) (strip_comment line))
+    |> List.filter (fun s -> String.length s > 0)
+  in
+  match fields with
+  | "at" :: time :: action -> (
+    match float_of_string_opt time with
+    | Some at_s when at_s >= 0. -> (
+      match parse_action action with
+      | Ok action -> Ok { at_s; action }
+      | Error e -> Error e)
+    | _ -> Error (Printf.sprintf "bad time %S" time))
+  | _ -> Error "malformed event line"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let events = ref [] in
+  let error = ref None in
+  let rest =
+    List.filteri
+      (fun index line ->
+        if is_event_line line then begin
+          (match parse_event_line line with
+          | Ok e -> events := e :: !events
+          | Error message ->
+            if !error = None then
+              error := Some (Printf.sprintf "line %d: %s" (index + 1) message));
+          false
+        end
+        else true)
+      lines
+  in
+  match !error with
+  | Some message -> Error message
+  | None -> (
+    match Serial.of_string (String.concat "\n" rest) with
+    | Error e -> Error e
+    | Ok (graph, traffic) ->
+      Ok
+        { graph;
+          traffic;
+          events =
+            List.sort (fun a b -> Float.compare a.at_s b.at_s) !events })
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error message -> Error message
+
+let trunk_both t a b =
+  let named name =
+    match Graph.node_by_name t.graph name with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "Script: unknown node %S" name)
+  in
+  let src = named a and dst = named b in
+  match Graph.find_link t.graph ~src ~dst with
+  | Some l -> [ l.Link.id; l.Link.reverse ]
+  | None -> invalid_arg (Printf.sprintf "Script: no trunk %s-%s" a b)
+
+let apply t sim = function
+  | Link_down (a, b) ->
+    List.iter (fun lid -> Flow_sim.set_link_up sim lid false) (trunk_both t a b)
+  | Link_up (a, b) ->
+    List.iter (fun lid -> Flow_sim.set_link_up sim lid true) (trunk_both t a b)
+  | Set_metric kind -> Flow_sim.switch_metric sim kind
+  | Scale_traffic factor ->
+    Flow_sim.set_traffic sim (Traffic_matrix.scale t.traffic factor)
+  | Adaptive_sources on -> Flow_sim.set_adaptive_sources sim on
+
+let run ?(metric = Metric.Hn_spf) ?(on_period = fun _ _ -> ()) t ~periods =
+  let sim = Flow_sim.create t.graph metric t.traffic in
+  let pending = ref t.events in
+  for period = 0 to periods - 1 do
+    let now = float_of_int period *. Units.routing_period_s in
+    let fire, keep =
+      List.partition (fun e -> e.at_s <= now +. 1e-9) !pending
+    in
+    pending := keep;
+    List.iter (fun e -> apply t sim e.action) fire;
+    let stats = Flow_sim.step sim in
+    on_period sim stats
+  done;
+  sim

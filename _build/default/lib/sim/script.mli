@@ -1,0 +1,52 @@
+open! Import
+
+(** Scripted scenarios: a topology, traffic, and timed events.
+
+    Extends the {!Routing_topology.Serial} file format with [at] lines so a
+    whole experiment — outages, revivals, the HNM install itself, traffic
+    growth — replays from one file:
+
+    {v
+    trunk  MIT BBN 56T 0.002
+    demand MIT BBN 20000
+    at 120 link-down MIT BBN     # fail the trunk (both directions)
+    at 300 link-up   MIT BBN     # revive it (HN-SPF eases it in)
+    at 400 metric hnspf          # install the patch mid-run
+    at 500 scale 1.25            # grow all demands 25%
+    at 600 adaptive on           # sources start backing off under loss
+    v}
+
+    Events bind to the start of the routing period containing their time. *)
+
+type action =
+  | Link_down of string * string  (** node names; fails both directions *)
+  | Link_up of string * string
+  | Set_metric of Metric.kind
+  | Scale_traffic of float  (** relative to the file's demands *)
+  | Adaptive_sources of bool
+
+type event = { at_s : float; action : action }
+
+type t = {
+  graph : Graph.t;
+  traffic : Traffic_matrix.t;
+  events : event list;  (** sorted by time *)
+}
+
+val parse : string -> (t, string) result
+(** Parse a scenario file's text: [at] lines here, everything else via
+    {!Routing_topology.Serial.of_string}. *)
+
+val load : string -> (t, string) result
+
+val run :
+  ?metric:Metric.kind ->
+  ?on_period:(Flow_sim.t -> Flow_sim.period_stats -> unit) ->
+  t ->
+  periods:int ->
+  Flow_sim.t
+(** Replay on the flow simulator (initial metric defaults to [Hn_spf]),
+    firing each event at the start of its period and calling [on_period]
+    after every step.  Returns the simulator for inspection.
+    @raise Invalid_argument if an event names an unknown node or a pair
+    with no direct trunk. *)

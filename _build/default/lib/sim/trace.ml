@@ -1,0 +1,76 @@
+open! Import
+
+type event =
+  | Packet_delivered of { src : Node.t; dst : Node.t; delay_s : float;
+                          hops : int }
+  | Packet_dropped of { at : Node.t; src : Node.t; dst : Node.t;
+                        reason : drop_reason }
+  | Update_flooded of { origin : Node.t; links : int }
+  | Update_accepted of { at : Node.t; origin : Node.t; latency_s : float }
+  | Tables_recomputed of { at : Node.t }
+  | Link_state of { link : Link.id; up : bool }
+
+and drop_reason = Buffer_full | Line_down | Line_error | No_route | Ttl
+
+let reason_name = function
+  | Buffer_full -> "buffer-full"
+  | Line_down -> "line-down"
+  | Line_error -> "line-error"
+  | No_route -> "no-route"
+  | Ttl -> "ttl"
+
+let pp_event g ppf = function
+  | Packet_delivered { src; dst; delay_s; hops } ->
+    Format.fprintf ppf "delivered %s->%s in %.1f ms over %d hops"
+      (Graph.node_name g src) (Graph.node_name g dst) (1000. *. delay_s) hops
+  | Packet_dropped { at; src; dst; reason } ->
+    Format.fprintf ppf "dropped %s->%s at %s (%s)" (Graph.node_name g src)
+      (Graph.node_name g dst) (Graph.node_name g at) (reason_name reason)
+  | Update_flooded { origin; links } ->
+    Format.fprintf ppf "update from %s covering %d links"
+      (Graph.node_name g origin) links
+  | Update_accepted { at; origin; latency_s } ->
+    Format.fprintf ppf "%s accepted update from %s after %.1f ms"
+      (Graph.node_name g at) (Graph.node_name g origin) (1000. *. latency_s)
+  | Tables_recomputed { at } ->
+    Format.fprintf ppf "%s recomputed its routing table" (Graph.node_name g at)
+  | Link_state { link; up } ->
+    Format.fprintf ppf "link %a %s" Link.pp_id link (if up then "up" else "down")
+
+type t = {
+  ring : (float * event) option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time event =
+  t.ring.(t.next) <- Some (time, event);
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let length t = min t.total (Array.length t.ring)
+
+let total_recorded t = t.total
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  List.init n (fun i ->
+      match t.ring.((t.next - n + i + (2 * cap)) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let filter t ~f = List.filter (fun (_, e) -> f e) (events t)
+
+let dump g t =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun (time, event) ->
+      Buffer.add_string buffer
+        (Format.asprintf "%10.3f  %a\n" time (pp_event g) event))
+    (events t);
+  Buffer.contents buffer

@@ -1,0 +1,45 @@
+open! Import
+
+(** Structured event tracing for the packet simulator.
+
+    A bounded ring buffer of typed events — the debugging view a PSN's
+    console would give an operator.  Tracing is opt-in
+    ({!Network.config.trace_capacity}); when off, nothing is recorded and
+    the hooks cost one branch. *)
+
+type event =
+  | Packet_delivered of { src : Node.t; dst : Node.t; delay_s : float;
+                          hops : int }
+  | Packet_dropped of { at : Node.t; src : Node.t; dst : Node.t;
+                        reason : drop_reason }
+  | Update_flooded of { origin : Node.t; links : int }
+      (** a PSN originated a routing update covering [links] of its lines *)
+  | Update_accepted of { at : Node.t; origin : Node.t; latency_s : float }
+  | Tables_recomputed of { at : Node.t }
+  | Link_state of { link : Link.id; up : bool }
+
+and drop_reason = Buffer_full | Line_down | Line_error | No_route | Ttl
+
+val pp_event : Graph.t -> Format.formatter -> event -> unit
+
+type t
+
+val create : capacity:int -> t
+(** Keeps the most recent [capacity] events.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val record : t -> time:float -> event -> unit
+
+val length : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val total_recorded : t -> int
+(** Events ever recorded, including those that have rotated out. *)
+
+val events : t -> (float * event) list
+(** Retained events, oldest first. *)
+
+val filter : t -> f:(event -> bool) -> (float * event) list
+
+val dump : Graph.t -> t -> string
+(** One line per retained event, for logs or debugging sessions. *)

@@ -1,0 +1,70 @@
+open! Import
+
+type size = Fixed of float | Exponential of float
+
+type flow = { src : Node.t; dst : Node.t; rate_pps : float }
+
+type t = {
+  rng : Rng.t;
+  engine : Engine.t;
+  size : size;
+  flows : flow array;
+  inject : Packet.t -> unit;
+  mutable running : bool;
+  mutable scale : float;
+  mutable generated : int;
+}
+
+let mean_bits = function Fixed b -> b | Exponential b -> b
+
+let create ?(size = Exponential 600.) rng engine tm ~inject =
+  let flows =
+    Traffic_matrix.fold tm ~init:[] ~f:(fun acc ~src ~dst bps ->
+        { src; dst; rate_pps = bps /. mean_bits size } :: acc)
+    |> List.rev |> Array.of_list
+  in
+  { rng;
+    engine;
+    size;
+    flows;
+    inject;
+    running = false;
+    scale = 1.;
+    generated = 0 }
+
+let draw_bits t =
+  match t.size with
+  | Fixed b -> b
+  | Exponential mean ->
+    (* At least one header's worth of bits so service times never vanish. *)
+    Float.max 64. (Rng.exponential t.rng ~mean)
+
+let rec schedule_next t flow =
+  let rate = flow.rate_pps *. t.scale in
+  if rate > 0. then begin
+    let gap = Rng.exponential t.rng ~mean:(1. /. rate) in
+    Engine.schedule t.engine ~after:gap (fun () ->
+        if t.running then begin
+          let packet =
+            Packet.make ~src:flow.src ~dst:flow.dst ~bits:(draw_bits t)
+              (Engine.now t.engine)
+          in
+          t.generated <- t.generated + 1;
+          t.inject packet;
+          schedule_next t flow
+        end)
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Array.iter (schedule_next t) t.flows
+  end
+
+let stop t = t.running <- false
+
+let set_scale t factor =
+  if factor < 0. then invalid_arg "Workload.set_scale: negative";
+  t.scale <- factor
+
+let generated_packets t = t.generated

@@ -1,0 +1,35 @@
+open! Import
+
+(** Poisson packet workload driven by a traffic matrix.
+
+    Every nonzero demand becomes an independent Poisson packet process with
+    exponentially distributed packet sizes (mean 600 bits — the network-wide
+    average the HNM's M/M/1 model assumes).  All draws come from the given
+    {!Rng.t}, so runs are reproducible. *)
+
+type size = Fixed of float | Exponential of float  (** mean bits *)
+
+type t
+
+val create :
+  ?size:size ->
+  Rng.t ->
+  Engine.t ->
+  Traffic_matrix.t ->
+  inject:(Packet.t -> unit) ->
+  t
+(** Default size: [Exponential 600.]. *)
+
+val start : t -> unit
+(** Schedule the first arrival of every flow.  Each arrival reschedules the
+    next, so the workload runs until {!stop}. *)
+
+val stop : t -> unit
+(** No further packets are injected (already-scheduled events fire but do
+    nothing). *)
+
+val set_scale : t -> float -> unit
+(** Multiply every flow's rate by the factor (applies to subsequently drawn
+    inter-arrival times) — used for traffic-growth scenarios. *)
+
+val generated_packets : t -> int

@@ -1,0 +1,1 @@
+lib/spf/dijkstra.ml: Array Graph Import Int Link List Node Printf Priority_queue Spf_tree

@@ -1,0 +1,1 @@
+lib/spf/dijkstra.mli: Graph Import Link Node Spf_tree

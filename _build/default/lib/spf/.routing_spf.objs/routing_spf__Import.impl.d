@@ -1,0 +1,1 @@
+lib/spf/import.ml: Routing_topology

@@ -1,0 +1,1 @@
+lib/spf/incremental.ml: Array Dijkstra Graph Import Int Link List Node Option Printf Priority_queue Spf_tree

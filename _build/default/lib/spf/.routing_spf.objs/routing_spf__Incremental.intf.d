@@ -1,0 +1,1 @@
+lib/spf/incremental.mli: Graph Import Link Node Spf_tree

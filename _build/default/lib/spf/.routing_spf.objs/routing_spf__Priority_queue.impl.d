@@ -1,0 +1,1 @@
+lib/spf/priority_queue.ml: Array Import

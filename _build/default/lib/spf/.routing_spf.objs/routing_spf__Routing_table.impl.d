@@ -1,0 +1,1 @@
+lib/spf/routing_table.ml: Array Format Graph Import Link List Node Option Spf_tree String

@@ -1,0 +1,1 @@
+lib/spf/routing_table.mli: Format Graph Import Link Node Spf_tree

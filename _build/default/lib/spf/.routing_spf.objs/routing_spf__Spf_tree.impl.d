@@ -1,0 +1,1 @@
+lib/spf/spf_tree.ml: Array Graph Import Link List Node Option

@@ -1,0 +1,1 @@
+lib/spf/spf_tree.mli: Graph Import Link Node

@@ -1,0 +1,95 @@
+open! Import
+
+type tie_break = [ `Neutral | `Favor of Link.id | `Avoid of Link.id ]
+
+let max_link_cost = 254
+
+(* Composite edge weights encode lexicographic comparison of
+   (path cost, probe-link preference, hop count) in a single positive
+   integer, keeping plain Dijkstra applicable:
+
+     w(l) = (cost(l) * cost_scale + probe_adjust(l)) * hop_scale + 1
+
+   probe_adjust is -1 on the probed link under [`Favor] (an infinitesimal
+   discount: among equal-cost paths, ones using the link win), +1 under
+   [`Avoid].  The +1 per edge makes hop count the final tie-break.  With
+   cost <= 254 and paths < 256 hops the sums stay far below max_int. *)
+let hop_scale = 256
+
+let cost_scale = 1024
+
+let edge_weight ~tie_break ~cost lid =
+  let c = cost lid in
+  if c < 1 || c > max_link_cost then
+    invalid_arg
+      (Printf.sprintf "Dijkstra: link cost %d outside [1, %d]" c max_link_cost);
+  let adjust =
+    match tie_break with
+    | `Neutral -> 0
+    | `Favor probe -> if Link.id_equal probe lid then -1 else 0
+    | `Avoid probe -> if Link.id_equal probe lid then 1 else 0
+  in
+  (((c * cost_scale) + adjust) * hop_scale) + 1
+
+let compute ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost root =
+  let n = Graph.node_count g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n None in
+  let settled = Array.make n false in
+  let compare (wa, la) (wb, lb) =
+    match Int.compare wa wb with 0 -> Int.compare la lb | c -> c
+  in
+  let heap = Priority_queue.create ~compare in
+  let ri = Node.to_int root in
+  dist.(ri) <- 0;
+  Priority_queue.push heap (0, -1) root;
+  let rec run () =
+    match Priority_queue.pop_min heap with
+    | None -> ()
+    | Some ((w, _), node) ->
+      let i = Node.to_int node in
+      if not settled.(i) then begin
+        settled.(i) <- true;
+        List.iter
+          (fun (l : Link.t) ->
+            let j = Node.to_int l.dst in
+            if enabled l.id && not settled.(j) then begin
+              let w' = w + edge_weight ~tie_break ~cost l.id in
+              if w' < dist.(j) then begin
+                dist.(j) <- w';
+                parent.(j) <- Some l.id;
+                Priority_queue.push heap (w', Link.id_to_int l.id) l.dst
+              end
+              else if w' = dist.(j) then begin
+                (* Fully tied: keep the lower arriving link id so the tree
+                   is independent of heap internals. *)
+                match parent.(j) with
+                | Some p when Link.id_compare l.id p < 0 ->
+                  parent.(j) <- Some l.id;
+                  Priority_queue.push heap (w', Link.id_to_int l.id) l.dst
+                | _ -> ()
+              end
+            end)
+          (Graph.out_links g node)
+      end;
+      run ()
+  in
+  run ();
+  (* Decode composite weights back into routing units and hop counts. *)
+  let units = Array.make n max_int in
+  let hops = Array.make n max_int in
+  for i = 0 to n - 1 do
+    if dist.(i) <> max_int then begin
+      hops.(i) <- dist.(i) mod hop_scale;
+      units.(i) <-
+        (dist.(i) / hop_scale / cost_scale)
+        + (if (dist.(i) / hop_scale) mod cost_scale > cost_scale / 2 then 1 else 0)
+    end
+  done;
+  Spf_tree.make ~graph:g ~root ~parent ~dist:units ~hops
+
+let all_pairs ?tie_break ?enabled g ~cost =
+  Array.init (Graph.node_count g) (fun i ->
+      compute ?tie_break ?enabled g ~cost (Node.of_int i))
+
+let min_hop_tree ?enabled g root = compute ?enabled g ~cost:(fun _ -> 1) root

@@ -1,0 +1,51 @@
+open! Import
+
+(** SPF route computation (Dijkstra 1959), as installed in the ARPANET in
+    May 1979.
+
+    Link costs are supplied as a function of {!Link.id} in routing units
+    (positive integers).  The SPF algorithm is shared by every metric —
+    D-SPF, HN-SPF and min-hop differ only in the costs they feed in (§2.2).
+
+    {b Tie-breaking.}  §5.2's response-map analysis requires computing
+    routes with "ties always broken in favor of using the given link" and,
+    for the other end of the traffic band, against it.  [tie_break]
+    implements this as an infinitesimal cost adjustment on the probe link;
+    the default [`Neutral] breaks remaining ties toward fewer hops and then
+    lower link ids, making route computation fully deterministic. *)
+
+type tie_break =
+  [ `Neutral  (** fewer hops, then lower link ids *)
+  | `Favor of Link.id  (** equal-cost ties prefer paths using the link *)
+  | `Avoid of Link.id  (** equal-cost ties prefer paths avoiding the link *)
+  ]
+
+val max_link_cost : int
+(** Largest admissible per-link cost (254 routing units — the delay metric's
+    8-bit field, §3.2's 127:1 range anchor). *)
+
+val compute :
+  ?tie_break:tie_break ->
+  ?enabled:(Link.id -> bool) ->
+  Graph.t ->
+  cost:(Link.id -> int) ->
+  Node.t ->
+  Spf_tree.t
+(** [compute g ~cost root] builds the shortest-path tree from [root].
+    Links for which [enabled] is false (default: none) are treated as down
+    and never entered — how SPF "dynamically rout[es] around down lines"
+    (§7).
+    @raise Invalid_argument if any queried link cost is outside
+    [\[1, max_link_cost\]]. *)
+
+val all_pairs :
+  ?tie_break:tie_break ->
+  ?enabled:(Link.id -> bool) ->
+  Graph.t ->
+  cost:(Link.id -> int) ->
+  Spf_tree.t array
+(** One tree per node, indexed by node id — what the network as a whole
+    computes after a flood reaches everyone. *)
+
+val min_hop_tree : ?enabled:(Link.id -> bool) -> Graph.t -> Node.t -> Spf_tree.t
+(** SPF with every link costing one hop — the static baseline of §5.3. *)

@@ -1,0 +1,9 @@
+(* Aliases for the topology substrate, opened by every module in this
+   library so types read as [Graph.t] rather than
+   [Routing_topology.Graph.t]. *)
+
+module Node = Routing_topology.Node
+module Line_type = Routing_topology.Line_type
+module Link = Routing_topology.Link
+module Graph = Routing_topology.Graph
+module Traffic_matrix = Routing_topology.Traffic_matrix

@@ -1,0 +1,250 @@
+open! Import
+
+type stats = {
+  full_recomputes : int;
+  nodes_touched : int;
+  updates_ignored : int;
+}
+
+type t = {
+  graph : Graph.t;
+  root : Node.t;
+  costs : int array; (* per link id, routing units *)
+  dist : int array; (* per node, composite units: cost only (no tie terms) *)
+  parent : Link.id option array;
+  mutable full_recomputes : int;
+  mutable nodes_touched : int;
+  mutable updates_ignored : int;
+}
+
+(* The incremental structure tracks plain routing-unit distances; the
+   deterministic tie-break refinements of Dijkstra.compute are a property of
+   full recomputation only. *)
+
+let check_cost c =
+  if c < 1 || c > Dijkstra.max_link_cost then
+    invalid_arg (Printf.sprintf "Incremental: link cost %d out of range" c)
+
+let full_rebuild t =
+  let tree = Dijkstra.compute t.graph ~cost:(fun l -> t.costs.(Link.id_to_int l)) t.root in
+  Graph.iter_nodes t.graph (fun n ->
+      let i = Node.to_int n in
+      t.dist.(i) <- Spf_tree.dist tree n;
+      t.parent.(i) <-
+        Option.map (fun (l : Link.t) -> l.Link.id) (Spf_tree.parent_link tree n));
+  t.full_recomputes <- t.full_recomputes + 1;
+  t.nodes_touched <- t.nodes_touched + Graph.node_count t.graph
+
+let create graph ~root ~initial_cost =
+  let n = Graph.node_count graph in
+  let costs =
+    Array.init (Graph.link_count graph) (fun i ->
+        let c = initial_cost (Link.id_of_int i) in
+        check_cost c;
+        c)
+  in
+  let t =
+    { graph;
+      root;
+      costs;
+      dist = Array.make n max_int;
+      parent = Array.make n None;
+      full_recomputes = -1 (* the constructor's rebuild is not an update *);
+      nodes_touched = -n;
+      updates_ignored = 0 }
+  in
+  full_rebuild t;
+  t
+
+let cost t lid = t.costs.(Link.id_to_int lid)
+
+let dist t n = t.dist.(Node.to_int n)
+
+let tree t =
+  Spf_tree.make ~graph:t.graph ~root:t.root ~parent:(Array.copy t.parent)
+    ~dist:(Array.copy t.dist)
+    ~hops:
+      (let hops = Array.make (Graph.node_count t.graph) max_int in
+       let rec hop_of i =
+         if hops.(i) <> max_int then hops.(i)
+         else
+           match t.parent.(i) with
+           | None -> if i = Node.to_int t.root && t.dist.(i) = 0 then 0 else max_int
+           | Some lid ->
+             let l = Graph.link t.graph lid in
+             let h = hop_of (Node.to_int l.Link.src) in
+             let h = if h = max_int then max_int else h + 1 in
+             hops.(i) <- h;
+             h
+       in
+       Graph.iter_nodes t.graph (fun n -> ignore (hop_of (Node.to_int n)));
+       hops)
+
+let next_hop_array t =
+  let n = Graph.node_count t.graph in
+  let root = Node.to_int t.root in
+  (* memo.(i): the first link on root's path to i (None = unknown yet or
+     none). *)
+  let memo = Array.make n None in
+  let resolved = Array.make n false in
+  resolved.(root) <- true;
+  let rec resolve i =
+    if resolved.(i) then memo.(i)
+    else begin
+      let answer =
+        match t.parent.(i) with
+        | None -> None
+        | Some lid ->
+          let src = Node.to_int (Graph.link t.graph lid).Link.src in
+          if src = root then Some lid else resolve src
+      in
+      memo.(i) <- answer;
+      resolved.(i) <- true;
+      answer
+    end
+  in
+  for i = 0 to n - 1 do
+    ignore (resolve i)
+  done;
+  memo
+
+let stats t =
+  { full_recomputes = t.full_recomputes;
+    nodes_touched = t.nodes_touched;
+    updates_ignored = t.updates_ignored }
+
+(* Collect the set of nodes whose current tree path traverses [lid]:
+   the subtree hanging below the link's destination, provided the link is
+   the destination's parent. *)
+let affected_subtree t lid =
+  let l = Graph.link t.graph lid in
+  let head = Node.to_int l.Link.dst in
+  match t.parent.(head) with
+  | Some p when Link.id_equal p lid ->
+    let n = Graph.node_count t.graph in
+    let in_subtree = Array.make n false in
+    in_subtree.(head) <- true;
+    (* A node is in the subtree iff following parents reaches [head]. *)
+    let rec reaches i visiting =
+      if in_subtree.(i) then true
+      else if List.mem i visiting then false
+      else
+        match t.parent.(i) with
+        | None -> false
+        | Some plid ->
+          let src = Node.to_int (Graph.link t.graph plid).Link.src in
+          let r = reaches src (i :: visiting) in
+          if r then in_subtree.(i) <- true;
+          r
+    in
+    for i = 0 to n - 1 do
+      if t.dist.(i) <> max_int then ignore (reaches i [])
+    done;
+    Some in_subtree
+  | _ -> None
+
+(* Re-derive distances for the nodes marked in [affected], seeding the heap
+   from links that cross the unaffected -> affected frontier. *)
+let reattach t affected =
+  let n = Graph.node_count t.graph in
+  let compare = Int.compare in
+  let heap = Priority_queue.create ~compare in
+  for i = 0 to n - 1 do
+    if affected.(i) then begin
+      t.dist.(i) <- max_int;
+      t.parent.(i) <- None
+    end
+  done;
+  for i = 0 to n - 1 do
+    if not affected.(i) && t.dist.(i) <> max_int then
+      List.iter
+        (fun (l : Link.t) ->
+          let j = Node.to_int l.Link.dst in
+          if affected.(j) then begin
+            let d = t.dist.(i) + t.costs.(Link.id_to_int l.Link.id) in
+            if d < t.dist.(j) then begin
+              t.dist.(j) <- d;
+              t.parent.(j) <- Some l.Link.id;
+              Priority_queue.push heap d l.Link.dst
+            end
+          end)
+        (Graph.out_links t.graph (Node.of_int i))
+  done;
+  let settled = Array.make n false in
+  let rec run () =
+    match Priority_queue.pop_min heap with
+    | None -> ()
+    | Some (d, node) ->
+      let i = Node.to_int node in
+      if (not settled.(i)) && d = t.dist.(i) then begin
+        settled.(i) <- true;
+        t.nodes_touched <- t.nodes_touched + 1;
+        List.iter
+          (fun (l : Link.t) ->
+            let j = Node.to_int l.Link.dst in
+            if affected.(j) && not settled.(j) then begin
+              let d' = d + t.costs.(Link.id_to_int l.Link.id) in
+              if d' < t.dist.(j) then begin
+                t.dist.(j) <- d';
+                t.parent.(j) <- Some l.Link.id;
+                Priority_queue.push heap d' l.Link.dst
+              end
+            end)
+          (Graph.out_links t.graph node)
+      end;
+      run ()
+  in
+  run ()
+
+(* Propagate a strict improvement starting at the head of the cheapened
+   link; only nodes that actually improve are touched. *)
+let propagate_decrease t start =
+  let heap = Priority_queue.create ~compare:Int.compare in
+  Priority_queue.push heap t.dist.(Node.to_int start) start;
+  let rec run () =
+    match Priority_queue.pop_min heap with
+    | None -> ()
+    | Some (d, node) ->
+      if d = t.dist.(Node.to_int node) then begin
+        t.nodes_touched <- t.nodes_touched + 1;
+        List.iter
+          (fun (l : Link.t) ->
+            let j = Node.to_int l.Link.dst in
+            let d' = d + t.costs.(Link.id_to_int l.Link.id) in
+            if d' < t.dist.(j) then begin
+              t.dist.(j) <- d';
+              t.parent.(j) <- Some l.Link.id;
+              Priority_queue.push heap d' l.Link.dst
+            end)
+          (Graph.out_links t.graph node)
+      end;
+      run ()
+  in
+  run ()
+
+let set_cost t lid c =
+  check_cost c;
+  let i = Link.id_to_int lid in
+  let old = t.costs.(i) in
+  if c = old then t.updates_ignored <- t.updates_ignored + 1
+  else begin
+    t.costs.(i) <- c;
+    let l = Graph.link t.graph lid in
+    let u = Node.to_int l.Link.src and v = Node.to_int l.Link.dst in
+    if c > old then begin
+      match affected_subtree t lid with
+      | None ->
+        (* Increase on a link carrying no tree paths: provably no effect. *)
+        t.updates_ignored <- t.updates_ignored + 1
+      | Some affected -> reattach t affected
+    end
+    else begin
+      (* Decrease: only matters if the link now offers a shorter way in. *)
+      if t.dist.(u) <> max_int && t.dist.(u) + c < t.dist.(v) then begin
+        t.dist.(v) <- t.dist.(u) + c;
+        t.parent.(v) <- Some lid;
+        propagate_decrease t l.Link.dst
+      end
+      else t.updates_ignored <- t.updates_ignored + 1
+    end
+  end

@@ -1,0 +1,51 @@
+open! Import
+
+(** Incremental SPF.
+
+    The PSN "attempts to perform only incremental adjustments necessitated
+    by a link cost change, e.g., if a routing update reports an increase in
+    the cost for a link not in the tree, the algorithm does not recompute
+    any part of the tree" (§2.2).  A [t] owns a mutable cost table and a
+    shortest-path tree it keeps consistent under single-link cost updates:
+
+    - increase on a non-tree link: nothing to do;
+    - increase on a tree link: only the subtree hanging below it is
+      re-attached, seeding Dijkstra from the unaffected frontier;
+    - decrease: relaxations propagate only through nodes that actually
+      improve.
+
+    The maintained tree is always *a* valid shortest-path tree (distances
+    equal to a full recomputation; among equal-cost parents the incremental
+    algorithm may keep its current choice where a fresh {!Dijkstra.compute}
+    would pick another). *)
+
+type t
+
+type stats = {
+  full_recomputes : int;  (** times the whole tree was rebuilt *)
+  nodes_touched : int;  (** nodes whose distance was re-derived *)
+  updates_ignored : int;  (** cost changes proven not to affect the tree *)
+}
+
+val create : Graph.t -> root:Node.t -> initial_cost:(Link.id -> int) -> t
+
+val tree : t -> Spf_tree.t
+(** A snapshot of the current tree (cheap: arrays are copied). *)
+
+val cost : t -> Link.id -> int
+
+val set_cost : t -> Link.id -> int -> unit
+(** Update one link's cost and repair the tree.
+    @raise Invalid_argument if the cost is outside
+    [\[1, Dijkstra.max_link_cost\]]. *)
+
+val stats : t -> stats
+
+val dist : t -> Node.t -> int
+(** Current distance in routing units ([max_int] if unreachable). *)
+
+val next_hop_array : t -> Link.id option array
+(** Per-destination first link out of the root (indexed by node id;
+    [None] for the root and unreachable nodes) — ready for
+    {!Routing_table.of_next_hops}.  O(nodes) via memoized parent
+    climbing. *)

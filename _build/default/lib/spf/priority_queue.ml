@@ -1,0 +1,66 @@
+open! Import
+
+type ('p, 'a) t = {
+  compare : 'p -> 'p -> int;
+  mutable heap : ('p * 'a) array;
+  mutable len : int;
+}
+
+let create ~compare = { compare; heap = [||]; len = 0 }
+
+let is_empty t = t.len = 0
+
+let length t = t.len
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let less t i j = t.compare (fst t.heap.(i)) (fst t.heap.(j)) < 0
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && less t left !smallest then smallest := left;
+  if right < t.len && less t right !smallest then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t p v =
+  if t.len = Array.length t.heap then begin
+    let cap = max 16 (2 * t.len) in
+    let heap = Array.make cap (p, v) in
+    Array.blit t.heap 0 heap 0 t.len;
+    t.heap <- heap
+  end;
+  t.heap.(t.len) <- (p, v);
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let peek_min t = if t.len = 0 then None else Some t.heap.(0)
+
+let clear t = t.len <- 0

@@ -1,0 +1,25 @@
+open! Import
+
+(** Binary min-heap with user-supplied priority comparison.
+
+    Used by Dijkstra with lazy deletion: stale entries are simply popped and
+    discarded by the caller, which keeps the structure simple and is the
+    fastest approach for graphs of ARPANET size. *)
+
+type ('p, 'a) t
+
+val create : compare:('p -> 'p -> int) -> ('p, 'a) t
+
+val is_empty : ('p, 'a) t -> bool
+
+val length : ('p, 'a) t -> int
+
+val push : ('p, 'a) t -> 'p -> 'a -> unit
+
+val pop_min : ('p, 'a) t -> ('p * 'a) option
+(** Remove and return the entry with the smallest priority; [None] when
+    empty.  Equal priorities pop in unspecified order. *)
+
+val peek_min : ('p, 'a) t -> ('p * 'a) option
+
+val clear : ('p, 'a) t -> unit

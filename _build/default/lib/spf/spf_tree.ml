@@ -1,0 +1,80 @@
+open! Import
+
+type t = {
+  graph : Graph.t;
+  root : Node.t;
+  parent : Link.id option array;
+  dist : int array;
+  hops : int array;
+}
+
+let make ~graph ~root ~parent ~dist ~hops =
+  { graph; root; parent; dist; hops }
+
+let graph t = t.graph
+
+let root t = t.root
+
+let reached t n = t.dist.(Node.to_int n) <> max_int
+
+let dist t n = t.dist.(Node.to_int n)
+
+let hops t n = t.hops.(Node.to_int n)
+
+let parent_link t n =
+  Option.map (Graph.link t.graph) t.parent.(Node.to_int n)
+
+let path t dst =
+  if not (reached t dst) then invalid_arg "Spf_tree.path: unreachable";
+  let rec climb n acc =
+    match t.parent.(Node.to_int n) with
+    | None -> acc
+    | Some lid ->
+      let l = Graph.link t.graph lid in
+      climb l.Link.src (l :: acc)
+  in
+  climb dst []
+
+let next_hop t dst =
+  if Node.equal dst t.root || not (reached t dst) then None
+  else begin
+    let rec climb n =
+      match t.parent.(Node.to_int n) with
+      | None -> None
+      | Some lid ->
+        let l = Graph.link t.graph lid in
+        if Node.equal l.Link.src t.root then Some l else climb l.Link.src
+    in
+    climb dst
+  end
+
+let uses_link t dst lid =
+  reached t dst
+  &&
+  let rec climb n =
+    match t.parent.(Node.to_int n) with
+    | None -> false
+    | Some plid ->
+      Link.id_equal plid lid
+      || climb (Graph.link t.graph plid).Link.src
+  in
+  climb dst
+
+let fold_reached t ~init ~f =
+  let acc = ref init in
+  Graph.iter_nodes t.graph (fun n ->
+      if reached t n && not (Node.equal n t.root) then acc := f !acc n);
+  !acc
+
+let destinations_via t lid =
+  fold_reached t ~init:[] ~f:(fun acc n ->
+      if uses_link t n lid then n :: acc else acc)
+  |> List.rev
+
+let equal_dists a b =
+  Array.length a.dist = Array.length b.dist
+  && Node.equal a.root b.root
+  &&
+  let ok = ref true in
+  Array.iteri (fun i d -> if d <> b.dist.(i) then ok := false) a.dist;
+  !ok

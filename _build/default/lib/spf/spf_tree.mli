@@ -1,0 +1,56 @@
+open! Import
+
+(** Shortest-path trees produced by {!Dijkstra}.
+
+    A tree is rooted at the computing PSN.  Because shortest paths are
+    hereditary (every subpath of a shortest path is a shortest path — §4.1),
+    the tree simultaneously encodes the full path, the next hop and the
+    distance for every destination. *)
+
+type t
+
+val make :
+  graph:Graph.t ->
+  root:Node.t ->
+  parent:Link.id option array ->
+  dist:int array ->
+  hops:int array ->
+  t
+(** Arrays are indexed by node id; [parent.(n)] is the link over which the
+    path enters [n] ([None] for the root and unreachable nodes); [dist] is
+    in routing units with [max_int] for unreachable. *)
+
+val graph : t -> Graph.t
+
+val root : t -> Node.t
+
+val reached : t -> Node.t -> bool
+
+val dist : t -> Node.t -> int
+(** Total path cost in routing units.  [max_int] when unreachable. *)
+
+val hops : t -> Node.t -> int
+(** Path length in links.  [max_int] when unreachable. *)
+
+val parent_link : t -> Node.t -> Link.t option
+
+val path : t -> Node.t -> Link.t list
+(** Links from the root to the destination, in forwarding order; [[]] for
+    the root itself.  @raise Invalid_argument if unreachable. *)
+
+val next_hop : t -> Node.t -> Link.t option
+(** First link on the path — what the forwarding table stores.  [None] for
+    the root and unreachable destinations. *)
+
+val uses_link : t -> Node.t -> Link.id -> bool
+(** Does the path to the destination traverse the link? *)
+
+val destinations_via : t -> Link.id -> Node.t list
+(** All destinations whose tree path traverses the link. *)
+
+val fold_reached : t -> init:'a -> f:('a -> Node.t -> 'a) -> 'a
+(** Fold over every reached node except the root. *)
+
+val equal_dists : t -> t -> bool
+(** True when the two trees assign every node the same distance (parents may
+    differ between equally short trees). *)

@@ -1,0 +1,1 @@
+lib/stats/filter.ml: Array

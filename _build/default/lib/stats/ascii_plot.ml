@@ -1,0 +1,81 @@
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;
+}
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") series =
+  let width = max 8 width and height = max 4 height in
+  let all = List.concat_map (fun s -> s.points) series in
+  let xs = List.map fst all and ys = List.map snd all in
+  let min_max vs =
+    match vs with
+    | [] -> (0., 1.)
+    | v :: rest ->
+      let lo = List.fold_left Float.min v rest in
+      let hi = List.fold_left Float.max v rest in
+      if hi -. lo < 1e-12 then (lo -. 0.5, hi +. 0.5) else (lo, hi)
+  in
+  let x_lo, x_hi = min_max xs in
+  let y_lo, y_hi = min_max ys in
+  let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+  let cell_of x y =
+    let cx =
+      int_of_float
+        (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+    in
+    let cy =
+      int_of_float
+        (Float.round ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+    in
+    (max 0 (min (width - 1) cx), max 0 (min (height - 1) cy))
+  in
+  List.iter
+    (fun s ->
+      (* Connect consecutive points with interpolated steps so curves read
+         as lines rather than dust. *)
+      let rec draw = function
+        | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+          let steps = max 1 (width / max 1 (List.length s.points)) in
+          for k = 0 to steps do
+            let f = float_of_int k /. float_of_int steps in
+            let cx, cy = cell_of (x1 +. (f *. (x2 -. x1))) (y1 +. (f *. (y2 -. y1))) in
+            Bytes.set grid.(cy) cx s.glyph
+          done;
+          draw rest
+        | [ (x, y) ] ->
+          let cx, cy = cell_of x y in
+          Bytes.set grid.(cy) cx s.glyph
+        | [] -> ()
+      in
+      draw s.points)
+    series;
+  let buffer = Buffer.create ((width + 12) * (height + 4)) in
+  if String.length y_label > 0 then
+    Buffer.add_string buffer (Printf.sprintf "%s\n" y_label);
+  for row = height - 1 downto 0 do
+    let tick =
+      if row = height - 1 then Printf.sprintf "%8.2f" y_hi
+      else if row = 0 then Printf.sprintf "%8.2f" y_lo
+      else String.make 8 ' '
+    in
+    Buffer.add_string buffer tick;
+    Buffer.add_string buffer " |";
+    Buffer.add_string buffer (Bytes.to_string grid.(row));
+    Buffer.add_char buffer '\n'
+  done;
+  Buffer.add_string buffer (String.make 9 ' ');
+  Buffer.add_char buffer '+';
+  Buffer.add_string buffer (String.make width '-');
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer
+    (Printf.sprintf "%9s %-8.2f%s%8.2f\n" "" x_lo
+       (String.make (max 1 (width - 16)) ' ')
+       x_hi);
+  if String.length x_label > 0 then
+    Buffer.add_string buffer (Printf.sprintf "%*s%s\n" 10 "" x_label);
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer (Printf.sprintf "%10s%c = %s\n" "" s.glyph s.label))
+    series;
+  Buffer.contents buffer

@@ -1,0 +1,24 @@
+(** Terminal line plots for the experiment harness.
+
+    The benchmark harness regenerates the paper's {e figures}; numbers in
+    tables carry the data, and these plots carry the shape — steepness,
+    crossings, oscillation — the way the originals do.  Pure text, fixed
+    grid, no dependencies. *)
+
+type series = {
+  label : string;
+  glyph : char;  (** the character that draws this series *)
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** A [width] x [height] (default 64 x 16) character plot of all series on
+    shared axes, with min/max tick labels and a legend.  Ranges come from
+    the data (degenerate ranges are padded).  When two series hit the same
+    cell the later one draws on top.  Empty input renders an empty frame. *)

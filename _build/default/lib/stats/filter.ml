@@ -1,0 +1,48 @@
+type ewma = { gain : float; mutable value : float; mutable primed : bool }
+
+let ewma ~gain =
+  if gain <= 0. || gain > 1. then invalid_arg "Filter.ewma: gain out of (0,1]";
+  { gain; value = 0.; primed = false }
+
+let ewma_update t x =
+  if t.primed then t.value <- (t.gain *. x) +. ((1. -. t.gain) *. t.value)
+  else begin
+    t.value <- x;
+    t.primed <- true
+  end;
+  t.value
+
+let ewma_value t = t.value
+
+let ewma_is_primed t = t.primed
+
+let ewma_reset t =
+  t.value <- 0.;
+  t.primed <- false
+
+let ewma_set t x =
+  t.value <- x;
+  t.primed <- true
+
+type moving_average = {
+  samples : float array;
+  mutable next : int;
+  mutable filled : int;
+  mutable sum : float;
+}
+
+let moving_average ~window =
+  if window <= 0 then invalid_arg "Filter.moving_average: window <= 0";
+  { samples = Array.make window 0.; next = 0; filled = 0; sum = 0. }
+
+let moving_average_update t x =
+  let cap = Array.length t.samples in
+  if t.filled = cap then t.sum <- t.sum -. t.samples.(t.next)
+  else t.filled <- t.filled + 1;
+  t.samples.(t.next) <- x;
+  t.sum <- t.sum +. x;
+  t.next <- (t.next + 1) mod cap;
+  t.sum /. float_of_int t.filled
+
+let moving_average_value t =
+  if t.filled = 0 then 0. else t.sum /. float_of_int t.filled

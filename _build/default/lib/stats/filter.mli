@@ -1,0 +1,40 @@
+(** Recursive smoothing filters.
+
+    The HNM smooths its utilization estimate with the two-tap recursive
+    filter [avg' = a * sample + (1 - a) * avg] with [a = 0.5] (paper §4.1,
+    Fig 3).  This module provides that filter in general form plus a small
+    windowed moving average used by instrumentation. *)
+
+type ewma
+
+val ewma : gain:float -> ewma
+(** [ewma ~gain] creates an exponentially-weighted moving average where each
+    update computes [gain * sample + (1 - gain) * previous].
+    @raise Invalid_argument unless [0 < gain <= 1]. *)
+
+val ewma_update : ewma -> float -> float
+(** Feed one sample; returns the new average.  The first sample initializes
+    the average directly (no bias toward zero). *)
+
+val ewma_value : ewma -> float
+(** Current average; [0.] before any sample. *)
+
+val ewma_is_primed : ewma -> bool
+(** [true] once at least one sample has been folded in. *)
+
+val ewma_reset : ewma -> unit
+
+val ewma_set : ewma -> float -> unit
+(** Force the current average, e.g. to ease in a new link at a chosen
+    starting point. *)
+
+type moving_average
+
+val moving_average : window:int -> moving_average
+(** Simple moving average over the last [window] samples.
+    @raise Invalid_argument if [window <= 0]. *)
+
+val moving_average_update : moving_average -> float -> float
+
+val moving_average_value : moving_average -> float
+(** Average of the retained samples; [0.] before any sample. *)

@@ -1,0 +1,119 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable n : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  { lo;
+    hi;
+    width = (hi -. lo) /. float_of_int bins;
+    counts = Array.make bins 0;
+    under = 0;
+    over = 0;
+    n = 0 }
+
+let bins t = Array.length t.counts
+
+let add_many t x k =
+  t.n <- t.n + k;
+  if x < t.lo then t.under <- t.under + k
+  else if x >= t.hi then t.over <- t.over + k
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    (* Guard against floating rounding putting x exactly on the top edge. *)
+    let i = if i >= bins t then bins t - 1 else i in
+    t.counts.(i) <- t.counts.(i) + k
+  end
+
+let add t x = add_many t x 1
+
+let count t = t.n
+
+let bin_count t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_count";
+  t.counts.(i)
+
+let underflow t = t.under
+
+let overflow t = t.over
+
+let bin_bounds t i =
+  if i < 0 || i >= bins t then invalid_arg "Histogram.bin_bounds";
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let midpoint t i =
+  let lo, hi = bin_bounds t i in
+  (lo +. hi) /. 2.
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let target = p /. 100. *. float_of_int t.n in
+    let rec scan i acc =
+      if i >= bins t then t.hi
+      else begin
+        let c = t.counts.(i) in
+        let acc' = acc +. float_of_int c in
+        if acc' >= target && c > 0 then begin
+          let frac = (target -. acc) /. float_of_int c in
+          let lo, _ = bin_bounds t i in
+          lo +. (frac *. t.width)
+        end
+        else scan (i + 1) acc'
+      end
+    in
+    let under = float_of_int t.under in
+    if under >= target && t.under > 0 then t.lo else scan 0 under
+  end
+
+let mean t =
+  if t.n = 0 then nan
+  else begin
+    let sum = ref (float_of_int t.under *. t.lo) in
+    sum := !sum +. (float_of_int t.over *. t.hi);
+    for i = 0 to bins t - 1 do
+      sum := !sum +. (float_of_int t.counts.(i) *. midpoint t i)
+    done;
+    !sum /. float_of_int t.n
+  end
+
+let to_list t =
+  let first = ref (bins t) and last = ref (-1) in
+  for i = 0 to bins t - 1 do
+    if t.counts.(i) > 0 then begin
+      if i < !first then first := i;
+      if i > !last then last := i
+    end
+  done;
+  if !last < 0 then []
+  else begin
+    let rec build i acc =
+      if i < !first then acc
+      else begin
+        let lo, hi = bin_bounds t i in
+        build (i - 1) ((lo, hi, t.counts.(i)) :: acc)
+      end
+    in
+    build !last []
+  end
+
+let pp ppf t =
+  let entries = to_list t in
+  let peak = List.fold_left (fun acc (_, _, c) -> max acc c) 1 entries in
+  let bar c = String.make (max 1 (c * 40 / peak)) '#' in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (lo, hi, c) ->
+      if c > 0 then
+        Format.fprintf ppf "[%8.3g, %8.3g) %6d %s@," lo hi c (bar c))
+    entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Fixed-width-bin histograms with percentile queries.
+
+    Used for delay distributions and path-length distributions.  Values below
+    the range land in an underflow bin, values above in an overflow bin, so
+    {!count} always equals the number of {!add} calls. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width bins.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+
+val add_many : t -> float -> int -> unit
+(** [add_many t x k] records [k] occurrences of [x]. *)
+
+val count : t -> int
+
+val bin_count : t -> int -> int
+(** Occupancy of bin [i] (0-based, excluding under/overflow).
+    @raise Invalid_argument when out of range. *)
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Lower (inclusive) and upper (exclusive) edge of bin [i]. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0, 100\]]: linear-interpolated estimate of
+    the [p]-th percentile from bin midpoints.  Underflow samples count as
+    [lo], overflow as [hi].  [nan] when the histogram is empty. *)
+
+val mean : t -> float
+(** Mean estimated from bin midpoints; exact values are not retained. *)
+
+val to_list : t -> (float * float * int) list
+(** [(lo, hi, count)] per bin, in ascending order, omitting empty extremes. *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact multi-line ASCII bar rendering, for debugging. *)

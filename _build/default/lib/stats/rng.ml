@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: n <= 0";
+  (* Rejection-free for our purposes: modulo bias is negligible since
+     n is always far below 2^63 in this codebase. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n))
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  u /. 9007199254740992. *. x (* 2^53 *)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean <= 0";
+  let u = ref (float t 1.) in
+  if !u = 0. then u := epsilon_float;
+  -.mean *. log !u
+
+let poisson t ~mean =
+  if mean <= 0. then 0
+  else if mean < 30. then begin
+    let limit = exp (-.mean) in
+    let rec draw k p =
+      let p = p *. float t 1. in
+      if p <= limit then k else draw (k + 1) p
+    in
+    draw 0 1.
+  end
+  else begin
+    (* Box-Muller normal approximation, adequate for workload generation. *)
+    let u1 = Float.max epsilon_float (float t 1.) in
+    let u2 = float t 1. in
+    let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+    max 0 (int_of_float (Float.round (mean +. (z *. sqrt mean))))
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

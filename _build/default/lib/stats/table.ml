@@ -1,0 +1,65 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  { title;
+    headers = List.map fst columns;
+    aligns = Array.of_list (List.map snd columns);
+    rows = [] }
+
+let columns t = Array.length t.aligns
+
+let add_row t cells =
+  if List.length cells > columns t then
+    invalid_arg "Table.add_row: too many cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_float_row t ?(decimals = 2) label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.*f" decimals) xs);
+  t
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let w = Array.make (columns t) 0 in
+  let measure cells =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) t.rows;
+  w
+
+let pad align width s =
+  let fill = String.make (max 0 (width - String.length s)) ' ' in
+  match align with Left -> s ^ fill | Right -> fill ^ s
+
+let pp ppf t =
+  let w = widths t in
+  let total = Array.fold_left ( + ) 0 w + (3 * (columns t - 1)) in
+  let rule = String.make total '-' in
+  let render_cells cells =
+    let padded =
+      List.mapi (fun i c -> pad t.aligns.(i) w.(i) c) cells
+      @ List.init (columns t - List.length cells) (fun _ -> "")
+    in
+    String.concat "   " padded
+  in
+  (match t.title with
+  | Some title -> Format.fprintf ppf "%s@.%s@." title (String.make total '=')
+  | None -> ());
+  Format.fprintf ppf "%s@.%s@." (render_cells t.headers) rule;
+  List.iter
+    (function
+      | Cells cells -> Format.fprintf ppf "%s@." (render_cells cells)
+      | Separator -> Format.fprintf ppf "%s@." rule)
+    (List.rev t.rows)
+
+let to_string t = Format.asprintf "%a" pp t

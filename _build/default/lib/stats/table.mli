@@ -1,0 +1,28 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints every reproduced table and figure as an
+    aligned text table; this is the single formatter used everywhere so the
+    output stays uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create columns] starts a table with the given header cells and per-column
+    alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Missing trailing cells render empty; extra cells raise.
+    @raise Invalid_argument if the row has more cells than columns. *)
+
+val add_float_row : t -> ?decimals:int -> string -> float list -> t
+(** [add_float_row t label xs] appends [label] followed by each float rendered
+    with [decimals] (default 2) digits; returns [t] for chaining. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,83 @@
+type t = {
+  name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) name =
+  let capacity = max 1 capacity in
+  { name; times = Array.make capacity 0.; values = Array.make capacity 0.; len = 0 }
+
+let name t = t.name
+
+let grow t =
+  let cap = Array.length t.times in
+  let times = Array.make (2 * cap) 0. in
+  let values = Array.make (2 * cap) 0. in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.values 0 values 0 t.len;
+  t.times <- times;
+  t.values <- values
+
+let record t ~time v =
+  if t.len = Array.length t.times then grow t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- v;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Time_series.get";
+  (t.times.(i), t.values.(i))
+
+let last t = if t.len = 0 then None else Some (get t (t.len - 1))
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f ~time:t.times.(i) ~value:t.values.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun ~time ~value -> acc := f !acc ~time ~value);
+  !acc
+
+let between t ~lo ~hi =
+  fold t ~init:[] ~f:(fun acc ~time ~value ->
+      if time >= lo && time < hi then (time, value) :: acc else acc)
+  |> List.rev
+
+let stats_between t ~lo ~hi =
+  let w = Welford.create () in
+  iter t (fun ~time ~value -> if time >= lo && time < hi then Welford.add w value);
+  w
+
+let resample t ~period =
+  if t.len = 0 || period <= 0. then []
+  else begin
+    let t0 = t.times.(0) in
+    let bucket time = int_of_float ((time -. t0) /. period) in
+    let out = ref [] in
+    let current = ref (bucket t.times.(0)) in
+    let sum = ref 0. and n = ref 0 in
+    let flush () =
+      if !n > 0 then begin
+        let mid = t0 +. ((float_of_int !current +. 0.5) *. period) in
+        out := (mid, !sum /. float_of_int !n) :: !out
+      end
+    in
+    iter t (fun ~time ~value ->
+        let b = bucket time in
+        if b <> !current then begin
+          flush ();
+          current := b;
+          sum := 0.;
+          n := 0
+        end;
+        sum := !sum +. value;
+        incr n);
+    flush ();
+    List.rev !out
+  end

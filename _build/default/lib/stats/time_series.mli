@@ -1,0 +1,39 @@
+(** Append-only timestamped series of float observations.
+
+    Experiments log (time, value) points — link utilization per routing
+    period, drops per simulated day — and then query aggregates over
+    intervals or dump the series for the benchmark harness to print. *)
+
+type t
+
+val create : ?capacity:int -> string -> t
+(** [create name] makes an empty series labelled [name]. *)
+
+val name : t -> string
+
+val record : t -> time:float -> float -> unit
+(** Append a point.  Times are expected to be non-decreasing; out-of-order
+    appends are accepted but interval queries assume sortedness. *)
+
+val length : t -> int
+
+val get : t -> int -> float * float
+(** [get t i] is the [i]-th (time, value) pair.
+    @raise Invalid_argument when out of range. *)
+
+val last : t -> (float * float) option
+
+val iter : t -> (time:float -> value:float -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> time:float -> value:float -> 'a) -> 'a
+
+val between : t -> lo:float -> hi:float -> (float * float) list
+(** Points with [lo <= time < hi], in append order. *)
+
+val stats_between : t -> lo:float -> hi:float -> Welford.t
+(** Summary statistics of values in the window. *)
+
+val resample : t -> period:float -> (float * float) list
+(** Average the series into consecutive buckets of [period] starting at the
+    first point's time; buckets with no points are skipped.  Used to turn
+    per-routing-period samples into per-day aggregates for Fig 13. *)

@@ -1,0 +1,71 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable total : float;
+}
+
+let create () =
+  { count = 0;
+    mean = 0.;
+    m2 = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+    total = 0. }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  let delta2 = x -. t.mean in
+  t.m2 <- t.m2 +. (delta *. delta2);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.total <- t.total +. x
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0. else t.mean
+
+let variance t =
+  if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let min_value t = t.min_v
+
+let max_value t = t.max_v
+
+let total t = t.total
+
+let merge a b =
+  if a.count = 0 then { b with count = b.count }
+  else if b.count = 0 then { a with count = a.count }
+  else begin
+    let n = a.count + b.count in
+    let fa = float_of_int a.count and fb = float_of_int b.count in
+    let fn = float_of_int n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. fb /. fn) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn) in
+    { count = n;
+      mean;
+      m2;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+      total = a.total +. b.total }
+  end
+
+let reset t =
+  t.count <- 0;
+  t.mean <- 0.;
+  t.m2 <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  t.total <- 0.
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count
+    (mean t) (stddev t) t.min_v t.max_v

@@ -1,0 +1,45 @@
+(** Streaming summary statistics using Welford's online algorithm.
+
+    A [t] accumulates observations one at a time and can report count, mean,
+    variance, standard deviation, minimum and maximum at any point without
+    storing the samples.  Numerically stable for long runs, which matters for
+    multi-hour simulations accumulating millions of per-packet delays. *)
+
+type t
+
+val create : unit -> t
+(** A fresh accumulator with no observations. *)
+
+val add : t -> float -> unit
+(** [add t x] folds the observation [x] into [t]. *)
+
+val count : t -> int
+(** Number of observations added so far. *)
+
+val mean : t -> float
+(** Arithmetic mean; [0.] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] for fewer than two observations. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val min_value : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val total : t -> float
+(** Sum of all observations. *)
+
+val merge : t -> t -> t
+(** [merge a b] is an accumulator equivalent to having seen all observations
+    of [a] and then all observations of [b] (Chan's parallel update). *)
+
+val reset : t -> unit
+(** Drop all accumulated state, as if freshly created. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as ["n=… mean=… sd=… min=… max=…"] for logs and debugging. *)

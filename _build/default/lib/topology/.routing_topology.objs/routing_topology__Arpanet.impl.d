@@ -1,0 +1,1 @@
+lib/topology/arpanet.ml: Array Builder Graph Line_type Link List Node Routing_stats Traffic_matrix

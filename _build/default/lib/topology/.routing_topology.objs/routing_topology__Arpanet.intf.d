@@ -1,0 +1,1 @@
+lib/topology/arpanet.mli: Graph Link Routing_stats Traffic_matrix

@@ -1,0 +1,1 @@
+lib/topology/builder.ml: Array Graph Hashtbl Line_type Link List Node Option String

@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Buffer Graph Line_type Link Out_channel Printf String

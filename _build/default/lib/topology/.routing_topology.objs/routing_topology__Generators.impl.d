@@ -1,0 +1,1 @@
+lib/topology/generators.ml: Array Builder Fun Hashtbl Line_type Printf Routing_stats

@@ -1,0 +1,1 @@
+lib/topology/generators.mli: Graph Line_type Link Routing_stats

@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Array Format Hashtbl Line_type Link List Node Option Printf String

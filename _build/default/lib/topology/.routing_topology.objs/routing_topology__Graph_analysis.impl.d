@@ -1,0 +1,1 @@
+lib/topology/graph_analysis.ml: Array Format Graph Hashtbl Link List Node Queue String Traffic_matrix

@@ -1,0 +1,1 @@
+lib/topology/graph_analysis.mli: Format Graph Link Node Traffic_matrix

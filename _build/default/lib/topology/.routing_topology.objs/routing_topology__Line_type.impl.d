@@ -1,0 +1,1 @@
+lib/topology/line_type.ml: Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/topology/line_type.mli: Format

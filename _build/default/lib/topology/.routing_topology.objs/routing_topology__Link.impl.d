@@ -1,0 +1,1 @@
+lib/topology/link.ml: Format Int Line_type Node

@@ -1,0 +1,1 @@
+lib/topology/link.mli: Format Line_type Node

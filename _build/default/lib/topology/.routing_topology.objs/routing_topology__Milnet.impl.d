@@ -1,0 +1,1 @@
+lib/topology/milnet.ml: Builder Graph Line_type List Routing_stats Traffic_matrix

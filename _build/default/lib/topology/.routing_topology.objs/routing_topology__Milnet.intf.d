@@ -1,0 +1,1 @@
+lib/topology/milnet.mli: Graph Routing_stats Traffic_matrix

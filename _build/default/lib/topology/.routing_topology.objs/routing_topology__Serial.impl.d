@@ -1,0 +1,1 @@
+lib/topology/serial.ml: Buffer Builder Graph In_channel Line_type Link List Out_channel Printf String Traffic_matrix

@@ -1,0 +1,1 @@
+lib/topology/traffic_matrix.ml: Array Float Format List Node Routing_stats

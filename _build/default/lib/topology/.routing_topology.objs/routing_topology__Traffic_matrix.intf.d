@@ -1,0 +1,1 @@
+lib/topology/traffic_matrix.mli: Format Node Routing_stats

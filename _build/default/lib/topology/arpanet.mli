@@ -1,0 +1,29 @@
+(** A synthesized July-1987-style ARPANET topology.
+
+    BBN's actual July 1987 topology file and peak-hour traffic matrix are
+    not public, so this module provides a stand-in with the structural
+    properties the paper relies on (see DESIGN.md §2): ~57 PSNs, ~72
+    bidirectional trunks (average degree ≈ 2.5), predominantly 56 kb/s
+    terrestrial lines with a minority of 9.6 kb/s tail circuits, satellite
+    links to Hawaii and Europe plus one domestic satellite trunk, and a
+    mesh "rich with alternate paths" — long routes have alternates only
+    slightly longer (validated against Fig 7 by
+    [Routing_equilibrium.Response_map]). *)
+
+val topology : unit -> Graph.t
+(** The fixed synthesized topology.  Node names are historical ARPANET site
+    mnemonics; the link list is embedded data, identical on every call. *)
+
+val peak_traffic : Routing_stats.Rng.t -> Graph.t -> Traffic_matrix.t
+(** A gravity-model "peak hour" matrix scaled to ≈366 kb/s total internode
+    traffic (Table 1's May-1987 figure), with a handful of heavy
+    coast-to-coast flows layered on top so cross-country trunks run hot. *)
+
+val representative_link : Graph.t -> Link.t
+(** A short-propagation 56 kb/s terrestrial trunk (MIT->BBN) whose idle
+    cost equals one ambient hop under both metrics — the "average link" the
+    paper's §5 single-link analysis reasons about. *)
+
+val bridge_links : Graph.t -> Link.t list
+(** The cross-country trunks (both directions) — the contended resources in
+    most experiments. *)

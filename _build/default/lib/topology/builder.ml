@@ -1,0 +1,51 @@
+type t = {
+  mutable names : string list; (* reversed *)
+  mutable node_count : int;
+  by_name : (string, Node.t) Hashtbl.t;
+  mutable links : Link.t list; (* reversed *)
+  mutable link_count : int;
+}
+
+let create () =
+  { names = [];
+    node_count = 0;
+    by_name = Hashtbl.create 64;
+    links = [];
+    link_count = 0 }
+
+let add_node t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some n -> n
+  | None ->
+    let n = Node.of_int t.node_count in
+    t.node_count <- t.node_count + 1;
+    t.names <- name :: t.names;
+    Hashtbl.add t.by_name name n;
+    n
+
+let node = add_node
+
+let trunk t ?propagation_s line_type a b =
+  if String.equal a b then invalid_arg "Builder.trunk: self-loop";
+  let src = add_node t a in
+  let dst = add_node t b in
+  let propagation_s =
+    Option.value propagation_s ~default:(Line_type.default_propagation_s line_type)
+  in
+  let id_ab = Link.id_of_int t.link_count in
+  let id_ba = Link.id_of_int (t.link_count + 1) in
+  let fwd =
+    { Link.id = id_ab; src; dst; line_type; propagation_s; reverse = id_ba }
+  in
+  let bwd =
+    { Link.id = id_ba; src = dst; dst = src; line_type; propagation_s;
+      reverse = id_ab }
+  in
+  t.links <- bwd :: fwd :: t.links;
+  t.link_count <- t.link_count + 2;
+  (id_ab, id_ba)
+
+let build t =
+  let names = Array.of_list (List.rev t.names) in
+  let links = Array.of_list (List.rev t.links) in
+  Graph.make ~names ~links

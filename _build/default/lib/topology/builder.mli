@@ -1,0 +1,32 @@
+(** Incremental topology construction.
+
+    A builder accumulates named nodes and bidirectional trunks and produces
+    an immutable {!Graph.t}.  Every [trunk] call creates the two simplex
+    links with mutually consistent [reverse] pointers. *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> string -> Node.t
+(** Register a node.  Re-adding an existing name returns the original id. *)
+
+val node : t -> string -> Node.t
+(** Like {!add_node}; reads as a lookup when the node is known to exist. *)
+
+val trunk :
+  t ->
+  ?propagation_s:float ->
+  Line_type.t ->
+  string ->
+  string ->
+  Link.id * Link.id
+(** [trunk t lt a b] connects nodes named [a] and [b] (creating them if
+    needed) with a bidirectional trunk of the given line type; returns the
+    two simplex link ids (a->b, b->a).  [propagation_s] defaults to
+    {!Line_type.default_propagation_s}.
+    @raise Invalid_argument on a self-loop. *)
+
+val build : t -> Graph.t
+(** Freeze into a graph.  The builder can keep being extended afterwards;
+    subsequent [build]s include the additions. *)

@@ -1,0 +1,50 @@
+let edge_color u =
+  if u > 0.95 then "red"
+  else if u > 0.7 then "orange"
+  else "forestgreen"
+
+let pen_width lt =
+  match Line_type.bandwidth_bps lt with
+  | bw when bw <= 9_600. -> 1.0
+  | bw when bw <= 56_000. -> 1.8
+  | bw when bw <= 112_000. -> 2.6
+  | bw when bw <= 224_000. -> 3.4
+  | _ -> 4.2
+
+let to_dot ?(label = "") ?(utilization = fun _ -> None) g =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "graph network {\n";
+  Buffer.add_string buffer "  overlap=false;\n  splines=true;\n";
+  if String.length label > 0 then
+    Buffer.add_string buffer (Printf.sprintf "  label=%S;\n" label);
+  Buffer.add_string buffer
+    "  node [shape=box, style=rounded, fontsize=9, height=0.2];\n";
+  Graph.iter_nodes g (fun n ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  %S;\n" (Graph.node_name g n)));
+  Graph.iter_links g (fun (l : Link.t) ->
+      if Link.id_compare l.Link.id l.Link.reverse < 0 then begin
+        let style =
+          if Line_type.is_satellite l.Link.line_type then ", style=dashed"
+          else ""
+        in
+        let annotation =
+          match utilization l with
+          | Some u ->
+            Printf.sprintf ", color=%s, tooltip=\"%.0f%%\", label=\"%.2f\""
+              (edge_color u) (100. *. u) u
+          | None -> ""
+        in
+        Buffer.add_string buffer
+          (Printf.sprintf "  %S -- %S [penwidth=%.1f, fontsize=8%s%s];\n"
+             (Graph.node_name g l.Link.src)
+             (Graph.node_name g l.Link.dst)
+             (pen_width l.Link.line_type)
+             style annotation)
+      end);
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer
+
+let save path ?label ?utilization g =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_dot ?label ?utilization g))

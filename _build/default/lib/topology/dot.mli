@@ -1,0 +1,20 @@
+(** Graphviz DOT export for topologies.
+
+    Renders the network as an undirected graph (one edge per trunk) with
+    line-type styling and optional per-trunk annotations — typically the
+    utilization measured by a simulator, colored green/orange/red.  Feed
+    the output to [dot -Tsvg] or [neato -Tpng]. *)
+
+val to_dot :
+  ?label:string ->
+  ?utilization:(Link.t -> float option) ->
+  Graph.t ->
+  string
+(** [utilization] (per forward link of each trunk pair; [None] = no
+    annotation) sets each edge's color and tooltip: green below 70 %,
+    orange to 95 %, red above.  Satellite trunks render dashed; line speed
+    sets pen width. *)
+
+val save : string -> ?label:string -> ?utilization:(Link.t -> float option)
+  -> Graph.t -> unit
+(** Write to a file.  @raise Sys_error on I/O failure. *)

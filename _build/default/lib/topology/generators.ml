@@ -1,0 +1,128 @@
+module Rng = Routing_stats.Rng
+
+let node_name prefix i = Printf.sprintf "%s%d" prefix i
+
+let two_region ?(region_size = 8) ?(bridge_type = Line_type.T56) () =
+  if region_size < 2 then invalid_arg "Generators.two_region: region_size < 2";
+  let b = Builder.create () in
+  let add_region prefix =
+    (* Ring plus a diameter chord: connected with alternate paths inside
+       the region, so intra-region routing never depends on the bridges. *)
+    for i = 0 to region_size - 1 do
+      let j = (i + 1) mod region_size in
+      ignore (Builder.trunk b Line_type.T56 (node_name prefix i) (node_name prefix j))
+    done;
+    if region_size >= 4 then
+      ignore
+        (Builder.trunk b Line_type.T56 (node_name prefix 0)
+           (node_name prefix (region_size / 2)))
+  in
+  add_region "L";
+  add_region "R";
+  let bridge_a, _ = Builder.trunk b bridge_type "L0" "R0" in
+  let bridge_b, _ = Builder.trunk b bridge_type "L1" "R1" in
+  (Builder.build b, (bridge_a, bridge_b))
+
+let ring ?(line_type = Line_type.T56) n =
+  if n < 3 then invalid_arg "Generators.ring: n < 3";
+  let b = Builder.create () in
+  for i = 0 to n - 1 do
+    ignore (Builder.trunk b line_type (node_name "n" i) (node_name "n" ((i + 1) mod n)))
+  done;
+  Builder.build b
+
+let ring_chord ?(line_type = Line_type.T56) rng ~nodes ~chords =
+  if nodes < 3 then invalid_arg "Generators.ring_chord: nodes < 3";
+  let b = Builder.create () in
+  for i = 0 to nodes - 1 do
+    ignore
+      (Builder.trunk b line_type (node_name "n" i) (node_name "n" ((i + 1) mod nodes)))
+  done;
+  let exists = Hashtbl.create 16 in
+  let rec add_chord remaining attempts =
+    if remaining > 0 && attempts < chords * 50 then begin
+      let i = Rng.int rng nodes in
+      let j = Rng.int rng nodes in
+      let lo = min i j and hi = max i j in
+      let adjacent = hi - lo <= 1 || (lo = 0 && hi = nodes - 1) in
+      if adjacent || Hashtbl.mem exists (lo, hi) then
+        add_chord remaining (attempts + 1)
+      else begin
+        Hashtbl.add exists (lo, hi) ();
+        ignore (Builder.trunk b line_type (node_name "n" lo) (node_name "n" hi));
+        add_chord (remaining - 1) (attempts + 1)
+      end
+    end
+  in
+  add_chord chords 0;
+  Builder.build b
+
+let random_geometric ?(line_type = Line_type.T56) rng ~nodes ~radius =
+  if nodes < 2 then invalid_arg "Generators.random_geometric: nodes < 2";
+  let pos = Array.init nodes (fun _ -> (Rng.float rng 1., Rng.float rng 1.)) in
+  let b = Builder.create () in
+  for i = 0 to nodes - 1 do
+    ignore (Builder.add_node b (node_name "n" i))
+  done;
+  let dist i j =
+    let xi, yi = pos.(i) and xj, yj = pos.(j) in
+    sqrt (((xi -. xj) ** 2.) +. ((yi -. yj) ** 2.))
+  in
+  (* Union-find to track components while adding radius edges. *)
+  let parent = Array.init nodes Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j = parent.(find i) <- find j in
+  for i = 0 to nodes - 1 do
+    for j = i + 1 to nodes - 1 do
+      if dist i j <= radius then begin
+        ignore (Builder.trunk b line_type (node_name "n" i) (node_name "n" j));
+        union i j
+      end
+    done
+  done;
+  (* Stitch components: connect each component root to its nearest node in
+     another component until one component remains. *)
+  let rec stitch () =
+    let roots = Hashtbl.create 8 in
+    for i = 0 to nodes - 1 do
+      Hashtbl.replace roots (find i) ()
+    done;
+    if Hashtbl.length roots > 1 then begin
+      let r0 = find 0 in
+      let best = ref None in
+      for i = 0 to nodes - 1 do
+        for j = 0 to nodes - 1 do
+          if find i = r0 && find j <> r0 then
+            match !best with
+            | Some (_, _, d) when d <= dist i j -> ()
+            | _ -> best := Some (i, j, dist i j)
+        done
+      done;
+      match !best with
+      | Some (i, j, _) ->
+        ignore (Builder.trunk b line_type (node_name "n" i) (node_name "n" j));
+        union i j;
+        stitch ()
+      | None -> ()
+    end
+  in
+  stitch ();
+  Builder.build b
+
+let line ?(line_type = Line_type.T56) n =
+  if n < 2 then invalid_arg "Generators.line: n < 2";
+  let b = Builder.create () in
+  for i = 0 to n - 2 do
+    ignore (Builder.trunk b line_type (node_name "n" i) (node_name "n" (i + 1)))
+  done;
+  Builder.build b
+
+let full_mesh ?(line_type = Line_type.T56) n =
+  if n < 2 then invalid_arg "Generators.full_mesh: n < 2";
+  let b = Builder.create () in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      ignore (Builder.trunk b line_type (node_name "n" i) (node_name "n" j))
+    done
+  done;
+  Builder.build b

@@ -1,0 +1,45 @@
+(** Synthetic topology families used by tests and experiments.
+
+    [two_region] is the exact topology of the paper's Fig 1 oscillation
+    example: two well-connected regions joined by two parallel inter-region
+    links of equal bandwidth and propagation delay.  The others provide
+    parameterized meshes for property tests and scaling studies. *)
+
+val two_region :
+  ?region_size:int ->
+  ?bridge_type:Line_type.t ->
+  unit ->
+  Graph.t * (Link.id * Link.id)
+(** Two cliques-of-rings of [region_size] nodes (default 8) named ["L*"] and
+    ["R*"], joined by bridge trunks A (L0-R0) and B (L1-R1) of
+    [bridge_type] (default 56 kb/s terrestrial).  Returns the graph and the
+    forward link ids of the two bridges (left-to-right direction). *)
+
+val ring : ?line_type:Line_type.t -> int -> Graph.t
+(** A simple cycle of [n] nodes.  @raise Invalid_argument if [n < 3]. *)
+
+val ring_chord :
+  ?line_type:Line_type.t ->
+  Routing_stats.Rng.t ->
+  nodes:int ->
+  chords:int ->
+  Graph.t
+(** A ring plus [chords] random non-adjacent chords — connected by
+    construction, rich in alternate paths. *)
+
+val random_geometric :
+  ?line_type:Line_type.t ->
+  Routing_stats.Rng.t ->
+  nodes:int ->
+  radius:float ->
+  Graph.t
+(** Nodes placed uniformly in the unit square, connected when within
+    [radius]; extra edges are added to stitch any disconnected components
+    together, so the result is always connected. *)
+
+val line : ?line_type:Line_type.t -> int -> Graph.t
+(** A path graph of [n] nodes — the degenerate no-alternate-paths case.
+    @raise Invalid_argument if [n < 2]. *)
+
+val full_mesh : ?line_type:Line_type.t -> int -> Graph.t
+(** Every pair connected directly.  @raise Invalid_argument if [n < 2]. *)

@@ -1,0 +1,124 @@
+type t = {
+  names : string array;
+  link_array : Link.t array;
+  out_by_node : Link.t list array; (* in link-id order *)
+  in_by_node : Link.t list array;
+}
+
+let node_count t = Array.length t.names
+
+let link_count t = Array.length t.link_array
+
+let nodes t = List.init (node_count t) Node.of_int
+
+let links t = Array.to_list t.link_array
+
+let node_name t n = t.names.(Node.to_int n)
+
+let node_by_name t name =
+  let rec scan i =
+    if i >= Array.length t.names then None
+    else if String.equal t.names.(i) name then Some (Node.of_int i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let link t id =
+  let i = Link.id_to_int id in
+  if i < 0 || i >= link_count t then invalid_arg "Graph.link: unknown id";
+  t.link_array.(i)
+
+let out_links t n = t.out_by_node.(Node.to_int n)
+
+let in_links t n = t.in_by_node.(Node.to_int n)
+
+let find_link t ~src ~dst =
+  List.find_opt (fun (l : Link.t) -> Node.equal l.dst dst) (out_links t src)
+
+let reverse t (l : Link.t) = link t l.reverse
+
+let degree t n = List.length (out_links t n)
+
+let iter_links t f = Array.iter f t.link_array
+
+let fold_links t ~init ~f = Array.fold_left f init t.link_array
+
+let iter_nodes t f =
+  for i = 0 to node_count t - 1 do
+    f (Node.of_int i)
+  done
+
+let is_connected t =
+  let n = node_count t in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let rec visit stack count =
+      match stack with
+      | [] -> count
+      | node :: rest ->
+        let next, count =
+          List.fold_left
+            (fun (stack, count) (l : Link.t) ->
+              let d = Node.to_int l.dst in
+              if seen.(d) then (stack, count)
+              else begin
+                seen.(d) <- true;
+                (l.dst :: stack, count + 1)
+              end)
+            (rest, count) (out_links t node)
+        in
+        visit next count
+    in
+    seen.(0) <- true;
+    visit [ Node.of_int 0 ] 1 = n
+  end
+
+let average_degree t =
+  if node_count t = 0 then 0.
+  else float_of_int (link_count t) /. float_of_int (node_count t)
+
+let pp_summary ppf t =
+  let mix = Hashtbl.create 8 in
+  iter_links t (fun l ->
+      let k = l.Link.line_type in
+      Hashtbl.replace mix k (1 + Option.value ~default:0 (Hashtbl.find_opt mix k)));
+  let mix_s =
+    Line_type.all
+    |> List.filter_map (fun lt ->
+           match Hashtbl.find_opt mix lt with
+           | Some n -> Some (Printf.sprintf "%s:%d" (Line_type.name lt) (n / 2))
+           | None -> None)
+    |> String.concat " "
+  in
+  Format.fprintf ppf "%d nodes, %d trunks (avg degree %.2f) [%s]" (node_count t)
+    (link_count t / 2) (average_degree t) mix_s
+
+let make ~names ~links =
+  let n = Array.length names in
+  Array.iteri
+    (fun i (l : Link.t) ->
+      if Link.id_to_int l.id <> i then
+        invalid_arg "Graph.make: link ids must be dense and in order";
+      if Node.to_int l.src >= n || Node.to_int l.dst >= n then
+        invalid_arg "Graph.make: link endpoint out of range";
+      if Node.equal l.src l.dst then invalid_arg "Graph.make: self-loop";
+      let r = Link.id_to_int l.reverse in
+      if r < 0 || r >= Array.length links then
+        invalid_arg "Graph.make: dangling reverse pointer";
+      let rl = links.(r) in
+      if
+        (not (Node.equal rl.Link.src l.dst))
+        || not (Node.equal rl.Link.dst l.src)
+      then invalid_arg "Graph.make: reverse link endpoints inconsistent")
+    links;
+  let out_by_node = Array.make n [] in
+  let in_by_node = Array.make n [] in
+  (* Fold right so the per-node lists come out in ascending link-id order. *)
+  for i = Array.length links - 1 downto 0 do
+    let l = links.(i) in
+    let s = Node.to_int l.Link.src and d = Node.to_int l.Link.dst in
+    out_by_node.(s) <- l :: out_by_node.(s);
+    in_by_node.(d) <- l :: in_by_node.(d)
+  done;
+  { names; link_array = links; out_by_node; in_by_node }

@@ -1,0 +1,28 @@
+(** Structural diagnostics of a topology.
+
+    §5.2 rests on the ARPANET being "rich with alternate paths"; these
+    functions make that property measurable.  A {e bridge trunk} is one
+    whose failure disconnects the network — every flow crossing it is
+    captive (it can never be shed by any reported cost, which is the floor
+    in Fig 8's response map).  An {e articulation node} is a PSN whose
+    failure disconnects the network. *)
+
+val bridges : Graph.t -> Link.t list
+(** Trunks (forward link of each pair) whose removal disconnects the
+    graph.  A trunk with a parallel twin between the same PSNs is never a
+    bridge. *)
+
+val articulation_points : Graph.t -> Node.t list
+(** Nodes whose removal disconnects the remaining graph, in id order. *)
+
+val diameter_hops : Graph.t -> int
+(** Longest shortest path in hops; [max_int] if disconnected, 0 for
+    single-node graphs. *)
+
+val captive_traffic_fraction : Graph.t -> Traffic_matrix.t -> float
+(** Fraction of offered traffic whose source/destination pair is separated
+    by removing some single trunk — i.e. traffic that crosses a bridge and
+    can never be routed around it. *)
+
+val pp_report : Format.formatter -> Graph.t -> unit
+(** Bridges, articulation points, diameter and degree summary. *)

@@ -1,0 +1,67 @@
+type medium = Terrestrial | Satellite
+
+type t = T9_6 | S9_6 | T56 | S56 | T112 | S112 | T224 | T448
+
+let all = [ T9_6; S9_6; T56; S56; T112; S112; T224; T448 ]
+
+let index = function
+  | T9_6 -> 0
+  | S9_6 -> 1
+  | T56 -> 2
+  | S56 -> 3
+  | T112 -> 4
+  | S112 -> 5
+  | T224 -> 6
+  | T448 -> 7
+
+let of_index = function
+  | 0 -> T9_6
+  | 1 -> S9_6
+  | 2 -> T56
+  | 3 -> S56
+  | 4 -> T112
+  | 5 -> S112
+  | 6 -> T224
+  | 7 -> T448
+  | i -> invalid_arg (Printf.sprintf "Line_type.of_index: %d" i)
+
+let medium = function
+  | T9_6 | T56 | T112 | T224 | T448 -> Terrestrial
+  | S9_6 | S56 | S112 -> Satellite
+
+let is_satellite t = medium t = Satellite
+
+let bandwidth_bps = function
+  | T9_6 | S9_6 -> 9_600.
+  | T56 | S56 -> 56_000.
+  | T112 | S112 -> 112_000.
+  | T224 -> 224_000.
+  | T448 -> 448_000.
+
+let trunk_count = function
+  | T9_6 | S9_6 | T56 | S56 -> 1
+  | T112 | S112 -> 2
+  | T224 -> 4
+  | T448 -> 8
+
+let default_propagation_s t =
+  match medium t with Terrestrial -> 0.010 | Satellite -> 0.250
+
+let name = function
+  | T9_6 -> "9.6T"
+  | S9_6 -> "9.6S"
+  | T56 -> "56T"
+  | S56 -> "56S"
+  | T112 -> "112T"
+  | S112 -> "112S"
+  | T224 -> "224T"
+  | T448 -> "448T"
+
+let of_name s =
+  List.find_opt (fun t -> String.equal (name t) s) all
+
+let equal a b = index a = index b
+
+let compare a b = Int.compare (index a) (index b)
+
+let pp ppf t = Format.pp_print_string ppf (name t)

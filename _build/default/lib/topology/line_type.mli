@@ -1,0 +1,58 @@
+(** ARPANET line types.
+
+    §4.1 of the paper: "Each logical link between nodes is assigned a
+    line-type based on the combined bandwidth of the trunks making up the
+    link.  Up to eight different line-types are allowed."  The HNM keeps its
+    parameter tables (slope, offset, bounds, movement limits) per line type,
+    so the line type is the key piece of static link configuration.
+
+    The catalogue below covers the configurations the paper discusses —
+    9.6 kb/s and 56 kb/s, terrestrial and satellite — plus the multi-trunk
+    variants the MILNET used. *)
+
+type medium =
+  | Terrestrial
+  | Satellite  (** geosynchronous hop: ~250 ms one-way propagation *)
+
+type t =
+  | T9_6  (** 9.6 kb/s terrestrial *)
+  | S9_6  (** 9.6 kb/s satellite *)
+  | T56  (** 56 kb/s terrestrial — the ARPANET workhorse trunk *)
+  | S56  (** 56 kb/s satellite *)
+  | T112  (** dual 56 kb/s terrestrial trunks bundled into one logical link *)
+  | S112  (** dual 56 kb/s satellite trunks *)
+  | T224  (** quad 56 kb/s terrestrial trunk bundle *)
+  | T448  (** eight-trunk 56 kb/s terrestrial bundle *)
+
+val all : t list
+(** The eight line types, in declaration order. *)
+
+val index : t -> int
+(** Stable 0-based index, usable for array-backed parameter tables. *)
+
+val of_index : int -> t
+(** Inverse of {!index}.  @raise Invalid_argument when out of range. *)
+
+val medium : t -> medium
+
+val is_satellite : t -> bool
+
+val bandwidth_bps : t -> float
+(** Combined bandwidth of all trunks of the logical link, in bits/second. *)
+
+val trunk_count : t -> int
+
+val default_propagation_s : t -> float
+(** Propagation delay used when a topology does not configure one
+    explicitly: 10 ms for terrestrial lines (mid-range continental hop),
+    250 ms for satellite lines. *)
+
+val name : t -> string
+
+val of_name : string -> t option
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type id = int
+
+let id_of_int i =
+  if i < 0 then invalid_arg "Link.id_of_int: negative id";
+  i
+
+let id_to_int i = i
+
+let id_equal = Int.equal
+
+let id_compare = Int.compare
+
+let pp_id ppf i = Format.fprintf ppf "l%d" i
+
+type t = {
+  id : id;
+  src : Node.t;
+  dst : Node.t;
+  line_type : Line_type.t;
+  propagation_s : float;
+  reverse : id;
+}
+
+let capacity_bps t = Line_type.bandwidth_bps t.line_type
+
+let transmission_s t ~bits = bits /. capacity_bps t
+
+let equal a b = id_equal a.id b.id
+
+let pp ppf t =
+  Format.fprintf ppf "%a:%a->%a(%a)" pp_id t.id Node.pp t.src Node.pp t.dst
+    Line_type.pp t.line_type

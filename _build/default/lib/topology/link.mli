@@ -1,0 +1,40 @@
+(** Simplex links between PSNs.
+
+    The paper "use[s] the term link to refer to the simplex communication
+    medium between two PSNs", and link costs are reported per direction, so
+    links here are directed.  Physical trunks are bidirectional: the builder
+    always creates links in pairs and records each link's reverse. *)
+
+type id = private int
+(** Dense link identifier, assigned by the builder; index for all per-link
+    tables (costs, queues, measurement state). *)
+
+val id_of_int : int -> id
+(** @raise Invalid_argument on negative input. *)
+
+val id_to_int : id -> int
+
+val id_equal : id -> id -> bool
+
+val id_compare : id -> id -> int
+
+val pp_id : Format.formatter -> id -> unit
+
+type t = {
+  id : id;
+  src : Node.t;
+  dst : Node.t;
+  line_type : Line_type.t;
+  propagation_s : float;  (** one-way propagation delay, seconds *)
+  reverse : id;  (** the paired link carrying traffic dst -> src *)
+}
+
+val capacity_bps : t -> float
+(** Combined bandwidth of the link's trunks. *)
+
+val transmission_s : t -> bits:float -> float
+(** Time to clock [bits] onto the line. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+module Rng = Routing_stats.Rng
+
+let trunks : (string * string * Line_type.t * float option) list =
+  let open Line_type in
+  [
+    (* CONUS backbone: multi-trunk bundles in a ladder. *)
+    ("DCA1", "DCA2", T112, Some 0.001);
+    ("DCA1", "PENT", T448, Some 0.001);
+    ("PENT", "SCOTT", T224, Some 0.008);
+    ("SCOTT", "OFFUTT", T112, Some 0.005);
+    ("OFFUTT", "CHEYENNE", T112, Some 0.006);
+    ("CHEYENNE", "MCCLELLAN", T224, Some 0.012);
+    ("MCCLELLAN", "LANGLEY", T448, Some 0.028);
+    ("LANGLEY", "DCA2", T112, Some 0.002);
+    ("DCA2", "SCOTT", T112, Some 0.008);
+    (* Regional 56k rings off the backbone *)
+    ("PENT", "MEADE", T56, Some 0.001);
+    ("MEADE", "DIX", T56, Some 0.002);
+    ("DIX", "DEVENS", T56, Some 0.003);
+    ("DEVENS", "DCA1", T56, Some 0.005);
+    ("SCOTT", "LEAVENWORTH", T56, Some 0.003);
+    ("LEAVENWORTH", "SILL", T56, Some 0.004);
+    ("SILL", "BLISS", T56, Some 0.004);
+    ("BLISS", "HUACHUCA", T56, Some 0.003);
+    ("HUACHUCA", "MCCLELLAN", T56, Some 0.008);
+    ("MCCLELLAN", "ORD", T56, Some 0.002);
+    ("ORD", "LEWIS", T56, Some 0.010);
+    ("LEWIS", "CHEYENNE", T56, Some 0.011);
+    (* 9.6 tails *)
+    ("MEADE", "RITCHIE", T9_6, Some 0.001);
+    ("SILL", "POLK", T9_6, Some 0.004);
+    ("ORD", "IRWIN", T9_6, Some 0.003);
+    (* Satellite: Europe and Pacific theatres, plus a dual-trunk bundle. *)
+    ("LANGLEY", "CROUGHTON", S112, None);
+    ("DCA1", "RAMSTEIN", S56, None);
+    ("CROUGHTON", "RAMSTEIN", T56, Some 0.008);
+    ("RAMSTEIN", "VICENZA", T9_6, Some 0.008);
+    ("MCCLELLAN", "HICKAM", S56, None);
+    ("HICKAM", "CLARK", S56, None);
+    ("CLARK", "YOKOTA", T56, Some 0.030);
+    ("YOKOTA", "KOREA", S9_6, None);
+  ]
+
+let topology () =
+  let b = Builder.create () in
+  List.iter
+    (fun (a, z, lt, prop) ->
+      match prop with
+      | Some propagation_s -> ignore (Builder.trunk b ~propagation_s lt a z)
+      | None -> ignore (Builder.trunk b lt a z))
+    trunks;
+  let g = Builder.build b in
+  assert (Graph.is_connected g);
+  g
+
+let peak_traffic rng g =
+  let n = Graph.node_count g in
+  let base = Traffic_matrix.gravity rng ~nodes:n ~total_bps:500_000. in
+  let heavy a z bps =
+    match (Graph.node_by_name g a, Graph.node_by_name g z) with
+    | Some src, Some dst ->
+      Traffic_matrix.add base ~src ~dst bps;
+      Traffic_matrix.add base ~src:dst ~dst:src bps
+    | _ -> ()
+  in
+  heavy "PENT" "MCCLELLAN" 30_000.;
+  heavy "DCA1" "RAMSTEIN" 12_000.;
+  heavy "MCCLELLAN" "HICKAM" 10_000.;
+  base

@@ -1,0 +1,13 @@
+(** A MILNET-style heterogeneous-trunking topology.
+
+    §4.4: "Both the ARPANET and MILNET have heterogeneous trunking.  Both
+    use satellite and multi-trunk lines, while the MILNET also uses
+    different link bandwidths."  This smaller stand-in exercises exactly
+    that: every line type in {!Line_type.all} appears, including the
+    multi-trunk bundles, satellite hops to Europe and the Pacific, and slow
+    9.6 kb/s tails next to 448 kb/s backbone bundles. *)
+
+val topology : unit -> Graph.t
+
+val peak_traffic : Routing_stats.Rng.t -> Graph.t -> Traffic_matrix.t
+(** Gravity matrix scaled so backbone bundles run moderately hot. *)

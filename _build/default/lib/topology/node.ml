@@ -1,0 +1,15 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Node.of_int: negative id";
+  i
+
+let to_int i = i
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let hash i = i
+
+let pp ppf i = Format.fprintf ppf "n%d" i

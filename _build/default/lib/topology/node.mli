@@ -1,0 +1,20 @@
+(** PSN (packet-switching node) identifiers.
+
+    Nodes are dense small integers assigned by the graph builder, so arrays
+    indexed by node are the natural table representation throughout the
+    code base. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

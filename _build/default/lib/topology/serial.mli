@@ -1,0 +1,29 @@
+(** Plain-text scenario files: topology plus offered traffic.
+
+    A line-oriented format meant to be written by hand or dumped from a
+    built-in scenario:
+
+    {v
+    # comments and blank lines are ignored
+    trunk  MIT  BBN  56T  0.002      # endpoints, line type, [propagation s]
+    trunk  AMES HAWAII 56S           # propagation defaults by line type
+    demand MIT  ISI  6000            # src, dst, offered bits/second
+    v}
+
+    Node names are introduced by the [trunk] lines; [demand] lines must
+    refer to nodes that appeared in some trunk. *)
+
+val to_string : Graph.t -> Traffic_matrix.t option -> string
+(** Dump a topology (and optionally its traffic) in the file format,
+    trunk lines first.  Only the forward link of each trunk pair is
+    written. *)
+
+val of_string : string -> (Graph.t * Traffic_matrix.t, string) result
+(** Parse a scenario.  The traffic matrix is all-zero if there are no
+    [demand] lines.  The error string names the offending line. *)
+
+val load : string -> (Graph.t * Traffic_matrix.t, string) result
+(** Read and parse a file. *)
+
+val save : string -> Graph.t -> Traffic_matrix.t option -> unit
+(** Write a scenario file.  @raise Sys_error on I/O failure. *)

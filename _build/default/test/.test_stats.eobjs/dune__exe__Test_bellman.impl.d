@@ -1,0 +1,1 @@
+test/test_bellman.ml: Alcotest Generators Graph Link List Node Printf Routing_bellman Routing_metric Routing_sim Routing_stats Routing_topology Traffic_matrix

@@ -1,0 +1,1 @@
+test/test_equilibrium.ml: Alcotest Arpanet Array Builder Float Graph Lazy Line_type Link List Printf Routing_equilibrium Routing_metric Routing_stats Routing_topology

@@ -1,0 +1,1 @@
+test/test_flooding.ml: Alcotest Array Generators Graph Link List Node Option QCheck2 QCheck_alcotest Routing_flooding Routing_stats Routing_topology

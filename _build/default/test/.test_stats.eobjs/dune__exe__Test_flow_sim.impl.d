@@ -1,0 +1,1 @@
+test/test_flow_sim.ml: Alcotest Array Float Generators Graph Link List Node Printf QCheck2 QCheck_alcotest Routing_metric Routing_sim Routing_stats Routing_topology String Traffic_matrix

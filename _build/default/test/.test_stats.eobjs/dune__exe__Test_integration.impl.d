@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Arpanet Builder Float Generators Graph Line_type Link Node Printf Routing_metric Routing_sim Routing_stats Routing_topology String Traffic_matrix

@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Builder Float Graph Line_type Link List Printf QCheck2 QCheck_alcotest Routing_metric Routing_topology

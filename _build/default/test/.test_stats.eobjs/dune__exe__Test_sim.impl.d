@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arpanet Builder Float Generators Graph Line_type Link List Node Option Printf Routing_metric Routing_sim Routing_stats Routing_topology String Traffic_matrix

@@ -1,0 +1,1 @@
+test/test_spf.ml: Alcotest Array Builder Generators Graph Int Line_type Link List Node Option Printf QCheck2 QCheck_alcotest Routing_bellman Routing_spf Routing_stats Routing_topology

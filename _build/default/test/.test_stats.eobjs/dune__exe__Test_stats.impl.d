@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Astring Float Fun Int List QCheck2 QCheck_alcotest Routing_stats String

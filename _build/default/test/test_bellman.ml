@@ -1,0 +1,153 @@
+(* Tests for the 1969 distributed Bellman-Ford substrate (§2.1). *)
+
+open Routing_topology
+module Bf = Routing_bellman.Bellman_ford
+module Legacy = Routing_metric.Legacy
+module Rng = Routing_stats.Rng
+
+let line4 () = Generators.line 4
+
+let test_propagates_one_hop_per_round () =
+  let g = line4 () in
+  let bf = Bf.create g in
+  let n = Node.of_int in
+  Alcotest.(check (option int)) "self known" (Some 0) (Bf.distance bf ~from:(n 0) (n 0));
+  Alcotest.(check (option int)) "far node unknown" None
+    (Bf.distance bf ~from:(n 0) (n 3));
+  Bf.round bf ~link_cost:(fun _ -> 5);
+  Alcotest.(check (option int)) "neighbor after 1 round" (Some 5)
+    (Bf.distance bf ~from:(n 0) (n 1));
+  Alcotest.(check (option int)) "still unknown at distance 3" None
+    (Bf.distance bf ~from:(n 0) (n 3));
+  Bf.round bf ~link_cost:(fun _ -> 5);
+  Bf.round bf ~link_cost:(fun _ -> 5);
+  Alcotest.(check (option int)) "full path after 3 rounds" (Some 15)
+    (Bf.distance bf ~from:(n 0) (n 3))
+
+let test_converges_and_detects () =
+  let g = Generators.ring 6 in
+  let bf = Bf.create g in
+  match Bf.rounds_to_converge bf ~link_cost:(fun _ -> 3) ~max_rounds:20 with
+  | Some rounds ->
+    Alcotest.(check bool) "within diameter rounds" true (rounds <= 4);
+    Alcotest.(check bool) "converged predicate agrees" true
+      (Bf.converged bf ~link_cost:(fun _ -> 3))
+  | None -> Alcotest.fail "should converge"
+
+let test_loop_free_when_converged () =
+  let rng = Rng.create 99 in
+  let g = Generators.ring_chord rng ~nodes:12 ~chords:6 in
+  let bf = Bf.create g in
+  (match Bf.rounds_to_converge bf ~link_cost:(fun _ -> 2) ~max_rounds:40 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no convergence");
+  Alcotest.(check (list (pair (of_pp Node.pp) (of_pp Node.pp))))
+    "no loops at rest" [] (Bf.forwarding_loops bf)
+
+(* The §2.1 pathology: a volatile instantaneous metric makes distributed
+   Bellman-Ford form forwarding loops between exchanges. *)
+let test_volatile_metric_forms_loops () =
+  let rng = Rng.create 4 in
+  let g = Generators.ring_chord rng ~nodes:14 ~chords:8 in
+  let bf = Bf.create g in
+  (* Settle on some initial queue state first. *)
+  let q0 = fun _ -> 4 in
+  ignore (Bf.rounds_to_converge bf ~link_cost:q0 ~max_rounds:40);
+  (* Now the queues jump around wildly between rounds, as instantaneous
+     samples do (§2.1): count loops seen across the next exchanges. *)
+  let loops_seen = ref 0 in
+  for round = 1 to 30 do
+    let volatile lid =
+      let x = (round * 7919) + (13 * Link.id_to_int lid) in
+      Legacy.cost_of_queue ~queue_length:(x * x mod 97)
+    in
+    Bf.round bf ~link_cost:volatile;
+    loops_seen := !loops_seen + List.length (Bf.forwarding_loops bf)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "volatile metric produced loops (%d)" !loops_seen)
+    true (!loops_seen > 0)
+
+(* --- Bellman_sim: the 1969 generation end-to-end --- *)
+
+module Bf_sim = Routing_bellman.Bellman_sim
+module Flow_sim = Routing_sim.Flow_sim
+module Metric = Routing_metric.Metric
+
+let gen0_scenario () =
+  let rng = Rng.create 31 in
+  let g = Generators.ring_chord rng ~nodes:16 ~chords:10 in
+  let tm =
+    Traffic_matrix.gravity (Rng.create 32) ~nodes:(Graph.node_count g)
+      ~total_bps:250_000.
+  in
+  (g, tm)
+
+let test_bellman_sim_delivers_at_light_load () =
+  let rng = Rng.create 41 in
+  let g = Generators.ring_chord rng ~nodes:10 ~chords:6 in
+  let tm = Traffic_matrix.uniform ~nodes:10 ~pair_bps:200. in
+  let sim = Bf_sim.create ~seed:5 g tm in
+  let stats = Bf_sim.run sim ~periods:10 in
+  let last = List.nth stats 9 in
+  Alcotest.(check bool) "most traffic delivered" true
+    (last.Bf_sim.delivered_bps > 0.9 *. last.Bf_sim.offered_bps);
+  Alcotest.(check bool) "delay positive" true (last.Bf_sim.mean_delay_s > 0.)
+
+let test_bellman_sim_loops_under_load () =
+  (* §2.1: the volatile instantaneous metric forms loops; under load the
+     queues (and thus samples) are large and noisy, so loops show up
+     within a few periods. *)
+  let g, tm = gen0_scenario () in
+  let sim = Bf_sim.create ~seed:5 g tm in
+  let stats = Bf_sim.run sim ~periods:20 in
+  let loop_periods =
+    List.length (List.filter (fun s -> s.Bf_sim.looping_pairs > 0) stats)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "loops observed (%d/20 periods)" loop_periods)
+    true (loop_periods > 0)
+
+let test_bellman_sim_worse_than_spf () =
+  (* "The performance of D-SPF was far superior to that of the
+     Bellman-Ford algorithm" (§3.3) — at equal offered load the 1969
+     scheme delivers less than even D-SPF here. *)
+  let g, tm = gen0_scenario () in
+  let bf = Bf_sim.create ~seed:5 g tm in
+  let bf_stats = Bf_sim.run bf ~periods:20 in
+  let bf_delivered =
+    List.fold_left (fun acc s -> acc +. s.Bf_sim.delivered_bps) 0.
+      (List.filteri (fun i _ -> i >= 5) bf_stats)
+    /. 15.
+  in
+  let spf = Flow_sim.create g Metric.Hn_spf tm in
+  ignore (Flow_sim.run spf ~periods:20);
+  let spf_delivered =
+    (Flow_sim.indicators spf ~skip:5 ()).Routing_sim.Measure.internode_traffic_bps
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "HN-SPF delivers more (%.0f vs %.0f bps)" spf_delivered
+       bf_delivered)
+    true
+    (spf_delivered > bf_delivered)
+
+let test_exchange_interval () =
+  Alcotest.(check (float 1e-9)) "2/3 second" (2. /. 3.) Bf.exchange_interval_s
+
+let () =
+  Alcotest.run "routing_bellman"
+    [ ( "bellman_ford",
+        [ Alcotest.test_case "one hop per round" `Quick
+            test_propagates_one_hop_per_round;
+          Alcotest.test_case "converges" `Quick test_converges_and_detects;
+          Alcotest.test_case "loop free at rest" `Quick test_loop_free_when_converged;
+          Alcotest.test_case "volatile metric loops (§2.1)" `Quick
+            test_volatile_metric_forms_loops;
+          Alcotest.test_case "exchange interval" `Quick test_exchange_interval ] );
+      ( "bellman_sim",
+        [ Alcotest.test_case "light load delivers" `Quick
+            test_bellman_sim_delivers_at_light_load;
+          Alcotest.test_case "loops under load (§2.1)" `Quick
+            test_bellman_sim_loops_under_load;
+          Alcotest.test_case "worse than SPF (§3.3)" `Quick
+            test_bellman_sim_worse_than_spf ] ) ]

@@ -1,0 +1,387 @@
+(* Tests for the §5 analysis library: metric maps, the network response
+   map, equilibrium fixed points and cobweb dynamics. *)
+
+open Routing_topology
+module Metric_map = Routing_equilibrium.Metric_map
+module Response_map = Routing_equilibrium.Response_map
+module Fixed_point = Routing_equilibrium.Fixed_point
+module Cobweb = Routing_equilibrium.Cobweb
+module Metric = Routing_metric.Metric
+module Rng = Routing_stats.Rng
+
+(* Shared fixtures: the ARPANET and its response map are expensive enough
+   to build once. *)
+let arpanet = lazy (Arpanet.topology ())
+
+let traffic =
+  lazy (Arpanet.peak_traffic (Rng.create 7) (Lazy.force arpanet))
+
+let response =
+  lazy (Response_map.compute (Lazy.force arpanet) (Lazy.force traffic))
+
+let probe () = Arpanet.representative_link (Lazy.force arpanet)
+
+(* --- Metric maps (Figs 4, 5) --- *)
+
+let test_curves_monotone () =
+  List.iter
+    (fun kind ->
+      let curve = Metric_map.curve kind (probe ()) ~samples:50 in
+      Array.iteri
+        (fun i (_, c) ->
+          if i > 0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s nondecreasing" (Metric.kind_name kind))
+              true
+              (c >= snd curve.(i - 1)))
+        curve)
+    [ Metric.Min_hop; Metric.D_spf; Metric.Hn_spf ]
+
+let test_normalization_starts_at_one () =
+  List.iter
+    (fun kind ->
+      let _, v0 = (Metric_map.normalized kind (probe ()) ~samples:10).(0) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "%s idle = 1 hop" (Metric.kind_name kind))
+        1. v0)
+    [ Metric.Min_hop; Metric.D_spf; Metric.Hn_spf ]
+
+let test_fig4_shapes () =
+  let p = probe () in
+  (* HN-SPF tops out at 3x idle; D-SPF is far steeper at high load. *)
+  let hn_hi = Metric_map.cost_in_hops Metric.Hn_spf p ~utilization:0.99 in
+  let d_hi = Metric_map.cost_in_hops Metric.D_spf p ~utilization:0.99 in
+  Alcotest.(check bool) "hn-spf capped at ~3 hops" true (hn_hi <= 3.01);
+  Alcotest.(check bool)
+    (Printf.sprintf "d-spf much steeper (%.1f hops)" d_hi)
+    true (d_hi > 10.);
+  (* And flat vs rising at 50%: HN-SPF still 1 hop, D-SPF already moving. *)
+  Alcotest.(check (float 1e-9)) "hn-spf flat at 0.45" 1.
+    (Metric_map.cost_in_hops Metric.Hn_spf p ~utilization:0.45)
+
+let test_fig5_satellite_ordering () =
+  let b = Builder.create () in
+  let _ = Builder.trunk b Line_type.T56 ~propagation_s:0.002 "A" "B" in
+  let _ = Builder.trunk b Line_type.S56 "A" "C" in
+  let g = Builder.build b in
+  let terr = Graph.link g (Link.id_of_int 0) in
+  let sat = Graph.link g (Link.id_of_int 2) in
+  let c u l = Metric.equilibrium_cost Metric.Hn_spf l ~utilization:u in
+  Alcotest.(check bool) "idle: terrestrial favored" true (c 0. terr < c 0. sat);
+  Alcotest.(check int) "saturated: equal" (c 0.99 terr) (c 0.99 sat)
+
+(* --- Response map (Figs 7, 8) --- *)
+
+let test_shed_statistics_shape () =
+  let stats =
+    Response_map.shed_statistics (Lazy.force arpanet) (Lazy.force traffic)
+  in
+  Alcotest.(check bool) "covers short and long routes" true
+    (List.length stats >= 8);
+  (* Fig 7's message: longer routes have alternates only slightly longer,
+     so their shed cost falls with route length. *)
+  let short = List.hd stats in
+  let long = List.nth stats (List.length stats - 1) in
+  Alcotest.(check bool) "short routes cling harder" true
+    (short.Response_map.mean_shed_hops > 2. *. long.Response_map.mean_shed_hops);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "mean within min/max" true
+        (s.Response_map.mean_shed_hops >= s.Response_map.min_shed_hops
+        && s.Response_map.mean_shed_hops <= s.Response_map.max_shed_hops);
+      Alcotest.(check bool) "at least one route" true (s.Response_map.routes > 0))
+    stats
+
+let test_response_map_monotone_decreasing () =
+  let rm = Lazy.force response in
+  let pts = Response_map.points rm in
+  Array.iteri
+    (fun i (_, y) ->
+      if i > 0 then
+        Alcotest.(check bool) "traffic falls as cost rises" true
+          (y <= snd pts.(i - 1) +. 1e-9))
+    pts
+
+let test_response_map_normalized_at_one_hop () =
+  let rm = Lazy.force response in
+  Alcotest.(check (float 1e-6)) "1 at one hop" 1. (Response_map.traffic_at rm 1.)
+
+let test_response_map_epsilon_problem () =
+  (* §5.2: "a very small change in the reported cost can cause large
+     changes in traffic" — the drop from x=0.5 to x=1.5 is large. *)
+  let rm = Lazy.force response in
+  let hi = Response_map.traffic_at rm 0.5 in
+  let lo = Response_map.traffic_at rm 1.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "epsilon problem visible (%.2f -> %.2f)" hi lo)
+    true
+    (hi -. lo > 0.4);
+  (* "If the link reports a cost of 4, then over 90% of its base traffic
+     will be shed" — allow some slack for our synthesized topology. *)
+  Alcotest.(check bool) "cost 4 sheds most traffic" true
+    (Response_map.traffic_at rm 4. < 0.3)
+
+let test_response_map_interpolation () =
+  let rm = Lazy.force response in
+  let a = Response_map.traffic_at rm 2.5 in
+  let b = Response_map.traffic_at rm 3.5 in
+  let mid = Response_map.traffic_at rm 3.0 in
+  Alcotest.(check (float 1e-9)) "linear between points" ((a +. b) /. 2.) mid;
+  (* Clamped at the ends. *)
+  Alcotest.(check (float 1e-9)) "left clamp"
+    (Response_map.traffic_at rm 0.5)
+    (Response_map.traffic_at rm 0.01);
+  Alcotest.(check (float 1e-9)) "right clamp"
+    (Response_map.traffic_at rm 9.5)
+    (Response_map.traffic_at rm 50.)
+
+let test_base_utilization () =
+  let g = Lazy.force arpanet and tm = Lazy.force traffic in
+  let rm = Lazy.force response in
+  let u = Response_map.base_utilization rm g tm (probe ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "plausible min-hop load (%.2f)" u)
+    true
+    (u > 0. && u < 2.)
+
+(* --- Fixed points (Figs 9, 10) --- *)
+
+let test_equilibrium_is_fixed () =
+  let rm = Lazy.force response in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun load ->
+          let e = Fixed_point.equilibrium kind (probe ()) rm ~offered_load:load in
+          let u = load *. Response_map.traffic_at rm e.Fixed_point.cost_hops in
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "%s at load %.2f: utilization consistent"
+               (Metric.kind_name kind) load)
+            e.Fixed_point.utilization u;
+          (* The metric map evaluated at the equilibrium utilization gives
+             back (nearly) the equilibrium cost: the defining property.
+             Integer costs make the map a stair function, so allow one
+             stair step of slack. *)
+          let back =
+            Metric_map.cost_in_hops kind (probe ())
+              ~utilization:(Float.min u 0.99)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at load %.2f: cost self-consistent (%.2f vs %.2f)"
+               (Metric.kind_name kind) load e.Fixed_point.cost_hops back)
+            true
+            (Float.abs (back -. e.Fixed_point.cost_hops) < 0.6))
+        [ 0.5; 1.0; 2.0 ])
+    [ Metric.D_spf; Metric.Hn_spf ]
+
+let test_minhop_equilibrium () =
+  let rm = Lazy.force response in
+  let e = Fixed_point.equilibrium Metric.Min_hop (probe ()) rm ~offered_load:2. in
+  Alcotest.(check (float 1e-9)) "cost pinned at one hop" 1. e.Fixed_point.cost_hops;
+  Alcotest.(check (float 1e-9)) "oversubscribed" 2. e.Fixed_point.utilization;
+  Alcotest.(check (float 1e-9)) "carries capacity" 1. e.Fixed_point.carried
+
+let test_fig10_ordering () =
+  let rm = Lazy.force response in
+  let carried kind load =
+    (Fixed_point.equilibrium kind (probe ()) rm ~offered_load:load)
+      .Fixed_point.carried
+  in
+  (* Light load: all three behave alike (§3.1). *)
+  List.iter
+    (fun load ->
+      Alcotest.(check (float 0.02)) "light: hn = minhop"
+        (carried Metric.Min_hop load) (carried Metric.Hn_spf load);
+      Alcotest.(check (float 0.02)) "light: dspf = minhop"
+        (carried Metric.Min_hop load) (carried Metric.D_spf load))
+    [ 0.2; 0.4 ];
+  (* Overload: min-hop >= HN-SPF >= D-SPF, strictly above at the top end
+     ("HN-SPF ... maintains higher link utilizations than D-SPF"). *)
+  List.iter
+    (fun load ->
+      let mh = carried Metric.Min_hop load in
+      let hn = carried Metric.Hn_spf load in
+      let d = carried Metric.D_spf load in
+      Alcotest.(check bool)
+        (Printf.sprintf "ordering at load %.1f (mh %.2f hn %.2f d %.2f)" load mh
+           hn d)
+        true
+        (mh >= hn -. 1e-9 && hn > d))
+    [ 1.5; 2.0; 3.0; 4.0 ]
+
+let test_equilibrium_curve () =
+  let rm = Lazy.force response in
+  let curve =
+    Fixed_point.equilibrium_curve Metric.Hn_spf (probe ()) rm
+      ~loads:[ 0.5; 1.0; 1.5 ]
+  in
+  Alcotest.(check int) "one point per load" 3 (List.length curve);
+  List.iter
+    (fun (load, e) ->
+      Alcotest.(check bool) "carried <= min(load, 1)" true
+        (e.Fixed_point.carried <= Fixed_point.ideal_carried load +. 1e-9))
+    curve
+
+(* --- Stability / loop gain (§5's control-theory claim) --- *)
+
+module Stability = Routing_equilibrium.Stability
+
+let test_gain_light_load_both_stable () =
+  let rm = Lazy.force response in
+  List.iter
+    (fun kind ->
+      let r = Stability.analyze kind (probe ()) rm ~offered_load:0.4 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s stable at light load" (Metric.kind_name kind))
+        true r.Stability.stable)
+    [ Metric.Min_hop; Metric.D_spf; Metric.Hn_spf ]
+
+let test_gain_dspf_unstable_under_load () =
+  let rm = Lazy.force response in
+  List.iter
+    (fun load ->
+      let r = Stability.analyze Metric.D_spf (probe ()) rm ~offered_load:load in
+      Alcotest.(check bool)
+        (Printf.sprintf "D-SPF unstable at %.1f (|eig| %.2f)" load
+           r.Stability.effective_gain)
+        false r.Stability.stable)
+    [ 1.0; 1.5; 2.0; 3.0 ]
+
+let test_gain_hnspf_stable_everywhere () =
+  let rm = Lazy.force response in
+  List.iter
+    (fun load ->
+      let r = Stability.analyze Metric.Hn_spf (probe ()) rm ~offered_load:load in
+      Alcotest.(check bool)
+        (Printf.sprintf "HN-SPF stable at %.1f (|eig| %.2f)" load
+           r.Stability.effective_gain)
+        true r.Stability.stable)
+    [ 0.3; 0.7; 1.0; 1.5; 2.0; 3.0 ]
+
+let test_gain_sign_and_filter_algebra () =
+  let rm = Lazy.force response in
+  let r = Stability.analyze Metric.Hn_spf (probe ()) rm ~offered_load:1.0 in
+  Alcotest.(check bool) "raw gain negative (more cost sheds traffic)" true
+    (r.Stability.raw_gain < 0.);
+  Alcotest.(check (float 1e-9)) "eigenvalue = |0.5 + 0.5 g|"
+    (Float.abs (0.5 +. (0.5 *. r.Stability.raw_gain)))
+    r.Stability.effective_gain;
+  (* Consistency with the cobweb simulation: the analysis says stable, the
+     trace converges (already asserted in the cobweb group). *)
+  Alcotest.(check bool) "equilibrium utilization sensible" true
+    (r.Stability.equilibrium_utilization > 0.3
+    && r.Stability.equilibrium_utilization < 1.0)
+
+let test_gain_minhop_zero () =
+  let rm = Lazy.force response in
+  let r = Stability.analyze Metric.Min_hop (probe ()) rm ~offered_load:2.0 in
+  Alcotest.(check (float 0.)) "static metric has zero gain" 0.
+    r.Stability.effective_gain
+
+(* --- Cobweb dynamics (Figs 11, 12) --- *)
+
+let test_dspf_unbounded_oscillation () =
+  let rm = Lazy.force response in
+  let trace =
+    Cobweb.trace Metric.D_spf (probe ()) rm ~offered_load:1.0
+      ~start:Cobweb.From_idle ~periods:30
+  in
+  let amplitude = Cobweb.tail_amplitude trace ~last:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "full-range swings (%.1f hops)" amplitude)
+    true (amplitude > 10.);
+  Alcotest.(check bool) "not converged" false
+    (Cobweb.converged trace ~last:10 ~tolerance_hops:1.)
+
+let test_hnspf_bounded () =
+  let rm = Lazy.force response in
+  let trace =
+    Cobweb.trace Metric.Hn_spf (probe ()) rm ~offered_load:1.0
+      ~start:Cobweb.From_idle ~periods:30
+  in
+  let amplitude = Cobweb.tail_amplitude trace ~last:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded by the half-hop limit (%.2f hops)" amplitude)
+    true
+    (amplitude <= 16. /. 30. +. 1e-9);
+  Alcotest.(check bool) "converged within tolerance" true
+    (Cobweb.converged trace ~last:10 ~tolerance_hops:1.)
+
+let test_hnspf_easing_monotone_entry () =
+  let rm = Lazy.force response in
+  let trace =
+    Cobweb.trace Metric.Hn_spf (probe ()) rm ~offered_load:1.0
+      ~start:Cobweb.From_max ~periods:30
+  in
+  (match trace with
+  | p0 :: p1 :: _ ->
+    Alcotest.(check (float 1e-9)) "starts at ceiling" 3. p0.Cobweb.cost_hops;
+    Alcotest.(check bool) "walks down" true
+      (p1.Cobweb.cost_hops < p0.Cobweb.cost_hops)
+  | _ -> Alcotest.fail "trace too short");
+  (* Ends in the same bounded regime as the from-idle run. *)
+  Alcotest.(check bool) "settles" true
+    (Cobweb.converged trace ~last:8 ~tolerance_hops:1.)
+
+let test_minhop_trace_is_flat () =
+  let rm = Lazy.force response in
+  let trace =
+    Cobweb.trace Metric.Min_hop (probe ()) rm ~offered_load:2.0
+      ~start:Cobweb.From_idle ~periods:10
+  in
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "always one hop" 1. p.Cobweb.cost_hops)
+    trace
+
+let test_cobweb_rejects_hnspf_from_cost () =
+  let rm = Lazy.force response in
+  Alcotest.(check bool) "From_cost invalid for HN-SPF" true
+    (try
+       ignore
+         (Cobweb.trace Metric.Hn_spf (probe ()) rm ~offered_load:1.
+            ~start:(Cobweb.From_cost 42) ~periods:5);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "routing_equilibrium"
+    [ ( "metric_map",
+        [ Alcotest.test_case "monotone" `Quick test_curves_monotone;
+          Alcotest.test_case "normalized at idle" `Quick
+            test_normalization_starts_at_one;
+          Alcotest.test_case "fig 4 shapes" `Quick test_fig4_shapes;
+          Alcotest.test_case "fig 5 satellite" `Quick test_fig5_satellite_ordering ]
+      );
+      ( "response_map",
+        [ Alcotest.test_case "fig 7 shed stats" `Quick test_shed_statistics_shape;
+          Alcotest.test_case "monotone decreasing" `Quick
+            test_response_map_monotone_decreasing;
+          Alcotest.test_case "normalized" `Quick
+            test_response_map_normalized_at_one_hop;
+          Alcotest.test_case "epsilon problem" `Quick
+            test_response_map_epsilon_problem;
+          Alcotest.test_case "interpolation" `Quick test_response_map_interpolation;
+          Alcotest.test_case "base utilization" `Quick test_base_utilization ] );
+      ( "fixed_point",
+        [ Alcotest.test_case "fixed point property" `Quick test_equilibrium_is_fixed;
+          Alcotest.test_case "min-hop" `Quick test_minhop_equilibrium;
+          Alcotest.test_case "fig 10 ordering" `Quick test_fig10_ordering;
+          Alcotest.test_case "curve" `Quick test_equilibrium_curve ] );
+      ( "stability",
+        [ Alcotest.test_case "light load stable" `Quick
+            test_gain_light_load_both_stable;
+          Alcotest.test_case "d-spf unstable under load" `Quick
+            test_gain_dspf_unstable_under_load;
+          Alcotest.test_case "hn-spf stable everywhere" `Quick
+            test_gain_hnspf_stable_everywhere;
+          Alcotest.test_case "filter algebra" `Quick
+            test_gain_sign_and_filter_algebra;
+          Alcotest.test_case "min-hop zero" `Quick test_gain_minhop_zero ] );
+      ( "cobweb",
+        [ Alcotest.test_case "fig 11 d-spf unstable" `Quick
+            test_dspf_unbounded_oscillation;
+          Alcotest.test_case "fig 12 hn-spf bounded" `Quick test_hnspf_bounded;
+          Alcotest.test_case "fig 12 easing" `Quick test_hnspf_easing_monotone_entry;
+          Alcotest.test_case "min-hop flat" `Quick test_minhop_trace_is_flat;
+          Alcotest.test_case "from_cost rejected" `Quick
+            test_cobweb_rejects_hnspf_from_cost ] ) ]

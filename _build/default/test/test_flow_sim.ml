@@ -1,0 +1,314 @@
+(* Behavioural tests for the period-driven flow simulator — the paper's
+   control loop at 10-second resolution. *)
+
+open Routing_topology
+module Flow_sim = Routing_sim.Flow_sim
+module Measure = Routing_sim.Measure
+module Metric = Routing_metric.Metric
+module Rng = Routing_stats.Rng
+
+(* The Fig 1 scenario: two regions, two equal bridges, heavy inter-region
+   load (~74% of combined bridge capacity). *)
+let two_region_setup () =
+  let g, (a, b) = Generators.two_region () in
+  let tm = Traffic_matrix.create ~nodes:(Graph.node_count g) in
+  Graph.iter_nodes g (fun src ->
+      Graph.iter_nodes g (fun dst ->
+          let sn = Graph.node_name g src and dn = Graph.node_name g dst in
+          if sn.[0] = 'L' && dn.[0] = 'R' then
+            Traffic_matrix.set tm ~src ~dst 1300.));
+  (g, tm, a, b)
+
+let bridge_utils sim a b periods =
+  List.init periods (fun _ ->
+      ignore (Flow_sim.step sim);
+      (Flow_sim.link_utilization sim a, Flow_sim.link_utilization sim b))
+
+let test_dspf_oscillates () =
+  let g, tm, a, b = two_region_setup () in
+  let sim = Flow_sim.create g Metric.D_spf tm in
+  let utils = bridge_utils sim a b 20 in
+  let tail = List.filteri (fun i _ -> i >= 10) utils in
+  (* §3.3: links A and B alternate instead of cooperating — each period one
+     bridge carries (essentially) everything and the other nothing. *)
+  let full_swings =
+    List.length
+      (List.filter (fun (ua, ub) -> Float.min ua ub < 0.05 && Float.max ua ub > 1.2)
+         tail)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "most periods fully one-sided (%d/10)" full_swings)
+    true (full_swings >= 8);
+  (* And the sides alternate. *)
+  let sides = List.map (fun (ua, ub) -> ua > ub) tail in
+  let alternations =
+    let rec count = function
+      | x :: (y :: _ as rest) -> (if x <> y then 1 else 0) + count rest
+      | _ -> 0
+    in
+    count sides
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sides alternate (%d/9)" alternations)
+    true (alternations >= 8)
+
+let test_hnspf_shares_load () =
+  let g, tm, a, b = two_region_setup () in
+  let sim = Flow_sim.create g Metric.Hn_spf tm in
+  let utils = bridge_utils sim a b 20 in
+  let tail = List.filteri (fun i _ -> i >= 10) utils in
+  List.iter
+    (fun (ua, ub) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "both bridges carry traffic (%.2f/%.2f)" ua ub)
+        true
+        (ua > 0.2 && ub > 0.2 && ua < 1.0 && ub < 1.0))
+    tail
+
+let test_hnspf_carries_more_than_dspf () =
+  let g, tm, a, b = two_region_setup () in
+  let carried kind =
+    let sim = Flow_sim.create g kind tm in
+    ignore (bridge_utils sim a b 20);
+    (Flow_sim.indicators sim ~skip:5 ()).Measure.internode_traffic_bps
+  in
+  let d = carried Metric.D_spf and h = carried Metric.Hn_spf in
+  Alcotest.(check bool)
+    (Printf.sprintf "HN-SPF delivers more (%.0f vs %.0f bps)" h d)
+    true
+    (h > 1.2 *. d)
+
+let test_deterministic () =
+  let g, tm, a, b = two_region_setup () in
+  let run () =
+    let sim = Flow_sim.create g Metric.D_spf tm in
+    bridge_utils sim a b 12
+  in
+  Alcotest.(check bool) "bitwise repeatable" true (run () = run ())
+
+let test_light_load_all_equal () =
+  (* Under light loading "routing tends to be fairly independent of
+     traffic conditions" (§3.1): all three metrics deliver everything with
+     no drops. *)
+  let g, (_, _) = Generators.two_region () in
+  let tm = Traffic_matrix.create ~nodes:(Graph.node_count g) in
+  Graph.iter_nodes g (fun src ->
+      Graph.iter_nodes g (fun dst ->
+          if not (Node.equal src dst) then Traffic_matrix.set tm ~src ~dst 100.));
+  List.iter
+    (fun kind ->
+      let sim = Flow_sim.create g kind tm in
+      ignore (Flow_sim.run sim ~periods:12);
+      let i = Flow_sim.indicators sim ~skip:2 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s no drops at light load" (Metric.kind_name kind))
+        true
+        (i.Measure.dropped_per_s < 0.001);
+      Alcotest.(check bool) "everything delivered" true
+        (i.Measure.internode_traffic_bps > 0.999 *. Traffic_matrix.total_bps tm))
+    [ Metric.Min_hop; Metric.D_spf; Metric.Hn_spf ]
+
+let test_switch_metric_mid_run () =
+  let g, tm, a, b = two_region_setup () in
+  let sim = Flow_sim.create g Metric.D_spf tm in
+  ignore (bridge_utils sim a b 15);
+  let before = Flow_sim.indicators sim ~skip:5 () in
+  Flow_sim.switch_metric sim Metric.Hn_spf;
+  ignore (bridge_utils sim a b 15);
+  let after = Flow_sim.indicators sim ~skip:20 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "installing the HNM cuts drops (%.1f -> %.1f)"
+       before.Measure.dropped_per_s after.Measure.dropped_per_s)
+    true
+    (after.Measure.dropped_per_s < 0.5 *. before.Measure.dropped_per_s)
+
+let test_link_failure_and_revival () =
+  let g, tm, a, b = two_region_setup () in
+  let sim = Flow_sim.create g Metric.Hn_spf tm in
+  ignore (Flow_sim.run sim ~periods:10);
+  (* Kill bridge A both ways: everything must pile onto B. *)
+  let la = Graph.link g a in
+  Flow_sim.set_link_up sim a false;
+  Flow_sim.set_link_up sim (Graph.reverse g la).Link.id false;
+  ignore (Flow_sim.run sim ~periods:5);
+  Alcotest.(check (float 0.)) "A carries nothing" 0. (Flow_sim.link_utilization sim a);
+  Alcotest.(check bool) "B oversubscribed" true
+    (Flow_sim.link_utilization sim b > 1.2);
+  (* Revive A: HN-SPF eases it in from its maximum cost, so traffic
+     returns gradually rather than all at once (§5.4). *)
+  Flow_sim.set_link_up sim a true;
+  Flow_sim.set_link_up sim (Graph.reverse g la).Link.id true;
+  Alcotest.(check int) "revived at ceiling" 90 (Flow_sim.link_cost sim a);
+  (* Even at its ceiling the revived bridge keeps the routes whose only
+     alternate is 2+ hops longer — HN-SPF never repels traffic further
+     than two extra hops (§4.2) — and as the cost walks down, balanced
+     sharing is restored. *)
+  let utils = bridge_utils sim a b 10 in
+  let ua9, ub9 = List.nth utils 9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sharing restored (%.2f/%.2f)" ua9 ub9)
+    true
+    (ua9 > 0.3 && ub9 > 0.3 && ua9 < 1.0 && ub9 < 1.0)
+
+let test_adaptive_sources_relieve_overload () =
+  let g, tm, a, b = two_region_setup () in
+  (* 1.38x: ~103% of combined bridge capacity. *)
+  let tm = Traffic_matrix.scale tm 1.38 in
+  let sim = Flow_sim.create g Metric.D_spf tm in
+  Flow_sim.set_adaptive_sources sim true;
+  ignore (bridge_utils sim a b 40);
+  let i = Flow_sim.indicators sim ~skip:25 () in
+  (* Sources settle near what the bridges can carry, with small residual
+     loss - instead of the 40%+ loss of open-loop D-SPF overload. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "losses small once throttled (%.1f pkt/s)"
+       i.Measure.dropped_per_s)
+    true
+    (i.Measure.dropped_per_s < 30.);
+  Alcotest.(check bool)
+    (Printf.sprintf "still using most of the capacity (%.0f bps)"
+       i.Measure.internode_traffic_bps)
+    true
+    (i.Measure.internode_traffic_bps > 55_000.);
+  (* Turning adaptation off restores the full offered load. *)
+  Flow_sim.set_adaptive_sources sim false;
+  let s = Flow_sim.step sim in
+  Alcotest.(check bool) "throttles cleared" true
+    (s.Flow_sim.offered_bps > 0.99 *. Traffic_matrix.total_bps tm)
+
+(* Conservation: every period, offered = delivered + dropped exactly
+   (the flow model has no in-flight storage between periods). *)
+let prop_flow_conservation =
+  QCheck2.Test.make ~name:"offered = delivered + dropped every period" ~count:25
+    QCheck2.Gen.(pair (int_range 0 5_000) (float_range 0.2 2.5))
+    (fun (seed, scale) ->
+      let g = Generators.ring_chord (Rng.create seed) ~nodes:12 ~chords:6 in
+      let tm =
+        Traffic_matrix.scale
+          (Traffic_matrix.gravity (Rng.create (seed + 9)) ~nodes:12
+             ~total_bps:200_000.)
+          scale
+      in
+      let sim = Flow_sim.create g Metric.Hn_spf tm in
+      List.for_all
+        (fun s ->
+          Float.abs
+            (s.Flow_sim.offered_bps -. s.Flow_sim.delivered_bps
+           -. s.Flow_sim.dropped_bps)
+          < 1e-6 *. Float.max 1. s.Flow_sim.offered_bps)
+        (Flow_sim.run sim ~periods:15))
+
+(* Chaos: random link flaps must never wedge the control loop.  Whatever
+   the failure sequence, costs stay within the metric's bounds, nothing
+   raises, and traffic flows whenever the graph is connected. *)
+let prop_survives_random_link_flaps =
+  QCheck2.Test.make ~name:"survives arbitrary link flap sequences" ~count:25
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Generators.ring_chord (Rng.create (seed + 1)) ~nodes:10 ~chords:5 in
+      let tm =
+        Traffic_matrix.gravity (Rng.create (seed + 2))
+          ~nodes:(Graph.node_count g) ~total_bps:150_000.
+      in
+      let sim = Flow_sim.create g Metric.Hn_spf tm in
+      let nl = Graph.link_count g in
+      let down = Array.make nl false in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        (* Flip a random trunk (both directions together half the time). *)
+        let l = Rng.int rng nl in
+        let link = Graph.link g (Link.id_of_int l) in
+        let flip i =
+          down.(i) <- not down.(i);
+          Flow_sim.set_link_up sim (Link.id_of_int i) (not down.(i))
+        in
+        flip l;
+        if Rng.bool rng then flip (Link.id_to_int link.Link.reverse);
+        let stats = Flow_sim.step sim in
+        (* Cost bounds hold for every up link. *)
+        Graph.iter_links g (fun (lk : Link.t) ->
+            let i = Link.id_to_int lk.Link.id in
+            if not down.(i) then begin
+              let c = Flow_sim.link_cost sim lk.Link.id in
+              let p =
+                Routing_metric.Hnm_params.for_line_type lk.Link.line_type
+              in
+              if
+                c < Routing_metric.Hnm_params.min_cost lk
+                || c > p.Routing_metric.Hnm_params.max_cost
+              then ok := false
+            end);
+        if stats.Flow_sim.delivered_bps < 0. then ok := false
+      done;
+      !ok)
+
+let test_stagger_desynchronizes () =
+  (* §3.2 blames simultaneity: if half the nodes react one period late,
+     D-SPF's perfect all-or-nothing flip is broken up. *)
+  let g, tm, a, b = two_region_setup () in
+  let sim = Flow_sim.create g Metric.D_spf tm in
+  Flow_sim.set_stagger sim 0.5;
+  let utils = bridge_utils sim a b 24 in
+  let tail = List.filteri (fun i _ -> i >= 8) utils in
+  let fully_one_sided =
+    List.length
+      (List.filter
+         (fun (ua, ub) -> Float.min ua ub < 0.05 && Float.max ua ub > 1.2)
+         tail)
+  in
+  (* The synchronous run is one-sided in >= 8/10 tail periods (asserted in
+     test_dspf_oscillates); staggered reaction must break that pattern in
+     at least some periods. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "not always all-or-nothing (%d/16)" fully_one_sided)
+    true
+    (fully_one_sided < 16);
+  Alcotest.(check bool) "validation" true
+    (try
+       Flow_sim.set_stagger sim 1.5;
+       false
+     with Invalid_argument _ -> true)
+
+let test_indicators_validation () =
+  let g, tm, _, _ = two_region_setup () in
+  let sim = Flow_sim.create g Metric.Hn_spf tm in
+  Alcotest.(check bool) "raises with no periods" true
+    (try
+       ignore (Flow_sim.indicators sim ());
+       false
+     with Invalid_argument _ -> true);
+  ignore (Flow_sim.step sim);
+  Alcotest.(check int) "period index" 1 (Flow_sim.period_index sim);
+  Alcotest.(check (float 1e-9)) "time" 10. (Flow_sim.time_s sim)
+
+let test_history_order () =
+  let g, tm, _, _ = two_region_setup () in
+  let sim = Flow_sim.create g Metric.Hn_spf tm in
+  ignore (Flow_sim.run sim ~periods:5);
+  let times = List.map (fun s -> s.Flow_sim.time_s) (Flow_sim.history sim) in
+  Alcotest.(check (list (float 1e-9))) "oldest first" [ 10.; 20.; 30.; 40.; 50. ]
+    times
+
+let () =
+  Alcotest.run "flow_sim"
+    [ ( "oscillation (Fig 1)",
+        [ Alcotest.test_case "D-SPF oscillates" `Quick test_dspf_oscillates;
+          Alcotest.test_case "HN-SPF shares" `Quick test_hnspf_shares_load;
+          Alcotest.test_case "HN-SPF carries more" `Quick
+            test_hnspf_carries_more_than_dspf ] );
+      ( "mechanics",
+        [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "light load" `Quick test_light_load_all_equal;
+          Alcotest.test_case "metric switch" `Quick test_switch_metric_mid_run;
+          Alcotest.test_case "failure + easing revival" `Quick
+            test_link_failure_and_revival;
+          Alcotest.test_case "adaptive sources" `Quick
+            test_adaptive_sources_relieve_overload;
+          Alcotest.test_case "stagger desynchronizes" `Quick
+            test_stagger_desynchronizes;
+          Alcotest.test_case "indicators validation" `Quick
+            test_indicators_validation;
+          Alcotest.test_case "history order" `Quick test_history_order ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_flow_conservation; prop_survives_random_link_flaps ] ) ]

@@ -1,0 +1,406 @@
+(* Unit and property tests for the routing_spf library. *)
+
+open Routing_topology
+module Pq = Routing_spf.Priority_queue
+module Dijkstra = Routing_spf.Dijkstra
+module Spf_tree = Routing_spf.Spf_tree
+module Incremental = Routing_spf.Incremental
+module Routing_table = Routing_spf.Routing_table
+module Rng = Routing_stats.Rng
+
+(* --- Priority queue --- *)
+
+let test_pq_ordering () =
+  let q = Pq.create ~compare:Int.compare in
+  List.iter (fun (p, v) -> Pq.push q p v) [ (5, "e"); (1, "a"); (3, "c"); (2, "b") ];
+  Alcotest.(check int) "length" 4 (Pq.length q);
+  let order = List.init 4 (fun _ -> snd (Option.get (Pq.pop_min q))) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c"; "e" ] order;
+  Alcotest.(check bool) "empty" true (Pq.is_empty q)
+
+let test_pq_peek_and_clear () =
+  let q = Pq.create ~compare:Int.compare in
+  Pq.push q 2 "x";
+  Pq.push q 1 "y";
+  (match Pq.peek_min q with
+  | Some (1, "y") -> ()
+  | _ -> Alcotest.fail "peek should see minimum");
+  Pq.clear q;
+  Alcotest.(check bool) "cleared" true (Pq.is_empty q)
+
+let prop_pq_sorts =
+  QCheck2.Test.make ~name:"pop order is sorted" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 1000))
+    (fun xs ->
+      let q = Pq.create ~compare:Int.compare in
+      List.iter (fun x -> Pq.push q x x) xs;
+      let rec drain acc =
+        match Pq.pop_min q with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* --- helpers --- *)
+
+let diamond () =
+  (* A - B - D and A - C - D, plus a direct A - D. *)
+  let b = Builder.create () in
+  let _ = Builder.trunk b Line_type.T56 "A" "B" in
+  let _ = Builder.trunk b Line_type.T56 "B" "D" in
+  let _ = Builder.trunk b Line_type.T56 "A" "C" in
+  let _ = Builder.trunk b Line_type.T56 "C" "D" in
+  let _ = Builder.trunk b Line_type.T56 "A" "D" in
+  Builder.build b
+
+let node g name = Option.get (Graph.node_by_name g name)
+
+let constant_cost c = fun _ -> c
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  let nodes = 4 + Rng.int rng 12 in
+  Generators.ring_chord rng ~nodes ~chords:(Rng.int rng (2 * nodes))
+
+let random_costs seed g =
+  let rng = Rng.create (seed + 7919) in
+  let costs = Array.init (Graph.link_count g) (fun _ -> 1 + Rng.int rng 60) in
+  fun lid -> costs.(Link.id_to_int lid)
+
+(* --- Dijkstra --- *)
+
+let test_dijkstra_direct_wins () =
+  let g = diamond () in
+  let tree = Dijkstra.compute g ~cost:(constant_cost 10) (node g "A") in
+  Alcotest.(check int) "direct cost" 10 (Spf_tree.dist tree (node g "D"));
+  Alcotest.(check int) "one hop" 1 (Spf_tree.hops tree (node g "D"));
+  Alcotest.(check int) "root dist" 0 (Spf_tree.dist tree (node g "A"))
+
+let test_dijkstra_reroutes_around_expensive_link () =
+  let g = diamond () in
+  let a = node g "A" and d = node g "D" in
+  let direct = Option.get (Graph.find_link g ~src:a ~dst:d) in
+  let cost lid = if Link.id_equal lid direct.Link.id then 50 else 10 in
+  let tree = Dijkstra.compute g ~cost a in
+  Alcotest.(check int) "two-hop detour" 20 (Spf_tree.dist tree d);
+  Alcotest.(check int) "hops" 2 (Spf_tree.hops tree d);
+  Alcotest.(check bool) "avoids direct link" false
+    (Spf_tree.uses_link tree d direct.Link.id)
+
+let test_dijkstra_tie_break_neutral_deterministic () =
+  let g = diamond () in
+  let a = node g "A" in
+  let t1 = Dijkstra.compute g ~cost:(constant_cost 7) a in
+  let t2 = Dijkstra.compute g ~cost:(constant_cost 7) a in
+  Graph.iter_nodes g (fun n ->
+      Alcotest.(check bool) "same parents" true
+        (match (Spf_tree.parent_link t1 n, Spf_tree.parent_link t2 n) with
+        | None, None -> true
+        | Some l1, Some l2 -> Link.id_equal l1.Link.id l2.Link.id
+        | _ -> false))
+
+let test_dijkstra_favor_avoid () =
+  (* A-B-D vs A-C-D: equal cost; favoring/avoiding a link must decide. *)
+  let b = Builder.create () in
+  let _ = Builder.trunk b Line_type.T56 "A" "B" in
+  let _ = Builder.trunk b Line_type.T56 "B" "D" in
+  let _ = Builder.trunk b Line_type.T56 "A" "C" in
+  let _ = Builder.trunk b Line_type.T56 "C" "D" in
+  let g = Builder.build b in
+  let a = node g "A" and d = node g "D" in
+  let bd = Option.get (Graph.find_link g ~src:(node g "B") ~dst:d) in
+  let favor = Dijkstra.compute ~tie_break:(`Favor bd.Link.id) g
+      ~cost:(constant_cost 30) a in
+  Alcotest.(check bool) "favored link used" true
+    (Spf_tree.uses_link favor d bd.Link.id);
+  let avoid = Dijkstra.compute ~tie_break:(`Avoid bd.Link.id) g
+      ~cost:(constant_cost 30) a in
+  Alcotest.(check bool) "avoided link not used" false
+    (Spf_tree.uses_link avoid d bd.Link.id);
+  (* Tie-breaking must not change distances. *)
+  Alcotest.(check int) "same distance" (Spf_tree.dist favor d) (Spf_tree.dist avoid d)
+
+let test_dijkstra_enabled () =
+  let g = diamond () in
+  let a = node g "A" and d = node g "D" in
+  let direct = Option.get (Graph.find_link g ~src:a ~dst:d) in
+  let tree =
+    Dijkstra.compute
+      ~enabled:(fun lid -> not (Link.id_equal lid direct.Link.id))
+      g ~cost:(constant_cost 10) a
+  in
+  Alcotest.(check int) "routes around down link" 20 (Spf_tree.dist tree d)
+
+let test_dijkstra_unreachable () =
+  let b = Builder.create () in
+  let _ = Builder.trunk b Line_type.T56 "A" "B" in
+  let _ = Builder.trunk b Line_type.T56 "C" "D" in
+  let g = Builder.build b in
+  let tree = Dijkstra.compute g ~cost:(constant_cost 5) (node g "A") in
+  Alcotest.(check bool) "C unreached" false (Spf_tree.reached tree (node g "C"));
+  Alcotest.(check int) "dist max_int" max_int (Spf_tree.dist tree (node g "C"));
+  Alcotest.check_raises "path raises"
+    (Invalid_argument "Spf_tree.path: unreachable") (fun () ->
+      ignore (Spf_tree.path tree (node g "C")))
+
+let test_dijkstra_rejects_bad_cost () =
+  let g = diamond () in
+  Alcotest.(check bool) "raises on zero cost" true
+    (try
+       ignore (Dijkstra.compute g ~cost:(constant_cost 0) (node g "A"));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "raises above max" true
+    (try
+       ignore (Dijkstra.compute g ~cost:(constant_cost 255) (node g "A"));
+       false
+     with Invalid_argument _ -> true)
+
+(* Shortest-path distances must satisfy the Bellman optimality condition:
+   for every link (u,v), dist(v) <= dist(u) + cost(u,v), with equality for
+   tree links. *)
+let prop_dijkstra_optimality =
+  QCheck2.Test.make ~name:"dijkstra satisfies Bellman conditions" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let cost = random_costs seed g in
+      let tree = Dijkstra.compute g ~cost (Node.of_int 0) in
+      let ok = ref true in
+      Graph.iter_links g (fun l ->
+          let du = Spf_tree.dist tree l.Link.src in
+          let dv = Spf_tree.dist tree l.Link.dst in
+          if du <> max_int && dv > du + cost l.Link.id then ok := false);
+      Graph.iter_nodes g (fun n ->
+          match Spf_tree.parent_link tree n with
+          | None -> ()
+          | Some l ->
+            let du = Spf_tree.dist tree l.Link.src in
+            if Spf_tree.dist tree n <> du + cost l.Link.id then ok := false);
+      !ok)
+
+(* Distributed Bellman-Ford with static costs converges to the same
+   distances SPF computes — the two generations of ARPANET routing agree
+   when nothing moves. *)
+let prop_dijkstra_agrees_with_bellman_ford =
+  QCheck2.Test.make ~name:"dijkstra = converged bellman-ford" ~count:30
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let cost = random_costs seed g in
+      let bf = Routing_bellman.Bellman_ford.create g in
+      (match
+         Routing_bellman.Bellman_ford.rounds_to_converge bf ~link_cost:cost
+           ~max_rounds:(2 * Graph.node_count g)
+       with
+      | None -> Alcotest.fail "bellman-ford did not converge on static costs"
+      | Some _ -> ());
+      let ok = ref true in
+      Graph.iter_nodes g (fun src ->
+          let tree = Dijkstra.compute g ~cost src in
+          Graph.iter_nodes g (fun dst ->
+              let bf_dist =
+                Routing_bellman.Bellman_ford.distance bf ~from:src dst
+              in
+              let spf_dist =
+                if Spf_tree.reached tree dst then Some (Spf_tree.dist tree dst)
+                else None
+              in
+              let spf_dist = if Node.equal src dst then Some 0 else spf_dist in
+              if bf_dist <> spf_dist then ok := false));
+      !ok)
+
+(* Hereditary property (§4.1): every subpath of a shortest path is a
+   shortest path — checked via next_hop consistency. *)
+let prop_shortest_paths_hereditary =
+  QCheck2.Test.make ~name:"subpaths of shortest paths are shortest" ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let cost = random_costs seed g in
+      let tree = Dijkstra.compute g ~cost (Node.of_int 0) in
+      let ok = ref true in
+      Graph.iter_nodes g (fun dst ->
+          if Spf_tree.reached tree dst then begin
+            let along = ref 0 in
+            List.iter
+              (fun (l : Link.t) ->
+                along := !along + cost l.Link.id;
+                if Spf_tree.dist tree l.Link.dst <> !along then ok := false)
+              (Spf_tree.path tree dst)
+          end);
+      !ok)
+
+(* --- Spf_tree accessors --- *)
+
+let test_tree_paths_and_next_hop () =
+  let g = diamond () in
+  let a = node g "A" and d = node g "D" in
+  let direct = Option.get (Graph.find_link g ~src:a ~dst:d) in
+  let cost lid = if Link.id_equal lid direct.Link.id then 100 else 10 in
+  let tree = Dijkstra.compute g ~cost a in
+  let path = Spf_tree.path tree d in
+  Alcotest.(check int) "path length" 2 (List.length path);
+  (match Spf_tree.next_hop tree d with
+  | Some l -> Alcotest.(check bool) "next hop from A" true (Node.equal l.Link.src a)
+  | None -> Alcotest.fail "expected next hop");
+  Alcotest.(check bool) "no next hop to self" true (Spf_tree.next_hop tree a = None);
+  let via = Spf_tree.destinations_via tree (List.hd path).Link.id in
+  Alcotest.(check bool) "destinations_via includes D" true
+    (List.exists (Node.equal d) via)
+
+(* --- Incremental SPF --- *)
+
+let test_incremental_ignores_irrelevant_increase () =
+  let g = diamond () in
+  let a = node g "A" and d = node g "D" in
+  let inc = Incremental.create g ~root:a ~initial_cost:(constant_cost 10) in
+  (* Direct link is in the tree; a non-tree link's increase must be free. *)
+  let non_tree =
+    Graph.links g
+    |> List.find (fun (l : Link.t) ->
+           Node.equal l.Link.src d && not (Node.equal l.Link.dst a))
+  in
+  Incremental.set_cost inc non_tree.Link.id 200;
+  let stats = Incremental.stats inc in
+  Alcotest.(check int) "no recompute" 0 stats.Incremental.full_recomputes;
+  Alcotest.(check int) "update ignored" 1 stats.Incremental.updates_ignored
+
+let test_incremental_tracks_change () =
+  let g = diamond () in
+  let a = node g "A" and d = node g "D" in
+  let direct = Option.get (Graph.find_link g ~src:a ~dst:d) in
+  let inc = Incremental.create g ~root:a ~initial_cost:(constant_cost 10) in
+  Alcotest.(check int) "initial" 10 (Incremental.dist inc d);
+  Incremental.set_cost inc direct.Link.id 50;
+  Alcotest.(check int) "after increase, detour" 20 (Incremental.dist inc d);
+  Incremental.set_cost inc direct.Link.id 5;
+  Alcotest.(check int) "after decrease, direct again" 5 (Incremental.dist inc d)
+
+let prop_incremental_matches_full =
+  QCheck2.Test.make ~name:"incremental = full recompute over update sequences"
+    ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed * 31 + 1) in
+      let costs = Array.init (Graph.link_count g) (fun _ -> 1 + Rng.int rng 60) in
+      let root = Node.of_int (Rng.int rng (Graph.node_count g)) in
+      let inc =
+        Incremental.create g ~root ~initial_cost:(fun l ->
+            costs.(Link.id_to_int l))
+      in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let lid = Rng.int rng (Graph.link_count g) in
+        let c = 1 + Rng.int rng 60 in
+        costs.(lid) <- c;
+        Incremental.set_cost inc (Link.id_of_int lid) c;
+        let fresh =
+          Dijkstra.compute g ~cost:(fun l -> costs.(Link.id_to_int l)) root
+        in
+        Graph.iter_nodes g (fun n ->
+            let a = Incremental.dist inc n in
+            let b =
+              if Spf_tree.reached fresh n then Spf_tree.dist fresh n else max_int
+            in
+            if a <> b then ok := false)
+      done;
+      !ok)
+
+(* §2.2's motivation quantified: most cost changes on a mesh do not touch
+   a given node's tree, so incremental SPF skips them outright. *)
+let test_incremental_skip_rate () =
+  let g = Routing_topology.Arpanet.topology () in
+  let rng = Rng.create 3 in
+  let costs = Array.make (Graph.link_count g) 30 in
+  let inc =
+    Incremental.create g ~root:(Node.of_int 0) ~initial_cost:(fun l ->
+        costs.(Link.id_to_int l))
+  in
+  for _ = 1 to 500 do
+    let lid = Rng.int rng (Graph.link_count g) in
+    (* Increases only: the provable-skip case. *)
+    let c = min 254 (costs.(lid) + 1 + Rng.int rng 40) in
+    costs.(lid) <- c;
+    Incremental.set_cost inc (Link.id_of_int lid) c
+  done;
+  let stats = Incremental.stats inc in
+  Alcotest.(check bool)
+    (Printf.sprintf "majority of increases ignored (%d/500)" stats.Incremental.updates_ignored)
+    true
+    (* ~39%% of links are on the probe tree, so ~61%% of random increases
+       are provably irrelevant. *)
+    (stats.Incremental.updates_ignored > 250);
+  Alcotest.(check int) "never a full rebuild" 0 stats.Incremental.full_recomputes
+
+(* --- Routing tables --- *)
+
+let test_routing_table_traces () =
+  let g = diamond () in
+  let tables =
+    Array.init (Graph.node_count g) (fun i ->
+        Routing_table.of_tree
+          (Dijkstra.compute g ~cost:(constant_cost 10) (Node.of_int i)))
+  in
+  let a = node g "A" and d = node g "D" in
+  (match Routing_table.trace_route tables ~src:a ~dst:d with
+  | Routing_table.Arrived links ->
+    Alcotest.(check int) "one hop direct" 1 (List.length links)
+  | _ -> Alcotest.fail "should arrive");
+  Alcotest.(check int) "reachable count" 3
+    (Routing_table.reachable_count tables.(Node.to_int a))
+
+let prop_consistent_tables_are_loop_free =
+  QCheck2.Test.make ~name:"consistent SPF tables never loop" ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let cost = random_costs seed g in
+      let tables =
+        Array.init (Graph.node_count g) (fun i ->
+            Routing_table.of_tree (Dijkstra.compute g ~cost (Node.of_int i)))
+      in
+      let ok = ref true in
+      Graph.iter_nodes g (fun src ->
+          Graph.iter_nodes g (fun dst ->
+              if not (Node.equal src dst) then
+                match Routing_table.trace_route tables ~src ~dst with
+                | Routing_table.Arrived _ -> ()
+                | Routing_table.Loop _ | Routing_table.Black_hole _ ->
+                  ok := false));
+      !ok)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "routing_spf"
+    [ ( "priority_queue",
+        [ Alcotest.test_case "ordering" `Quick test_pq_ordering;
+          Alcotest.test_case "peek/clear" `Quick test_pq_peek_and_clear ]
+        @ qsuite [ prop_pq_sorts ] );
+      ( "dijkstra",
+        [ Alcotest.test_case "direct wins" `Quick test_dijkstra_direct_wins;
+          Alcotest.test_case "reroutes" `Quick
+            test_dijkstra_reroutes_around_expensive_link;
+          Alcotest.test_case "deterministic ties" `Quick
+            test_dijkstra_tie_break_neutral_deterministic;
+          Alcotest.test_case "favor/avoid" `Quick test_dijkstra_favor_avoid;
+          Alcotest.test_case "enabled" `Quick test_dijkstra_enabled;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "bad cost" `Quick test_dijkstra_rejects_bad_cost ]
+        @ qsuite
+            [ prop_dijkstra_optimality;
+              prop_dijkstra_agrees_with_bellman_ford;
+              prop_shortest_paths_hereditary ] );
+      ( "spf_tree",
+        [ Alcotest.test_case "paths and next hop" `Quick
+            test_tree_paths_and_next_hop ] );
+      ( "incremental",
+        [ Alcotest.test_case "ignores irrelevant" `Quick
+            test_incremental_ignores_irrelevant_increase;
+          Alcotest.test_case "tracks change" `Quick test_incremental_tracks_change;
+          Alcotest.test_case "skip rate (§2.2)" `Quick test_incremental_skip_rate ]
+        @ qsuite [ prop_incremental_matches_full ] );
+      ( "routing_table",
+        [ Alcotest.test_case "traces" `Quick test_routing_table_traces ]
+        @ qsuite [ prop_consistent_tables_are_loop_free ] ) ]

@@ -1,0 +1,553 @@
+(* Unit and property tests for the routing_topology library. *)
+
+open Routing_topology
+module Rng = Routing_stats.Rng
+
+(* --- Node / Line_type / Link basics --- *)
+
+let test_node_basics () =
+  let n = Node.of_int 3 in
+  Alcotest.(check int) "roundtrip" 3 (Node.to_int n);
+  Alcotest.(check bool) "equal" true (Node.equal n (Node.of_int 3));
+  Alcotest.check_raises "negative" (Invalid_argument "Node.of_int: negative id")
+    (fun () -> ignore (Node.of_int (-1)))
+
+let test_line_type_catalogue () =
+  Alcotest.(check int) "eight line types" 8 (List.length Line_type.all);
+  List.iteri
+    (fun i lt ->
+      Alcotest.(check int) "index roundtrip" i (Line_type.index lt);
+      Alcotest.(check bool) "of_index" true
+        (Line_type.equal lt (Line_type.of_index i));
+      Alcotest.(check bool) "of_name" true
+        (match Line_type.of_name (Line_type.name lt) with
+        | Some lt' -> Line_type.equal lt lt'
+        | None -> false))
+    Line_type.all
+
+let test_line_type_properties () =
+  Alcotest.(check (float 0.)) "56T bandwidth" 56_000.
+    (Line_type.bandwidth_bps Line_type.T56);
+  Alcotest.(check bool) "satellite flag" true (Line_type.is_satellite Line_type.S56);
+  Alcotest.(check bool) "terrestrial flag" false
+    (Line_type.is_satellite Line_type.T448);
+  Alcotest.(check int) "dual trunk" 2 (Line_type.trunk_count Line_type.T112);
+  Alcotest.(check bool) "satellite propagation" true
+    (Line_type.default_propagation_s Line_type.S9_6
+    > Line_type.default_propagation_s Line_type.T9_6)
+
+let small_graph () =
+  let b = Builder.create () in
+  let _ = Builder.trunk b Line_type.T56 "A" "B" in
+  let _ = Builder.trunk b Line_type.T56 "B" "C" in
+  let _ = Builder.trunk b Line_type.T9_6 "A" "C" in
+  Builder.build b
+
+let test_builder_basics () =
+  let g = small_graph () in
+  Alcotest.(check int) "nodes" 3 (Graph.node_count g);
+  Alcotest.(check int) "simplex links" 6 (Graph.link_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check string) "node name" "A"
+    (Graph.node_name g (Option.get (Graph.node_by_name g "A")))
+
+let test_builder_dedups_nodes () =
+  let b = Builder.create () in
+  let n1 = Builder.add_node b "X" in
+  let n2 = Builder.add_node b "X" in
+  Alcotest.(check bool) "same id for same name" true (Node.equal n1 n2)
+
+let test_builder_rejects_self_loop () =
+  let b = Builder.create () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Builder.trunk: self-loop")
+    (fun () -> ignore (Builder.trunk b Line_type.T56 "A" "A"))
+
+let test_graph_reverse_pairing () =
+  let g = small_graph () in
+  Graph.iter_links g (fun l ->
+      let r = Graph.reverse g l in
+      Alcotest.(check bool) "reverse endpoints" true
+        (Node.equal r.Link.src l.Link.dst && Node.equal r.Link.dst l.Link.src);
+      Alcotest.(check bool) "reverse of reverse" true
+        (Link.id_equal (Graph.reverse g r).Link.id l.Link.id);
+      Alcotest.(check bool) "same line type" true
+        (Line_type.equal r.Link.line_type l.Link.line_type))
+
+let test_graph_adjacency () =
+  let g = small_graph () in
+  let a = Option.get (Graph.node_by_name g "A") in
+  Alcotest.(check int) "degree of A" 2 (Graph.degree g a);
+  let b = Option.get (Graph.node_by_name g "B") in
+  (match Graph.find_link g ~src:a ~dst:b with
+  | Some l ->
+    Alcotest.(check bool) "find_link endpoints" true
+      (Node.equal l.Link.src a && Node.equal l.Link.dst b)
+  | None -> Alcotest.fail "A-B link missing");
+  Alcotest.(check bool) "no direct link to self" true
+    (Graph.find_link g ~src:a ~dst:a = None)
+
+let test_graph_disconnected_detected () =
+  let b = Builder.create () in
+  let _ = Builder.trunk b Line_type.T56 "A" "B" in
+  let _ = Builder.trunk b Line_type.T56 "C" "D" in
+  Alcotest.(check bool) "disconnected" false (Graph.is_connected (Builder.build b))
+
+let test_link_transmission () =
+  let g = small_graph () in
+  let l = Graph.link g (Link.id_of_int 0) in
+  Alcotest.(check (float 1e-9)) "600 bits on 56k" (600. /. 56_000.)
+    (Link.transmission_s l ~bits:600.)
+
+(* --- Generators --- *)
+
+let test_two_region () =
+  let g, (a, b) = Generators.two_region () in
+  Alcotest.(check int) "16 nodes" 16 (Graph.node_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  let la = Graph.link g a and lb = Graph.link g b in
+  Alcotest.(check string) "bridge A from L0" "L0" (Graph.node_name g la.Link.src);
+  Alcotest.(check string) "bridge B from L1" "L1" (Graph.node_name g lb.Link.src);
+  (* Removing both bridges must disconnect the regions: every L->R path
+     crosses one of them. *)
+  let bridgeless = ref 0 in
+  Graph.iter_links g (fun l ->
+      let sn = Graph.node_name g l.Link.src and dn = Graph.node_name g l.Link.dst in
+      if sn.[0] <> dn.[0] then incr bridgeless);
+  Alcotest.(check int) "exactly two inter-region trunks (4 simplex)" 4 !bridgeless
+
+let test_ring () =
+  let g = Generators.ring 5 in
+  Alcotest.(check int) "nodes" 5 (Graph.node_count g);
+  Alcotest.(check int) "links" 10 (Graph.link_count g);
+  Graph.iter_nodes g (fun n -> Alcotest.(check int) "degree 2" 2 (Graph.degree g n))
+
+let test_line_and_mesh () =
+  let g = Generators.line 4 in
+  Alcotest.(check int) "line links" 6 (Graph.link_count g);
+  let m = Generators.full_mesh 4 in
+  Alcotest.(check int) "mesh links" 12 (Graph.link_count m)
+
+let prop_ring_chord_connected =
+  QCheck2.Test.make ~name:"ring_chord always connected" ~count:50
+    QCheck2.Gen.(triple (int_range 0 1000) (int_range 3 40) (int_range 0 30))
+    (fun (seed, nodes, chords) ->
+      let g = Generators.ring_chord (Rng.create seed) ~nodes ~chords in
+      Graph.is_connected g && Graph.node_count g = nodes)
+
+let prop_random_geometric_connected =
+  QCheck2.Test.make ~name:"random_geometric always connected" ~count:30
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 2 40))
+    (fun (seed, nodes) ->
+      let g = Generators.random_geometric (Rng.create seed) ~nodes ~radius:0.25 in
+      Graph.is_connected g)
+
+(* --- ARPANET / MILNET topologies --- *)
+
+let test_arpanet_shape () =
+  let g = Arpanet.topology () in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  Alcotest.(check int) "node count" 57 (Graph.node_count g);
+  Alcotest.(check bool) "size ~72 trunks" true (Graph.link_count g / 2 = 72);
+  let avg = Graph.average_degree g in
+  Alcotest.(check bool) "mesh density like 1987 ARPANET" true
+    (avg > 2.2 && avg < 3.2);
+  (* Satellite links present: Hawaii, Norway, domestic. *)
+  let sats = ref 0 in
+  Graph.iter_links g (fun l -> if Line_type.is_satellite l.Link.line_type then incr sats);
+  Alcotest.(check int) "three satellite trunks" 6 !sats
+
+let test_arpanet_bridges () =
+  let g = Arpanet.topology () in
+  let bridges = Arpanet.bridge_links g in
+  Alcotest.(check int) "five cross-country trunks, both directions" 10
+    (List.length bridges);
+  let l = Arpanet.representative_link g in
+  Alcotest.(check bool) "representative is 56T" true
+    (Line_type.equal l.Link.line_type Line_type.T56)
+
+let test_arpanet_traffic () =
+  let g = Arpanet.topology () in
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  let total = Traffic_matrix.total_bps tm in
+  Alcotest.(check bool) "total near 366 kb/s" true
+    (total > 300_000. && total < 450_000.);
+  (* No node may offer more traffic than its access lines can carry. *)
+  Graph.iter_nodes g (fun node ->
+      let cap =
+        List.fold_left (fun acc l -> acc +. Link.capacity_bps l) 0.
+          (Graph.out_links g node)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "access-feasible at %s" (Graph.node_name g node))
+        true
+        (Traffic_matrix.offered_from tm node <= cap))
+
+let test_milnet_shape () =
+  let g = Milnet.topology () in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Heterogeneous trunking: all bandwidth classes appear. *)
+  let seen = Hashtbl.create 8 in
+  Graph.iter_links g (fun l -> Hashtbl.replace seen l.Link.line_type ());
+  Alcotest.(check bool) "uses multi-trunk bundles" true
+    (Hashtbl.mem seen Line_type.T448 && Hashtbl.mem seen Line_type.T112);
+  Alcotest.(check bool) "uses satellite" true
+    (Hashtbl.mem seen Line_type.S56 && Hashtbl.mem seen Line_type.S112);
+  Alcotest.(check bool) "uses 9.6 tails" true (Hashtbl.mem seen Line_type.T9_6)
+
+(* --- Traffic matrix --- *)
+
+let test_tm_set_get () =
+  let tm = Traffic_matrix.create ~nodes:4 in
+  let n = Node.of_int in
+  Traffic_matrix.set tm ~src:(n 0) ~dst:(n 1) 100.;
+  Alcotest.(check (float 0.)) "get" 100. (Traffic_matrix.get tm ~src:(n 0) ~dst:(n 1));
+  Traffic_matrix.set tm ~src:(n 2) ~dst:(n 2) 50.;
+  Alcotest.(check (float 0.)) "diagonal forced zero" 0.
+    (Traffic_matrix.get tm ~src:(n 2) ~dst:(n 2));
+  Traffic_matrix.add tm ~src:(n 0) ~dst:(n 1) 20.;
+  Alcotest.(check (float 0.)) "add accumulates" 120.
+    (Traffic_matrix.get tm ~src:(n 0) ~dst:(n 1));
+  Traffic_matrix.set tm ~src:(n 0) ~dst:(n 3) (-5.);
+  Alcotest.(check (float 0.)) "negative clamped" 0.
+    (Traffic_matrix.get tm ~src:(n 0) ~dst:(n 3))
+
+let test_tm_scale_copy () =
+  let tm = Traffic_matrix.uniform ~nodes:3 ~pair_bps:10. in
+  Alcotest.(check (float 1e-9)) "uniform total" 60. (Traffic_matrix.total_bps tm);
+  let double = Traffic_matrix.scale tm 2. in
+  Alcotest.(check (float 1e-9)) "scaled" 120. (Traffic_matrix.total_bps double);
+  Alcotest.(check (float 1e-9)) "original untouched" 60.
+    (Traffic_matrix.total_bps tm);
+  let c = Traffic_matrix.copy tm in
+  Traffic_matrix.set c ~src:(Node.of_int 0) ~dst:(Node.of_int 1) 0.;
+  Alcotest.(check (float 1e-9)) "copy is independent" 60.
+    (Traffic_matrix.total_bps tm)
+
+let test_tm_gravity_total () =
+  let tm = Traffic_matrix.gravity (Rng.create 3) ~nodes:10 ~total_bps:1000. in
+  Alcotest.(check (float 1e-6)) "gravity hits requested total" 1000.
+    (Traffic_matrix.total_bps tm);
+  Alcotest.(check int) "all pairs flow" 90 (Traffic_matrix.flow_count tm)
+
+let test_tm_hotspot () =
+  let n = Node.of_int in
+  let tm =
+    Traffic_matrix.hotspot (Rng.create 5) ~nodes:4 ~background_bps:10.
+      ~hotspots:[ (n 0, n 3, 500.) ]
+  in
+  Alcotest.(check bool) "hotspot dominates" true
+    (Traffic_matrix.get tm ~src:(n 0) ~dst:(n 3) > 400.);
+  Alcotest.(check bool) "background jittered around 10" true
+    (let v = Traffic_matrix.get tm ~src:(n 1) ~dst:(n 2) in
+     v > 7.9 && v < 12.1)
+
+(* --- Graph analysis --- *)
+
+(* Brute force ground truths. *)
+let connected_without g ~dead_links ~dead_node =
+  let n = Graph.node_count g in
+  let alive i = Some i <> dead_node in
+  let start =
+    let rec find i = if alive i then i else find (i + 1) in
+    find 0
+  in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.add (Node.of_int start) queue;
+  let count = ref 1 in
+  while not (Queue.is_empty queue) do
+    let node = Queue.pop queue in
+    List.iter
+      (fun (l : Link.t) ->
+        let j = Node.to_int l.Link.dst in
+        if
+          alive j
+          && (not (List.mem (Link.id_to_int l.Link.id) dead_links))
+          && not seen.(j)
+        then begin
+          seen.(j) <- true;
+          incr count;
+          Queue.add l.Link.dst queue
+        end)
+      (Graph.out_links g node)
+  done;
+  let alive_total = if dead_node = None then n else n - 1 in
+  !count = alive_total
+
+let prop_bridges_match_brute_force =
+  QCheck2.Test.make ~name:"bridges = brute force" ~count:30
+    QCheck2.Gen.(int_range 0 5_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nodes = 3 + Rng.int rng 12 in
+      let g = Generators.ring_chord rng ~nodes ~chords:(Rng.int rng 4) in
+      let declared =
+        Graph_analysis.bridges g
+        |> List.map (fun (l : Link.t) -> Link.id_to_int l.Link.id)
+      in
+      let ok = ref true in
+      Graph.iter_links g (fun (l : Link.t) ->
+          if Link.id_compare l.Link.id l.Link.reverse < 0 then begin
+            let cut =
+              not
+                (connected_without g
+                   ~dead_links:
+                     [ Link.id_to_int l.Link.id;
+                       Link.id_to_int l.Link.reverse ]
+                   ~dead_node:None)
+            in
+            if cut <> List.mem (Link.id_to_int l.Link.id) declared then
+              ok := false
+          end);
+      !ok)
+
+let prop_articulation_match_brute_force =
+  QCheck2.Test.make ~name:"articulation points = brute force" ~count:30
+    QCheck2.Gen.(int_range 0 5_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nodes = 3 + Rng.int rng 12 in
+      let g = Generators.ring_chord rng ~nodes ~chords:(Rng.int rng 4) in
+      let declared =
+        Graph_analysis.articulation_points g |> List.map Node.to_int
+      in
+      let ok = ref true in
+      Graph.iter_nodes g (fun node ->
+          let i = Node.to_int node in
+          let cut =
+            not (connected_without g ~dead_links:[] ~dead_node:(Some i))
+          in
+          if cut <> List.mem i declared then ok := false);
+      !ok)
+
+let test_analysis_ring_has_no_bridges () =
+  let g = Generators.ring 6 in
+  Alcotest.(check int) "ring: no bridges" 0
+    (List.length (Graph_analysis.bridges g));
+  Alcotest.(check int) "ring: no articulation" 0
+    (List.length (Graph_analysis.articulation_points g));
+  Alcotest.(check int) "ring diameter" 3 (Graph_analysis.diameter_hops g)
+
+let test_analysis_line_all_bridges () =
+  let g = Generators.line 4 in
+  Alcotest.(check int) "every trunk a bridge" 3
+    (List.length (Graph_analysis.bridges g));
+  Alcotest.(check int) "inner nodes articulate" 2
+    (List.length (Graph_analysis.articulation_points g))
+
+let test_analysis_parallel_trunk_not_bridge () =
+  let b = Builder.create () in
+  let _ = Builder.trunk b Line_type.T56 "A" "B" in
+  let _ = Builder.trunk b Line_type.T56 "A" "B" in
+  let _ = Builder.trunk b Line_type.T56 "B" "C" in
+  let g = Builder.build b in
+  let bridge_names =
+    Graph_analysis.bridges g
+    |> List.map (fun (l : Link.t) ->
+           Graph.node_name g l.Link.src ^ Graph.node_name g l.Link.dst)
+  in
+  Alcotest.(check (list string)) "only the single B-C trunk" [ "BC" ]
+    bridge_names
+
+let test_analysis_arpanet () =
+  let g = Arpanet.topology () in
+  let cut_trunks = Graph_analysis.bridges g in
+  (* The tails: LINC's pair is a cycle... count what brute force counts. *)
+  Alcotest.(check bool) "a handful of tail bridges" true
+    (List.length cut_trunks >= 4 && List.length cut_trunks <= 12);
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  let captive = Graph_analysis.captive_traffic_fraction g tm in
+  (* Fig 8's floor: the response map levels off near 0.13 because that is
+     (roughly) the captive share of traffic. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "captive fraction plausible (%.3f)" captive)
+    true
+    (captive > 0.03 && captive < 0.25);
+  Alcotest.(check bool) "diameter like the 1987 net" true
+    (Graph_analysis.diameter_hops g >= 8 && Graph_analysis.diameter_hops g <= 16)
+
+(* --- DOT export --- *)
+
+let test_dot_export () =
+  let g = Arpanet.topology () in
+  let dot =
+    Dot.to_dot ~label:"arpanet"
+      ~utilization:(fun (l : Link.t) ->
+        if Link.id_to_int l.Link.id = 0 then Some 0.99 else Some 0.1)
+      g
+  in
+  Alcotest.(check bool) "graph block" true
+    (Astring.String.is_prefix ~affix:"graph network {" dot);
+  Alcotest.(check bool) "one edge per trunk" true
+    (let count = ref 0 in
+     String.iteri (fun i c -> if c = '-' && i > 0 && dot.[i-1] = '-' then incr count) dot;
+     !count = Graph.link_count g / 2);
+  Alcotest.(check bool) "hot edge red" true
+    (Astring.String.is_infix ~affix:"color=red" dot);
+  Alcotest.(check bool) "cool edges green" true
+    (Astring.String.is_infix ~affix:"color=forestgreen" dot);
+  Alcotest.(check bool) "satellite dashed" true
+    (Astring.String.is_infix ~affix:"style=dashed" dot);
+  Alcotest.(check bool) "label present" true
+    (Astring.String.is_infix ~affix:"label=\"arpanet\"" dot)
+
+(* --- Serialization --- *)
+
+let test_serial_roundtrip_arpanet () =
+  let g = Arpanet.topology () in
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  let text = Serial.to_string g (Some tm) in
+  match Serial.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (g', tm') ->
+    Alcotest.(check int) "nodes preserved" (Graph.node_count g)
+      (Graph.node_count g');
+    Alcotest.(check int) "links preserved" (Graph.link_count g)
+      (Graph.link_count g');
+    Graph.iter_nodes g (fun n ->
+        let name = Graph.node_name g n in
+        Alcotest.(check bool) "node names preserved" true
+          (Graph.node_by_name g' name <> None));
+    Alcotest.(check bool) "traffic total preserved" true
+      (Float.abs (Traffic_matrix.total_bps tm -. Traffic_matrix.total_bps tm')
+      < 1e-2 *. Traffic_matrix.total_bps tm);
+    (* Link structure: same line-type multiset per node pair. *)
+    Graph.iter_links g (fun l ->
+        let a = Graph.node_name g l.Link.src and b = Graph.node_name g l.Link.dst in
+        match
+          ( Graph.node_by_name g' a,
+            Graph.node_by_name g' b )
+        with
+        | Some a', Some b' ->
+          (match Graph.find_link g' ~src:a' ~dst:b' with
+          | Some l' ->
+            Alcotest.(check bool) "line type preserved" true
+              (Line_type.equal l.Link.line_type l'.Link.line_type)
+          | None -> Alcotest.fail "missing link after roundtrip")
+        | _ -> Alcotest.fail "missing node after roundtrip")
+
+let test_serial_parse_errors () =
+  let check_error text expected_fragment =
+    match Serial.of_string text with
+    | Ok _ -> Alcotest.fail ("expected parse error for: " ^ text)
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e expected_fragment)
+        true
+        (Astring.String.is_infix ~affix:expected_fragment e)
+  in
+  check_error "trunk A B 77T" "unknown line type";
+  check_error "trunk A A 56T" "self-loop";
+  check_error "frobnicate X" "unrecognized";
+  check_error "demand A B 100" "unknown node";
+  check_error "trunk A B 56T -0.5" "bad propagation";
+  check_error "trunk A B 56T\ndemand A B x" "bad demand"
+
+let test_serial_comments_and_blanks () =
+  let text =
+    "# a scenario\n\n  trunk A B 56T 0.001  # inline comment\ndemand A B 5000\n"
+  in
+  match Serial.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok (g, tm) ->
+    Alcotest.(check int) "two nodes" 2 (Graph.node_count g);
+    Alcotest.(check (float 1e-9)) "demand read" 5000. (Traffic_matrix.total_bps tm)
+
+let prop_serial_roundtrip_random =
+  QCheck2.Test.make ~name:"serial roundtrip on random scenarios" ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let nodes = 3 + Rng.int rng 15 in
+      (* Random line types per chord require a custom build. *)
+      let b = Builder.create () in
+      for i = 0 to nodes - 1 do
+        let lt = Line_type.of_index (Rng.int rng 8) in
+        ignore
+          (Builder.trunk b lt
+             (Printf.sprintf "N%d" i)
+             (Printf.sprintf "N%d" ((i + 1) mod nodes)))
+      done;
+      let g = Builder.build b in
+      let tm = Traffic_matrix.gravity rng ~nodes ~total_bps:5000. in
+      match Serial.of_string (Serial.to_string g (Some tm)) with
+      | Error _ -> false
+      | Ok (g', tm') ->
+        Graph.node_count g' = Graph.node_count g
+        && Graph.link_count g' = Graph.link_count g
+        && Float.abs (Traffic_matrix.total_bps tm' -. Traffic_matrix.total_bps tm)
+           (* demands print at 3 decimals: up to 0.0005 bps error each *)
+           < 0.001 *. float_of_int (Traffic_matrix.flow_count tm))
+
+(* Fuzz: the parser returns Result on arbitrary junk, never raises. *)
+let prop_serial_parser_total =
+  QCheck2.Test.make ~name:"serial parser never raises" ~count:300
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 200))
+    (fun text ->
+      match Serial.of_string text with Ok _ | Error _ -> true)
+
+let prop_tm_offered_from_consistent =
+  QCheck2.Test.make ~name:"offered_from equals row sum" ~count:50
+    QCheck2.Gen.(pair (int_range 0 500) (int_range 2 12))
+    (fun (seed, nodes) ->
+      let tm = Traffic_matrix.gravity (Rng.create seed) ~nodes ~total_bps:1e4 in
+      let ok = ref true in
+      for s = 0 to nodes - 1 do
+        let row =
+          Traffic_matrix.fold tm ~init:0. ~f:(fun acc ~src ~dst:_ v ->
+              if Node.to_int src = s then acc +. v else acc)
+        in
+        if Float.abs (row -. Traffic_matrix.offered_from tm (Node.of_int s)) > 1e-6
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "routing_topology"
+    [ ( "basics",
+        [ Alcotest.test_case "node" `Quick test_node_basics;
+          Alcotest.test_case "line type catalogue" `Quick test_line_type_catalogue;
+          Alcotest.test_case "line type properties" `Quick test_line_type_properties;
+          Alcotest.test_case "link transmission" `Quick test_link_transmission ] );
+      ( "builder+graph",
+        [ Alcotest.test_case "builder" `Quick test_builder_basics;
+          Alcotest.test_case "dedup nodes" `Quick test_builder_dedups_nodes;
+          Alcotest.test_case "self loop" `Quick test_builder_rejects_self_loop;
+          Alcotest.test_case "reverse pairing" `Quick test_graph_reverse_pairing;
+          Alcotest.test_case "adjacency" `Quick test_graph_adjacency;
+          Alcotest.test_case "disconnected" `Quick test_graph_disconnected_detected ]
+      );
+      ( "generators",
+        [ Alcotest.test_case "two region" `Quick test_two_region;
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "line and mesh" `Quick test_line_and_mesh ]
+        @ qsuite [ prop_ring_chord_connected; prop_random_geometric_connected ] );
+      ( "arpanet+milnet",
+        [ Alcotest.test_case "arpanet shape" `Quick test_arpanet_shape;
+          Alcotest.test_case "arpanet bridges" `Quick test_arpanet_bridges;
+          Alcotest.test_case "arpanet traffic" `Quick test_arpanet_traffic;
+          Alcotest.test_case "milnet shape" `Quick test_milnet_shape ] );
+      ( "analysis",
+        [ Alcotest.test_case "ring" `Quick test_analysis_ring_has_no_bridges;
+          Alcotest.test_case "line" `Quick test_analysis_line_all_bridges;
+          Alcotest.test_case "parallel trunk" `Quick
+            test_analysis_parallel_trunk_not_bridge;
+          Alcotest.test_case "arpanet" `Quick test_analysis_arpanet ]
+        @ qsuite
+            [ prop_bridges_match_brute_force;
+              prop_articulation_match_brute_force ] );
+      ( "dot",
+        [ Alcotest.test_case "export" `Quick test_dot_export ] );
+      ( "serial",
+        [ Alcotest.test_case "arpanet roundtrip" `Quick test_serial_roundtrip_arpanet;
+          Alcotest.test_case "parse errors" `Quick test_serial_parse_errors;
+          Alcotest.test_case "comments" `Quick test_serial_comments_and_blanks ]
+        @ qsuite [ prop_serial_roundtrip_random; prop_serial_parser_total ] );
+      ( "traffic_matrix",
+        [ Alcotest.test_case "set/get" `Quick test_tm_set_get;
+          Alcotest.test_case "scale/copy" `Quick test_tm_scale_copy;
+          Alcotest.test_case "gravity" `Quick test_tm_gravity_total;
+          Alcotest.test_case "hotspot" `Quick test_tm_hotspot ]
+        @ qsuite [ prop_tm_offered_from_consistent ] ) ]
