@@ -1031,6 +1031,39 @@ let floodlat () =
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel).                                        *)
 
+(* Run a bechamel test tree and return (name, ns per run) rows, sorted. *)
+let run_benchmarks ~quota_s tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.sort compare !rows
+
+let humanize ns =
+  if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_rows rows =
+  let t =
+    Table.create [ ("benchmark", Table.Left); ("time per run", Table.Right) ]
+  in
+  List.iter (fun (name, ns) -> Table.add_row t [ name; humanize ns ]) rows;
+  print_string (Table.to_string t)
+
 let perf () =
   section "perf — micro-benchmarks of the implementation (bechamel)";
   let open Bechamel in
@@ -1087,39 +1120,129 @@ let perf () =
         Test.make ~name:"flow sim routing period"
           (Staged.stage (fun () -> ignore (Flow_sim.step flow))) ]
   in
-  let benchmark () =
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-    in
-    let instances = Toolkit.Instance.[ monotonic_clock ] in
-    let cfg =
-      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
-    in
-    let raw = Benchmark.all cfg instances tests in
-    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  print_rows (run_benchmarks ~quota_s:0.5 tests)
+
+(* ------------------------------------------------------------------ *)
+(* SPF engine benchmarks: full vs incremental vs parallel all-pairs.   *)
+(* `perf` runs these at full quota and records BENCH_spf.json so the   *)
+(* perf trajectory is tracked across PRs; `perf-quick` is the runtest  *)
+(* smoke mode — tiny quota, no file written.                           *)
+
+module Spf_engine = Routing_spf.Spf_engine
+module Domain_pool = Routing_metric.Domain_pool
+
+let spf_bench_topologies () =
+  [ ("arpanet", Lazy.force arpanet);
+    ("mesh200", Generators.ring_chord (Rng.create 99) ~nodes:200 ~chords:120) ]
+
+(* One benchmark group per topology.  The baseline reproduces the
+   pre-engine behavior: an independent full Dijkstra per source, costs
+   re-evaluated per edge.  The engine rows measure a refresh after one
+   link's flooded cost changed, and after none did — the two cases every
+   simulated routing period falls into. *)
+let spf_bench_tests ~pool (name, g) =
+  let open Bechamel in
+  let nl = Graph.link_count g in
+  let costs = Array.init nl (fun i -> 1 + ((i * 37) mod 60)) in
+  let cost lid = costs.(Link.id_to_int lid) in
+  let n = Graph.node_count g in
+  let seed_all_pairs () =
+    Array.init n (fun i -> Routing_spf.Dijkstra.compute g ~cost (Node.of_int i))
   in
-  let results = benchmark () in
-  let t =
-    Table.create
-      [ ("benchmark", Table.Left); ("time per run", Table.Right) ]
+  let engine_one = Spf_engine.create g in
+  Spf_engine.refresh engine_one ~cost;
+  let engine_none = Spf_engine.create g in
+  Spf_engine.refresh engine_none ~cost;
+  let flip = ref false in
+  let probe = Link.id_of_int 0 in
+  Test.make_grouped ~name ~fmt:"%s %s"
+    [ Test.make ~name:"all-pairs full (per-source baseline)"
+        (Staged.stage (fun () -> ignore (seed_all_pairs ())));
+      Test.make ~name:"all-pairs shared weights"
+        (Staged.stage (fun () ->
+             ignore (Routing_spf.Dijkstra.all_pairs g ~cost)));
+      Test.make
+        ~name:
+          (Printf.sprintf "all-pairs parallel (%d domains)"
+             (Domain_pool.size pool))
+        (Staged.stage (fun () ->
+             ignore (Routing_spf.Dijkstra.all_pairs ~pool g ~cost)));
+      Test.make ~name:"engine refresh (one link change)"
+        (Staged.stage (fun () ->
+             flip := not !flip;
+             let base = costs.(Link.id_to_int probe) in
+             let c = if !flip then base + 10 else base in
+             Spf_engine.refresh engine_one ~cost:(fun lid ->
+                 if Link.id_equal lid probe then c else cost lid)));
+      Test.make ~name:"engine refresh (no change)"
+        (Staged.stage (fun () -> Spf_engine.refresh engine_none ~cost)) ]
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_bench_json path ~domains rows =
+  let row_of (name, ns) =
+    Printf.sprintf "    { \"name\": %S, \"ns_per_run\": %.1f }"
+      (json_escape name) ns
   in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> rows := (name, est) :: !rows
-      | _ -> ())
-    results;
-  List.iter
-    (fun (name, ns) ->
-      let human =
-        if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-        else Printf.sprintf "%.0f ns" ns
-      in
-      Table.add_row t [ name; human ])
-    (List.sort compare !rows);
-  print_string (Table.to_string t)
+  let speedup_of topology =
+    let find suffix =
+      List.assoc_opt (topology ^ " " ^ suffix) rows
+    in
+    let ratio num den =
+      match (num, den) with
+      | Some n, Some d when d > 0. -> Printf.sprintf "%.2f" (n /. d)
+      | _ -> "null"
+    in
+    let baseline = find "all-pairs full (per-source baseline)" in
+    Printf.sprintf
+      "    { \"topology\": %S,\n\
+      \      \"incremental_vs_full\": %s,\n\
+      \      \"shared_weights_vs_full\": %s,\n\
+      \      \"parallel_vs_full\": %s }"
+      topology
+      (ratio baseline (find "engine refresh (one link change)"))
+      (ratio baseline (find "all-pairs shared weights"))
+      (ratio baseline
+         (find (Printf.sprintf "all-pairs parallel (%d domains)" domains)))
+  in
+  let out = open_out path in
+  Printf.fprintf out
+    "{\n\
+    \  \"benchmark\": \"all-pairs SPF refresh\",\n\
+    \  \"units\": \"ns per run (bechamel OLS estimate)\",\n\
+    \  \"domains\": %d,\n\
+    \  \"results\": [\n%s\n  ],\n\
+    \  \"speedups_vs_full_recompute\": [\n%s\n  ]\n\
+     }\n"
+    domains
+    (String.concat ",\n" (List.map row_of rows))
+    (String.concat ",\n"
+       (List.map (fun (t, _) -> speedup_of t) (spf_bench_topologies ())));
+  close_out out
+
+let perf_spf ~quick () =
+  section
+    (if quick then
+       "perf-quick — SPF engine smoke benchmarks (tiny quota, no file)"
+     else "perf-spf — full vs incremental vs parallel all-pairs SPF");
+  let pool = Domain_pool.create (max 2 (Domain_pool.recommended_size ())) in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let quota_s = if quick then 0.02 else 0.5 in
+  let rows =
+    List.concat_map
+      (fun topo -> run_benchmarks ~quota_s (spf_bench_tests ~pool topo))
+      (spf_bench_topologies ())
+  in
+  print_rows rows;
+  if not quick then begin
+    write_bench_json "BENCH_spf.json" ~domains:(Domain_pool.size pool) rows;
+    note "wrote BENCH_spf.json@."
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -1148,12 +1271,17 @@ let () =
   | names ->
     List.iter
       (fun name ->
-        if String.equal name "perf" then perf ()
+        if String.equal name "perf" then begin
+          perf ();
+          perf_spf ~quick:false ()
+        end
+        else if String.equal name "perf-quick" then perf_spf ~quick:true ()
         else
           match List.assoc_opt name (experiments @ extra_experiments) with
           | Some run -> run ()
           | None ->
-            Format.printf "unknown experiment %S (have: %s, table1p, perf)@."
+            Format.printf
+              "unknown experiment %S (have: %s, table1p, perf, perf-quick)@."
               name
               (String.concat " " (List.map fst experiments)))
       names

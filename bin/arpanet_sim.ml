@@ -47,14 +47,14 @@ let build_scenario topology file seed scale =
               Traffic_matrix.set tm ~src ~dst (1300. *. scale)));
     (g, tm)
 
-let run_flow g tm kind ~minutes ~warmup_minutes =
+let run_flow g tm kind ~domains ~minutes ~warmup_minutes =
   let periods_per_minute = int_of_float (60. /. Units.routing_period_s) in
-  let sim = Flow_sim.create g kind tm in
+  let sim = Flow_sim.create ~domains g kind tm in
   ignore (Flow_sim.run sim ~periods:((minutes + warmup_minutes) * periods_per_minute));
   Flow_sim.indicators sim ~skip:(warmup_minutes * periods_per_minute) ()
 
-let run_packet g tm kind ~minutes ~warmup_minutes ~seed =
-  let config = { (Network.default_config kind) with Network.seed } in
+let run_packet g tm kind ~domains ~minutes ~warmup_minutes ~seed =
+  let config = { (Network.default_config kind) with Network.seed; domains } in
   let net = Network.create ~config g tm in
   Network.run net ~duration_s:(float_of_int warmup_minutes *. 60.);
   Network.reset_measurements net;
@@ -88,7 +88,8 @@ let write_dot g tm metric path =
     g;
   Format.printf "wrote %s (render with: dot -Tsvg %s -o net.svg)@." path path
 
-let main topology file dump dot metrics scale minutes warmup packet_level seed =
+let main topology file dump dot metrics scale minutes warmup packet_level seed
+    domains =
   let g, tm = build_scenario topology file seed scale in
   if dump then print_string (Serial.to_string g (Some tm))
   else match dot with
@@ -104,8 +105,8 @@ let main topology file dump dot metrics scale minutes warmup packet_level seed =
       (fun kind ->
         let i =
           if packet_level then
-            run_packet g tm kind ~minutes ~warmup_minutes:warmup ~seed
-          else run_flow g tm kind ~minutes ~warmup_minutes:warmup
+            run_packet g tm kind ~domains ~minutes ~warmup_minutes:warmup ~seed
+          else run_flow g tm kind ~domains ~minutes ~warmup_minutes:warmup
         in
         (Metric.kind_name kind, i))
       metrics
@@ -174,6 +175,14 @@ let cmd =
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
   in
+  let domains =
+    Arg.(value
+         & opt int (Routing_metric.Domain_pool.default_size ())
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Domains used for parallel all-pairs SPF (1 = sequential; \
+                   results are identical either way). Defaults to \
+                   $(b,ARPANET_DOMAINS) or 1.")
+  in
   let file =
     Arg.(value & opt (some file) None
          & info [ "f"; "file" ] ~docv:"SCENARIO"
@@ -199,7 +208,7 @@ let cmd =
                                          metric switches, update bursts).")
   in
   let run topology file dump dot metric compare scale minutes warmup
-      packet_level seed verbose =
+      packet_level seed domains verbose =
     setup_logging verbose;
     let metrics =
       if compare then
@@ -207,12 +216,13 @@ let cmd =
       else [ metric ]
     in
     main topology file dump dot metrics scale minutes warmup packet_level seed
+      domains
   in
   Cmd.v
     (Cmd.info "arpanet_sim"
        ~doc:"Simulate ARPANET routing under min-hop, D-SPF or HN-SPF")
     Term.(
       const run $ topology $ file $ dump $ dot $ metric $ compare $ scale
-      $ minutes $ warmup $ packet_level $ seed $ verbose)
+      $ minutes $ warmup $ packet_level $ seed $ domains $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,155 @@
+(* A small reusable pool of worker domains for embarrassingly parallel
+   loops (per-source SPF).  Hand-rolled on Domain + Mutex/Condition so the
+   library picks up no dependency beyond the OCaml 5 stdlib.
+
+   Work items are plain indices handed out through an atomic counter, so
+   scheduling is racy but the *results* are not: every index is executed
+   exactly once and callers write results into per-index slots, making the
+   outcome independent of which domain ran what.  A pool of size 1 spawns
+   no domains at all and runs the loop inline — the sequential reference
+   path. *)
+
+type job = {
+  f : int -> unit;
+  n : int;
+  next : int Atomic.t; (* next index to hand out *)
+  completed : int Atomic.t; (* indices finished (ran or skipped on error) *)
+  mutable failure : exn option; (* first exception, re-raised by the caller *)
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : job option;
+  mutable generation : int; (* bumped per parallel_for; lets workers
+                               distinguish a new job from a drained one *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let default_env_var = "ARPANET_DOMAINS"
+
+let default_size () =
+  match Sys.getenv_opt default_env_var with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> min n 128
+    | Some _ | None -> 1)
+
+let recommended_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Pull indices until the job is drained. *)
+let drain t job =
+  let continue_ = ref true in
+  while !continue_ do
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i >= job.n then continue_ := false
+    else begin
+      (try job.f i
+       with e ->
+         Mutex.lock t.mutex;
+         if job.failure = None then job.failure <- Some e;
+         Mutex.unlock t.mutex);
+      let done_ = 1 + Atomic.fetch_and_add job.completed 1 in
+      if done_ = job.n then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.mutex
+      end
+    end
+  done
+
+let rec worker_loop t last_generation =
+  Mutex.lock t.mutex;
+  while
+    (not t.stopping)
+    && (t.job = None || t.generation = last_generation)
+  do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.stopping then Mutex.unlock t.mutex
+  else begin
+    let generation = t.generation in
+    let job = Option.get t.job in
+    Mutex.unlock t.mutex;
+    drain t job;
+    worker_loop t generation
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let create size =
+  if size < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let t =
+    { size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      stopping = false;
+      workers = [] }
+  in
+  if size > 1 then begin
+    t.workers <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+    (* If the pool is dropped without an explicit shutdown, release the
+       workers rather than leaving them blocked forever.  Joining from a
+       finalizer is unsafe, so just signal; the domains exit promptly and
+       the runtime reaps them at program exit. *)
+    Gc.finalise
+      (fun t ->
+        Mutex.lock t.mutex;
+        t.stopping <- true;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.mutex)
+      t
+  end;
+  t
+
+let parallel_for t n f =
+  if n <= 0 then ()
+  else if t.size <= 1 || n = 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let job =
+      { f; n; next = Atomic.make 0; completed = Atomic.make 0; failure = None }
+    in
+    Mutex.lock t.mutex;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.parallel_for: pool is shut down"
+    end;
+    if t.job <> None then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.parallel_for: pool already running a loop"
+    end;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    (* The caller is a full member of the crew. *)
+    drain t job;
+    Mutex.lock t.mutex;
+    while Atomic.get job.completed < job.n do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.job <- None;
+    let failure = job.failure in
+    Mutex.unlock t.mutex;
+    match failure with None -> () | Some e -> raise e
+  end

@@ -1,0 +1,42 @@
+(** A small reusable pool of worker domains for embarrassingly parallel
+    index loops — built on OCaml 5 [Domain] + [Mutex]/[Condition] only.
+
+    Designed for the all-pairs SPF fan-out: [parallel_for pool n f] runs
+    [f 0 .. f (n-1)] exactly once each, spreading indices over the pool's
+    domains (the calling domain included).  Scheduling is nondeterministic
+    but as long as [f i] writes only to slot [i] of some result array the
+    outcome is bit-identical to the sequential loop; a pool of [size] 1
+    spawns no domains and {e is} the sequential loop. *)
+
+type t
+
+val create : int -> t
+(** [create size] spawns [size - 1] worker domains ([size >= 1]; size 1
+    spawns none).  Workers idle on a condition variable between loops.
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val parallel_for : t -> int -> (int -> unit) -> unit
+(** [parallel_for t n f] runs [f i] for every [i] in [0 .. n-1] and
+    returns when all are done.  If any [f i] raises, the first exception
+    is re-raised in the caller after the loop drains (remaining indices
+    still run).  Loops do not nest: a pool runs one loop at a time, and
+    calling from within [f] is an error. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool cannot be used
+    afterwards.  Pools that are simply dropped release their workers via a
+    finalizer, so calling this is only required for prompt reclamation. *)
+
+val default_size : unit -> int
+(** Pool size selected by the [ARPANET_DOMAINS] environment variable
+    (clamped to [1, 128]); 1 — the sequential path — when unset or
+    unparseable. *)
+
+val default_env_var : string
+(** ["ARPANET_DOMAINS"]. *)
+
+val recommended_size : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1 — a sensible
+    upper bound leaving one core for the rest of the program. *)

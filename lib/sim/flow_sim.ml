@@ -28,10 +28,12 @@ type t = {
   mutable flooders : Flooder.t array;
   link_up : bool array;
   utilization : float array; (* most recent period, raw offered/capacity *)
-  mutable trees : Spf_tree.t array; (* per source, on flooded costs *)
-  mutable min_trees : Spf_tree.t array; (* per source, min-hop on up links *)
-  mutable costs_dirty : bool;
-  mutable topology_dirty : bool;
+  pool : Domain_pool.t option; (* shared by all three engines *)
+  engine : Spf_engine.t; (* per-source trees on flooded costs *)
+  min_engine : Spf_engine.t; (* per-source min-hop trees on up links *)
+  mutable lag_engine : Spf_engine.t option;
+      (* laggard sources' trees on the previous period's costs; created on
+         first use when stagger > 0 *)
   mutable period : int;
   mutable history : period_stats list; (* newest first *)
   mutable stagger : float; (* fraction of nodes applying updates one period late *)
@@ -50,18 +52,19 @@ let make_flooders graph =
   Array.init (Graph.node_count graph) (fun i ->
       Flooder.create graph ~owner:(Node.of_int i))
 
-let create_with graph metric tm =
+let create_with ?(domains = Domain_pool.default_size ()) graph metric tm =
   let nl = Graph.link_count graph in
+  let pool = if domains > 1 then Some (Domain_pool.create domains) else None in
   { graph;
     metric;
     flows = flows_of_matrix tm;
     flooders = make_flooders graph;
     link_up = Array.make nl true;
     utilization = Array.make nl 0.;
-    trees = [||];
-    min_trees = [||];
-    costs_dirty = true;
-    topology_dirty = true;
+    pool;
+    engine = Spf_engine.create ?pool graph;
+    min_engine = Spf_engine.create ?pool graph;
+    lag_engine = None;
     period = 0;
     history = [];
     stagger = 0.;
@@ -70,7 +73,8 @@ let create_with graph metric tm =
     throttle = Hashtbl.create 256;
     prev_first_hop = [||] }
 
-let create graph kind tm = create_with graph (Metric.create kind graph) tm
+let create ?domains graph kind tm =
+  create_with ?domains graph (Metric.create kind graph) tm
 
 let graph t = t.graph
 
@@ -88,21 +92,39 @@ let node_lags t i =
   t.stagger > 0.
   && float_of_int ((i * 2654435761) land 0xFFFF) /. 65536. < t.stagger
 
+(* The engines diff the flooded costs (and the up/down set) themselves, so
+   refresh is cheap whenever a period flooded no significant update — no
+   dirty flags to maintain.  Laggard sources under [stagger] route on the
+   previous period's costs, served by a second engine fed [prev_costs]. *)
 let refresh_trees t =
-  if t.topology_dirty then begin
-    t.min_trees <- Array.init (Graph.node_count t.graph) (fun i ->
-        Dijkstra.min_hop_tree ~enabled:(enabled t) t.graph (Node.of_int i));
-    t.topology_dirty <- false;
-    t.costs_dirty <- true
-  end;
-  if t.costs_dirty || t.stagger > 0. then begin
-    let stale lid = t.prev_costs.(Link.id_to_int lid) in
-    t.trees <-
-      Array.init (Graph.node_count t.graph) (fun i ->
-          let cost = if node_lags t i then stale else Metric.cost_fn t.metric in
-          Dijkstra.compute ~enabled:(enabled t) t.graph ~cost (Node.of_int i));
-    t.costs_dirty <- false
+  Spf_engine.refresh t.min_engine ~enabled:(enabled t) ~cost:(fun _ -> 1);
+  if t.stagger > 0. then begin
+    let lags n = node_lags t (Node.to_int n) in
+    Spf_engine.refresh t.engine
+      ~wanted:(fun n -> not (lags n))
+      ~enabled:(enabled t) ~cost:(Metric.cost_fn t.metric);
+    let lag_engine =
+      match t.lag_engine with
+      | Some e -> e
+      | None ->
+        let e = Spf_engine.create ?pool:t.pool t.graph in
+        t.lag_engine <- Some e;
+        e
+    in
+    Spf_engine.refresh lag_engine ~wanted:lags ~enabled:(enabled t)
+      ~cost:(fun lid -> t.prev_costs.(Link.id_to_int lid))
   end
+  else
+    Spf_engine.refresh t.engine ~enabled:(enabled t)
+      ~cost:(Metric.cost_fn t.metric)
+
+(* The tree a source routes on this period. *)
+let tree_for t src =
+  match t.lag_engine with
+  | Some lag when node_lags t (Node.to_int src) -> Spf_engine.tree lag src
+  | _ -> Spf_engine.tree t.engine src
+
+let spf_stats t = Spf_engine.stats t.engine
 
 (* Climb the tree from [dst] to the root, applying [f] to each link id. *)
 let iter_path tree dst f =
@@ -152,7 +174,7 @@ let step t =
      changes against the previous period (§3.3's route oscillation). *)
   Array.iteri
     (fun fi flow ->
-      let tree = t.trees.(Node.to_int flow.src) in
+      let tree = tree_for t flow.src in
       if Spf_tree.reached tree flow.dst then begin
         let sending = flow.demand_bps *. throttle_of t flow in
         let first_hop = ref (-1) in
@@ -182,7 +204,7 @@ let step t =
     (fun flow ->
       let sending = flow.demand_bps *. throttle_of t flow in
       total_offered := !total_offered +. sending;
-      let tree = t.trees.(Node.to_int flow.src) in
+      let tree = tree_for t flow.src in
       if not (Spf_tree.reached tree flow.dst) then begin
         dropped := !dropped +. sending;
         update_throttle t flow ~loss_fraction:1.
@@ -203,7 +225,7 @@ let step t =
         dropped := !dropped +. (sending -. carried);
         delay_weighted := !delay_weighted +. (!delay *. carried);
         hops_weighted := !hops_weighted +. (float_of_int !hops *. carried);
-        let min_tree = t.min_trees.(Node.to_int flow.src) in
+        let min_tree = Spf_engine.tree t.min_engine flow.src in
         let mh =
           if Spf_tree.reached min_tree flow.dst then
             Spf_tree.hops min_tree flow.dst
@@ -235,8 +257,7 @@ let step t =
       let update = Flooder.originate t.flooders.(origin) ~costs in
       let outcome = Broadcast.flood t.graph t.flooders update in
       incr updates;
-      update_bits := !update_bits +. outcome.Broadcast.bits;
-      t.costs_dirty <- true)
+      update_bits := !update_bits +. outcome.Broadcast.bits)
     changed_by_origin;
   t.period <- t.period + 1;
   let max_utilization = Array.fold_left Float.max 0. t.utilization in
@@ -273,9 +294,9 @@ let switch_metric t kind =
   Log.info (fun m ->
       m "t=%.0fs: switching metric to %s" (time_s t) (Metric.kind_name kind));
   t.metric <- Metric.create kind t.graph;
-  (* A software reload floods fresh costs for every link at once. *)
-  t.flooders <- make_flooders t.graph;
-  t.costs_dirty <- true
+  (* A software reload floods fresh costs for every link at once; the
+     engines pick the new costs up by diffing on the next refresh. *)
+  t.flooders <- make_flooders t.graph
 
 let set_link_up t lid up =
   let i = Link.id_to_int lid in
@@ -284,8 +305,7 @@ let set_link_up t lid up =
         m "t=%.0fs: link %a %s" (time_s t) Link.pp (Graph.link t.graph lid)
           (if up then "up (easing in)" else "down"));
     t.link_up.(i) <- up;
-    if up then Metric.link_up t.metric lid;
-    t.topology_dirty <- true
+    if up then Metric.link_up t.metric lid
   end
 
 let set_adaptive_sources t enabled =
@@ -294,8 +314,7 @@ let set_adaptive_sources t enabled =
 
 let set_stagger t fraction =
   if fraction < 0. || fraction > 1. then invalid_arg "Flow_sim.set_stagger";
-  t.stagger <- fraction;
-  t.costs_dirty <- true
+  t.stagger <- fraction
 
 let link_utilization t lid = t.utilization.(Link.id_to_int lid)
 

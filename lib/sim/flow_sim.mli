@@ -41,10 +41,16 @@ type period_stats = {
 
 type t
 
-val create : Graph.t -> Metric.kind -> Traffic_matrix.t -> t
-(** The flow simulator is fully deterministic: same inputs, same run. *)
+val create : ?domains:int -> Graph.t -> Metric.kind -> Traffic_matrix.t -> t
+(** The flow simulator is fully deterministic: same inputs, same run.
+    [domains] (default {!Domain_pool.default_size}, i.e. the
+    [ARPANET_DOMAINS] environment variable or 1) sizes the domain pool the
+    SPF engine fans per-source computations over; because every engine
+    configuration serves bit-identical trees, the domain count never
+    changes results — only wall-clock time. *)
 
-val create_with : Graph.t -> Metric.t -> Traffic_matrix.t -> t
+val create_with :
+  ?domains:int -> Graph.t -> Metric.t -> Traffic_matrix.t -> t
 (** Use a pre-built metric — e.g. a custom-parameterized HNM from
     {!Routing_metric.Metric.create_custom_hnspf}. *)
 
@@ -100,6 +106,11 @@ val link_utilization : t -> Link.id -> float
 
 val link_cost : t -> Link.id -> int
 (** Currently flooded cost. *)
+
+val spf_stats : t -> Spf_engine.stats
+(** Live counters of the main SPF engine: how many refreshes were skipped
+    outright (no significant update flooded), how many source trees were
+    reused versus recomputed. *)
 
 val indicators : t -> ?skip:int -> unit -> Measure.indicators
 (** Aggregate the retained per-period stats into Table-1 indicators,

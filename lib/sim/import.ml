@@ -9,7 +9,9 @@ module Rng = Routing_stats.Rng
 module Welford = Routing_stats.Welford
 module Time_series = Routing_stats.Time_series
 module Dijkstra = Routing_spf.Dijkstra
+module Spf_engine = Routing_spf.Spf_engine
 module Spf_tree = Routing_spf.Spf_tree
+module Domain_pool = Routing_metric.Domain_pool
 module Routing_table = Routing_spf.Routing_table
 module Metric = Routing_metric.Metric
 module Queueing = Routing_metric.Queueing

@@ -12,6 +12,7 @@ type config = {
   retransmit_interval_s : float;
   use_incremental_spf : bool;
   trace_capacity : int;
+  domains : int;
 }
 
 let log_src = Logs.Src.create "routing_sim.network" ~doc:"packet-level simulator"
@@ -29,7 +30,8 @@ let default_config metric =
     line_error_rate = 0.;
     retransmit_interval_s = 1.0;
     use_incremental_spf = false;
-    trace_capacity = 0 }
+    trace_capacity = 0;
+    domains = Domain_pool.default_size () }
 
 type t = {
   graph : Graph.t;
@@ -60,6 +62,11 @@ type t = {
   (* Per-node incremental SPF engines (§2.2's PSN algorithm), used when
      configured and while the whole topology is up. *)
   mutable incrementals : Routing_spf.Incremental.t array;
+  (* Shared SPF engines (instant flooding): per-source route trees on the
+     flooded costs, and min-hop trees on the up topology, both refreshed
+     by diffing and fanned over the pool. *)
+  spf : Spf_engine.t;
+  min_spf : Spf_engine.t;
   trace : Trace.t option;
   mutable started : bool;
   mutable tables_dirty : bool;
@@ -74,10 +81,9 @@ let link_enabled t lid = t.link_up.(Link.id_to_int lid)
 
 let recompute_min_hops t =
   let n = Graph.node_count t.graph in
+  Spf_engine.refresh t.min_spf ~enabled:(link_enabled t) ~cost:(fun _ -> 1);
   for src = 0 to n - 1 do
-    let tree =
-      Dijkstra.min_hop_tree ~enabled:(link_enabled t) t.graph (Node.of_int src)
-    in
+    let tree = Spf_engine.tree t.min_spf (Node.of_int src) in
     for dst = 0 to n - 1 do
       t.min_hops.(src).(dst) <-
         (let d = Node.of_int dst in
@@ -97,7 +103,18 @@ let install_table_for t i =
   Psn.install_table t.psns.(i) (Routing_table.of_tree tree)
 
 let install_tables t =
-  Array.iteri (fun i _ -> install_table_for t i) t.psns;
+  if t.config.instant_flooding then begin
+    (* Every node routes on the same flooded costs: one engine refresh
+       serves all tables, reusing provably unaffected trees. *)
+    Spf_engine.refresh t.spf ~enabled:(link_enabled t)
+      ~cost:(Metric.cost_fn t.metric);
+    Array.iteri
+      (fun i psn ->
+        Psn.install_table psn
+          (Routing_table.of_tree (Spf_engine.tree t.spf (Node.of_int i))))
+      t.psns
+  end
+  else Array.iteri (fun i _ -> install_table_for t i) t.psns;
   t.tables_dirty <- false
 
 let all_links_up t = Array.for_all Fun.id t.link_up
@@ -271,15 +288,16 @@ let routing_period t =
   (* Garbage-collect long-finished floods: anything older than 100 s has
      either been delivered everywhere or superseded by newer sequence
      numbers (the 50-second reliability refloods guarantee the latter). *)
-  Hashtbl.iter
-    (fun token (_, originated_s) ->
-      if now -. originated_s > 100. then Hashtbl.remove t.in_flight token)
-    (Hashtbl.copy t.in_flight);
-  Hashtbl.iter
-    (fun ((_, token) as key) () ->
-      if not (Hashtbl.mem t.in_flight token) then
-        Hashtbl.remove t.pending_acks key)
-    (Hashtbl.copy t.pending_acks);
+  Hashtbl.fold
+    (fun token (_, originated_s) doomed ->
+      if now -. originated_s > 100. then token :: doomed else doomed)
+    t.in_flight []
+  |> List.iter (Hashtbl.remove t.in_flight);
+  Hashtbl.fold
+    (fun ((_, token) as key) () doomed ->
+      if Hashtbl.mem t.in_flight token then doomed else key :: doomed)
+    t.pending_acks []
+  |> List.iter (Hashtbl.remove t.pending_acks);
   let changed_by_origin = Hashtbl.create 16 in
   let all_changes = ref [] in
   Array.iter
@@ -368,6 +386,10 @@ let create ?config graph tm =
   let rng = Rng.create config.seed in
   let metric = Metric.create config.metric graph in
   let psns = Array.init n (fun i -> Psn.create graph (Node.of_int i)) in
+  let pool =
+    if config.domains > 1 then Some (Domain_pool.create config.domains)
+    else None
+  in
   let t =
     { graph;
       config;
@@ -391,6 +413,8 @@ let create ?config graph tm =
       link_rng = Rng.create (config.seed lxor 0x5F5F5F);
       flood_latency = Welford.create ();
       incrementals = [||];
+      spf = Spf_engine.create ?pool graph;
+      min_spf = Spf_engine.create ?pool graph;
       trace =
         (if config.trace_capacity > 0 then
            Some (Trace.create ~capacity:config.trace_capacity)
@@ -443,10 +467,11 @@ let set_link_up t lid up =
           (if up then "up (easing in)" else "down"));
     if not up then
       (* Updates pending on a dead line will never be acknowledged. *)
-      Hashtbl.iter
-        (fun (l, token) () ->
-          if l = i then Hashtbl.remove t.pending_acks (l, token))
-        (Hashtbl.copy t.pending_acks);
+      Hashtbl.fold
+        (fun ((l, _) as key) () doomed ->
+          if l = i then key :: doomed else doomed)
+        t.pending_acks []
+      |> List.iter (Hashtbl.remove t.pending_acks);
     Link_queue.set_up t.queues.(i) up;
     if up then Metric.link_up t.metric lid;
     recompute_min_hops t;

@@ -46,6 +46,11 @@ type config = {
   trace_capacity : int;
       (** keep the most recent N structured {!Trace} events (0, the
           default, disables tracing) *)
+  domains : int;
+      (** domain-pool size for the shared SPF engine (instant flooding
+          only).  Defaults to {!Domain_pool.default_size} — the
+          [ARPANET_DOMAINS] environment variable, or 1.  Never changes
+          results, only wall-clock time. *)
 }
 
 val default_config : Metric.kind -> config

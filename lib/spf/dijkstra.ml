@@ -31,10 +31,30 @@ let edge_weight ~tie_break ~cost lid =
   in
   (((c * cost_scale) + adjust) * hop_scale) + 1
 
-let compute ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost root =
+(* Memoized per-link composite weights: one cost_fn call + range check per
+   link per refresh, instead of per edge per source.  Disabled links carry
+   the sentinel -1 and are never entered. *)
+let compute_weights ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost
+    =
+  let weights = Array.make (Graph.link_count g) (-1) in
+  Graph.iter_links g (fun (l : Link.t) ->
+      if enabled l.id then
+        weights.(Link.id_to_int l.id) <- edge_weight ~tie_break ~cost l.id);
+  weights
+
+let composite ~dist ~hops =
+  if dist = max_int then max_int else (dist * cost_scale * hop_scale) + hops
+
+(* The SPF inner loop over the flat (CSR) adjacency and a memoized weight
+   table.  Tie-breaking is identical to the historical list-based version:
+   heap priorities are (composite weight, arriving link id) pairs — globally
+   unique — and on a fully tied relaxation the lower arriving link id wins,
+   so the tree is a pure function of the weight table. *)
+let compute_flat g ~weights root =
   let n = Graph.node_count g in
+  let out_off, out_link_ids, out_dst = Graph.csr_out g in
   let dist = Array.make n max_int in
-  let parent = Array.make n None in
+  let parent = Array.make n (-1) in
   let settled = Array.make n false in
   let compare (wa, la) (wb, lb) =
     match Int.compare wa wb with 0 -> Int.compare la lb | c -> c
@@ -42,35 +62,32 @@ let compute ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost root =
   let heap = Priority_queue.create ~compare in
   let ri = Node.to_int root in
   dist.(ri) <- 0;
-  Priority_queue.push heap (0, -1) root;
+  Priority_queue.push heap (0, -1) ri;
   let rec run () =
     match Priority_queue.pop_min heap with
     | None -> ()
-    | Some ((w, _), node) ->
-      let i = Node.to_int node in
+    | Some ((w, _), i) ->
       if not settled.(i) then begin
         settled.(i) <- true;
-        List.iter
-          (fun (l : Link.t) ->
-            let j = Node.to_int l.dst in
-            if enabled l.id && not settled.(j) then begin
-              let w' = w + edge_weight ~tie_break ~cost l.id in
-              if w' < dist.(j) then begin
-                dist.(j) <- w';
-                parent.(j) <- Some l.id;
-                Priority_queue.push heap (w', Link.id_to_int l.id) l.dst
-              end
-              else if w' = dist.(j) then begin
-                (* Fully tied: keep the lower arriving link id so the tree
-                   is independent of heap internals. *)
-                match parent.(j) with
-                | Some p when Link.id_compare l.id p < 0 ->
-                  parent.(j) <- Some l.id;
-                  Priority_queue.push heap (w', Link.id_to_int l.id) l.dst
-                | _ -> ()
-              end
-            end)
-          (Graph.out_links g node)
+        for k = out_off.(i) to out_off.(i + 1) - 1 do
+          let lid = out_link_ids.(k) in
+          let ew = weights.(lid) in
+          let j = out_dst.(k) in
+          if ew >= 0 && not settled.(j) then begin
+            let w' = w + ew in
+            if w' < dist.(j) then begin
+              dist.(j) <- w';
+              parent.(j) <- lid;
+              Priority_queue.push heap (w', lid) j
+            end
+            else if w' = dist.(j) && lid < parent.(j) then begin
+              (* Fully tied: keep the lower arriving link id so the tree
+                 is independent of heap internals. *)
+              parent.(j) <- lid;
+              Priority_queue.push heap (w', lid) j
+            end
+          end
+        done
       end;
       run ()
   in
@@ -83,13 +100,29 @@ let compute ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost root =
       hops.(i) <- dist.(i) mod hop_scale;
       units.(i) <-
         (dist.(i) / hop_scale / cost_scale)
-        + (if (dist.(i) / hop_scale) mod cost_scale > cost_scale / 2 then 1 else 0)
+        + (if (dist.(i) / hop_scale) mod cost_scale > cost_scale / 2 then 1
+           else 0)
     end
   done;
+  let parent =
+    Array.map (fun p -> if p < 0 then None else Some (Link.id_of_int p)) parent
+  in
   Spf_tree.make ~graph:g ~root ~parent ~dist:units ~hops
 
-let all_pairs ?tie_break ?enabled g ~cost =
-  Array.init (Graph.node_count g) (fun i ->
-      compute ?tie_break ?enabled g ~cost (Node.of_int i))
+let compute ?tie_break ?enabled g ~cost root =
+  compute_flat g ~weights:(compute_weights ?tie_break ?enabled g ~cost) root
+
+let all_pairs ?tie_break ?enabled ?pool g ~cost =
+  let weights = compute_weights ?tie_break ?enabled g ~cost in
+  let n = Graph.node_count g in
+  let trees = Array.make n None in
+  let one i = trees.(i) <- Some (compute_flat g ~weights (Node.of_int i)) in
+  (match pool with
+  | None ->
+    for i = 0 to n - 1 do
+      one i
+    done
+  | Some pool -> Domain_pool.parallel_for pool n one);
+  Array.map Option.get trees
 
 let min_hop_tree ?enabled g root = compute ?enabled g ~cost:(fun _ -> 1) root

@@ -12,7 +12,14 @@ open! Import
     for the other end of the traffic band, against it.  [tie_break]
     implements this as an infinitesimal cost adjustment on the probe link;
     the default [`Neutral] breaks remaining ties toward fewer hops and then
-    lower link ids, making route computation fully deterministic. *)
+    lower link ids, making route computation fully deterministic.
+
+    {b Hot path.}  Internally every computation runs over the graph's flat
+    (CSR) adjacency and a per-link table of memoized composite edge weights
+    ({!compute_weights} / {!compute_flat}), so the inner loop touches only
+    int arrays.  {!compute} is the convenience wrapper; callers computing
+    many trees against the same costs — {!all_pairs}, {!Spf_engine} — build
+    the weight table once and share it. *)
 
 type tie_break =
   [ `Neutral  (** fewer hops, then lower link ids *)
@@ -35,17 +42,46 @@ val compute :
     Links for which [enabled] is false (default: none) are treated as down
     and never entered — how SPF "dynamically rout[es] around down lines"
     (§7).
-    @raise Invalid_argument if any queried link cost is outside
+    @raise Invalid_argument if any enabled link's cost is outside
     [\[1, max_link_cost\]]. *)
 
-val all_pairs :
+val compute_weights :
   ?tie_break:tie_break ->
   ?enabled:(Link.id -> bool) ->
   Graph.t ->
   cost:(Link.id -> int) ->
+  int array
+(** The composite edge-weight table, indexed by link id: each enabled
+    link's cost folded with the tie-break adjustment and the per-hop +1;
+    disabled links carry the sentinel [-1].  Equal tables (under [(=)])
+    guarantee identical trees from {!compute_flat}.
+    @raise Invalid_argument if any enabled link's cost is outside
+    [\[1, max_link_cost\]]. *)
+
+val compute_flat : Graph.t -> weights:int array -> Node.t -> Spf_tree.t
+(** [compute_flat g ~weights root]: the SPF inner loop proper, over a table
+    from {!compute_weights}.  [compute ... root] is exactly
+    [compute_flat g ~weights:(compute_weights ...) root]. *)
+
+val composite : dist:int -> hops:int -> int
+(** Re-encode a tree's per-node [dist] (routing units) and [hops] into the
+    composite distance the inner loop compared, assuming [`Neutral]
+    tie-breaking (the encoding is lossy under [`Favor]/[`Avoid]).
+    [max_int] maps to [max_int].  Used by {!Spf_engine} to reason about
+    whether a weight change can affect a tree. *)
+
+val all_pairs :
+  ?tie_break:tie_break ->
+  ?enabled:(Link.id -> bool) ->
+  ?pool:Domain_pool.t ->
+  Graph.t ->
+  cost:(Link.id -> int) ->
   Spf_tree.t array
 (** One tree per node, indexed by node id — what the network as a whole
-    computes after a flood reaches everyone. *)
+    computes after a flood reaches everyone.  The weight table is built
+    once and shared across sources; with [pool] the per-source computations
+    fan out over the pool's domains (each source writes only its own slot,
+    so the result is bit-identical to the sequential run). *)
 
 val min_hop_tree : ?enabled:(Link.id -> bool) -> Graph.t -> Node.t -> Spf_tree.t
 (** SPF with every link costing one hop — the static baseline of §5.3. *)

@@ -6,4 +6,5 @@ module Node = Routing_topology.Node
 module Line_type = Routing_topology.Line_type
 module Link = Routing_topology.Link
 module Graph = Routing_topology.Graph
+module Domain_pool = Routing_metric.Domain_pool
 module Traffic_matrix = Routing_topology.Traffic_matrix

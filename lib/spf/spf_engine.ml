@@ -1,0 +1,186 @@
+open! Import
+
+(* The engine owns one shortest-path tree per source and keeps the set
+   consistent with the latest link costs at minimal cost.  The key fact it
+   leans on: with (weight, arriving-link-id) heap priorities — globally
+   unique — and lowest-id tie-breaking, {!Dijkstra.compute_flat} is a pure
+   function of the weight table.  Every node's final distance is the true
+   shortest composite distance and its parent is the lowest-id link
+   achieving it, independent of visit order.  So the engine can diff the
+   memoized weight table between refreshes and {e prove} most trees
+   untouched:
+
+   - a weight increase (or a link going down) cannot change a tree unless
+     the link is that tree's parent of its destination: a non-parent link
+     lies on no tree path (distances stay achieved without it) and was not
+     the lowest-id candidate into its destination (candidates only shrink);
+
+   - a weight decrease (or a link coming up) to [w'] on link [u -> v]
+     cannot change a tree unless [u] is reached and
+     [D(u) + w' <= D(v)] in composite distance ([<=], not [<]: equality
+     makes the link a new parent candidate that may win the id tie).
+
+   These tests compose across any set of simultaneous changes (induction on
+   the decreased edges of a hypothetical shorter path, using the strict
+   inequality from the decrease test), so a tree passing every per-link
+   test is bit-identical to a full recompute.  Trees that fail any test are
+   recomputed in full, fanned over the domain pool. *)
+
+type stats = {
+  mutable refreshes : int;
+  mutable skipped : int;
+  mutable full_sweeps : int;
+  mutable sources_recomputed : int;
+  mutable sources_reused : int;
+}
+
+type t = {
+  graph : Graph.t;
+  pool : Domain_pool.t option;
+  threshold : float;
+  mutable weights : int array; (* [||] before the first refresh *)
+  trees : Spf_tree.t option array;
+  stats : stats;
+}
+
+let create ?pool ?(threshold = 0.25) graph =
+  { graph;
+    pool;
+    threshold;
+    weights = [||];
+    trees = Array.make (Graph.node_count graph) None;
+    stats =
+      { refreshes = 0;
+        skipped = 0;
+        full_sweeps = 0;
+        sources_recomputed = 0;
+        sources_reused = 0 } }
+
+let graph t = t.graph
+
+let stats t = t.stats
+
+let run_for t n f =
+  match t.pool with
+  | None ->
+    for i = 0 to n - 1 do
+      f i
+    done
+  | Some pool -> Domain_pool.parallel_for pool n f
+
+let recompute t sources =
+  let todo = Array.of_list sources in
+  t.stats.sources_recomputed <-
+    t.stats.sources_recomputed + Array.length todo;
+  let weights = t.weights in
+  run_for t (Array.length todo) (fun k ->
+      let i = todo.(k) in
+      t.trees.(i) <-
+        Some (Dijkstra.compute_flat t.graph ~weights (Node.of_int i)))
+
+(* Can this set of weight changes alter [tree]?  See the module comment for
+   why "no" here is a proof, not a heuristic. *)
+let affected t tree changes =
+  let composite n =
+    Dijkstra.composite ~dist:(Spf_tree.dist tree n) ~hops:(Spf_tree.hops tree n)
+  in
+  List.exists
+    (fun (lid, old_w, new_w) ->
+      let l = Graph.link t.graph lid in
+      let decrease = new_w >= 0 && (old_w < 0 || new_w < old_w) in
+      if decrease then
+        Spf_tree.reached tree l.Link.src
+        && ((not (Spf_tree.reached tree l.Link.dst))
+           || composite l.Link.src + new_w <= composite l.Link.dst)
+      else begin
+        match Spf_tree.parent_link tree l.Link.dst with
+        | Some p -> Link.id_equal p.Link.id lid
+        | None -> false
+      end)
+    changes
+
+let refresh ?(wanted = fun _ -> true) ?(enabled = fun _ -> true) t ~cost =
+  t.stats.refreshes <- t.stats.refreshes + 1;
+  let n = Graph.node_count t.graph in
+  let weights = Dijkstra.compute_weights ~enabled t.graph ~cost in
+  let first = Array.length t.weights = 0 in
+  let changes =
+    if first then []
+    else begin
+      let acc = ref [] in
+      for i = Array.length weights - 1 downto 0 do
+        if weights.(i) <> t.weights.(i) then
+          acc := (Link.id_of_int i, t.weights.(i), weights.(i)) :: !acc
+      done;
+      !acc
+    end
+  in
+  t.weights <- weights;
+  let wanted i = wanted (Node.of_int i) in
+  if first then begin
+    t.stats.full_sweeps <- t.stats.full_sweeps + 1;
+    let todo = ref [] in
+    for i = n - 1 downto 0 do
+      if wanted i then todo := i :: !todo else t.trees.(i) <- None
+    done;
+    recompute t !todo
+  end
+  else if changes = [] then begin
+    (* Nothing flooded a significant update: every existing tree is still
+       exact; only sources newly wanted need work. *)
+    let todo = ref [] in
+    for i = n - 1 downto 0 do
+      if wanted i && t.trees.(i) = None then todo := i :: !todo
+    done;
+    if !todo = [] then t.stats.skipped <- t.stats.skipped + 1
+    else recompute t !todo;
+    t.stats.sources_reused <-
+      t.stats.sources_reused
+      + Array.fold_left (fun a tr -> if tr = None then a else a + 1) 0 t.trees
+  end
+  else if
+    float_of_int (List.length changes)
+    > t.threshold *. float_of_int (Graph.link_count t.graph)
+  then begin
+    t.stats.full_sweeps <- t.stats.full_sweeps + 1;
+    let todo = ref [] in
+    for i = n - 1 downto 0 do
+      if wanted i then todo := i :: !todo else t.trees.(i) <- None
+    done;
+    recompute t !todo
+  end
+  else begin
+    let todo = ref [] in
+    for i = n - 1 downto 0 do
+      match t.trees.(i) with
+      | Some tree when not (affected t tree changes) ->
+        (* Provably identical to a recompute — keep it, wanted or not. *)
+        t.stats.sources_reused <- t.stats.sources_reused + 1
+      | Some _ ->
+        if wanted i then todo := i :: !todo else t.trees.(i) <- None
+      | None -> if wanted i then todo := i :: !todo
+    done;
+    recompute t !todo
+  end
+
+let tree t node =
+  if Array.length t.weights = 0 then
+    invalid_arg "Spf_engine.tree: refresh the engine first";
+  let i = Node.to_int node in
+  match t.trees.(i) with
+  | Some tree -> tree
+  | None ->
+    let tree = Dijkstra.compute_flat t.graph ~weights:t.weights node in
+    t.trees.(i) <- Some tree;
+    t.stats.sources_recomputed <- t.stats.sources_recomputed + 1;
+    tree
+
+let trees t =
+  if Array.length t.weights = 0 then
+    invalid_arg "Spf_engine.trees: refresh the engine first";
+  let todo = ref [] in
+  for i = Graph.node_count t.graph - 1 downto 0 do
+    if t.trees.(i) = None then todo := i :: !todo
+  done;
+  if !todo <> [] then recompute t !todo;
+  Array.map Option.get t.trees

@@ -71,6 +71,22 @@ let destinations_via t lid =
       if uses_link t n lid then n :: acc else acc)
   |> List.rev
 
+let equal a b =
+  Node.equal a.root b.root
+  && a.dist = b.dist && a.hops = b.hops
+  && Array.length a.parent = Array.length b.parent
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i p ->
+           match (p, b.parent.(i)) with
+           | None, None -> ()
+           | Some x, Some y when Link.id_equal x y -> ()
+           | _ -> ok := false)
+         a.parent;
+       !ok
+     end
+
 let equal_dists a b =
   Array.length a.dist = Array.length b.dist
   && Node.equal a.root b.root

@@ -51,6 +51,11 @@ val destinations_via : t -> Link.id -> Node.t list
 val fold_reached : t -> init:'a -> f:('a -> Node.t -> 'a) -> 'a
 (** Fold over every reached node except the root. *)
 
+val equal : t -> t -> bool
+(** Structural equality: same root, same distances, hop counts {e and}
+    parent links for every node.  The determinism tests use this to assert
+    parallel and sequential computations agree bit-for-bit. *)
+
 val equal_dists : t -> t -> bool
 (** True when the two trees assign every node the same distance (parents may
     differ between equally short trees). *)

@@ -3,6 +3,15 @@ type t = {
   link_array : Link.t array;
   out_by_node : Link.t list array; (* in link-id order *)
   in_by_node : Link.t list array;
+  (* CSR-style flat adjacency: link ids grouped by endpoint, mirroring the
+     lists above exactly (same grouping, same ascending-id order) but laid
+     out in three flat int arrays so the SPF inner loop touches no list
+     cells or boxed links. *)
+  out_off : int array; (* node_count + 1 offsets into out_link_ids *)
+  out_link_ids : int array; (* link ids, grouped by src *)
+  out_dst : int array; (* parallel to out_link_ids: destination node ints *)
+  in_off : int array;
+  in_link_ids : int array; (* link ids, grouped by dst *)
 }
 
 let node_count t = Array.length t.names
@@ -31,6 +40,10 @@ let link t id =
 let out_links t n = t.out_by_node.(Node.to_int n)
 
 let in_links t n = t.in_by_node.(Node.to_int n)
+
+let csr_out t = (t.out_off, t.out_link_ids, t.out_dst)
+
+let csr_in t = (t.in_off, t.in_link_ids)
 
 let find_link t ~src ~dst =
   List.find_opt (fun (l : Link.t) -> Node.equal l.dst dst) (out_links t src)
@@ -121,4 +134,43 @@ let make ~names ~links =
     out_by_node.(s) <- l :: out_by_node.(s);
     in_by_node.(d) <- l :: in_by_node.(d)
   done;
-  { names; link_array = links; out_by_node; in_by_node }
+  (* CSR construction: bucket counts, prefix sums, then a forward fill so
+     each bucket holds its link ids in ascending order — the same order the
+     lists present. *)
+  let nl = Array.length links in
+  let out_off = Array.make (n + 1) 0 in
+  let in_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (l : Link.t) ->
+      out_off.(Node.to_int l.Link.src + 1) <-
+        out_off.(Node.to_int l.Link.src + 1) + 1;
+      in_off.(Node.to_int l.Link.dst + 1) <-
+        in_off.(Node.to_int l.Link.dst + 1) + 1)
+    links;
+  for i = 1 to n do
+    out_off.(i) <- out_off.(i) + out_off.(i - 1);
+    in_off.(i) <- in_off.(i) + in_off.(i - 1)
+  done;
+  let out_link_ids = Array.make nl 0 in
+  let out_dst = Array.make nl 0 in
+  let in_link_ids = Array.make nl 0 in
+  let out_cursor = Array.sub out_off 0 n in
+  let in_cursor = Array.sub in_off 0 n in
+  for i = 0 to nl - 1 do
+    let l = links.(i) in
+    let s = Node.to_int l.Link.src and d = Node.to_int l.Link.dst in
+    out_link_ids.(out_cursor.(s)) <- i;
+    out_dst.(out_cursor.(s)) <- d;
+    out_cursor.(s) <- out_cursor.(s) + 1;
+    in_link_ids.(in_cursor.(d)) <- i;
+    in_cursor.(d) <- in_cursor.(d) + 1
+  done;
+  { names;
+    link_array = links;
+    out_by_node;
+    in_by_node;
+    out_off;
+    out_link_ids;
+    out_dst;
+    in_off;
+    in_link_ids }

@@ -31,6 +31,24 @@ val out_links : t -> Node.t -> Link.t list
 
 val in_links : t -> Node.t -> Link.t list
 
+(** {2 Flat (CSR) adjacency} — the hot-path view of the same structure.
+
+    Shortest-path computation visits every out-link of every node once per
+    source; the list API allocates nothing but chases a cons cell per edge.
+    These accessors expose the adjacency as compact int arrays instead.
+    The arrays are the graph's own — {b treat them as read-only}. *)
+
+val csr_out : t -> int array * int array * int array
+(** [csr_out g] is [(off, link_ids, dsts)]: the out-links of node [i] are
+    [link_ids.(off.(i)) .. link_ids.(off.(i+1) - 1)], in ascending link-id
+    order (exactly the order {!out_links} presents), and [dsts.(k)] is the
+    destination node id of [link_ids.(k)].  [off] has [node_count + 1]
+    entries; [link_ids] and [dsts] have [link_count]. *)
+
+val csr_in : t -> int array * int array
+(** [csr_in g] is [(off, link_ids)]: the in-links of node [i], grouped and
+    ordered as {!in_links} presents them. *)
+
 val find_link : t -> src:Node.t -> dst:Node.t -> Link.t option
 (** The (first) direct link between two nodes, if adjacent. *)
 

@@ -1,0 +1,246 @@
+(* Tests for the all-pairs SPF engine, the domain pool and the CSR
+   adjacency: the engine must serve trees bit-identical to a from-scratch
+   Dijkstra in every configuration — sequential or parallel, incremental
+   repair or full sweep. *)
+
+open Routing_topology
+module Dijkstra = Routing_spf.Dijkstra
+module Spf_engine = Routing_spf.Spf_engine
+module Spf_tree = Routing_spf.Spf_tree
+module Domain_pool = Routing_metric.Domain_pool
+module Flow_sim = Routing_sim.Flow_sim
+module Metric = Routing_metric.Metric
+module Rng = Routing_stats.Rng
+
+let random_graph seed =
+  let rng = Rng.create seed in
+  let nodes = 4 + Rng.int rng 12 in
+  Generators.ring_chord rng ~nodes ~chords:(Rng.int rng (2 * nodes))
+
+(* --- Domain pool --- *)
+
+let test_pool_covers_all_indices () =
+  let pool = Domain_pool.create 3 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  (* Racy increments would be a test bug; per-index slots are the pool's
+     contract, and each index is handed out exactly once. *)
+  Domain_pool.parallel_for pool n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "every index ran once" true
+    (Array.for_all (fun h -> h = 1) hits);
+  (* The pool is reusable. *)
+  Domain_pool.parallel_for pool n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "second loop too" true
+    (Array.for_all (fun h -> h = 2) hits)
+
+let test_pool_propagates_exception () =
+  let pool = Domain_pool.create 2 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let raised =
+    try
+      Domain_pool.parallel_for pool 50 (fun i ->
+          if i = 17 then failwith "boom");
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "exception reaches the caller" true raised;
+  (* And the pool survives it. *)
+  let count = Atomic.make 0 in
+  Domain_pool.parallel_for pool 10 (fun _ -> Atomic.incr count);
+  Alcotest.(check int) "usable after failure" 10 (Atomic.get count)
+
+let test_pool_size_one_is_sequential () =
+  let pool = Domain_pool.create 1 in
+  let order = ref [] in
+  Domain_pool.parallel_for pool 5 (fun i -> order := i :: !order);
+  Alcotest.(check (list int)) "inline, in order" [ 4; 3; 2; 1; 0 ] !order
+
+(* --- CSR adjacency vs list adjacency --- *)
+
+let prop_csr_matches_lists =
+  QCheck2.Test.make ~name:"CSR adjacency = list adjacency" ~count:100
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let off, link_ids, dsts = Graph.csr_out g in
+      let in_off, in_link_ids = Graph.csr_in g in
+      Array.length off = Graph.node_count g + 1
+      && Array.length link_ids = Graph.link_count g
+      && Array.length in_off = Graph.node_count g + 1
+      && Array.length in_link_ids = Graph.link_count g
+      && List.for_all
+           (fun node ->
+             let i = Node.to_int node in
+             let out_flat =
+               List.init (off.(i + 1) - off.(i)) (fun k ->
+                   (link_ids.(off.(i) + k), dsts.(off.(i) + k)))
+             in
+             let out_list =
+               List.map
+                 (fun (l : Link.t) ->
+                   (Link.id_to_int l.id, Node.to_int l.dst))
+                 (Graph.out_links g node)
+             in
+             let in_flat =
+               List.init (in_off.(i + 1) - in_off.(i)) (fun k ->
+                   in_link_ids.(in_off.(i) + k))
+             in
+             let in_list =
+               List.map
+                 (fun (l : Link.t) -> Link.id_to_int l.id)
+                 (Graph.in_links g node)
+             in
+             out_flat = out_list && in_flat = in_list)
+           (Graph.nodes g))
+
+(* --- Engine refresh = full recompute, under random perturbations --- *)
+
+let check_engine_matches_full g engine ~enabled ~cost =
+  Spf_engine.refresh engine ~enabled:(fun l -> enabled (Link.id_to_int l))
+    ~cost:(fun l -> cost (Link.id_to_int l));
+  Graph.iter_nodes g (fun node ->
+      let fresh =
+        Dijkstra.compute
+          ~enabled:(fun l -> enabled (Link.id_to_int l))
+          g
+          ~cost:(fun l -> cost (Link.id_to_int l))
+          node
+      in
+      if not (Spf_tree.equal fresh (Spf_engine.tree engine node)) then
+        Alcotest.failf "engine tree differs from full recompute at node %d"
+          (Node.to_int node))
+
+let prop_engine_incremental_matches_full =
+  QCheck2.Test.make ~name:"engine refresh = full recompute" ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed lxor 0xC0FFEE) in
+      let nl = Graph.link_count g in
+      let costs = Array.init nl (fun _ -> 1 + Rng.int rng 60) in
+      let up = Array.make nl true in
+      let engine = Spf_engine.create g in
+      check_engine_matches_full g engine
+        ~enabled:(fun i -> up.(i))
+        ~cost:(fun i -> costs.(i));
+      (* Single-link perturbations: cost moves, links flapping down/up. *)
+      for _ = 1 to 12 do
+        let i = Rng.int rng nl in
+        (match Rng.int rng 4 with
+        | 0 -> up.(i) <- not up.(i)
+        | _ -> costs.(i) <- 1 + Rng.int rng 60);
+        check_engine_matches_full g engine
+          ~enabled:(fun i -> up.(i))
+          ~cost:(fun i -> costs.(i))
+      done;
+      (* A bulk change well above the threshold forces the full-sweep path. *)
+      for i = 0 to nl - 1 do
+        costs.(i) <- 1 + Rng.int rng 60
+      done;
+      check_engine_matches_full g engine
+        ~enabled:(fun i -> up.(i))
+        ~cost:(fun i -> costs.(i));
+      true)
+
+(* --- Determinism: parallel = sequential, bit for bit --- *)
+
+let test_parallel_engine_matches_sequential () =
+  let g = Arpanet.topology () in
+  let pool = Domain_pool.create 3 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let par = Spf_engine.create ~pool g in
+  let seq = Spf_engine.create g in
+  let rng = Rng.create 11 in
+  let nl = Graph.link_count g in
+  let costs = Array.init nl (fun _ -> 1 + Rng.int rng 40) in
+  for _ = 0 to 8 do
+    let cost l = costs.(Link.id_to_int l) in
+    Spf_engine.refresh par ~cost;
+    Spf_engine.refresh seq ~cost;
+    Graph.iter_nodes g (fun node ->
+        Alcotest.(check bool)
+          (Printf.sprintf "trees agree at node %d" (Node.to_int node))
+          true
+          (Spf_tree.equal (Spf_engine.tree seq node) (Spf_engine.tree par node)));
+    costs.(Rng.int rng nl) <- 1 + Rng.int rng 40
+  done
+
+let flap_scenario sim =
+  let g = Flow_sim.graph sim in
+  let some_link i = Link.id_of_int (i mod Graph.link_count g) in
+  List.concat_map
+    (fun round ->
+      ignore (Flow_sim.step sim);
+      Flow_sim.set_link_up sim (some_link (7 * round)) false;
+      let a = Flow_sim.step sim in
+      Flow_sim.set_link_up sim (some_link (7 * round)) true;
+      let b = Flow_sim.step sim in
+      [ a; b ])
+    [ 1; 2; 3; 4 ]
+
+let test_flow_sim_stats_independent_of_domains () =
+  let g = Arpanet.topology () in
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  let run domains =
+    let sim = Flow_sim.create ~domains g Metric.Hn_spf tm in
+    flap_scenario sim
+  in
+  let seq = run 1 and par = run 3 in
+  (* period_stats is all floats and ints: structural equality is exact
+     bitwise agreement of every indicator in every period. *)
+  Alcotest.(check bool) "period stats identical" true (seq = par)
+
+(* --- Refresh skipping when nothing flooded --- *)
+
+let test_refresh_skipped_when_quiet () =
+  let g = Arpanet.topology () in
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  (* Static-capacity costs never change after the initial flood, so every
+     period after the first must reuse all trees without recomputing. *)
+  let sim = Flow_sim.create g Metric.Static_capacity tm in
+  ignore (Flow_sim.run sim ~periods:6);
+  let stats = Flow_sim.spf_stats sim in
+  Alcotest.(check int) "refreshes" 6 stats.Spf_engine.refreshes;
+  Alcotest.(check int) "all but the first skipped" 5
+    stats.Spf_engine.skipped;
+  Alcotest.(check int) "one full sweep" 1 stats.Spf_engine.full_sweeps;
+  Alcotest.(check int) "one Dijkstra per node, ever"
+    (Graph.node_count g) stats.Spf_engine.sources_recomputed
+
+let test_refresh_repairs_only_affected () =
+  let g = Arpanet.topology () in
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  let sim = Flow_sim.create g Metric.Hn_spf tm in
+  ignore (Flow_sim.run sim ~periods:12);
+  let stats = Flow_sim.spf_stats sim in
+  (* HN-SPF floods a handful of links per period; the engine must be
+     reusing trees, not sweeping. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "some trees reused (%d reused, %d recomputed)"
+       stats.Spf_engine.sources_reused stats.Spf_engine.sources_recomputed)
+    true
+    (stats.Spf_engine.sources_reused > 0)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "routing_spf_engine"
+    [ ( "domain_pool",
+        [ Alcotest.test_case "covers all indices" `Quick
+            test_pool_covers_all_indices;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "size 1 is sequential" `Quick
+            test_pool_size_one_is_sequential ] );
+      ("csr", qsuite [ prop_csr_matches_lists ]);
+      ( "engine",
+        [ Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_engine_matches_sequential ]
+        @ qsuite [ prop_engine_incremental_matches_full ] );
+      ( "simulator",
+        [ Alcotest.test_case "stats independent of domains" `Quick
+            test_flow_sim_stats_independent_of_domains;
+          Alcotest.test_case "quiet periods skip refresh" `Quick
+            test_refresh_skipped_when_quiet;
+          Alcotest.test_case "incremental repair engages" `Quick
+            test_refresh_repairs_only_affected ] ) ]
