@@ -1177,53 +1177,52 @@ let spf_bench_tests ~pool (name, g) =
       Test.make ~name:"engine refresh (no change)"
         (Staged.stage (fun () -> Spf_engine.refresh engine_none ~cost)) ]
 
-let json_escape s =
-  String.concat ""
-    (List.map
-       (function
-         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
+module Obs_metrics = Routing_obs.Metrics
+module Obs_json = Routing_obs.Json
+
+(* Run metadata the harness passes via the environment ([BENCH_GIT_REV],
+   [BENCH_DATE] — an ISO date); "unknown" when run by hand. *)
+let bench_env key =
+  match Sys.getenv_opt key with Some v when v <> "" -> v | _ -> "unknown"
 
 let write_bench_json path ~domains rows =
-  let row_of (name, ns) =
-    Printf.sprintf "    { \"name\": %S, \"ns_per_run\": %.1f }"
-      (json_escape name) ns
-  in
+  let reg = Obs_metrics.create () in
+  Obs_metrics.set_meta reg "benchmark" "all-pairs SPF refresh";
+  Obs_metrics.set_meta reg "units" "ns per run (bechamel OLS estimate)";
+  Obs_metrics.set_meta reg "domains" (string_of_int domains);
+  Obs_metrics.set_meta reg "git_rev" (bench_env "BENCH_GIT_REV");
+  Obs_metrics.set_meta reg "date" (bench_env "BENCH_DATE");
+  List.iter
+    (fun (name, ns) ->
+      Obs_metrics.set
+        (Obs_metrics.gauge reg ~labels:[ ("case", name) ] "ns_per_run")
+        ns)
+    rows;
   let speedup_of topology =
-    let find suffix =
-      List.assoc_opt (topology ^ " " ^ suffix) rows
-    in
+    let find suffix = List.assoc_opt (topology ^ " " ^ suffix) rows in
     let ratio num den =
       match (num, den) with
-      | Some n, Some d when d > 0. -> Printf.sprintf "%.2f" (n /. d)
-      | _ -> "null"
+      | Some n, Some d when d > 0. -> Obs_json.Float (n /. d)
+      | _ -> Obs_json.Null
     in
     let baseline = find "all-pairs full (per-source baseline)" in
-    Printf.sprintf
-      "    { \"topology\": %S,\n\
-      \      \"incremental_vs_full\": %s,\n\
-      \      \"shared_weights_vs_full\": %s,\n\
-      \      \"parallel_vs_full\": %s }"
-      topology
-      (ratio baseline (find "engine refresh (one link change)"))
-      (ratio baseline (find "all-pairs shared weights"))
-      (ratio baseline
-         (find (Printf.sprintf "all-pairs parallel (%d domains)" domains)))
+    Obs_json.Obj
+      [ ("topology", Obs_json.String topology);
+        ( "incremental_vs_full",
+          ratio baseline (find "engine refresh (one link change)") );
+        ( "shared_weights_vs_full",
+          ratio baseline (find "all-pairs shared weights") );
+        ( "parallel_vs_full",
+          ratio baseline
+            (find (Printf.sprintf "all-pairs parallel (%d domains)" domains))
+        ) ]
   in
-  let out = open_out path in
-  Printf.fprintf out
-    "{\n\
-    \  \"benchmark\": \"all-pairs SPF refresh\",\n\
-    \  \"units\": \"ns per run (bechamel OLS estimate)\",\n\
-    \  \"domains\": %d,\n\
-    \  \"results\": [\n%s\n  ],\n\
-    \  \"speedups_vs_full_recompute\": [\n%s\n  ]\n\
-     }\n"
-    domains
-    (String.concat ",\n" (List.map row_of rows))
-    (String.concat ",\n"
-       (List.map (fun (t, _) -> speedup_of t) (spf_bench_topologies ())));
-  close_out out
+  Obs_metrics.write_file reg path
+    ~extra:
+      [ ( "speedups_vs_full_recompute",
+          Obs_json.List
+            (List.map (fun (t, _) -> speedup_of t) (spf_bench_topologies ()))
+        ) ]
 
 let perf_spf ~quick () =
   section
@@ -1276,12 +1275,14 @@ let () =
           perf_spf ~quick:false ()
         end
         else if String.equal name "perf-quick" then perf_spf ~quick:true ()
+        else if String.equal name "perf-spf" then perf_spf ~quick:false ()
         else
           match List.assoc_opt name (experiments @ extra_experiments) with
           | Some run -> run ()
           | None ->
             Format.printf
-              "unknown experiment %S (have: %s, table1p, perf, perf-quick)@."
+              "unknown experiment %S (have: %s, table1p, perf, perf-quick, \
+               perf-spf)@."
               name
               (String.concat " " (List.map fst experiments)))
       names

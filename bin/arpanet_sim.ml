@@ -17,6 +17,11 @@ module Metric = Routing_metric.Metric
 module Units = Routing_metric.Units
 module Rng = Routing_stats.Rng
 module Table = Routing_stats.Table
+module Spf_engine = Routing_spf.Spf_engine
+module Telemetry = Routing_obs.Telemetry
+module Obs_sink = Routing_obs.Sink
+module Obs_span = Routing_obs.Span
+module Obs_metrics = Routing_obs.Metrics
 
 type topology = Arpanet | Milnet | Two_region
 
@@ -47,19 +52,35 @@ let build_scenario topology file seed scale =
               Traffic_matrix.set tm ~src ~dst (1300. *. scale)));
     (g, tm)
 
-let run_flow g tm kind ~domains ~minutes ~warmup_minutes =
-  let periods_per_minute = int_of_float (60. /. Units.routing_period_s) in
-  let sim = Flow_sim.create ~domains g kind tm in
-  ignore (Flow_sim.run sim ~periods:((minutes + warmup_minutes) * periods_per_minute));
-  Flow_sim.indicators sim ~skip:(warmup_minutes * periods_per_minute) ()
+type run_outcome = {
+  ind : Measure.indicators;
+  spf : Spf_engine.stats;  (** a copy taken at end of run *)
+}
 
-let run_packet g tm kind ~domains ~minutes ~warmup_minutes ~seed =
-  let config = { (Network.default_config kind) with Network.seed; domains } in
+let copy_spf_stats (s : Spf_engine.stats) =
+  { Spf_engine.refreshes = s.Spf_engine.refreshes;
+    skipped = s.Spf_engine.skipped;
+    full_sweeps = s.Spf_engine.full_sweeps;
+    sources_recomputed = s.Spf_engine.sources_recomputed;
+    sources_reused = s.Spf_engine.sources_reused }
+
+let run_flow g tm kind ~domains ~minutes ~warmup_minutes ?telemetry () =
+  let periods_per_minute = int_of_float (60. /. Units.routing_period_s) in
+  let sim = Flow_sim.create ~domains ?telemetry g kind tm in
+  ignore (Flow_sim.run sim ~periods:((minutes + warmup_minutes) * periods_per_minute));
+  { ind = Flow_sim.indicators sim ~skip:(warmup_minutes * periods_per_minute) ();
+    spf = copy_spf_stats (Flow_sim.spf_stats sim) }
+
+let run_packet g tm kind ~domains ~minutes ~warmup_minutes ~seed ?telemetry () =
+  let config =
+    { (Network.default_config kind) with Network.seed; domains; telemetry }
+  in
   let net = Network.create ~config g tm in
   Network.run net ~duration_s:(float_of_int warmup_minutes *. 60.);
   Network.reset_measurements net;
   Network.run net ~duration_s:(float_of_int minutes *. 60.);
-  Network.indicators net
+  { ind = Network.indicators net;
+    spf = copy_spf_stats (Network.spf_stats net) }
 
 let setup_logging verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -88,8 +109,26 @@ let write_dot g tm metric path =
     g;
   Format.printf "wrote %s (render with: dot -Tsvg %s -o net.svg)@." path path
 
+(* With --compare each metric gets its own output files: insert the metric
+   slug before the extension ("m.json" -> "m.hn-spf.json"). *)
+let out_path base kind ~multi =
+  if not multi then base
+  else begin
+    let slug = String.lowercase_ascii (Metric.kind_name kind) in
+    let ext = Filename.extension base in
+    if ext = "" then base ^ "." ^ slug
+    else Filename.remove_extension base ^ "." ^ slug ^ ext
+  end
+
+let pp_spf_stats ppf (name, (s : Spf_engine.stats)) =
+  Format.fprintf ppf
+    "  %-16s %d refreshes (%d skipped, %d full sweeps); sources: %d \
+     recomputed, %d reused@."
+    name s.Spf_engine.refreshes s.Spf_engine.skipped s.Spf_engine.full_sweeps
+    s.Spf_engine.sources_recomputed s.Spf_engine.sources_reused
+
 let main topology file dump dot metrics scale minutes warmup packet_level seed
-    domains =
+    domains trace_out metrics_out profile =
   let g, tm = build_scenario topology file seed scale in
   if dump then print_string (Serial.to_string g (Some tm))
   else match dot with
@@ -100,19 +139,81 @@ let main topology file dump dot metrics scale minutes warmup packet_level seed
   Format.printf "engine:   %s, %d min after %d min warm-up@.@."
     (if packet_level then "packet-level DES" else "flow simulator")
     minutes warmup;
+  let multi = List.length metrics > 1 in
+  let topo_name =
+    match file with
+    | Some path -> Filename.basename path
+    | None -> (
+      match topology with
+      | Arpanet -> "arpanet"
+      | Milnet -> "milnet"
+      | Two_region -> "two-region")
+  in
+  let telemetry_for kind =
+    if trace_out = None && metrics_out = None && not profile then None
+    else begin
+      let sink =
+        match trace_out with
+        | None -> Obs_sink.null
+        | Some path -> Obs_sink.file (out_path path kind ~multi)
+      in
+      let clock = if profile then Obs_span.wall else Obs_span.untimed in
+      let tele = Telemetry.create ~sink ~clock () in
+      let m = Telemetry.metrics tele in
+      Obs_metrics.set_meta m "topology" topo_name;
+      Obs_metrics.set_meta m "metric" (Metric.kind_name kind);
+      Obs_metrics.set_meta m "engine"
+        (if packet_level then "packet" else "flow");
+      Obs_metrics.set_meta m "seed" (string_of_int seed);
+      Obs_metrics.set_meta m "scale" (Printf.sprintf "%.2f" scale);
+      Obs_metrics.set_meta m "minutes" (string_of_int minutes);
+      Obs_metrics.set_meta m "warmup_minutes" (string_of_int warmup);
+      Obs_metrics.set_meta m "domains" (string_of_int domains);
+      Some tele
+    end
+  in
   let runs =
     List.map
       (fun kind ->
-        let i =
+        let telemetry = telemetry_for kind in
+        let o =
           if packet_level then
             run_packet g tm kind ~domains ~minutes ~warmup_minutes:warmup ~seed
-          else run_flow g tm kind ~domains ~minutes ~warmup_minutes:warmup
+              ?telemetry ()
+          else
+            run_flow g tm kind ~domains ~minutes ~warmup_minutes:warmup
+              ?telemetry ()
         in
-        (Metric.kind_name kind, i))
+        Option.iter
+          (fun tele ->
+            Measure.export (Telemetry.metrics tele) o.ind;
+            (match metrics_out with
+            | Some path ->
+              let path = out_path path kind ~multi in
+              Telemetry.write_metrics tele path;
+              Format.printf "wrote metrics snapshot %s@." path
+            | None -> ());
+            Telemetry.close tele;
+            (match trace_out with
+            | Some path ->
+              Format.printf "wrote %d trace events to %s@."
+                (Obs_sink.emitted (Telemetry.sink tele))
+                (out_path path kind ~multi)
+            | None -> ());
+            if profile then
+              Format.printf "@.%s wall-time profile:@.%a@."
+                (Metric.kind_name kind) Obs_span.pp (Telemetry.spans tele))
+          telemetry;
+        (Metric.kind_name kind, o))
       metrics
   in
   print_string
-    (Table.to_string (Measure.comparison_table ~title:"Network indicators" runs))
+    (Table.to_string
+       (Measure.comparison_table ~title:"Network indicators"
+          (List.map (fun (name, o) -> (name, o.ind)) runs)));
+  Format.printf "@.SPF engine (shared route engine, per run):@.";
+  List.iter (fun (name, o) -> pp_spf_stats Format.std_formatter (name, o.spf))
+    runs
   end
 
 open Cmdliner
@@ -169,8 +270,29 @@ let cmd =
   in
   let packet_level =
     Arg.(value & flag
-         & info [ "p"; "packet-level" ]
+         & info [ "p"; "packet-level"; "packet" ]
              ~doc:"Use the packet-level DES instead of the flow simulator.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE.jsonl"
+             ~doc:"Stream every simulator event as JSON Lines to $(docv) \
+                   (replayable with $(b,replay) $(docv)).  With $(b,--compare) \
+                   the metric name is inserted before the extension.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE.json"
+             ~doc:"Write the end-of-run metrics snapshot (counters, gauges, \
+                   per-link cost/utilization series, span timings) to $(docv).")
+  in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Time SPF refreshes, flooding rounds and routing periods \
+                   with a wall clock and print the profile table.  Makes \
+                   $(b,--metrics-out) output nondeterministic (real \
+                   durations); without it span durations are recorded as 0.")
   in
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -208,7 +330,7 @@ let cmd =
                                          metric switches, update bursts).")
   in
   let run topology file dump dot metric compare scale minutes warmup
-      packet_level seed domains verbose =
+      packet_level seed domains trace_out metrics_out profile verbose =
     setup_logging verbose;
     let metrics =
       if compare then
@@ -216,13 +338,14 @@ let cmd =
       else [ metric ]
     in
     main topology file dump dot metrics scale minutes warmup packet_level seed
-      domains
+      domains trace_out metrics_out profile
   in
   Cmd.v
     (Cmd.info "arpanet_sim"
        ~doc:"Simulate ARPANET routing under min-hop, D-SPF or HN-SPF")
     Term.(
       const run $ topology $ file $ dump $ dot $ metric $ compare $ scale
-      $ minutes $ warmup $ packet_level $ seed $ domains $ verbose)
+      $ minutes $ warmup $ packet_level $ seed $ domains $ trace_out
+      $ metrics_out $ profile $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,10 +1,15 @@
-(* replay — run a scripted scenario file on the flow simulator.
+(* replay — run a scripted scenario file on the flow simulator, or digest a
+   JSONL trace captured with `arpanet_sim --trace-out`.
 
      dune exec bin/replay.exe -- scenarios/outage_demo.scn
      dune exec bin/replay.exe -- my.scn --periods 120 --metric dspf --csv
+     dune exec bin/replay.exe -- trace.jsonl
+     dune exec bin/replay.exe -- trace.jsonl --events
 
-   The file format is Routing_topology.Serial plus timed `at` events; see
-   lib/sim/script.mli and scenarios/outage_demo.scn. *)
+   The scenario format is Routing_topology.Serial plus timed `at` events; see
+   lib/sim/script.mli and scenarios/outage_demo.scn.  A file ending in
+   `.jsonl` is treated as a trace: one JSON object per line, field "ev"
+   naming the event type (see lib/sim/trace.mli). *)
 
 open Routing_topology
 module Script = Routing_sim.Script
@@ -12,6 +17,81 @@ module Flow_sim = Routing_sim.Flow_sim
 module Measure = Routing_sim.Measure
 module Metric = Routing_metric.Metric
 module Table = Routing_stats.Table
+module Trace = Routing_sim.Trace
+module Obs_json = Routing_obs.Json
+
+(* Summarize (and with [show_events], pretty-print) a JSONL trace.  Event
+   types this binary predates — e.g. a later simulator adding new "ev"
+   values — still count in the summary; only malformed JSON is fatal. *)
+let main_jsonl path show_events =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let drops : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl key =
+    Hashtbl.replace tbl key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let total = ref 0 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  let ic = open_in path in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         match Obs_json.of_string line with
+         | Error msg ->
+           Format.eprintf "%s:%d: %s@." path !lineno msg;
+           exit 1
+         | Ok json ->
+           incr total;
+           let name =
+             match Result.bind (Obs_json.member "ev" json) Obs_json.to_str with
+             | Ok s -> s
+             | Error _ -> "(no ev field)"
+           in
+           bump counts name;
+           (match Result.bind (Obs_json.member "t" json) Obs_json.to_float with
+           | Ok t ->
+             if t < !t_min then t_min := t;
+             if t > !t_max then t_max := t
+           | Error _ -> ());
+           if name = "drop" then begin
+             match
+               Result.bind (Obs_json.member "reason" json) Obs_json.to_str
+             with
+             | Ok reason -> bump drops reason
+             | Error _ -> ()
+           end;
+           if show_events then begin
+             match Trace.of_json json with
+             | Ok (time, event) ->
+               Format.printf "%10.3f  %a@." time Trace.pp_event_ids event
+             | Error _ ->
+               (* Not a Trace event (period summaries, oscillation flags,
+                  future additions): show the raw line. *)
+               Format.printf "%10s  %s@." "" (Obs_json.to_string json)
+           end
+       end
+     done
+   with End_of_file -> close_in ic);
+  if show_events && !total > 0 then Format.printf "@.";
+  Format.printf "%s: %d events" path !total;
+  if !total > 0 && !t_min <= !t_max then
+    Format.printf " over t = %.1f .. %.1f s" !t_min !t_max;
+  Format.printf "@.";
+  let sorted tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  List.iter
+    (fun (name, n) -> Format.printf "  %-12s %d@." name n)
+    (sorted counts);
+  if Hashtbl.length drops > 0 then begin
+    Format.printf "drops by reason:@.";
+    List.iter
+      (fun (reason, n) -> Format.printf "  %-12s %d@." reason n)
+      (sorted drops)
+  end
 
 let main path periods metric warmup csv =
   match Script.load path with
@@ -75,8 +155,20 @@ let cmd =
     Arg.(value & flag
          & info [ "csv" ] ~doc:"Emit one CSV row per period instead of a summary.")
   in
+  let events =
+    Arg.(value & flag
+         & info [ "events" ]
+             ~doc:"JSONL traces only: print every event, one line each, \
+                   before the summary.")
+  in
+  let run path periods metric warmup csv events =
+    if Filename.extension path = ".jsonl" then main_jsonl path events
+    else main path periods metric warmup csv
+  in
   Cmd.v
-    (Cmd.info "replay" ~doc:"Replay a scripted scenario on the flow simulator")
-    Term.(const main $ file $ periods $ metric $ warmup $ csv)
+    (Cmd.info "replay"
+       ~doc:"Replay a scripted scenario on the flow simulator, or summarize \
+             a JSONL trace from arpanet_sim --trace-out")
+    Term.(const run $ file $ periods $ metric $ warmup $ csv $ events)
 
 let () = exit (Cmd.eval cmd)

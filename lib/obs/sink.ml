@@ -1,0 +1,53 @@
+type writer =
+  | Null
+  | Buffer of Buffer.t
+  | Channel of { oc : out_channel; owned : bool }
+
+type t = {
+  writer : writer;
+  mutable emitted : int;
+  mutable closed : bool;
+}
+
+let make writer = { writer; emitted = 0; closed = false }
+
+let null = make Null
+
+let buffer () = make (Buffer (Buffer.create 4096))
+
+let file path = make (Channel { oc = open_out path; owned = true })
+
+let channel oc = make (Channel { oc; owned = false })
+
+let active t = match t.writer with Null -> false | _ -> true
+
+let emit t make_event =
+  match t.writer with
+  | Null -> ()
+  | writer ->
+    if t.closed then invalid_arg "Sink.emit: sink is closed";
+    let line = Json.to_string (make_event ()) in
+    (match writer with
+    | Null -> ()
+    | Buffer b ->
+      Buffer.add_string b line;
+      Buffer.add_char b '\n'
+    | Channel { oc; _ } ->
+      output_string oc line;
+      output_char oc '\n');
+    t.emitted <- t.emitted + 1
+
+let emitted t = t.emitted
+
+let contents t =
+  match t.writer with
+  | Buffer b -> Buffer.contents b
+  | _ -> invalid_arg "Sink.contents: not a buffer sink"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.writer with
+    | Null | Buffer _ -> ()
+    | Channel { oc; owned } -> if owned then close_out oc else flush oc
+  end

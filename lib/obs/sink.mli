@@ -1,0 +1,44 @@
+(** Pluggable structured-event writers.
+
+    A sink receives a stream of JSON events and serializes each as one
+    JSONL line.  Three writers cover every use: a file (the canonical
+    trace of a run), an in-memory buffer (tests, replay tooling), and a
+    null sink that discards everything.
+
+    Event construction is the expensive part, so emission is lazy: callers
+    pass a thunk and {!emit} never forces it on an inactive sink — a
+    disabled telemetry path costs one branch, nothing more. *)
+
+type t
+
+val null : t
+(** Discards events; {!active} is [false] so producers skip event
+    construction entirely. *)
+
+val buffer : unit -> t
+(** Accumulates lines in memory; read them back with {!contents}. *)
+
+val file : string -> t
+(** Opens (truncating) [path] and writes one line per event.  {!close}
+    flushes and closes the channel. *)
+
+val channel : out_channel -> t
+(** Writes to an existing channel; {!close} flushes but does not close it
+    (the caller owns the channel). *)
+
+val active : t -> bool
+
+val emit : t -> (unit -> Json.t) -> unit
+(** Serialize one event.  The thunk is not called when the sink is
+    inactive. *)
+
+val emitted : t -> int
+(** Events written so far. *)
+
+val contents : t -> string
+(** Everything written, for {!buffer} sinks.
+    @raise Invalid_argument on other sinks. *)
+
+val close : t -> unit
+(** Flush (and for {!file} sinks close) the underlying writer.  Emitting
+    after [close] raises. *)

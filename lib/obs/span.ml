@@ -1,0 +1,77 @@
+type clock = unit -> float
+
+let untimed () = 0.
+
+let wall = Unix.gettimeofday
+
+type cell = {
+  mutable count : int;
+  mutable total_s : float;
+  mutable max_s : float;
+}
+
+type t = {
+  clock : clock;
+  cells : (string, cell) Hashtbl.t;
+}
+
+let create ?(clock = untimed) () = { clock; cells = Hashtbl.create 16 }
+
+let cell t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c
+  | None ->
+    let c = { count = 0; total_s = 0.; max_s = 0. } in
+    Hashtbl.add t.cells name c;
+    c
+
+let with_ t ~name f =
+  let c = cell t name in
+  let started = t.clock () in
+  Fun.protect
+    ~finally:(fun () ->
+      let elapsed = t.clock () -. started in
+      c.count <- c.count + 1;
+      c.total_s <- c.total_s +. elapsed;
+      if elapsed > c.max_s then c.max_s <- elapsed)
+    f
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  max_s : float;
+}
+
+let report t =
+  Hashtbl.fold
+    (fun name (c : cell) acc ->
+      { name; count = c.count; total_s = c.total_s; max_s = c.max_s } :: acc)
+    t.cells []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("name", Json.String r.name);
+             ("count", Json.Int r.count);
+             ("total_s", Json.Float r.total_s);
+             ("max_s", Json.Float r.max_s) ])
+       (report t))
+
+let pp ppf t =
+  let rows =
+    List.sort (fun a b -> compare b.total_s a.total_s) (report t)
+  in
+  Format.fprintf ppf "@[<v>%-24s %10s %12s %12s %12s@," "span" "count"
+    "total ms" "mean us" "max us";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-24s %10d %12.2f %12.1f %12.1f@," r.name r.count
+        (1000. *. r.total_s)
+        (if r.count > 0 then 1e6 *. r.total_s /. float_of_int r.count else 0.)
+        (1e6 *. r.max_s))
+    rows;
+  Format.fprintf ppf "@]"

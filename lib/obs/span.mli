@@ -1,0 +1,40 @@
+(** Span-based profiling: name a region, run it, aggregate where the time
+    went.
+
+    A profile owns a clock.  The default clock always reads 0, so spans
+    count invocations but report zero duration — that keeps every
+    telemetry artifact byte-deterministic for a fixed simulator seed.
+    Pass {!wall} (monotonic wall time) to get a real per-phase profile;
+    the simulators do this under [--profile]. *)
+
+type t
+
+type clock = unit -> float
+
+val untimed : clock
+(** Always 0: spans count calls, durations stay 0.  The default. *)
+
+val wall : clock
+(** Monotonic wall-clock seconds. *)
+
+val create : ?clock:clock -> unit -> t
+
+val with_ : t -> name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  Nested and recursive spans are fine;
+    each invocation contributes its own elapsed time.  Exceptions
+    propagate after the span is closed. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  max_s : float;
+}
+
+val report : t -> row list
+(** One row per span name, sorted by name. *)
+
+val to_json : t -> Json.t
+
+val pp : Format.formatter -> t -> unit
+(** Profile table sorted by descending total time, for [--profile]. *)

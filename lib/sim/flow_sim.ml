@@ -21,6 +21,48 @@ type period_stats = {
 
 type flow = { src : Node.t; dst : Node.t; demand_bps : float }
 
+(* Telemetry handles, resolved once when the bundle is attached.  The flow
+   simulator keeps no series of its own, so the registry's are the only
+   copies. *)
+type obs_state = {
+  tele : Telemetry.t;
+  obs_sink : Obs_sink.t;
+  updates_counter : Obs_metrics.counter;
+  osc_flags : Obs_metrics.counter;
+  util_series : Obs_metrics.series array;
+  cost_series : Obs_metrics.series array;
+  cost_hops_series : Obs_metrics.series array;
+  osc : Obs_oscillation.t;
+  spf_refreshes : Obs_metrics.gauge;
+  spf_skipped : Obs_metrics.gauge;
+  spf_full_sweeps : Obs_metrics.gauge;
+  spf_recomputed : Obs_metrics.gauge;
+  spf_reused : Obs_metrics.gauge;
+}
+
+let make_obs_state tele ~links =
+  let m = Telemetry.metrics tele in
+  let link_label i = [ ("link", Printf.sprintf "l%d" i) ] in
+  let per_link name =
+    Array.init links (fun i -> Obs_metrics.series m ~labels:(link_label i) name)
+  in
+  let spf_gauge which =
+    Obs_metrics.gauge m ~labels:[ ("counter", which) ] "spf_engine"
+  in
+  { tele;
+    obs_sink = Telemetry.sink tele;
+    updates_counter = Obs_metrics.counter m "updates_flooded";
+    osc_flags = Obs_metrics.counter m "oscillation_flags";
+    util_series = per_link "link_utilization";
+    cost_series = per_link "link_cost";
+    cost_hops_series = per_link "link_cost_hops";
+    osc = Telemetry.init_oscillation tele ~links;
+    spf_refreshes = spf_gauge "refreshes";
+    spf_skipped = spf_gauge "skipped";
+    spf_full_sweeps = spf_gauge "full_sweeps";
+    spf_recomputed = spf_gauge "sources_recomputed";
+    spf_reused = spf_gauge "sources_reused" }
+
 type t = {
   graph : Graph.t;
   mutable metric : Metric.t;
@@ -41,6 +83,7 @@ type t = {
   mutable adaptive_sources : bool;
   throttle : (int * int, float) Hashtbl.t; (* (src,dst) -> send fraction *)
   mutable prev_first_hop : int array; (* per flow index; -1 = none yet *)
+  obs : obs_state option;
 }
 
 let flows_of_matrix tm =
@@ -52,7 +95,8 @@ let make_flooders graph =
   Array.init (Graph.node_count graph) (fun i ->
       Flooder.create graph ~owner:(Node.of_int i))
 
-let create_with ?(domains = Domain_pool.default_size ()) graph metric tm =
+let create_with ?(domains = Domain_pool.default_size ()) ?telemetry graph
+    metric tm =
   let nl = Graph.link_count graph in
   let pool = if domains > 1 then Some (Domain_pool.create domains) else None in
   { graph;
@@ -71,10 +115,11 @@ let create_with ?(domains = Domain_pool.default_size ()) graph metric tm =
     prev_costs = Array.init nl (fun i -> Metric.cost metric (Link.id_of_int i));
     adaptive_sources = false;
     throttle = Hashtbl.create 256;
-    prev_first_hop = [||] }
+    prev_first_hop = [||];
+    obs = Option.map (fun tele -> make_obs_state tele ~links:nl) telemetry }
 
-let create ?domains graph kind tm =
-  create_with ?domains graph (Metric.create kind graph) tm
+let create ?domains ?telemetry graph kind tm =
+  create_with ?domains ?telemetry graph (Metric.create kind graph) tm
 
 let graph t = t.graph
 
@@ -126,6 +171,13 @@ let tree_for t src =
 
 let spf_stats t = Spf_engine.stats t.engine
 
+let span t name f =
+  match t.obs with
+  | None -> f ()
+  | Some o -> Obs_span.with_ (Telemetry.spans o.tele) ~name f
+
+let telemetry t = Option.map (fun o -> o.tele) t.obs
+
 (* Climb the tree from [dst] to the root, applying [f] to each link id. *)
 let iter_path tree dst f =
   let g = Spf_tree.graph tree in
@@ -160,7 +212,8 @@ let update_throttle t flow ~loss_fraction =
   end
 
 let step t =
-  refresh_trees t;
+  span t "routing_period" @@ fun () ->
+  span t "spf_refresh" (fun () -> refresh_trees t);
   (* Snapshot this period's flooded costs for next period's laggards. *)
   Array.iteri
     (fun i _ -> t.prev_costs.(i) <- Metric.cost t.metric (Link.id_of_int i))
@@ -252,13 +305,14 @@ let step t =
         | None -> ());
   let updates = ref 0 in
   let update_bits = ref 0. in
-  Hashtbl.iter
-    (fun origin costs ->
-      let update = Flooder.originate t.flooders.(origin) ~costs in
-      let outcome = Broadcast.flood t.graph t.flooders update in
-      incr updates;
-      update_bits := !update_bits +. outcome.Broadcast.bits)
-    changed_by_origin;
+  span t "flood" (fun () ->
+      Hashtbl.iter
+        (fun origin costs ->
+          let update = Flooder.originate t.flooders.(origin) ~costs in
+          let outcome = Broadcast.flood t.graph t.flooders update in
+          incr updates;
+          update_bits := !update_bits +. outcome.Broadcast.bits)
+        changed_by_origin);
   t.period <- t.period + 1;
   let max_utilization = Array.fold_left Float.max 0. t.utilization in
   let congested_links =
@@ -281,6 +335,50 @@ let step t =
       congested_links;
       routes_changed = !routes_changed }
   in
+  (* Telemetry per-period: per-link series, oscillation detection, update
+     counters, SPF engine gauges, and one JSONL summary event. *)
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    let now = stats.time_s in
+    let on_flag ~link ~time ~flips =
+      Obs_metrics.inc o.osc_flags;
+      Obs_sink.emit o.obs_sink (fun () ->
+          Obs_json.Obj
+            [ ("t", Obs_json.Float time);
+              ("ev", Obs_json.String "oscillation");
+              ("link", Obs_json.Int link);
+              ("flips", Obs_json.Int flips) ])
+    in
+    let kind = Metric.kind t.metric in
+    for i = 0 to nl - 1 do
+      let lid = Link.id_of_int i in
+      let cost = Metric.cost t.metric lid in
+      let idle = Metric.idle_cost kind (Graph.link t.graph lid) in
+      Obs_metrics.sample o.util_series.(i) ~time:now t.utilization.(i);
+      Obs_metrics.sample o.cost_series.(i) ~time:now (float_of_int cost);
+      Obs_metrics.sample o.cost_hops_series.(i) ~time:now
+        (float_of_int cost /. float_of_int (max 1 idle));
+      Obs_oscillation.observe ~on_flag o.osc ~link:i ~time:now ~cost
+    done;
+    Obs_metrics.inc ~by:!updates o.updates_counter;
+    let s = Spf_engine.stats t.engine in
+    Obs_metrics.set o.spf_refreshes (float_of_int s.Spf_engine.refreshes);
+    Obs_metrics.set o.spf_skipped (float_of_int s.Spf_engine.skipped);
+    Obs_metrics.set o.spf_full_sweeps (float_of_int s.Spf_engine.full_sweeps);
+    Obs_metrics.set o.spf_recomputed
+      (float_of_int s.Spf_engine.sources_recomputed);
+    Obs_metrics.set o.spf_reused (float_of_int s.Spf_engine.sources_reused);
+    Obs_sink.emit o.obs_sink (fun () ->
+        Obs_json.Obj
+          [ ("t", Obs_json.Float now);
+            ("ev", Obs_json.String "period");
+            ("updates", Obs_json.Int stats.updates);
+            ("delivered_bps", Obs_json.Float stats.delivered_bps);
+            ("dropped_bps", Obs_json.Float stats.dropped_bps);
+            ("max_utilization", Obs_json.Float stats.max_utilization);
+            ("congested_links", Obs_json.Int stats.congested_links);
+            ("routes_changed", Obs_json.Int stats.routes_changed) ]));
   t.history <- stats :: t.history;
   stats
 

@@ -41,18 +41,31 @@ type period_stats = {
 
 type t
 
-val create : ?domains:int -> Graph.t -> Metric.kind -> Traffic_matrix.t -> t
+val create :
+  ?domains:int -> ?telemetry:Telemetry.t -> Graph.t -> Metric.kind ->
+  Traffic_matrix.t -> t
 (** The flow simulator is fully deterministic: same inputs, same run.
     [domains] (default {!Domain_pool.default_size}, i.e. the
     [ARPANET_DOMAINS] environment variable or 1) sizes the domain pool the
     SPF engine fans per-source computations over; because every engine
     configuration serves bit-identical trees, the domain count never
-    changes results — only wall-clock time. *)
+    changes results — only wall-clock time.
+
+    [telemetry] (default none) attaches a telemetry bundle: per-link
+    utilization/cost series and update counters accumulate in its metrics
+    registry, each period emits a JSONL summary event through its sink,
+    SPF refreshes and routing periods run inside profiling spans, and the
+    oscillation detector watches every link's flooded cost.  Everything
+    recorded is deterministic (span durations stay 0 unless the bundle
+    uses {!Routing_obs.Span.wall}). *)
 
 val create_with :
-  ?domains:int -> Graph.t -> Metric.t -> Traffic_matrix.t -> t
+  ?domains:int -> ?telemetry:Telemetry.t -> Graph.t -> Metric.t ->
+  Traffic_matrix.t -> t
 (** Use a pre-built metric — e.g. a custom-parameterized HNM from
     {!Routing_metric.Metric.create_custom_hnspf}. *)
+
+val telemetry : t -> Telemetry.t option
 
 val graph : t -> Graph.t
 

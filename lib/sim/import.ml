@@ -20,3 +20,9 @@ module Measurement = Routing_metric.Measurement
 module Flooder = Routing_flooding.Flooder
 module Broadcast = Routing_flooding.Broadcast
 module Update = Routing_flooding.Update
+module Obs_json = Routing_obs.Json
+module Obs_sink = Routing_obs.Sink
+module Obs_metrics = Routing_obs.Metrics
+module Obs_span = Routing_obs.Span
+module Obs_oscillation = Routing_obs.Oscillation
+module Telemetry = Routing_obs.Telemetry

@@ -23,6 +23,19 @@ let pp_indicators ppf i =
     i.actual_path_hops i.minimum_path_hops i.path_ratio i.dropped_per_s
     i.overhead_bps
 
+let export ?(labels = []) registry i =
+  let g name v = Obs_metrics.set (Obs_metrics.gauge registry ~labels name) v in
+  g "indicator_elapsed_s" i.elapsed_s;
+  g "indicator_internode_traffic_bps" i.internode_traffic_bps;
+  g "indicator_round_trip_delay_ms" i.round_trip_delay_ms;
+  g "indicator_updates_per_s" i.updates_per_s;
+  g "indicator_update_period_per_node_s" i.update_period_per_node_s;
+  g "indicator_actual_path_hops" i.actual_path_hops;
+  g "indicator_minimum_path_hops" i.minimum_path_hops;
+  g "indicator_path_ratio" i.path_ratio;
+  g "indicator_dropped_per_s" i.dropped_per_s;
+  g "indicator_overhead_bps" i.overhead_bps
+
 let comparison_table ?title runs =
   let columns =
     ("Indicator", Table.Left)

@@ -24,6 +24,12 @@ val comparison_table :
   ?title:string -> (string * indicators) list -> Routing_stats.Table.t
 (** Table 1's layout: one column per labelled run, one row per indicator. *)
 
+val export :
+  ?labels:Obs_metrics.labels -> Obs_metrics.t -> indicators -> unit
+(** Publish every indicator as an [indicator_*] gauge in a telemetry
+    registry, so [--metrics-out] snapshots carry the Table-1 summary
+    alongside the raw series. *)
+
 (** {2 Accumulation} *)
 
 type t

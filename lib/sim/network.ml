@@ -13,6 +13,7 @@ type config = {
   use_incremental_spf : bool;
   trace_capacity : int;
   domains : int;
+  telemetry : Telemetry.t option;
 }
 
 let log_src = Logs.Src.create "routing_sim.network" ~doc:"packet-level simulator"
@@ -31,7 +32,86 @@ let default_config metric =
     retransmit_interval_s = 1.0;
     use_incremental_spf = false;
     trace_capacity = 0;
-    domains = Domain_pool.default_size () }
+    domains = Domain_pool.default_size ();
+    telemetry = None }
+
+(* Telemetry handles, resolved once at creation so the hot paths touch
+   plain mutable cells.  The [drops] array is indexed by [reason_index]. *)
+type obs_state = {
+  tele : Telemetry.t;
+  obs_sink : Obs_sink.t;
+  drops : Obs_metrics.counter array;
+  delivered : Obs_metrics.counter;
+  floods : Obs_metrics.counter;
+  accepts : Obs_metrics.counter;
+  recomputes : Obs_metrics.counter;
+  osc_flags : Obs_metrics.counter;
+  queue_depth : Obs_metrics.series array;
+  cost_hops : Obs_metrics.series array;
+      (* flooded cost normalized by the link's idle cost: the paper's
+         "reported cost in hops" axis (Figs 5–6) *)
+  osc : Obs_oscillation.t;
+  spf_refreshes : Obs_metrics.gauge;
+  spf_skipped : Obs_metrics.gauge;
+  spf_full_sweeps : Obs_metrics.gauge;
+  spf_recomputed : Obs_metrics.gauge;
+  spf_reused : Obs_metrics.gauge;
+}
+
+let reason_index = function
+  | Trace.Buffer_full -> 0
+  | Trace.Line_down -> 1
+  | Trace.Line_error -> 2
+  | Trace.No_route -> 3
+  | Trace.Ttl -> 4
+
+let make_obs_state tele ~links =
+  let m = Telemetry.metrics tele in
+  let spf_gauge which =
+    Obs_metrics.gauge m ~labels:[ ("counter", which) ] "spf_engine"
+  in
+  { tele;
+    obs_sink = Telemetry.sink tele;
+    drops =
+      (let arr =
+         List.map
+           (fun r ->
+             Obs_metrics.counter m
+               ~labels:[ ("reason", Trace.reason_name r) ]
+               "packets_dropped")
+           Trace.all_reasons
+       in
+       Array.of_list arr);
+    delivered = Obs_metrics.counter m "packets_delivered";
+    floods = Obs_metrics.counter m "updates_flooded";
+    accepts = Obs_metrics.counter m "updates_accepted";
+    recomputes = Obs_metrics.counter m "tables_recomputed";
+    osc_flags = Obs_metrics.counter m "oscillation_flags";
+    queue_depth =
+      Array.init links (fun i ->
+          Obs_metrics.series m
+            ~labels:[ ("link", Printf.sprintf "l%d" i) ]
+            "queue_depth");
+    cost_hops =
+      Array.init links (fun i ->
+          Obs_metrics.series m
+            ~labels:[ ("link", Printf.sprintf "l%d" i) ]
+            "link_cost_hops");
+    osc = Telemetry.init_oscillation tele ~links;
+    spf_refreshes = spf_gauge "refreshes";
+    spf_skipped = spf_gauge "skipped";
+    spf_full_sweeps = spf_gauge "full_sweeps";
+    spf_recomputed = spf_gauge "sources_recomputed";
+    spf_reused = spf_gauge "sources_reused" }
+
+let count_event o = function
+  | Trace.Packet_delivered _ -> Obs_metrics.inc o.delivered
+  | Trace.Packet_dropped { reason; _ } ->
+    Obs_metrics.inc o.drops.(reason_index reason)
+  | Trace.Update_flooded _ -> Obs_metrics.inc o.floods
+  | Trace.Update_accepted _ -> Obs_metrics.inc o.accepts
+  | Trace.Tables_recomputed _ -> Obs_metrics.inc o.recomputes
+  | Trace.Link_state _ -> ()
 
 type t = {
   graph : Graph.t;
@@ -68,14 +148,31 @@ type t = {
   spf : Spf_engine.t;
   min_spf : Spf_engine.t;
   trace : Trace.t option;
+  obs : obs_state option;
   mutable started : bool;
   mutable tables_dirty : bool;
 }
 
+(* Every structured event flows through here: into the ring buffer (when
+   tracing), the JSONL sink and the labeled counters (when telemetry is
+   attached).  With both off this is one branch and no allocation. *)
 let trace t make_event =
-  match t.trace with
-  | None -> ()
-  | Some tr -> Trace.record tr ~time:(Engine.now t.engine) (make_event ())
+  match (t.trace, t.obs) with
+  | None, None -> ()
+  | trace_opt, obs_opt ->
+    let time = Engine.now t.engine in
+    let event = make_event () in
+    Option.iter (fun tr -> Trace.record tr ~time event) trace_opt;
+    Option.iter
+      (fun o ->
+        count_event o event;
+        Obs_sink.emit o.obs_sink (fun () -> Trace.to_json ~time event))
+      obs_opt
+
+let span t name f =
+  match t.obs with
+  | None -> f ()
+  | Some o -> Obs_span.with_ (Telemetry.spans o.tele) ~name f
 
 let link_enabled t lid = t.link_up.(Link.id_to_int lid)
 
@@ -106,8 +203,9 @@ let install_tables t =
   if t.config.instant_flooding then begin
     (* Every node routes on the same flooded costs: one engine refresh
        serves all tables, reusing provably unaffected trees. *)
-    Spf_engine.refresh t.spf ~enabled:(link_enabled t)
-      ~cost:(Metric.cost_fn t.metric);
+    span t "spf_refresh" (fun () ->
+        Spf_engine.refresh t.spf ~enabled:(link_enabled t)
+          ~cost:(Metric.cost_fn t.metric));
     Array.iteri
       (fun i psn ->
         Psn.install_table psn
@@ -283,6 +381,7 @@ and make_queue t (link : Link.t) =
 (* End-of-period processing: read every measurement, run the metric,
    flood significant changes, recompute tables if anything changed. *)
 let routing_period t =
+  span t "routing_period" @@ fun () ->
   let period = Units.routing_period_s in
   let now = Engine.now t.engine in
   (* Garbage-collect long-finished floods: anything older than 100 s has
@@ -327,6 +426,7 @@ let routing_period t =
     Log.debug (fun m ->
         m "t=%.0fs: %d PSNs flooding updates" now
           (Hashtbl.length changed_by_origin));
+  span t "flood" (fun () ->
   Hashtbl.iter
     (fun origin costs ->
       trace t (fun () ->
@@ -355,7 +455,7 @@ let routing_period t =
               send_control t l.Link.id token)
           (Graph.out_links t.graph (Node.of_int origin))
       end)
-    changed_by_origin;
+    changed_by_origin);
   if t.tables_dirty && t.config.instant_flooding then begin
     if incremental_active t then apply_changes_incrementally t !all_changes
     else install_tables t
@@ -371,7 +471,39 @@ let routing_period t =
         t.prev_bits.(i) <- bits;
         Time_series.record t.cost_series.(i) ~time:now
           (float_of_int (Metric.cost t.metric (Link.id_of_int i))))
-      t.queues
+      t.queues;
+  (* Telemetry per-period: queue depths, oscillation detection over the
+     flooded costs, and the SPF engine counters kept current. *)
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    let on_flag ~link ~time ~flips =
+      Obs_metrics.inc o.osc_flags;
+      Obs_sink.emit o.obs_sink (fun () ->
+          Obs_json.Obj
+            [ ("t", Obs_json.Float time);
+              ("ev", Obs_json.String "oscillation");
+              ("link", Obs_json.Int link);
+              ("flips", Obs_json.Int flips) ])
+    in
+    Array.iteri
+      (fun i q ->
+        let lid = Link.id_of_int i in
+        let cost = Metric.cost t.metric lid in
+        let idle = Metric.idle_cost t.config.metric (Graph.link t.graph lid) in
+        Obs_metrics.sample o.queue_depth.(i) ~time:now
+          (float_of_int (Link_queue.queue_length q));
+        Obs_metrics.sample o.cost_hops.(i) ~time:now
+          (float_of_int cost /. float_of_int (max 1 idle));
+        Obs_oscillation.observe ~on_flag o.osc ~link:i ~time:now ~cost)
+      t.queues;
+    let s = Spf_engine.stats t.spf in
+    Obs_metrics.set o.spf_refreshes (float_of_int s.Spf_engine.refreshes);
+    Obs_metrics.set o.spf_skipped (float_of_int s.Spf_engine.skipped);
+    Obs_metrics.set o.spf_full_sweeps (float_of_int s.Spf_engine.full_sweeps);
+    Obs_metrics.set o.spf_recomputed
+      (float_of_int s.Spf_engine.sources_recomputed);
+    Obs_metrics.set o.spf_reused (float_of_int s.Spf_engine.sources_reused)
 
 let rec schedule_periods t =
   Engine.schedule t.engine ~after:Units.routing_period_s (fun () ->
@@ -419,6 +551,8 @@ let create ?config graph tm =
         (if config.trace_capacity > 0 then
            Some (Trace.create ~capacity:config.trace_capacity)
          else None);
+      obs = Option.map (fun tele -> make_obs_state tele ~links:nl)
+          config.telemetry;
       cost_series =
         Array.init nl (fun i -> Time_series.create (Printf.sprintf "cost:l%d" i));
       util_series =
@@ -428,6 +562,21 @@ let create ?config graph tm =
   in
   t.queues <-
     Array.init nl (fun i -> make_queue t (Graph.link graph (Link.id_of_int i)));
+  (* Expose the per-link series the simulator already keeps through the
+     registry, so a metrics snapshot carries Figs 5–8's raw series without
+     recording anything twice. *)
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    let m = Telemetry.metrics o.tele in
+    let link_label i = [ ("link", Printf.sprintf "l%d" i) ] in
+    Array.iteri
+      (fun i s -> Obs_metrics.adopt_series m ~labels:(link_label i) "link_cost" s)
+      t.cost_series;
+    Array.iteri
+      (fun i s ->
+        Obs_metrics.adopt_series m ~labels:(link_label i) "link_utilization" s)
+      t.util_series);
   build_incrementals t;
   t.workload <-
     Some
@@ -505,3 +654,7 @@ let generated_packets t =
   match t.workload with
   | Some w -> Workload.generated_packets w
   | None -> 0
+
+let spf_stats t = Spf_engine.stats t.spf
+
+let telemetry t = t.config.telemetry

@@ -51,6 +51,15 @@ type config = {
           only).  Defaults to {!Domain_pool.default_size} — the
           [ARPANET_DOMAINS] environment variable, or 1.  Never changes
           results, only wall-clock time. *)
+  telemetry : Telemetry.t option;
+      (** attach a telemetry bundle (default [None]): every {!Trace} event
+          is serialized as JSONL through the bundle's sink, drop/delivery/
+          update counters and per-link cost/utilization/queue-depth series
+          accumulate in its metrics registry, SPF refreshes and routing
+          periods run inside profiling spans, and the oscillation detector
+          watches every link's flooded cost.  All recorded data is
+          deterministic for a fixed [seed] (span durations stay 0 unless
+          the bundle was created with {!Routing_obs.Span.wall}). *)
 }
 
 val default_config : Metric.kind -> config
@@ -110,3 +119,11 @@ val delivered_packets : t -> int
 val dropped_packets : t -> int
 
 val generated_packets : t -> int
+
+val spf_stats : t -> Spf_engine.stats
+(** Live counters of the shared SPF engine — refreshes skipped vs
+    incremental vs full, trees reused vs recomputed (see
+    {!Routing_spf.Spf_engine.stats}). *)
+
+val telemetry : t -> Telemetry.t option
+(** The bundle passed in via {!config.telemetry}, if any. *)

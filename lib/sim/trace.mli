@@ -2,9 +2,11 @@ open! Import
 
 (** Structured event tracing for the packet simulator.
 
-    A bounded ring buffer of typed events — the debugging view a PSN's
-    console would give an operator.  Tracing is opt-in
-    ({!Network.config.trace_capacity}); when off, nothing is recorded and
+    Typed events with two consumers: the bounded ring buffer below (the
+    debugging view a PSN's console would give an operator, opt-in via
+    {!Network.config.trace_capacity}) and the telemetry event sink, which
+    serializes every event as one JSONL line through {!to_json} — the
+    canonical durable record of a run ([--trace-out]).  When both are off,
     the hooks cost one branch. *)
 
 type event =
@@ -20,7 +22,24 @@ type event =
 
 and drop_reason = Buffer_full | Line_down | Line_error | No_route | Ttl
 
+val reason_name : drop_reason -> string
+
+val reason_of_name : string -> drop_reason option
+
+val all_reasons : drop_reason list
+
 val pp_event : Graph.t -> Format.formatter -> event -> unit
+
+val pp_event_ids : Format.formatter -> event -> unit
+(** Like {!pp_event} but prints node ids ([n3]) instead of names — for
+    consumers of a JSONL stream that have no topology at hand. *)
+
+val to_json : time:float -> event -> Routing_obs.Json.t
+(** One self-describing JSON object (field ["ev"] carries the event type;
+    nodes and links appear as their stable integer ids). *)
+
+val of_json : Routing_obs.Json.t -> (float * event, string) result
+(** Exact inverse of {!to_json}. *)
 
 type t
 
@@ -36,10 +55,16 @@ val length : t -> int
 val total_recorded : t -> int
 (** Events ever recorded, including those that have rotated out. *)
 
+val iter : t -> f:(time:float -> event -> unit) -> unit
+(** Visit retained events oldest first without allocating the list
+    {!events} builds. *)
+
 val events : t -> (float * event) list
 (** Retained events, oldest first. *)
 
 val filter : t -> f:(event -> bool) -> (float * event) list
 
 val dump : Graph.t -> t -> string
-(** One line per retained event, for logs or debugging sessions. *)
+(** One line per retained event, for logs or debugging sessions.  When the
+    ring has wrapped, the first line reads ["(N earlier events dropped)"]
+    so truncation is never silent. *)

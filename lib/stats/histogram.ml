@@ -34,6 +34,23 @@ let add_many t x k =
 
 let add t x = add_many t x 1
 
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || bins a <> bins b then
+    invalid_arg "Histogram.merge: incompatible bin layouts";
+  { lo = a.lo;
+    hi = a.hi;
+    width = a.width;
+    counts = Array.init (bins a) (fun i -> a.counts.(i) + b.counts.(i));
+    under = a.under + b.under;
+    over = a.over + b.over;
+    n = a.n + b.n }
+
+let equal a b =
+  a.lo = b.lo && a.hi = b.hi
+  && Array.length a.counts = Array.length b.counts
+  && a.under = b.under && a.over = b.over && a.n = b.n
+  && Array.for_all2 (fun x y -> x = y) a.counts b.counts
+
 let count t = t.n
 
 let bin_count t i =

@@ -15,7 +15,19 @@ val add : t -> float -> unit
 val add_many : t -> float -> int -> unit
 (** [add_many t x k] records [k] occurrences of [x]. *)
 
+val merge : t -> t -> t
+(** A fresh histogram with the bin-wise sum of both inputs — the shard
+    combiner for per-domain or per-run histograms.  Associative and
+    commutative (bin counts are exact; only {!mean} was ever estimated).
+    @raise Invalid_argument when the bin layouts differ. *)
+
+val equal : t -> t -> bool
+(** Same layout and identical counts (including under/overflow). *)
+
 val count : t -> int
+
+val bins : t -> int
+(** Number of regular bins (excluding under/overflow). *)
 
 val bin_count : t -> int -> int
 (** Occupancy of bin [i] (0-based, excluding under/overflow).

@@ -1,0 +1,392 @@
+(* Tests for the routing_obs telemetry library and its simulator wiring:
+   JSON/JSONL round-trips, histogram merge laws, trace ring accounting,
+   and the oscillation detector separating D-SPF from HN-SPF on a fixed
+   scenario. *)
+
+module Json = Routing_obs.Json
+module Sink = Routing_obs.Sink
+module Metrics = Routing_obs.Metrics
+module Span = Routing_obs.Span
+module Oscillation = Routing_obs.Oscillation
+module Telemetry = Routing_obs.Telemetry
+module Histogram = Routing_stats.Histogram
+module Trace = Routing_sim.Trace
+module Flow_sim = Routing_sim.Flow_sim
+module Serial = Routing_topology.Serial
+module Node = Routing_topology.Node
+module Link = Routing_topology.Link
+module Metric = Routing_metric.Metric
+
+(* --- Json --- *)
+
+let test_json_parse_basics () =
+  let ok s = Result.get_ok (Json.of_string s) in
+  Alcotest.(check bool) "null" true (ok "null" = Json.Null);
+  Alcotest.(check bool) "int" true (ok "-42" = Json.Int (-42));
+  Alcotest.(check bool) "float" true (ok "2.5" = Json.Float 2.5);
+  Alcotest.(check bool) "escape" true (ok {|"a\n\"b\""|} = Json.String "a\n\"b\"");
+  Alcotest.(check bool)
+    "nested" true
+    (Json.equal
+       (ok {|{"a": [1, true, null], "b": {"c": "d"}}|})
+       (Json.Obj
+          [ ("a", Json.List [ Json.Int 1; Json.Bool true; Json.Null ]);
+            ("b", Json.Obj [ ("c", Json.String "d") ]) ]));
+  Alcotest.(check bool)
+    "trailing garbage rejected" true
+    (Result.is_error (Json.of_string "1 2"));
+  Alcotest.(check bool)
+    "unterminated rejected" true
+    (Result.is_error (Json.of_string "[1, 2"))
+
+let json_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        map (fun f -> Json.Float f) (float_bound_exclusive 1e9);
+        map
+          (fun s -> Json.String s)
+          (string_size ~gen:(char_range '\000' '\126') (int_range 0 12)) ]
+  in
+  sized_size (int_range 0 3) @@ fix (fun self n ->
+      if n = 0 then scalar
+      else
+        oneof
+          [ scalar;
+            map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n - 1)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+                    (self (n - 1)))) ])
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"json to_string/of_string round-trip" ~count:500
+    json_gen (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok j' -> Json.equal j j'
+      | Error _ -> false)
+
+let prop_json_pretty_roundtrip =
+  QCheck2.Test.make ~name:"json pretty printer round-trips too" ~count:200
+    json_gen (fun j ->
+      match Json.of_string (Json.to_string_pretty j) with
+      | Ok j' -> Json.equal j j'
+      | Error _ -> false)
+
+(* --- Trace events over JSONL --- *)
+
+let event_gen =
+  let open QCheck2.Gen in
+  let node = map Node.of_int (int_range 0 99) in
+  let reason = oneofl Trace.all_reasons in
+  oneof
+    [ map3
+        (fun src dst (delay_s, hops) ->
+          Trace.Packet_delivered { src; dst; delay_s; hops })
+        node node
+        (pair (float_bound_exclusive 10.) (int_range 1 20));
+      map3
+        (fun at src (dst, reason) -> Trace.Packet_dropped { at; src; dst; reason })
+        node node (pair node reason);
+      map2 (fun origin links -> Trace.Update_flooded { origin; links })
+        node (int_range 1 8);
+      map3
+        (fun at origin latency_s -> Trace.Update_accepted { at; origin; latency_s })
+        node node (float_bound_exclusive 2.);
+      map (fun at -> Trace.Tables_recomputed { at }) node;
+      map2
+        (fun l up -> Trace.Link_state { link = Link.id_of_int l; up })
+        (int_range 0 50) bool ]
+
+let prop_trace_jsonl_roundtrip =
+  QCheck2.Test.make ~name:"trace event JSONL round-trip" ~count:500
+    QCheck2.Gen.(pair (float_bound_exclusive 1e6) event_gen)
+    (fun (time, event) ->
+      let line = Json.to_string (Trace.to_json ~time event) in
+      match Result.bind (Json.of_string line) Trace.of_json with
+      | Ok (time', event') -> time' = time && event' = event
+      | Error _ -> false)
+
+let test_trace_of_json_rejects () =
+  let bad s =
+    Result.is_error (Result.bind (Json.of_string s) Trace.of_json)
+  in
+  Alcotest.(check bool) "unknown ev" true (bad {|{"t":1.0,"ev":"nope"}|});
+  Alcotest.(check bool) "missing field" true
+    (bad {|{"t":1.0,"ev":"deliver","src":1,"dst":2,"hops":3}|});
+  Alcotest.(check bool) "unknown reason" true
+    (bad {|{"t":1.0,"ev":"drop","at":0,"src":1,"dst":2,"reason":"gremlins"}|});
+  Alcotest.(check bool) "not an object" true (bad "[1,2]")
+
+(* --- Trace ring accounting --- *)
+
+let test_trace_wraparound () =
+  let t = Trace.create ~capacity:4 in
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i)
+      (Trace.Tables_recomputed { at = Node.of_int i })
+  done;
+  Alcotest.(check int) "length" 4 (Trace.length t);
+  Alcotest.(check int) "total_recorded" 10 (Trace.total_recorded t);
+  let times = List.map fst (Trace.events t) in
+  Alcotest.(check (list (float 0.))) "retains newest, oldest first"
+    [ 7.; 8.; 9.; 10. ] times;
+  let seen = ref [] in
+  Trace.iter t ~f:(fun ~time _ -> seen := time :: !seen);
+  Alcotest.(check (list (float 0.))) "iter matches events"
+    times (List.rev !seen);
+  let g, _ = Routing_topology.Generators.two_region () in
+  let dump = Trace.dump g t in
+  Alcotest.(check bool) "dump announces drops" true
+    (Astring.String.is_prefix ~affix:"(6 earlier events dropped)" dump)
+
+let test_trace_no_drop_no_header () =
+  let t = Trace.create ~capacity:4 in
+  Trace.record t ~time:1. (Trace.Tables_recomputed { at = Node.of_int 0 });
+  let g, _ = Routing_topology.Generators.two_region () in
+  Alcotest.(check bool) "no spurious header" false
+    (Astring.String.is_infix ~affix:"dropped" (Trace.dump g t))
+
+(* --- Histogram merge --- *)
+
+let histogram_gen =
+  let open QCheck2.Gen in
+  map
+    (fun xs ->
+      let h = Histogram.create ~lo:0. ~hi:100. ~bins:10 in
+      List.iter (Histogram.add h) xs;
+      h)
+    (list_size (int_range 0 50) (float_bound_exclusive 120.))
+
+let prop_histogram_merge_associative =
+  QCheck2.Test.make ~name:"histogram merge is associative" ~count:200
+    QCheck2.Gen.(triple histogram_gen histogram_gen histogram_gen)
+    (fun (a, b, c) ->
+      Histogram.equal
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c)))
+
+let prop_histogram_merge_commutative =
+  QCheck2.Test.make ~name:"histogram merge is commutative" ~count:200
+    QCheck2.Gen.(pair histogram_gen histogram_gen)
+    (fun (a, b) ->
+      Histogram.equal (Histogram.merge a b) (Histogram.merge b a))
+
+let test_histogram_merge_layout_mismatch () =
+  let a = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  let b = Histogram.create ~lo:0. ~hi:2. ~bins:4 in
+  Alcotest.check_raises "layout mismatch"
+    (Invalid_argument "Histogram.merge: incompatible bin layouts") (fun () ->
+      ignore (Histogram.merge a b))
+
+(* --- Sink --- *)
+
+let test_sink_buffer_jsonl () =
+  let s = Sink.buffer () in
+  Sink.emit s (fun () -> Json.Obj [ ("a", Json.Int 1) ]);
+  Sink.emit s (fun () -> Json.Obj [ ("b", Json.Bool false) ]);
+  Alcotest.(check int) "emitted" 2 (Sink.emitted s);
+  let lines =
+    String.split_on_char '\n' (String.trim (Sink.contents s))
+  in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "line parses" true
+        (Result.is_ok (Json.of_string l)))
+    lines
+
+let test_sink_null_is_lazy () =
+  let s = Sink.null in
+  let forced = ref false in
+  Sink.emit s (fun () -> forced := true; Json.Null);
+  Alcotest.(check bool) "thunk not forced" false !forced;
+  Alcotest.(check int) "nothing emitted" 0 (Sink.emitted s)
+
+(* --- Metrics registry --- *)
+
+let test_metrics_snapshot_sorted_and_typed () =
+  let m = Metrics.create () in
+  Metrics.set_meta m "seed" "7";
+  let c = Metrics.counter m ~labels:[ ("reason", "ttl") ] "drops" in
+  Metrics.inc c;
+  Metrics.inc ~by:2 c;
+  Metrics.set (Metrics.gauge m "depth") 3.5;
+  Metrics.sample (Metrics.series m "util") ~time:10. 0.25;
+  let j = Metrics.to_json m in
+  let names =
+    match Json.member "metrics" j with
+    | Ok (Json.List l) ->
+      List.map
+        (fun e -> Result.get_ok Json.(Result.bind (member "name" e) to_str))
+        l
+    | _ -> []
+  in
+  Alcotest.(check (list string)) "sorted by name"
+    [ "depth"; "drops"; "util" ] names;
+  Alcotest.(check int) "counter value" 3 (Metrics.counter_value c);
+  (* registration is idempotent: same handle state *)
+  let c' = Metrics.counter m ~labels:[ ("reason", "ttl") ] "drops" in
+  Metrics.inc c';
+  Alcotest.(check int) "idempotent registration" 4 (Metrics.counter_value c)
+
+let test_metrics_kind_collision () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.(check bool) "kind collision raises" true
+    (try ignore (Metrics.gauge m "x"); false
+     with Invalid_argument _ -> true)
+
+(* --- Span --- *)
+
+let test_span_untimed_deterministic () =
+  let s = Span.create ~clock:Span.untimed () in
+  for _ = 1 to 3 do Span.with_ s ~name:"work" (fun () -> ()) done;
+  Span.with_ s ~name:"alpha" (fun () -> ());
+  match Span.report s with
+  | [ a; w ] ->
+    Alcotest.(check string) "sorted" "alpha" a.Span.name;
+    Alcotest.(check int) "count" 3 w.Span.count;
+    Alcotest.(check (float 0.)) "untimed total" 0. w.Span.total_s
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_span_protects_on_raise () =
+  let s = Span.create ~clock:Span.untimed () in
+  (try Span.with_ s ~name:"boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Span.report s with
+  | [ r ] -> Alcotest.(check int) "recorded despite raise" 1 r.Span.count
+  | _ -> Alcotest.fail "missing row"
+
+(* --- Oscillation detector --- *)
+
+let test_oscillation_flags_square_wave () =
+  let o = Oscillation.create ~window_s:120. ~max_flips:4 ~links:2 () in
+  let fired = ref [] in
+  for p = 0 to 19 do
+    let time = 10. *. float_of_int p in
+    (* link 0 swings every period; link 1 climbs monotonically *)
+    Oscillation.observe o ~link:0 ~time
+      ~cost:(if p land 1 = 0 then 10 else 100)
+      ~on_flag:(fun ~link ~time:_ ~flips:_ -> fired := link :: !fired);
+    Oscillation.observe o ~link:1 ~time ~cost:(10 + p)
+  done;
+  Alcotest.(check (list int)) "only the square wave" [ 0 ]
+    (Oscillation.ever_flagged o);
+  Alcotest.(check (list int)) "on_flag fired once" [ 0 ] !fired;
+  Alcotest.(check int) "monotone link has no flips" 0
+    (Oscillation.flips_in_window o ~link:1)
+
+let test_oscillation_window_drains () =
+  let o = Oscillation.create ~window_s:50. ~max_flips:2 ~links:1 () in
+  List.iteri
+    (fun i cost ->
+      Oscillation.observe o ~link:0 ~time:(10. *. float_of_int i) ~cost)
+    [ 10; 90; 10; 90; 10 ];
+  Alcotest.(check (list int)) "flagged while swinging" [ 0 ]
+    (Oscillation.flagged o);
+  (* far in the future the window is empty again *)
+  Oscillation.observe o ~link:0 ~time:10000. ~cost:10;
+  Alcotest.(check (list int)) "calm after drain" [] (Oscillation.flagged o);
+  Alcotest.(check (list int)) "history remembers" [ 0 ]
+    (Oscillation.ever_flagged o)
+
+(* --- Fixed-seed scenario: the detector separates the metrics --- *)
+
+(* dune runtest runs in _build/default/test (the scenario ships as a test
+   dep one directory up); `dune exec test/test_obs.exe` runs from the
+   project root. *)
+let scenario_path =
+  let relative = Filename.concat ".." "scenarios/arpanet_peak.scn" in
+  if Sys.file_exists relative then relative else "scenarios/arpanet_peak.scn"
+
+let run_scenario kind =
+  let g, tm =
+    match Serial.load scenario_path with
+    | Ok gt -> gt
+    | Error m -> Alcotest.failf "cannot load %s: %s" scenario_path m
+  in
+  (* max_flips 9: D-SPF's per-period full-range swings exceed it (§3.3,
+     Fig 1); HN-SPF's bounded movement stays well under (probed: 13 vs 7
+     worst-case flips per 120 s window on this workload). *)
+  let tele = Telemetry.create ~osc_max_flips:9 () in
+  let sim = Flow_sim.create ~telemetry:tele g kind tm in
+  for _ = 1 to 30 do ignore (Flow_sim.step sim) done;
+  Option.get (Telemetry.oscillation tele)
+
+let test_oscillation_dspf_vs_hnspf () =
+  let dspf = run_scenario Metric.D_spf in
+  Alcotest.(check bool) "D-SPF oscillates" true
+    (Oscillation.ever_flagged dspf <> []);
+  let hnspf = run_scenario Metric.Hn_spf in
+  Alcotest.(check (list int)) "HN-SPF stays calm" []
+    (Oscillation.ever_flagged hnspf)
+
+(* --- Telemetry end-to-end determinism --- *)
+
+let test_flow_telemetry_deterministic () =
+  let g, tm =
+    match Serial.load scenario_path with
+    | Ok gt -> gt
+    | Error m -> Alcotest.failf "cannot load %s: %s" scenario_path m
+  in
+  let run () =
+    let tele = Telemetry.create ~sink:(Sink.buffer ()) () in
+    let sim = Flow_sim.create ~telemetry:tele g Metric.Hn_spf tm in
+    for _ = 1 to 12 do ignore (Flow_sim.step sim) done;
+    ( Json.to_string (Telemetry.snapshot_json tele),
+      Sink.contents (Telemetry.sink tele) )
+  in
+  let snap1, trace1 = run () in
+  let snap2, trace2 = run () in
+  Alcotest.(check string) "snapshots byte-identical" snap1 snap2;
+  Alcotest.(check string) "traces byte-identical" trace1 trace2;
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        Alcotest.(check bool) "trace line parses" true
+          (Result.is_ok (Json.of_string line)))
+    (String.split_on_char '\n' trace1)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "routing_obs"
+    [ ( "json",
+        [ Alcotest.test_case "parse basics" `Quick test_json_parse_basics ]
+        @ qsuite [ prop_json_roundtrip; prop_json_pretty_roundtrip ] );
+      ( "trace",
+        [ Alcotest.test_case "of_json rejects" `Quick test_trace_of_json_rejects;
+          Alcotest.test_case "wraparound accounting" `Quick test_trace_wraparound;
+          Alcotest.test_case "no drop header" `Quick test_trace_no_drop_no_header ]
+        @ qsuite [ prop_trace_jsonl_roundtrip ] );
+      ( "histogram",
+        [ Alcotest.test_case "layout mismatch" `Quick
+            test_histogram_merge_layout_mismatch ]
+        @ qsuite
+            [ prop_histogram_merge_associative;
+              prop_histogram_merge_commutative ] );
+      ( "sink",
+        [ Alcotest.test_case "buffer emits JSONL" `Quick test_sink_buffer_jsonl;
+          Alcotest.test_case "null is lazy" `Quick test_sink_null_is_lazy ] );
+      ( "metrics",
+        [ Alcotest.test_case "snapshot sorted" `Quick
+            test_metrics_snapshot_sorted_and_typed;
+          Alcotest.test_case "kind collision" `Quick test_metrics_kind_collision ] );
+      ( "span",
+        [ Alcotest.test_case "untimed deterministic" `Quick
+            test_span_untimed_deterministic;
+          Alcotest.test_case "protects on raise" `Quick
+            test_span_protects_on_raise ] );
+      ( "oscillation",
+        [ Alcotest.test_case "square wave" `Quick
+            test_oscillation_flags_square_wave;
+          Alcotest.test_case "window drains" `Quick
+            test_oscillation_window_drains;
+          Alcotest.test_case "D-SPF vs HN-SPF" `Slow
+            test_oscillation_dspf_vs_hnspf ] );
+      ( "telemetry",
+        [ Alcotest.test_case "deterministic end-to-end" `Slow
+            test_flow_telemetry_deterministic ] ) ]
