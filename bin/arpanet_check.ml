@@ -1,0 +1,141 @@
+(* arpanet_check — static analyzer for topologies, HNM parameter tables,
+   scenario scripts, and the SPF source path.
+
+     dune exec bin/arpanet_check.exe -- scenarios/*.scn
+     dune exec bin/arpanet_check.exe -- --params my_table.json net.scn
+     dune exec bin/arpanet_check.exe -- --src lib
+     dune exec bin/arpanet_check.exe -- --json net.scn
+
+   Produces compiler-style diagnostics (stable codes T0xx topology,
+   P0xx parameter tables, S0xx scenario scripts, R0xx loop stability,
+   L0xx source lint; see DESIGN.md §8 for the catalogue) and exits with
+   the maximum severity found: 0 ok/info, 1 warnings, 2 errors.  With
+   no arguments it lints the built-in parameter table. *)
+
+open Routing_topology
+module Diagnostic = Routing_check.Diagnostic
+module Checker = Routing_check.Checker
+module Params_check = Routing_check.Params_check
+module Stability_check = Routing_check.Stability_check
+module Src_check = Routing_check.Src_check
+module Obs_json = Routing_obs.Json
+module Rng = Routing_stats.Rng
+
+(* A params-only invocation still gets a stability verdict: sweep the
+   user table over the built-in ARPANET reference (fixed seed, so the
+   response map is reproducible). *)
+let reference_stability (params : Params_check.file) =
+  let g = Arpanet.topology () in
+  let tm = Arpanet.peak_traffic (Rng.create 7) g in
+  Stability_check.check ~file:"<builtin arpanet>"
+    ~averaging:params.Params_check.averaging
+    ~movement_limits:params.Params_check.movement_limits
+    ~entries:params.Params_check.entries g tm
+
+let run scenario_files params_file src_root no_stability json quiet =
+  let params_diags, params =
+    match params_file with
+    | None -> ([], None)
+    | Some path -> Checker.check_params_file path
+  in
+  let options =
+    { Checker.stability = not no_stability; params }
+  in
+  let scenario_diags =
+    List.concat_map (Checker.check_scenario_file ~options) scenario_files
+  in
+  let reference_diags =
+    (* Only when there is no scenario to sweep the table against. *)
+    match params with
+    | Some p when scenario_files = [] && not no_stability ->
+      reference_stability p
+    | _ -> []
+  in
+  let default_table_diags =
+    if scenario_files = [] && params_file = None && src_root = None then
+      Checker.check_default_table ()
+    else []
+  in
+  let src_diags =
+    match src_root with
+    | None -> []
+    | Some root -> Src_check.check_tree ~root
+  in
+  let diags =
+    params_diags @ reference_diags @ scenario_diags @ default_table_diags
+    @ src_diags
+  in
+  if json then
+    print_endline (Obs_json.to_string_pretty (Diagnostic.report_to_json diags))
+  else begin
+    let shown =
+      if quiet then
+        List.filter
+          (fun d -> d.Diagnostic.severity <> Diagnostic.Info)
+          diags
+      else diags
+    in
+    Diagnostic.pp_report Format.std_formatter shown;
+    if scenario_files = [] && params_file = None && src_root = None then
+      Format.printf
+        "(no inputs: checked the built-in HNM parameter table; see --help)@."
+  end;
+  Diagnostic.exit_code diags
+
+open Cmdliner
+
+let cmd =
+  let scenarios =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE.scn"
+             ~doc:"Scenario files to check (topology audit, scenario \
+                   script check, and — unless $(b,--no-stability) — the \
+                   static loop-gain sweep).")
+  in
+  let params_file =
+    Arg.(value & opt (some file) None
+         & info [ "params" ] ~docv:"TABLE.json"
+             ~doc:"Lint an HNM parameter table (JSON: a list of entries \
+                   or {\"averaging\": bool, \"tables\": [...]}; entries \
+                   carry line_type, base_min, max_cost, slope, offset, \
+                   max_up, max_down, min_change).  The table also drives \
+                   the stability sweep of any scenario given, or of the \
+                   built-in ARPANET when none is.")
+  in
+  let src_root =
+    Arg.(value & opt (some dir) None
+         & info [ "src"; "check-src" ] ~docv:"DIR"
+             ~doc:"Lint OCaml sources under $(docv) for constructs banned \
+                   in the Domain-parallel SPF path (L0xx).")
+  in
+  let no_stability =
+    Arg.(value & flag
+         & info [ "no-stability" ]
+             ~doc:"Skip the R0xx loop-gain sweep (it computes the network \
+                   response map, the one potentially slow pass).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the diagnostics as a routing_obs JSON report on \
+                   stdout instead of text.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "q"; "quiet" ]
+             ~doc:"Suppress info-level diagnostics in text output (the \
+                   exit code is unaffected).")
+  in
+  Cmd.v
+    (Cmd.info "arpanet_check"
+       ~doc:"Statically check topologies, parameter tables, scenarios \
+             and the SPF source path"
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 on success (info diagnostics at most); 1 when the worst \
+               finding is a warning; 2 on errors." ])
+    Term.(
+      const run $ scenarios $ params_file $ src_root $ no_stability $ json
+      $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -22,14 +22,46 @@ module Telemetry = Routing_obs.Telemetry
 module Obs_sink = Routing_obs.Sink
 module Obs_span = Routing_obs.Span
 module Obs_metrics = Routing_obs.Metrics
+module Script = Routing_sim.Script
+module Checker = Routing_check.Checker
+module Diagnostic = Routing_check.Diagnostic
 
 type topology = Arpanet | Milnet | Two_region
 
-let build_scenario topology file seed scale =
+(* Lint a scenario file before simulating it: the cheap S0xx/T0xx
+   passes (the R0xx stability sweep stays in arpanet_check).  Errors
+   refuse the run; warnings print and continue; info stays quiet. *)
+let precheck path =
+  let diags =
+    Checker.check_scenario_file
+      ~options:{ Checker.stability = false; params = None }
+      path
+  in
+  List.iter
+    (fun d ->
+      if d.Diagnostic.severity <> Diagnostic.Info then
+        Format.eprintf "%a@." Diagnostic.pp d)
+    diags;
+  if Diagnostic.exit_code diags >= 2 then begin
+    Format.eprintf
+      "arpanet_sim: %s has errors, refusing to simulate (--no-check \
+       overrides; arpanet_check shows the full report)@."
+      path;
+    exit 2
+  end
+
+let build_scenario topology file seed scale ~check =
   match file with
   | Some path -> (
-    match Serial.load path with
-    | Ok (g, tm) -> (g, Traffic_matrix.scale tm scale)
+    if check then precheck path;
+    match Script.load path with
+    | Ok s ->
+      if s.Script.events <> [] then
+        Format.eprintf
+          "note: ignoring %d scripted at-event(s) in %s — arpanet_sim \
+           runs steady state; use the replay tool to fire them@."
+          (List.length s.Script.events) path;
+      (s.Script.graph, Traffic_matrix.scale s.Script.traffic scale)
     | Error message ->
       Format.eprintf "cannot load %s: %s@." path message;
       exit 1)
@@ -128,8 +160,8 @@ let pp_spf_stats ppf (name, (s : Spf_engine.stats)) =
     s.Spf_engine.sources_recomputed s.Spf_engine.sources_reused
 
 let main topology file dump dot metrics scale minutes warmup packet_level seed
-    domains trace_out metrics_out profile =
-  let g, tm = build_scenario topology file seed scale in
+    domains trace_out metrics_out profile check =
+  let g, tm = build_scenario topology file seed scale ~check in
   if dump then print_string (Serial.to_string g (Some tm))
   else match dot with
   | Some path -> write_dot g tm (List.hd metrics) path
@@ -329,8 +361,20 @@ let cmd =
          & info [ "v"; "verbose" ] ~doc:"Log simulator events (link flaps, \
                                          metric switches, update bursts).")
   in
+  let check =
+    Arg.(value
+         & vflag true
+             [ (true,
+                info [ "check" ]
+                  ~doc:"Lint a $(b,--file) scenario before simulating \
+                        (S0xx/T0xx passes; the default) and refuse to run \
+                        on errors.");
+               (false,
+                info [ "no-check" ]
+                  ~doc:"Skip the pre-run scenario lint.") ])
+  in
   let run topology file dump dot metric compare scale minutes warmup
-      packet_level seed domains trace_out metrics_out profile verbose =
+      packet_level seed domains trace_out metrics_out profile check verbose =
     setup_logging verbose;
     let metrics =
       if compare then
@@ -338,7 +382,7 @@ let cmd =
       else [ metric ]
     in
     main topology file dump dot metrics scale minutes warmup packet_level seed
-      domains trace_out metrics_out profile
+      domains trace_out metrics_out profile check
   in
   Cmd.v
     (Cmd.info "arpanet_sim"
@@ -346,6 +390,6 @@ let cmd =
     Term.(
       const run $ topology $ file $ dump $ dot $ metric $ compare $ scale
       $ minutes $ warmup $ packet_level $ seed $ domains $ trace_out
-      $ metrics_out $ profile $ verbose)
+      $ metrics_out $ profile $ check $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,89 @@
+open! Import
+
+type severity = Info | Warning | Error
+
+type location = { file : string; line : int option }
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location option;
+  message : string;
+}
+
+let make severity ?file ?line ~code message =
+  let location =
+    match (file, line) with
+    | None, None -> None
+    | Some file, line -> Some { file; line }
+    | None, Some line -> Some { file = "<input>"; line = Some line }
+  in
+  { code; severity; location; message }
+
+let info ?file ?line ~code message = make Info ?file ?line ~code message
+
+let warning ?file ?line ~code message = make Warning ?file ?line ~code message
+
+let error ?file ?line ~code message = make Error ?file ?line ~code message
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+let max_severity diags =
+  List.fold_left
+    (fun acc d -> if compare_severity d.severity acc > 0 then d.severity else acc)
+    Info diags
+
+let exit_code diags = severity_rank (max_severity diags)
+
+let count severity diags =
+  List.length (List.filter (fun d -> d.severity = severity) diags)
+
+let sort diags =
+  let key d =
+    match d.location with
+    | None -> ("", max_int, d.code)
+    | Some { file; line } -> (file, Option.value line ~default:0, d.code)
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) diags
+
+let pp ppf d =
+  (match d.location with
+  | Some { file; line = Some line } -> Format.fprintf ppf "%s:%d: " file line
+  | Some { file; line = None } -> Format.fprintf ppf "%s: " file
+  | None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_name d.severity) d.code d.message
+
+let pp_report ppf diags =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) (sort diags);
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info@."
+    (count Error diags) (count Warning diags) (count Info diags)
+
+let to_json d =
+  let fields = [ ("code", Obs_json.String d.code);
+                 ("severity", Obs_json.String (severity_name d.severity)) ] in
+  let fields =
+    match d.location with
+    | None -> fields
+    | Some { file; line } ->
+      fields
+      @ (("file", Obs_json.String file)
+         ::
+         (match line with
+         | None -> []
+         | Some line -> [ ("line", Obs_json.Int line) ]))
+  in
+  Obs_json.Obj (fields @ [ ("message", Obs_json.String d.message) ])
+
+let report_to_json diags =
+  Obs_json.Obj
+    [ ("diagnostics", Obs_json.List (List.map to_json (sort diags)));
+      ("errors", Obs_json.Int (count Error diags));
+      ("warnings", Obs_json.Int (count Warning diags));
+      ("infos", Obs_json.Int (count Info diags)) ]

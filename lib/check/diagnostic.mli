@@ -1,0 +1,65 @@
+open! Import
+
+(** Compiler-style diagnostics shared by every [routing_check] pass.
+
+    A diagnostic carries a {e stable code} (["T002"], ["P001"], …) that
+    tools and tests key on, a severity, an optional source location
+    (scenario and parameter files are line-oriented), and a human
+    message.  The code families:
+
+    - [T0xx] — topology audit ({!Topology_check})
+    - [P0xx] — HNM parameter table lint ({!Params_check})
+    - [S0xx] — scenario script check ({!Scenario_check})
+    - [R0xx] — static routing-loop stability ({!Stability_check})
+    - [L0xx] — source lint for the Domain-parallel SPF path
+      ({!Src_check})
+
+    The catalogue lives in DESIGN.md §8. *)
+
+type severity = Info | Warning | Error
+
+type location = { file : string; line : int option }
+
+type t = {
+  code : string;  (** stable, e.g. ["T002"]; never reused across meanings *)
+  severity : severity;
+  location : location option;
+  message : string;
+}
+
+val info : ?file:string -> ?line:int -> code:string -> string -> t
+
+val warning : ?file:string -> ?line:int -> code:string -> string -> t
+
+val error : ?file:string -> ?line:int -> code:string -> string -> t
+
+val severity_name : severity -> string
+
+val compare_severity : severity -> severity -> int
+(** [Info < Warning < Error]. *)
+
+val max_severity : t list -> severity
+(** [Info] for the empty list. *)
+
+val exit_code : t list -> int
+(** What a checking process should exit with: 0 when nothing exceeds
+    [Info], 1 when the worst finding is a [Warning], 2 on [Error]. *)
+
+val count : severity -> t list -> int
+
+val sort : t list -> t list
+(** Stable order for reports: by file, then line, then code. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line, [file:line: severity[CODE]: message]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** All diagnostics ({!sort}ed) followed by a one-line summary count. *)
+
+val to_json : t -> Obs_json.t
+(** [{"code":…,"severity":…,"file":…,"line":…,"message":…}]; the file
+    and line fields are omitted when unknown. *)
+
+val report_to_json : t list -> Obs_json.t
+(** [{"diagnostics":[…],"errors":n,"warnings":n,"infos":n}] — the
+    machine-readable form behind [arpanet_check --json]. *)

@@ -5,12 +5,13 @@ module Line_type = Routing_topology.Line_type
 module Link = Routing_topology.Link
 module Graph = Routing_topology.Graph
 module Traffic_matrix = Routing_topology.Traffic_matrix
-module Welford = Routing_stats.Welford
-module Dijkstra = Routing_spf.Dijkstra
-module Spf_tree = Routing_spf.Spf_tree
+module Serial = Routing_topology.Serial
+module Graph_analysis = Routing_topology.Graph_analysis
 module Metric = Routing_metric.Metric
-module Queueing = Routing_metric.Queueing
 module Units = Routing_metric.Units
 module Hnm = Routing_metric.Hnm
 module Hnm_params = Routing_metric.Hnm_params
-module Dspf = Routing_metric.Dspf
+module Response_map = Routing_equilibrium.Response_map
+module Stability = Routing_equilibrium.Stability
+module Script = Routing_sim.Script
+module Obs_json = Routing_obs.Json

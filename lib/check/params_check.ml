@@ -1,0 +1,190 @@
+open! Import
+
+(* Tables hold integer routing units stored as exact floats; half a unit
+   of slack keeps the lint robust to a hand-written "119.99". *)
+let tolerance = 0.5
+
+let check_params ?file (p : Hnm_params.t) =
+  let lt = Line_type.name p.Hnm_params.line_type in
+  let base = p.Hnm_params.base_min in
+  let diags = ref [] in
+  let err code fmt =
+    Printf.ksprintf
+      (fun m -> diags := Diagnostic.error ?file ~code (lt ^ ": " ^ m) :: !diags)
+      fmt
+  in
+  if p.Hnm_params.max_cost <> 3 * base then
+    err "P001"
+      "max_cost %d breaks the 3x bound: a saturated line must cost exactly \
+       3 * base_min = %d (two additional hops, paper §4.2)"
+      p.Hnm_params.max_cost (3 * base);
+  let raw_at u = (p.Hnm_params.slope *. u) +. p.Hnm_params.offset in
+  if
+    Float.abs (raw_at 0.5 -. float_of_int base) > tolerance
+    || Float.abs (raw_at 1.0 -. float_of_int p.Hnm_params.max_cost) > tolerance
+  then
+    err "P002"
+      "slope %.2f / offset %.2f are not the 50%%-knee transform: the raw \
+       cost must pass base_min %d at 50%% utilization and max_cost %d at \
+       100%% (slope %d, offset %d)"
+      p.Hnm_params.slope p.Hnm_params.offset base p.Hnm_params.max_cost
+      (4 * base) (-base);
+  if p.Hnm_params.max_up <> (base / 2) + 1 then
+    err "P003"
+      "max_up %d is not the half-hop movement limit base_min/2 + 1 = %d \
+       (§5.4)"
+      p.Hnm_params.max_up
+      ((base / 2) + 1);
+  if p.Hnm_params.max_down <> p.Hnm_params.max_up - 1 then
+    err "P004"
+      "max_down %d must be max_up - 1 = %d: symmetric limits lose the \
+       march-up heuristic (§5.4)"
+      p.Hnm_params.max_down
+      (p.Hnm_params.max_up - 1);
+  if p.Hnm_params.min_change <> (base / 2) - 1 then
+    err "P005"
+      "min_change %d is not the sub-half-hop significance threshold \
+       base_min/2 - 1 = %d (§4.3)"
+      p.Hnm_params.min_change
+      ((base / 2) - 1);
+  if p.Hnm_params.slope <= 0. then
+    err "P006" "slope %.2f makes the cost non-monotone in utilization"
+      p.Hnm_params.slope;
+  if base < 1 || base > p.Hnm_params.max_cost
+     || p.Hnm_params.max_cost > Units.max_cost
+  then
+    err "P007"
+      "bounds [%d, %d] leave the reportable range [1, %d]" base
+      p.Hnm_params.max_cost Units.max_cost;
+  List.rev !diags
+
+let check_table ?file entries =
+  let per_entry = List.concat_map (check_params ?file) entries in
+  let cross = ref [] in
+  (* P009: one entry per line type. *)
+  List.iter
+    (fun lt ->
+      let n =
+        List.length
+          (List.filter
+             (fun (p : Hnm_params.t) ->
+               Line_type.equal p.Hnm_params.line_type lt)
+             entries)
+      in
+      if n > 1 then
+        cross :=
+          Diagnostic.error ?file ~code:"P009"
+            (Printf.sprintf "%d entries for line type %s" n
+               (Line_type.name lt))
+          :: !cross)
+    Line_type.all;
+  (* P008: base_min should not grow with bandwidth. *)
+  let sorted =
+    List.sort
+      (fun (a : Hnm_params.t) (b : Hnm_params.t) ->
+        Float.compare
+          (Line_type.bandwidth_bps a.Hnm_params.line_type)
+          (Line_type.bandwidth_bps b.Hnm_params.line_type))
+      entries
+  in
+  let rec scan = function
+    | (slow : Hnm_params.t) :: (fast : Hnm_params.t) :: rest ->
+      if
+        Line_type.bandwidth_bps fast.Hnm_params.line_type
+        > Line_type.bandwidth_bps slow.Hnm_params.line_type
+        && fast.Hnm_params.base_min > slow.Hnm_params.base_min
+      then
+        cross :=
+          Diagnostic.warning ?file ~code:"P008"
+            (Printf.sprintf
+               "%s (%.0f kb/s) idles at %d units, dearer than the slower %s \
+                (%.0f kb/s) at %d — faster lines should look cheaper"
+               (Line_type.name fast.Hnm_params.line_type)
+               (Line_type.bandwidth_bps fast.Hnm_params.line_type /. 1000.)
+               fast.Hnm_params.base_min
+               (Line_type.name slow.Hnm_params.line_type)
+               (Line_type.bandwidth_bps slow.Hnm_params.line_type /. 1000.)
+               slow.Hnm_params.base_min)
+          :: !cross;
+      scan (fast :: rest)
+    | _ -> ()
+  in
+  scan sorted;
+  per_entry @ List.rev !cross
+
+(* --- JSON parameter files --- *)
+
+type file = {
+  entries : Hnm_params.t list;
+  averaging : bool;
+  movement_limits : bool;
+}
+
+let ( let* ) = Result.bind
+
+let entry_of_json json =
+  let* lt_name = Result.bind (Obs_json.member "line_type" json) Obs_json.to_str in
+  let* line_type =
+    match Line_type.of_name lt_name with
+    | Some lt -> Ok lt
+    | None -> Error (Printf.sprintf "unknown line type %S" lt_name)
+  in
+  let int_field name =
+    Result.map_error
+      (fun e -> Printf.sprintf "%s, field %S of %s" e name lt_name)
+      (Result.bind (Obs_json.member name json) Obs_json.to_int)
+  in
+  let float_field name =
+    Result.map_error
+      (fun e -> Printf.sprintf "%s, field %S of %s" e name lt_name)
+      (Result.bind (Obs_json.member name json) Obs_json.to_float)
+  in
+  let* base_min = int_field "base_min" in
+  let* max_cost = int_field "max_cost" in
+  let* slope = float_field "slope" in
+  let* offset = float_field "offset" in
+  let* max_up = int_field "max_up" in
+  let* max_down = int_field "max_down" in
+  let* min_change = int_field "min_change" in
+  Ok
+    { Hnm_params.line_type; base_min; max_cost; slope; offset; max_up;
+      max_down; min_change }
+
+let rec entries_of_json = function
+  | [] -> Ok []
+  | json :: rest ->
+    let* entry = entry_of_json json in
+    let* entries = entries_of_json rest in
+    Ok (entry :: entries)
+
+let of_json json =
+  match json with
+  | Obs_json.List items ->
+    let* entries = entries_of_json items in
+    Ok { entries; averaging = true; movement_limits = true }
+  | Obs_json.Obj _ ->
+    let* tables =
+      match Obs_json.member "tables" json with
+      | Ok (Obs_json.List items) -> Ok items
+      | Ok _ -> Error "\"tables\" must be a list"
+      | Error e -> Error e
+    in
+    let* entries = entries_of_json tables in
+    let bool_field name =
+      match Obs_json.member name json with
+      | Ok v -> Obs_json.to_bool v
+      | Error _ -> Ok true
+    in
+    let* averaging = bool_field "averaging" in
+    let* movement_limits = bool_field "movement_limits" in
+    Ok { entries; averaging; movement_limits }
+  | _ -> Error "expected a list of entries or {\"tables\": [...]}"
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error message -> Error message
+  | text -> (
+    match Obs_json.of_string text with
+    | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" path e)
+    | Ok json ->
+      Result.map_error (fun e -> Printf.sprintf "%s: %s" path e) (of_json json))

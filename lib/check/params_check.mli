@@ -1,0 +1,59 @@
+open! Import
+
+(** P0xx — lint for HNM parameter tables ({!Hnm_params.t}).
+
+    §4.4 invites networks to tailor the table; this pass keeps tailored
+    values inside every bound the paper states (DESIGN.md §2), so an
+    override cannot silently break the metric's hop-normalized
+    guarantees.  Per entry:
+
+    - [P001] (error) — [max_cost <> 3 * base_min]: a saturated line must
+      look like exactly "two additional hops" (§4.2)
+    - [P002] (error) — slope/offset inconsistent with the 50 %-knee
+      linear transform ([raw(0.5) = base_min], [raw(1.0) = max_cost])
+    - [P003] (error) — [max_up <> base_min/2 + 1]: cost may move up only
+      a little more than a half-hop per period (§5.4)
+    - [P004] (error) — [max_down <> max_up - 1]: the asymmetric limit
+      behind the march-up heuristic
+    - [P005] (error) — [min_change <> base_min/2 - 1]: the sub-half-hop
+      significance threshold (§4.3)
+    - [P006] (error) — cost not monotone in utilization ([slope <= 0])
+    - [P007] (error) — bounds outside the reportable range
+      ([base_min < 1], [base_min > max_cost], or
+      [max_cost > Units.max_cost])
+
+    and across a whole table:
+
+    - [P008] (warning) — a faster line type with a higher [base_min]
+      than a slower one (inverts "faster lines look cheaper")
+    - [P009] (error) — duplicate entries for one line type *)
+
+val check_params : ?file:string -> Hnm_params.t -> Diagnostic.t list
+(** Lint one entry. *)
+
+val check_table : ?file:string -> Hnm_params.t list -> Diagnostic.t list
+(** Lint every entry plus the cross-entry invariants. *)
+
+(** {2 Parameter files}
+
+    [arpanet_check] lints user tables from a JSON file (decoded with
+    {!Obs_json}, no new dependency): either
+    [{"averaging": bool, "movement_limits": bool, "tables": [entry…]}]
+    or a bare [[entry…]], where an entry object has the fields of
+    {!Hnm_params.t} with [line_type] by name
+    ([{"line_type":"56T","base_min":30,…}]).  Entries override the
+    built-in defaults per line type; the two booleans mirror
+    {!Hnm.config}'s ablation switches and feed {!Stability_check}. *)
+
+type file = {
+  entries : Hnm_params.t list;
+  averaging : bool;  (** the 0.5/0.5 filter stays enabled (default true) *)
+  movement_limits : bool;
+      (** per-period half-hop movement clamps stay enabled (default
+          true) *)
+}
+
+val of_json : Obs_json.t -> (file, string) result
+
+val load : string -> (file, string) result
+(** Read and decode a params file; the error string is human-ready. *)

@@ -1,0 +1,98 @@
+open! Import
+
+let max_event_time_s = 86_400.
+
+(* Unordered trunk key for matching link-down/link-up pairs. *)
+let pair_key a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let semantic_checks ?file (t : Script.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let in_file_order =
+    List.sort
+      (fun (a : Script.event) (b : Script.event) -> compare a.line b.line)
+      t.Script.events
+  in
+  (* S010: listed order vs replay order. *)
+  let rec order_scan = function
+    | (a : Script.event) :: ((b : Script.event) :: _ as rest) ->
+      if b.at_s < a.at_s then
+        add
+          (Diagnostic.warning ?file ~line:b.Script.line ~code:"S010"
+             (Printf.sprintf
+                "event at t=%g listed after one at t=%g — events replay in \
+                 time order, not file order"
+                b.at_s a.at_s));
+      order_scan rest
+    | _ -> ()
+  in
+  order_scan in_file_order;
+  (* Per-event range checks plus the down/up bookkeeping (in time order,
+     which is how the simulator fires them). *)
+  let down = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Script.event) ->
+      let line = e.Script.line in
+      if e.at_s > max_event_time_s then
+        add
+          (Diagnostic.warning ?file ~line ~code:"S012"
+             (Printf.sprintf
+                "event at t=%g is beyond 24 h of simulated time — likely a \
+                 typo" e.at_s));
+      match e.action with
+      | Script.Scale_traffic f ->
+        if f = 0. || f > 10. then
+          add
+            (Diagnostic.warning ?file ~line ~code:"S011"
+               (Printf.sprintf
+                  "traffic scale %g is outside the plausible (0, 10] range" f))
+      | Script.Link_down (a, b) ->
+        let key = pair_key a b in
+        if Hashtbl.mem down key then
+          add
+            (Diagnostic.warning ?file ~line ~code:"S014"
+               (Printf.sprintf "trunk %s-%s is already down here" a b))
+        else Hashtbl.replace down key line
+      | Script.Link_up (a, b) ->
+        let key = pair_key a b in
+        if not (Hashtbl.mem down key) then
+          add
+            (Diagnostic.warning ?file ~line ~code:"S014"
+               (Printf.sprintf
+                  "link-up for trunk %s-%s which was never taken down" a b))
+        else Hashtbl.remove down key
+      | Script.Set_metric _ | Script.Adaptive_sources _ -> ())
+    t.Script.events;
+  Hashtbl.iter
+    (fun (a, b) line ->
+      add
+        (Diagnostic.info ?file ~line ~code:"S013"
+           (Printf.sprintf
+              "trunk %s-%s goes down and is never revived (permanent outage)"
+              a b)))
+    down;
+  List.rev !diags
+
+let check_text ?file text =
+  let errors, t = Script.lint text in
+  let parse_diags =
+    List.map
+      (fun (e : Script.error) ->
+        let code =
+          match e.Script.kind with
+          | Script.Syntax -> "S001"
+          | Script.Unknown_node _ -> "S002"
+          | Script.No_trunk _ -> "S003"
+        in
+        Diagnostic.error ?file ~line:e.Script.line ~code e.Script.message)
+      errors
+  in
+  (parse_diags @ semantic_checks ?file t, t)
+
+let check_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error message ->
+    ([ Diagnostic.error ~file:path ~code:"S000" message ], None)
+  | text ->
+    let diags, t = check_text ~file:path text in
+    (diags, Some t)

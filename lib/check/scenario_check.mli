@@ -1,0 +1,28 @@
+open! Import
+
+(** S0xx — static check of [.scn] scenario scripts.
+
+    Builds on {!Script.lint}: every parse or cross-reference failure
+    that used to surface as a mid-run [Invalid_argument] becomes a
+    located diagnostic, and a few semantic sanity checks run on the
+    parsed event list:
+
+    - [S001] (error) — syntax: malformed line, bad time/scale/metric,
+      unknown directive
+    - [S002] (error) — an event names a node no trunk introduced
+    - [S003] (error) — [link-down]/[link-up] between non-adjacent PSNs
+    - [S010] (warning) — events listed out of time order (they still
+      replay sorted; the file is misleading)
+    - [S011] (warning) — traffic scale outside (0, 10]
+    - [S012] (warning) — event scheduled beyond 24 h of simulated time
+    - [S013] (info) — a trunk taken down and never revived
+    - [S014] (warning) — [link-down] on a trunk already down, or
+      [link-up] on one never taken down *)
+
+val check_text : ?file:string -> string -> Diagnostic.t list * Script.t
+(** Check scenario text; the scenario is best-effort (usable when no
+    [S00x] error was reported). *)
+
+val check_file : string -> Diagnostic.t list * Script.t option
+(** {!check_text} on a file's contents; an unreadable file yields a
+    single [S000] error and no scenario. *)

@@ -1,0 +1,248 @@
+open! Import
+
+(* --- Minimal s-expression reader, enough for dune files --- *)
+
+type sexp = Atom of string | List of sexp list
+
+let tokenize text =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := `Atom (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | '(' -> flush (); tokens := `Open :: !tokens
+    | ')' -> flush (); tokens := `Close :: !tokens
+    | ';' ->
+      (* comment to end of line *)
+      flush ();
+      while !i < n && text.[!i] <> '\n' do incr i done
+    | ' ' | '\t' | '\n' | '\r' -> flush ()
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !tokens
+
+let parse_sexps text =
+  let rec parse_list acc = function
+    | [] -> (List.rev acc, [])
+    | `Close :: rest -> (List.rev acc, rest)
+    | `Open :: rest ->
+      let items, rest = parse_list [] rest in
+      parse_list (List items :: acc) rest
+    | `Atom a :: rest -> parse_list (Atom a :: acc) rest
+  in
+  fst (parse_list [] (tokenize text))
+
+let field name = function
+  | List (Atom head :: rest) when String.equal head name -> Some rest
+  | _ -> None
+
+(* --- The routing_spf dependency closure, from the dune files --- *)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> Some text
+  | exception Sys_error _ -> None
+
+let library_stanzas root =
+  Sys.readdir root |> Array.to_list |> List.sort String.compare
+  |> List.filter_map (fun dir ->
+         let dune = Filename.concat (Filename.concat root dir) "dune" in
+         if Sys.file_exists dune then
+           Option.map (fun text -> (dir, parse_sexps text)) (read_file dune)
+         else None)
+  |> List.concat_map (fun (dir, sexps) ->
+         List.filter_map
+           (fun sexp ->
+             match field "library" sexp with
+             | None -> None
+             | Some fields ->
+               let name =
+                 List.find_map
+                   (fun f ->
+                     match field "name" f with
+                     | Some [ Atom n ] -> Some n
+                     | _ -> None)
+                   fields
+               in
+               let deps =
+                 List.concat_map
+                   (fun f ->
+                     match field "libraries" f with
+                     | Some atoms ->
+                       List.filter_map
+                         (function Atom a -> Some a | List _ -> None)
+                         atoms
+                     | None -> [])
+                   fields
+               in
+               Option.map (fun name -> (name, dir, deps)) name)
+           sexps)
+
+let spf_reachable ~root =
+  let stanzas = library_stanzas root in
+  let rec closure seen = function
+    | [] -> seen
+    | name :: queue ->
+      if List.mem_assoc name seen then closure seen queue
+      else begin
+        match
+          List.find_opt (fun (n, _, _) -> String.equal n name) stanzas
+        with
+        | None -> closure seen queue (* external library *)
+        | Some (_, dir, deps) -> closure ((name, dir) :: seen) (deps @ queue)
+      end
+  in
+  closure [] [ "routing_spf" ] |> List.map snd |> List.sort_uniq String.compare
+
+(* --- The line scans --- *)
+
+(* Blank out comments (nested) and string/char literals, preserving the
+   line structure so reported line numbers and the column-0 [let] test
+   still hold.  Without this the lint would flag its own documentation
+   and error messages — the banned names appear there as text, not
+   code. *)
+let code_lines text =
+  let n = String.length text in
+  let out = Buffer.create n in
+  let depth = ref 0 and in_string = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    let next = if !i + 1 < n then text.[!i + 1] else '\000' in
+    if c = '\n' then begin Buffer.add_char out '\n'; incr i end
+    else if !in_string then begin
+      if c = '\\' && !i + 1 < n then begin
+        Buffer.add_char out ' ';
+        Buffer.add_char out (if next = '\n' then '\n' else ' ');
+        i := !i + 2
+      end
+      else begin
+        if c = '"' then in_string := false;
+        Buffer.add_char out ' ';
+        incr i
+      end
+    end
+    else if !depth > 0 then begin
+      (if c = '(' && next = '*' then begin incr depth; incr i end
+       else if c = '*' && next = ')' then begin decr depth; incr i end
+       else if c = '"' then in_string := true);
+      Buffer.add_char out ' ';
+      incr i
+    end
+    else if c = '(' && next = '*' then begin
+      depth := 1;
+      Buffer.add_string out "  ";
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      in_string := true;
+      Buffer.add_char out ' ';
+      incr i
+    end
+    else if c = '\'' && !i + 2 < n && text.[!i + 1] <> '\\'
+            && text.[!i + 2] = '\'' then begin
+      (* char literal, '"' in particular *)
+      Buffer.add_string out "   ";
+      i := !i + 3
+    end
+    else begin Buffer.add_char out c; incr i end
+  done;
+  String.split_on_char '\n' (Buffer.contents out)
+
+let contains line needle =
+  let n = String.length needle and len = String.length line in
+  let rec scan i = i + n <= len && (String.sub line i n = needle || scan (i + 1)) in
+  scan 0
+
+(* A toplevel binding: a line starting at column 0 with "let ".  Local
+   [let … in] bindings are indented by every style in this tree, so the
+   column-0 test cleanly separates module-level state from function
+   locals. *)
+let is_toplevel_let line =
+  String.length line > 4 && String.sub line 0 4 = "let "
+
+let mutable_constructs =
+  [ "= ref "; "Hashtbl.create"; "Queue.create"; "Buffer.create";
+    "Atomic.make" ]
+
+let span_clock_file path =
+  Filename.basename (Filename.dirname path) = "obs"
+  && Filename.basename path = "span.ml"
+
+let scan_file ~in_spf_closure path =
+  match read_file path with
+  | None -> []
+  | Some text ->
+    let diags = ref [] in
+    let add ~line ~code message =
+      diags := Diagnostic.error ~file:path ~line ~code message :: !diags
+    in
+    List.iteri
+      (fun index line ->
+        let lineno = index + 1 in
+        if contains line "Random.self_init" then
+          add ~line:lineno ~code:"L001"
+            "Random.self_init: seeds must be explicit (Routing_stats.Rng) \
+             or parallel runs stop being reproducible";
+        if
+          (contains line "Unix.gettimeofday" || contains line "Sys.time")
+          && not (span_clock_file path)
+        then
+          add ~line:lineno ~code:"L002"
+            "wall-clock read outside lib/obs/span.ml: route timing through \
+             the pluggable Span clock so runs stay deterministic";
+        if in_spf_closure && is_toplevel_let line then
+          List.iter
+            (fun needle ->
+              if contains line needle then
+                add ~line:lineno ~code:"L003"
+                  (Printf.sprintf
+                     "top-level mutable state (%s) in a module reachable \
+                      from Spf_engine — domains may race on it"
+                     (String.trim needle)))
+            mutable_constructs)
+      (code_lines text);
+    List.rev !diags
+
+let rec ml_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           let path = Filename.concat dir entry in
+           if entry = "_build" || String.length entry > 0 && entry.[0] = '.'
+           then []
+           else if Sys.is_directory path then ml_files path
+           else if
+             Filename.check_suffix entry ".ml"
+             || Filename.check_suffix entry ".mli"
+           then [ path ]
+           else [])
+
+let check_tree ~root =
+  let closure_dirs = spf_reachable ~root in
+  let in_closure path =
+    (* path = root/<dir>/…; test the first component under root. *)
+    let rec relative p =
+      let parent = Filename.dirname p in
+      if String.equal parent root then Some (Filename.basename p)
+      else if String.equal parent p then None
+      else relative parent
+    in
+    match relative path with
+    | Some dir -> List.mem dir closure_dirs
+    | None -> false
+  in
+  List.concat_map
+    (fun path -> scan_file ~in_spf_closure:(in_closure path) path)
+    (ml_files root)

@@ -1,0 +1,41 @@
+open! Import
+
+(** L0xx — source lint for the Domain-parallel SPF path.
+
+    [Spf_engine] fans per-source Dijkstra computations out over OCaml 5
+    domains and promises bit-identical parallel and sequential results
+    (DESIGN.md §6).  That proof rests on two properties no type checker
+    enforces: the hot path reads only frozen data, and nothing in it
+    consults ambient nondeterminism.  This pass scans the {e source
+    tree} (plain text, no ppx) for the constructs that break them:
+
+    - [L001] (error) — [Random.self_init] anywhere under the root:
+      seeds must be explicit ({!Routing_stats.Rng}) or runs stop being
+      reproducible
+    - [L002] (error) — [Unix.gettimeofday] or [Sys.time] outside the
+      span clock ([lib/obs/span.ml]): wall-clock reads belong behind
+      the pluggable {!Routing_obs.Span} clock
+    - [L003] (error) — top-level mutable state ([ref], [Hashtbl.create],
+      [Queue.create], [Buffer.create], [Atomic.make] in a toplevel
+      [let]) in a library reachable from [routing_spf]'s dune
+      dependency closure — shared cells domains could race on
+
+    The dependency closure is computed from the [dune] files under the
+    root, so a new library that links into the SPF path is linted
+    automatically.  Data races the lint cannot see are the tsan build
+    profile's job (DESIGN.md §8). *)
+
+val spf_reachable : root:string -> string list
+(** Directories (relative to [root]) of the libraries in
+    [routing_spf]'s dependency closure, itself included — parsed from
+    the [dune] files.  Exposed for tests and for the CLI's verbose
+    output. *)
+
+val scan_file : in_spf_closure:bool -> string -> Diagnostic.t list
+(** Lint one file; [in_spf_closure] arms the [L003] scan.  Comments and
+    string literals are blanked first, so naming a banned construct in
+    documentation does not trip the lint. *)
+
+val check_tree : root:string -> Diagnostic.t list
+(** Lint every [.ml]/[.mli] file under [root] (recursively; [_build]
+    skipped).  [L003] only fires inside {!spf_reachable} directories. *)

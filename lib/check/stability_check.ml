@@ -1,0 +1,123 @@
+open! Import
+
+let default_loads = [ 0.5; 1.0; 1.5; 2.0; 3.0 ]
+
+(* One representative link per line type in service: the headroom sweep
+   depends on the table entry and the network-wide response map, not on
+   which physical trunk of that type we probe. *)
+let representatives g =
+  List.rev
+    (Graph.fold_links g ~init:[] ~f:(fun acc (l : Link.t) ->
+         if
+           List.exists
+             (fun (r : Link.t) ->
+               Line_type.equal r.Link.line_type l.Link.line_type)
+             acc
+         then acc
+         else l :: acc))
+
+let check ?file ?(averaging = true) ?(movement_limits = true) ?(entries = [])
+    ?(loads = default_loads) g tm =
+  if Graph.link_count g = 0 || Traffic_matrix.total_bps tm <= 0. then []
+  else begin
+    let response = Response_map.compute g tm in
+    let params_for lt =
+      match
+        List.find_opt
+          (fun (p : Hnm_params.t) -> Line_type.equal p.Hnm_params.line_type lt)
+          entries
+      with
+      | Some p -> p
+      | None -> Hnm_params.for_line_type lt
+    in
+    let link_name (l : Link.t) =
+      Printf.sprintf "%s->%s"
+        (Graph.node_name g l.Link.src)
+        (Graph.node_name g l.Link.dst)
+    in
+    let diags = ref [] in
+    (* R001: every link, at the load the traffic matrix actually offers
+       it (its min-hop utilization — the Figs 9–12 normalizer).  This is
+       the configuration the first routing period will face. *)
+    let worst = ref None in
+    Graph.iter_links g (fun (l : Link.t) ->
+        let offered_load = Response_map.base_utilization response g tm l in
+        if offered_load > 0. then begin
+          let r =
+            Stability.analyze_hnm ~averaging
+              (params_for l.Link.line_type)
+              l response ~offered_load
+          in
+          (match !worst with
+          | Some (gain, _, _) when gain >= r.Stability.effective_gain -> ()
+          | _ -> worst := Some (r.Stability.effective_gain, l, offered_load));
+          if not r.Stability.stable then
+            if averaging && movement_limits then
+              (* The full HNM pipeline: the fixed point is unstable but
+                 the per-period half-hop clamps bound the cycle to the
+                 §5.4 march-up ripple — by design, not a misconfig. *)
+              diags :=
+                Diagnostic.info ?file ~code:"R004"
+                  (Printf.sprintf
+                     "%s (%s) at its configured offered load %.2f sits at \
+                      an unstable fixed point (effective gain %.2f); the \
+                      half-hop movement limits bound the oscillation to \
+                      the §5.4 march-up ripple"
+                     (link_name l)
+                     (Line_type.name l.Link.line_type)
+                     offered_load r.Stability.effective_gain)
+                :: !diags
+            else
+              diags :=
+                Diagnostic.warning ?file ~code:"R001"
+                  (Printf.sprintf
+                     "%s (%s) at its configured offered load %.2f: \
+                      effective loop gain %.2f >= 1 (raw %.2f; %s) — this \
+                      parameter set reintroduces §3.3 oscillation"
+                     (link_name l)
+                     (Line_type.name l.Link.line_type)
+                     offered_load r.Stability.effective_gain
+                     r.Stability.raw_gain
+                     (if not averaging then "averaging filter off"
+                      else "movement limits off"))
+                :: !diags
+        end);
+    (match !worst with
+    | None -> ()
+    | Some (gain, l, load) ->
+      diags :=
+        Diagnostic.info ?file ~code:"R002"
+          (Printf.sprintf
+             "static stability at configured load: worst effective loop \
+              gain %.2f (%s at offered load %.2f)"
+             gain (link_name l) load)
+        :: !diags);
+    (* R003: headroom — the smallest hypothetical offered load in the
+       sweep at which each line type's loop goes unstable, i.e. how much
+       traffic growth this topology + table can absorb. *)
+    List.iter
+      (fun (l : Link.t) ->
+        let lt = l.Link.line_type in
+        let params = params_for lt in
+        let unstable_at =
+          List.find_opt
+            (fun offered_load ->
+              not
+                (Stability.analyze_hnm ~averaging params l response
+                   ~offered_load)
+                  .Stability.stable)
+            (List.sort Float.compare loads)
+        in
+        match unstable_at with
+        | None -> ()
+        | Some load ->
+          diags :=
+            Diagnostic.info ?file ~code:"R003"
+              (Printf.sprintf
+                 "%s links would oscillate if offered load grew to %.2fx \
+                  a link's capacity (smallest unstable load in the sweep)"
+                 (Line_type.name lt) load)
+            :: !diags)
+      (representatives g);
+    List.rev !diags
+  end

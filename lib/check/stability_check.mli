@@ -1,0 +1,47 @@
+open! Import
+
+(** R0xx — static routing-loop stability analysis.
+
+    Runs the §5 control-theory machinery ({!Stability.analyze_hnm})
+    over the topology's response map {e without simulating}: find the
+    continuous equilibrium of cost → shed traffic → cost and its loop
+    gain.  A configuration whose effective gain reaches 1 reintroduces
+    the §3.3 oscillation the 1987 revision was built to kill — the
+    checker flags it before a run does.
+
+    Each link is analyzed {e at the offered load the traffic matrix
+    actually gives it} (its min-hop utilization, the Figs 9–12
+    normalizer) — the configuration the first routing period will face:
+
+    - [R001] (warning) — effective gain ≥ 1 with a taming mechanism
+      (the 0.5/0.5 filter or the movement limits) switched off: the
+      parameter set reintroduces unbounded §3.3 oscillation
+    - [R002] (info) — worst configured-load gain, for calibration
+    - [R003] (info) — headroom: the smallest load in a hypothetical
+      sweep at which a line type's loop would go unstable, i.e. how
+      much traffic growth the topology + table can absorb
+    - [R004] (info) — an unstable fixed point under the {e full} HNM
+      pipeline: the half-hop movement limits bound the cycle to the
+      §5.4 march-up ripple, so this is a capacity observation, not a
+      misconfiguration *)
+
+val default_loads : float list
+(** [0.5; 1.0; 1.5; 2.0; 3.0] — the R003 sweep, offered load as a
+    multiple of a link's capacity, spanning Fig 9–12's range. *)
+
+val check :
+  ?file:string ->
+  ?averaging:bool ->
+  ?movement_limits:bool ->
+  ?entries:Hnm_params.t list ->
+  ?loads:float list ->
+  Graph.t ->
+  Traffic_matrix.t ->
+  Diagnostic.t list
+(** Analyze every traffic-carrying link at its configured load
+    (R001/R004, R002) and sweep one representative link per line type
+    over [loads] (R003).  [entries] overrides the built-in table per
+    line type (others keep their defaults); [averaging] and
+    [movement_limits] (both default true) mirror {!Hnm.config}'s
+    ablation switches.  Empty graphs and all-zero traffic are skipped —
+    the topology pass already reports those. *)

@@ -1,0 +1,21 @@
+open! Import
+
+(** T0xx — structural audit of a topology and its offered traffic.
+
+    Errors are configurations no simulation can route around; the info
+    diagnostics surface the §5.2 "rich with alternate paths" property
+    (or its absence) before a run, via {!Graph_analysis}:
+
+    - [T001] (error) — empty topology: no trunks at all
+    - [T002] (error) — disconnected: some PSN pair has no path
+    - [T010] (info) — bridge trunks, with the captive traffic fraction
+      (flows crossing a bridge can never be shed at any reported cost)
+    - [T011] (info) — articulation PSNs whose failure partitions the net
+    - [T012] (info) — stub PSNs attached by a single trunk
+    - [T013] (info) — a PSN whose offered demand exceeds the combined
+      capacity of its incident trunks: an overload no metric can route
+      around (a property of the offered load, not a misconfiguration —
+      the real MILNET stubs trip this at peak) *)
+
+val check : ?file:string -> Graph.t -> Traffic_matrix.t -> Diagnostic.t list
+(** Audit a topology and its traffic; [file] labels the diagnostics. *)

@@ -37,10 +37,11 @@ let table = Array.of_list (List.map make Line_type.all)
 
 let for_line_type lt = table.(Line_type.index lt)
 
-let min_cost (link : Link.t) =
-  let p = for_line_type link.line_type in
+let min_cost_of p (link : Link.t) =
   let adjust = int_of_float (link.propagation_s *. 1000. /. 25.) in
   p.base_min + min p.base_min adjust
+
+let min_cost (link : Link.t) = min_cost_of (for_line_type link.line_type) link
 
 let raw_cost p ~utilization = (p.slope *. utilization) +. p.offset
 

@@ -40,6 +40,11 @@ val min_cost : Link.t -> int
 (** The per-link lower bound: [base_min] plus the propagation-delay
     adjustment. *)
 
+val min_cost_of : t -> Link.t -> int
+(** {!min_cost} under an explicit (possibly user-overridden) table entry
+    instead of the built-in one — the analysis entry point used by
+    [routing_check] when linting custom parameter sets. *)
+
 val raw_cost : t -> utilization:float -> float
 (** The unclipped linear transform [slope * u + offset]. *)
 

@@ -38,6 +38,20 @@ val analyze :
 (** Gain of one iteration of the routing loop at the fixed point.
     Min-hop is static: gain 0. *)
 
+val analyze_hnm :
+  ?averaging:bool ->
+  Hnm_params.t ->
+  Link.t ->
+  Response_map.t ->
+  offered_load:float ->
+  report
+(** {!analyze} for HN-SPF under an explicit (possibly user-overridden)
+    parameter table entry instead of the built-in one — the entry point
+    of [routing_check]'s static stability pass.  [averaging] (default
+    true) models the 0.5/0.5 recursive filter; with it off the
+    effective gain is the raw |g|, which is how a parameter set that
+    disables the filter reintroduces §3.3's oscillation. *)
+
 val gain_curve :
   Metric.kind ->
   Link.t ->

@@ -8,13 +8,20 @@ type action =
   | Scale_traffic of float
   | Adaptive_sources of bool
 
-type event = { at_s : float; action : action }
+type event = { at_s : float; action : action; line : int }
 
 type t = {
   graph : Graph.t;
   traffic : Traffic_matrix.t;
   events : event list;
 }
+
+type error_kind =
+  | Syntax
+  | Unknown_node of string
+  | No_trunk of string * string
+
+type error = { line : int; kind : error_kind; message : string }
 
 let strip_comment line =
   match String.index_opt line '#' with
@@ -40,7 +47,7 @@ let parse_action = function
   | [ "adaptive"; "off" ] -> Ok (Adaptive_sources false)
   | other -> Error (Printf.sprintf "unknown action %S" (String.concat " " other))
 
-let parse_event_line line =
+let parse_event_line ~line:number line =
   let fields =
     String.split_on_char ' '
       (String.map (function '\t' -> ' ' | c -> c) (strip_comment line))
@@ -51,40 +58,82 @@ let parse_event_line line =
     match float_of_string_opt time with
     | Some at_s when at_s >= 0. -> (
       match parse_action action with
-      | Ok action -> Ok { at_s; action }
+      | Ok action -> Ok { at_s; action; line = number }
       | Error e -> Error e)
     | _ -> Error (Printf.sprintf "bad time %S" time))
   | _ -> Error "malformed event line"
 
-let parse text =
+(* Cross-reference an event's node and trunk names against the parsed
+   topology, so misspellings surface at parse time with a line number
+   rather than as a mid-run [Invalid_argument]. *)
+let check_references graph (e : event) =
+  match e.action with
+  | Set_metric _ | Scale_traffic _ | Adaptive_sources _ -> []
+  | Link_down (a, b) | Link_up (a, b) -> (
+    let missing =
+      List.filter_map
+        (fun name ->
+          match Graph.node_by_name graph name with
+          | Some _ -> None
+          | None ->
+            Some
+              { line = e.line;
+                kind = Unknown_node name;
+                message = Printf.sprintf "unknown node %S" name })
+        [ a; b ]
+    in
+    match missing with
+    | _ :: _ -> missing
+    | [] ->
+      let src = Option.get (Graph.node_by_name graph a) in
+      let dst = Option.get (Graph.node_by_name graph b) in
+      if Graph.find_link graph ~src ~dst = None then
+        [ { line = e.line;
+            kind = No_trunk (a, b);
+            message = Printf.sprintf "no trunk %s-%s" a b } ]
+      else [])
+
+let lint text =
   let lines = String.split_on_char '\n' text in
   let events = ref [] in
-  let error = ref None in
+  let errors = ref [] in
+  (* Blank out event lines (rather than dropping them) so the serial
+     section keeps its original line numbering. *)
   let rest =
-    List.filteri
+    List.mapi
       (fun index line ->
         if is_event_line line then begin
-          (match parse_event_line line with
+          (match parse_event_line ~line:(index + 1) line with
           | Ok e -> events := e :: !events
           | Error message ->
-            if !error = None then
-              error := Some (Printf.sprintf "line %d: %s" (index + 1) message));
-          false
+            errors := { line = index + 1; kind = Syntax; message } :: !errors);
+          ""
         end
-        else true)
+        else line)
       lines
   in
-  match !error with
-  | Some message -> Error message
-  | None -> (
-    match Serial.of_string (String.concat "\n" rest) with
-    | Error e -> Error e
-    | Ok (graph, traffic) ->
-      Ok
-        { graph;
-          traffic;
-          events =
-            List.sort (fun a b -> Float.compare a.at_s b.at_s) !events })
+  let serial_errors, (graph, traffic) =
+    Serial.lint (String.concat "\n" rest)
+  in
+  List.iter
+    (fun (line, message) ->
+      errors := { line; kind = Syntax; message } :: !errors)
+    serial_errors;
+  let events = List.rev !events in
+  List.iter
+    (fun e -> List.iter (fun err -> errors := err :: !errors) (check_references graph e))
+    events;
+  let errors = List.sort (fun a b -> compare (a.line, a.message) (b.line, b.message)) !errors in
+  ( errors,
+    { graph;
+      traffic;
+      events = List.stable_sort (fun a b -> Float.compare a.at_s b.at_s) events } )
+
+let parse text =
+  match lint text with
+  | [], t -> Ok t
+  | { line; message; _ } :: _, _ ->
+    Error (Printf.sprintf "line %d: %s" line message)
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

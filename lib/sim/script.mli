@@ -25,7 +25,11 @@ type action =
   | Scale_traffic of float  (** relative to the file's demands *)
   | Adaptive_sources of bool
 
-type event = { at_s : float; action : action }
+type event = {
+  at_s : float;
+  action : action;
+  line : int;  (** 1-based source line, for diagnostics *)
+}
 
 type t = {
   graph : Graph.t;
@@ -33,9 +37,29 @@ type t = {
   events : event list;  (** sorted by time *)
 }
 
+(** {2 Located errors}
+
+    Every parse problem carries its source line; [kind] classifies the
+    cross-reference failures so [routing_check] can assign stable
+    diagnostic codes without string matching. *)
+
+type error_kind =
+  | Syntax  (** malformed line, bad value, unknown directive/metric *)
+  | Unknown_node of string  (** event names a node no trunk introduced *)
+  | No_trunk of string * string  (** event names a non-adjacent pair *)
+
+type error = { line : int; kind : error_kind; message : string }
+
 val parse : string -> (t, string) result
 (** Parse a scenario file's text: [at] lines here, everything else via
-    {!Routing_topology.Serial.of_string}. *)
+    {!Routing_topology.Serial}.  Event node and trunk references are
+    checked here, at parse time; the error string is the first problem,
+    prefixed ["line %d:"]. *)
+
+val lint : string -> error list * t
+(** Like {!parse} but collects {e every} problem (sorted by line)
+    alongside the best-effort scenario — bad lines are skipped, events
+    with bad references kept.  [parse] succeeds iff the list is empty. *)
 
 val load : string -> (t, string) result
 
@@ -49,4 +73,5 @@ val run :
     firing each event at the start of its period and calling [on_period]
     after every step.  Returns the simulator for inspection.
     @raise Invalid_argument if an event names an unknown node or a pair
-    with no direct trunk. *)
+    with no direct trunk — impossible for a [t] obtained from {!parse},
+    which rejects such references up front. *)

@@ -55,39 +55,41 @@ let parse_line line =
     | _ -> Error (Printf.sprintf "bad demand %S" bps))
   | keyword :: _ -> Error (Printf.sprintf "unrecognized directive %S" keyword)
 
-let of_string text =
+(* Single parsing core: walk every line, accumulating located errors
+   rather than stopping at the first, so the static checker can report
+   them all.  [of_string] keeps its historical first-error contract on
+   top of this. *)
+let lint text =
   let builder = Builder.create () in
   let demands = ref [] in
-  let error = ref None in
+  let errors = ref [] in
+  let fail line message = errors := (line, message) :: !errors in
   List.iteri
     (fun index line ->
-      if !error = None then
-        match parse_line line with
-        | Ok Blank -> ()
-        | Ok (Trunk (a, b, lt, prop)) ->
-          if String.equal a b then
-            error := Some (Printf.sprintf "line %d: self-loop trunk" (index + 1))
-          else ignore (Builder.trunk builder ?propagation_s:prop lt a b)
-        | Ok (Demand (a, b, bps)) -> demands := (index + 1, a, b, bps) :: !demands
-        | Error message ->
-          error := Some (Printf.sprintf "line %d: %s" (index + 1) message))
+      match parse_line line with
+      | Ok Blank -> ()
+      | Ok (Trunk (a, b, lt, prop)) ->
+        if String.equal a b then fail (index + 1) "self-loop trunk"
+        else ignore (Builder.trunk builder ?propagation_s:prop lt a b)
+      | Ok (Demand (a, b, bps)) -> demands := (index + 1, a, b, bps) :: !demands
+      | Error message -> fail (index + 1) message)
     (String.split_on_char '\n' text);
-  match !error with
-  | Some message -> Error message
-  | None ->
-    let g = Builder.build builder in
-    let tm = Traffic_matrix.create ~nodes:(Graph.node_count g) in
-    let rec apply = function
-      | [] -> Ok (g, tm)
-      | (line, a, b, bps) :: rest -> (
-        match (Graph.node_by_name g a, Graph.node_by_name g b) with
-        | Some src, Some dst ->
-          Traffic_matrix.add tm ~src ~dst bps;
-          apply rest
-        | None, _ -> Error (Printf.sprintf "line %d: unknown node %S" line a)
-        | _, None -> Error (Printf.sprintf "line %d: unknown node %S" line b))
-    in
-    apply (List.rev !demands)
+  let g = Builder.build builder in
+  let tm = Traffic_matrix.create ~nodes:(Graph.node_count g) in
+  List.iter
+    (fun (line, a, b, bps) ->
+      match (Graph.node_by_name g a, Graph.node_by_name g b) with
+      | Some src, Some dst -> Traffic_matrix.add tm ~src ~dst bps
+      | None, _ -> fail line (Printf.sprintf "unknown node %S" a)
+      | _, None -> fail line (Printf.sprintf "unknown node %S" b))
+    (List.rev !demands);
+  (List.rev !errors, (g, tm))
+
+let of_string text =
+  match lint text with
+  | [], result -> Ok result
+  | (line, message) :: _, _ ->
+    Error (Printf.sprintf "line %d: %s" line message)
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

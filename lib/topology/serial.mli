@@ -22,6 +22,12 @@ val of_string : string -> (Graph.t * Traffic_matrix.t, string) result
 (** Parse a scenario.  The traffic matrix is all-zero if there are no
     [demand] lines.  The error string names the offending line. *)
 
+val lint : string -> (int * string) list * (Graph.t * Traffic_matrix.t)
+(** Like {!of_string} but keeps going past errors, returning {e every}
+    problem as [(line, message)] (1-based, file order) together with the
+    best-effort parse (bad lines skipped).  Used by [routing_check]'s
+    scenario pass; [of_string] is [lint]'s first error or its result. *)
+
 val load : string -> (Graph.t * Traffic_matrix.t, string) result
 (** Read and parse a file. *)
 

@@ -1,0 +1,8 @@
+(* L003 fixture: module-level mutable state domains could race on *)
+let cache = Hashtbl.create 16
+
+let hits = ref 0
+
+let lookup key =
+  incr hits;
+  Hashtbl.find_opt cache key

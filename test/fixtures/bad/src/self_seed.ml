@@ -1,0 +1,2 @@
+(* L001 fixture: implicit seeding breaks reproducibility *)
+let init () = Random.self_init ()

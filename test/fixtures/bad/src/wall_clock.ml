@@ -1,0 +1,4 @@
+(* L002 fixture: wall-clock reads outside the span clock *)
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

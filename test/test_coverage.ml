@@ -261,16 +261,18 @@ let test_script_runs_events () =
       (late.Flow_sim.delivered_bps > 14_000.
       && late.Flow_sim.offered_bps < 16_000.)
 
-let test_script_unknown_node_raises () =
+let test_script_unknown_node_rejected () =
+  (* Bad event references are now a parse-time error (with the line),
+     not a mid-run Invalid_argument. *)
   match Script.parse "trunk A B 56T
 at 10 link-down A Z" with
-  | Error e -> Alcotest.fail e
-  | Ok s ->
-    Alcotest.(check bool) "raises at run time" true
-      (try
-         ignore (Script.run s ~periods:5);
-         false
-       with Invalid_argument _ -> true)
+  | Ok _ -> Alcotest.fail "unknown event node should not parse"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S is located and names the node" e)
+      true
+      (Astring.String.is_prefix ~affix:"line 2:" e
+      && Astring.String.is_infix ~affix:"\"Z\"" e)
 
 let () =
   Alcotest.run "coverage"
@@ -306,5 +308,5 @@ let () =
         [ Alcotest.test_case "parses" `Quick test_script_parses;
           Alcotest.test_case "parse errors" `Quick test_script_parse_errors;
           Alcotest.test_case "runs events" `Quick test_script_runs_events;
-          Alcotest.test_case "unknown node" `Quick test_script_unknown_node_raises
+          Alcotest.test_case "unknown node" `Quick test_script_unknown_node_rejected
         ] ) ]
