@@ -1244,6 +1244,179 @@ let perf_spf ~quick () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Flow-simulator hot path + sweep throughput.  `sim` records          *)
+(* BENCH_sim.json; `sim-quick` is the runtest/CI smoke mode — tiny     *)
+(* quota and grid, no file written, plus a round-trip check that the   *)
+(* would-be record survives the routing_obs JSON codec.                *)
+
+module Load_assign = Routing_sim.Load_assign
+module Sweep_spec = Routing_sweep.Sweep_spec
+module Sweep_engine = Routing_sweep.Sweep_engine
+
+let mesh200 () = Generators.ring_chord (Rng.create 99) ~nodes:200 ~chords:120
+
+let sim_bench_rows ~quota_s =
+  let open Bechamel in
+  let g = mesh200 () in
+  let tm = Traffic_matrix.gravity (Rng.create 3) ~nodes:200 ~total_bps:2e6 in
+  let flow = Flow_sim.create g Metric.Hn_spf tm in
+  (* Assignment rows isolate the per-period load spread: trees are fixed
+     (one refresh up front), so aggregated-vs-baseline is exactly the
+     O(V+E) sweep against the historical per-flow tree climb. *)
+  let nl = Graph.link_count g in
+  let costs = Array.init nl (fun i -> 1 + ((i * 37) mod 60)) in
+  let engine = Spf_engine.create g in
+  Spf_engine.refresh engine ~cost:(fun lid -> costs.(Link.id_to_int lid));
+  let tree_for = Spf_engine.tree engine in
+  let flows =
+    let acc = ref [] in
+    Traffic_matrix.iter tm (fun ~src ~dst demand ->
+        acc := { Load_assign.src; dst; demand_bps = demand } :: !acc);
+    Array.of_list (List.rev !acc)
+  in
+  let nf = Array.length flows in
+  let assignment = Load_assign.create g in
+  let baseline = Load_assign.create g in
+  let sending = Array.map (fun f -> f.Load_assign.demand_bps) flows in
+  let offered = Array.make nl 0. in
+  let first_hop = Array.make nf (-2) in
+  let tests =
+    Test.make_grouped ~name:"mesh200" ~fmt:"%s %s"
+      [ Test.make ~name:"flow sim routing period"
+          (Staged.stage (fun () -> ignore (Flow_sim.step flow)));
+        Test.make ~name:"assignment (aggregated)"
+          (Staged.stage (fun () ->
+               Array.fill offered 0 nl 0.;
+               Load_assign.assign assignment ~flows ~tree_for ~sending
+                 ~offered ~first_hop));
+        Test.make ~name:"assignment (per-flow baseline)"
+          (Staged.stage (fun () ->
+               Array.fill offered 0 nl 0.;
+               Load_assign.assign_baseline baseline ~flows ~tree_for ~sending
+                 ~offered ~first_hop)) ]
+  in
+  run_benchmarks ~quota_s tests
+
+let sweep_spec_of_points ~points ~periods =
+  { Sweep_spec.scenarios = [ Sweep_spec.Builtin "arpanet" ];
+    metrics = [ Metric.D_spf; Metric.Hn_spf ];
+    scales = [ 0.7; 1.0 ];
+    seeds = List.init (max 1 (points / 4)) (fun i -> i + 1);
+    periods;
+    warmup = min 2 (periods - 1) }
+
+(* Wall-clock sweep throughput at two pool sizes, plus the byte-identity
+   check the sweep engine's determinism contract rests on. *)
+let sweep_rows ~points ~periods ~domain_counts =
+  let spec = sweep_spec_of_points ~points ~periods in
+  let reports =
+    List.map
+      (fun domains ->
+        let t0 = Unix.gettimeofday () in
+        let report = Sweep_engine.run ~domains spec in
+        let dt = Unix.gettimeofday () -. t0 in
+        let n = Array.length report.Sweep_engine.outcomes in
+        (domains, float_of_int n /. Float.max dt 1e-9,
+         Obs_json.to_string report.Sweep_engine.json))
+      domain_counts
+  in
+  (match reports with
+   | (_, _, first) :: rest ->
+     List.iter
+       (fun (domains, _, json) ->
+         if not (String.equal first json) then
+           failwith
+             (Printf.sprintf
+                "sweep report differs between %d and %d domains"
+                (match reports with (d, _, _) :: _ -> d | [] -> 0)
+                domains))
+       rest
+   | [] -> ());
+  List.map (fun (domains, pps, _) -> (domains, pps)) reports
+
+let write_sim_json path ~cores ~rows ~sweep =
+  let reg = Obs_metrics.create () in
+  Obs_metrics.set_meta reg "benchmark" "flow-sim hot path + sweep throughput";
+  Obs_metrics.set_meta reg "units"
+    "ns per run (bechamel OLS estimate); sweep rows are grid points per second";
+  (* This box's physical parallelism, recorded so the sweep-throughput
+     rows read honestly: with one core, more domains cannot beat one. *)
+  Obs_metrics.set_meta reg "cores" (string_of_int cores);
+  Obs_metrics.set_meta reg "git_rev" (bench_env "BENCH_GIT_REV");
+  Obs_metrics.set_meta reg "date" (bench_env "BENCH_DATE");
+  List.iter
+    (fun (name, ns) ->
+      Obs_metrics.set
+        (Obs_metrics.gauge reg ~labels:[ ("case", name) ] "ns_per_run")
+        ns)
+    rows;
+  List.iter
+    (fun (domains, pps) ->
+      Obs_metrics.set
+        (Obs_metrics.gauge reg
+           ~labels:[ ("domains", string_of_int domains) ]
+           "sweep_points_per_s")
+        pps)
+    sweep;
+  let ratio num den =
+    match (num, den) with
+    | Some n, Some d when d > 0. -> Obs_json.Float (n /. d)
+    | _ -> Obs_json.Null
+  in
+  let json =
+    Obs_metrics.to_json reg
+      ~extra:
+        [ ( "speedups",
+            Obs_json.Obj
+              [ ( "assignment_aggregated_vs_baseline",
+                  ratio
+                    (List.assoc_opt "mesh200 assignment (per-flow baseline)"
+                       rows)
+                    (List.assoc_opt "mesh200 assignment (aggregated)" rows) );
+                ( "sweep_4_domains_vs_1",
+                  ratio
+                    (List.assoc_opt 4 sweep)
+                    (List.assoc_opt 1 sweep) ) ] ) ]
+  in
+  (* The record must survive its own codec — CI's schema check. *)
+  (match Obs_json.of_string (Obs_json.to_string json) with
+   | Ok round when Obs_json.equal round json -> ()
+   | Ok _ -> failwith "BENCH_sim.json does not round-trip identically"
+   | Error e -> failwith ("BENCH_sim.json does not re-parse: " ^ e));
+  (match path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (Obs_json.to_string_pretty json);
+         output_char oc '\n'))
+
+let bench_sim ~quick () =
+  section
+    (if quick then
+       "sim-quick — flow-sim smoke benchmarks (tiny quota and grid, no file)"
+     else "sim — flow-sim hot path and sweep throughput");
+  let rows = sim_bench_rows ~quota_s:(if quick then 0.02 else 0.5) in
+  print_rows rows;
+  let sweep =
+    if quick then
+      sweep_rows ~points:2 ~periods:3 ~domain_counts:[ 1; 2 ]
+    else sweep_rows ~points:16 ~periods:12 ~domain_counts:[ 1; 4 ]
+  in
+  List.iter
+    (fun (domains, pps) ->
+      note "sweep throughput: %.2f points/s at %d domain%s@." pps domains
+        (if domains = 1 then "" else "s"))
+    sweep;
+  note "sweep reports byte-identical across domain counts@.";
+  let cores = Domain.recommended_domain_count () in
+  let path = if quick then None else Some "BENCH_sim.json" in
+  write_sim_json path ~cores ~rows ~sweep;
+  if not quick then note "wrote BENCH_sim.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig1", fig1); ("fig4", fig4); ("fig5", fig5); ("fig7", fig7);
@@ -1276,13 +1449,15 @@ let () =
         end
         else if String.equal name "perf-quick" then perf_spf ~quick:true ()
         else if String.equal name "perf-spf" then perf_spf ~quick:false ()
+        else if String.equal name "sim" then bench_sim ~quick:false ()
+        else if String.equal name "sim-quick" then bench_sim ~quick:true ()
         else
           match List.assoc_opt name (experiments @ extra_experiments) with
           | Some run -> run ()
           | None ->
             Format.printf
               "unknown experiment %S (have: %s, table1p, perf, perf-quick, \
-               perf-spf)@."
+               perf-spf, sim, sim-quick)@."
               name
               (String.concat " " (List.map fst experiments)))
       names

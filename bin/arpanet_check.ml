@@ -4,10 +4,12 @@
      dune exec bin/arpanet_check.exe -- scenarios/*.scn
      dune exec bin/arpanet_check.exe -- --params my_table.json net.scn
      dune exec bin/arpanet_check.exe -- --src lib
+     dune exec bin/arpanet_check.exe -- --sweep scenarios/paper_sweep.json
      dune exec bin/arpanet_check.exe -- --json net.scn
 
    Produces compiler-style diagnostics (stable codes T0xx topology,
-   P0xx parameter tables, S0xx scenario scripts, R0xx loop stability,
+   P0xx parameter tables, S0xx scenario scripts, S1xx sweep specs,
+   R0xx loop stability,
    L0xx source lint; see DESIGN.md §8 for the catalogue) and exits with
    the maximum severity found: 0 ok/info, 1 warnings, 2 errors.  With
    no arguments it lints the built-in parameter table. *)
@@ -18,6 +20,7 @@ module Checker = Routing_check.Checker
 module Params_check = Routing_check.Params_check
 module Stability_check = Routing_check.Stability_check
 module Src_check = Routing_check.Src_check
+module Sweep_check = Routing_check.Sweep_check
 module Obs_json = Routing_obs.Json
 module Rng = Routing_stats.Rng
 
@@ -32,7 +35,7 @@ let reference_stability (params : Params_check.file) =
     ~movement_limits:params.Params_check.movement_limits
     ~entries:params.Params_check.entries g tm
 
-let run scenario_files params_file src_root no_stability json quiet =
+let run scenario_files sweep_files params_file src_root no_stability json quiet =
   let params_diags, params =
     match params_file with
     | None -> ([], None)
@@ -44,6 +47,9 @@ let run scenario_files params_file src_root no_stability json quiet =
   let scenario_diags =
     List.concat_map (Checker.check_scenario_file ~options) scenario_files
   in
+  let sweep_diags =
+    List.concat_map (fun f -> fst (Sweep_check.check_file f)) sweep_files
+  in
   let reference_diags =
     (* Only when there is no scenario to sweep the table against. *)
     match params with
@@ -52,8 +58,10 @@ let run scenario_files params_file src_root no_stability json quiet =
     | _ -> []
   in
   let default_table_diags =
-    if scenario_files = [] && params_file = None && src_root = None then
-      Checker.check_default_table ()
+    if
+      scenario_files = [] && sweep_files = [] && params_file = None
+      && src_root = None
+    then Checker.check_default_table ()
     else []
   in
   let src_diags =
@@ -62,8 +70,8 @@ let run scenario_files params_file src_root no_stability json quiet =
     | Some root -> Src_check.check_tree ~root
   in
   let diags =
-    params_diags @ reference_diags @ scenario_diags @ default_table_diags
-    @ src_diags
+    params_diags @ reference_diags @ scenario_diags @ sweep_diags
+    @ default_table_diags @ src_diags
   in
   if json then
     print_endline (Obs_json.to_string_pretty (Diagnostic.report_to_json diags))
@@ -76,7 +84,10 @@ let run scenario_files params_file src_root no_stability json quiet =
       else diags
     in
     Diagnostic.pp_report Format.std_formatter shown;
-    if scenario_files = [] && params_file = None && src_root = None then
+    if
+      scenario_files = [] && sweep_files = [] && params_file = None
+      && src_root = None
+    then
       Format.printf
         "(no inputs: checked the built-in HNM parameter table; see --help)@."
   end;
@@ -91,6 +102,13 @@ let cmd =
              ~doc:"Scenario files to check (topology audit, scenario \
                    script check, and — unless $(b,--no-stability) — the \
                    static loop-gain sweep).")
+  in
+  let sweep_files =
+    Arg.(value & opt_all file []
+         & info [ "sweep" ] ~docv:"SWEEP.json"
+             ~doc:"Lint a sweep-spec grid (S1xx): unknown scenarios, \
+                   empty or duplicated axes, bad seed ranges and load \
+                   scales, period budgets.  Repeatable.")
   in
   let params_file =
     Arg.(value & opt (some file) None
@@ -135,7 +153,7 @@ let cmd =
            `P "0 on success (info diagnostics at most); 1 when the worst \
                finding is a warning; 2 on errors." ])
     Term.(
-      const run $ scenarios $ params_file $ src_root $ no_stability $ json
-      $ quiet)
+      const run $ scenarios $ sweep_files $ params_file $ src_root
+      $ no_stability $ json $ quiet)
 
 let () = exit (Cmd.eval' cmd)

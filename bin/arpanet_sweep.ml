@@ -1,0 +1,112 @@
+(* arpanet_sweep — run a declared grid of simulator experiments.
+
+     dune exec bin/arpanet_sweep.exe -- scenarios/paper_sweep.json
+     dune exec bin/arpanet_sweep.exe -- sweep.json -o report.json --csv report.csv
+     dune exec bin/arpanet_sweep.exe -- sweep.json --domains 4
+
+   The spec (see Sweep_spec) declares scenario, metric, load-scale and
+   seed axes; every grid point runs its own flow simulator and the
+   per-point telemetry registries fold into one JSON report (plus an
+   optional CSV).  Points are distributed over a domain pool, but the
+   report's bytes never depend on the domain count.
+
+   The spec is linted first (the same S1xx diagnostics as
+   `arpanet_check --sweep`); errors refuse the run. *)
+
+module Diagnostic = Routing_check.Diagnostic
+module Sweep_check = Routing_check.Sweep_check
+module Sweep_engine = Routing_sweep.Sweep_engine
+module Domain_pool = Routing_metric.Domain_pool
+module Obs_json = Routing_obs.Json
+
+let write_text path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)
+
+let run spec_path out csv_out domains no_check quiet =
+  let diags, spec = Sweep_check.check_file spec_path in
+  let blocking =
+    List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags
+  in
+  if diags <> [] && not quiet then
+    Diagnostic.pp_report Format.err_formatter diags;
+  match (spec, blocking) with
+  | None, _ -> Diagnostic.exit_code diags
+  | Some _, _ :: _ when not no_check -> Diagnostic.exit_code diags
+  | Some spec, _ ->
+    let t0 = Unix.gettimeofday () in
+    let report = Sweep_engine.run ~domains spec in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    write_text out (Obs_json.to_string_pretty report.Sweep_engine.json ^ "\n");
+    Option.iter
+      (fun path -> write_text path (Sweep_engine.csv report))
+      csv_out;
+    if not quiet then begin
+      let n = Array.length report.Sweep_engine.outcomes in
+      Format.printf "sweep: %d point%s in %.1f s (%.2f points/s, %d domain%s) -> %s@."
+        n
+        (if n = 1 then "" else "s")
+        elapsed
+        (float_of_int n /. Float.max elapsed 1e-9)
+        domains
+        (if domains = 1 then "" else "s")
+        out;
+      Option.iter (Format.printf "csv: %s@.") csv_out
+    end;
+    0
+
+open Cmdliner
+
+let cmd =
+  let spec =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SWEEP.json"
+             ~doc:"Sweep specification: a JSON object with a \
+                   $(b,scenarios) list (builtin $(b,arpanet)/$(b,milnet) \
+                   or .scn paths) and optional $(b,metrics), $(b,scales), \
+                   $(b,seeds) (list or {\"from\",\"count\"}), \
+                   $(b,periods), $(b,warmup) fields.")
+  in
+  let out =
+    Arg.(value & opt string "sweep_report.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON report (merged telemetry plus \
+                   a per-point indicator array).")
+  in
+  let csv_out =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Also write one CSV row of Table-1 indicators per grid \
+                   point.")
+  in
+  let domains =
+    Arg.(value & opt int (Domain_pool.default_size ())
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Domains to distribute grid points over (default \
+                   $(b,ARPANET_DOMAINS) or 1).  The report is \
+                   byte-identical for every value.")
+  in
+  let no_check =
+    Arg.(value & flag
+         & info [ "no-check" ]
+             ~doc:"Run even when the spec lint reports errors (S1xx \
+                   diagnostics still print).")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "q"; "quiet" ]
+             ~doc:"Suppress diagnostics and the summary line; only the \
+                   report files are produced.")
+  in
+  Cmd.v
+    (Cmd.info "arpanet_sweep"
+       ~doc:"Run a scenario/metric/load/seed sweep grid in parallel"
+       ~man:
+         [ `S Manpage.s_exit_status;
+           `P "0 when the sweep ran; otherwise the spec lint's exit code \
+               (1 warnings, 2 errors)." ])
+    Term.(const run $ spec $ out $ csv_out $ domains $ no_check $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -14,4 +14,5 @@ module Hnm_params = Routing_metric.Hnm_params
 module Response_map = Routing_equilibrium.Response_map
 module Stability = Routing_equilibrium.Stability
 module Script = Routing_sim.Script
+module Sweep_spec = Routing_sweep.Sweep_spec
 module Obs_json = Routing_obs.Json

@@ -1,0 +1,13 @@
+open! Import
+
+let of_issue ~file (i : Sweep_spec.issue) =
+  let make =
+    match i.severity with
+    | Sweep_spec.Error -> Diagnostic.error
+    | Sweep_spec.Warning -> Diagnostic.warning
+  in
+  make ~file ~code:i.code i.message
+
+let check_file path =
+  let issues, spec = Sweep_spec.lint_file path in
+  (List.map (of_issue ~file:path) issues, spec)

@@ -2,16 +2,20 @@
    loops (per-source SPF).  Hand-rolled on Domain + Mutex/Condition so the
    library picks up no dependency beyond the OCaml 5 stdlib.
 
-   Work items are plain indices handed out through an atomic counter, so
-   scheduling is racy but the *results* are not: every index is executed
-   exactly once and callers write results into per-index slots, making the
-   outcome independent of which domain ran what.  A pool of size 1 spawns
-   no domains at all and runs the loop inline — the sequential reference
-   path. *)
+   Work items are plain indices handed out through an atomic counter —
+   [chunk] consecutive indices at a time, so fine-grained loops do not
+   serialize on the counter's cache line.  Scheduling is racy but the
+   *results* are not: every index is executed exactly once and callers
+   write results into per-index slots, making the outcome independent of
+   which domain ran what.  A pool of size 1 spawns no domains at all and
+   runs the loop inline — the sequential reference path. *)
 
 type job = {
-  f : int -> unit;
+  make_f : unit -> int -> unit;
+      (* each participating domain materializes its own body once (letting
+         it close over private scratch) and then feeds it indices *)
   n : int;
+  chunk : int;
   next : int Atomic.t; (* next index to hand out *)
   completed : int Atomic.t; (* indices finished (ran or skipped on error) *)
   mutable failure : exn option; (* first exception, re-raised by the caller *)
@@ -43,19 +47,32 @@ let default_size () =
 
 let recommended_size () = max 1 (Domain.recommended_domain_count () - 1)
 
-(* Pull indices until the job is drained. *)
+let record_failure t job e =
+  Mutex.lock t.mutex;
+  if job.failure = None then job.failure <- Some e;
+  Mutex.unlock t.mutex
+
+(* Pull chunks of indices until the job is drained. *)
 let drain t job =
+  let f =
+    try job.make_f ()
+    with e ->
+      record_failure t job e;
+      fun _ -> ()
+  in
   let continue_ = ref true in
   while !continue_ do
-    let i = Atomic.fetch_and_add job.next 1 in
-    if i >= job.n then continue_ := false
+    let base = Atomic.fetch_and_add job.next job.chunk in
+    if base >= job.n then continue_ := false
     else begin
-      (try job.f i
-       with e ->
-         Mutex.lock t.mutex;
-         if job.failure = None then job.failure <- Some e;
-         Mutex.unlock t.mutex);
-      let done_ = 1 + Atomic.fetch_and_add job.completed 1 in
+      let stop = min job.n (base + job.chunk) in
+      (try
+         for i = base to stop - 1 do
+           f i
+         done
+       with e -> record_failure t job e);
+      let count = stop - base in
+      let done_ = count + Atomic.fetch_and_add job.completed count in
       if done_ = job.n then begin
         Mutex.lock t.mutex;
         Condition.broadcast t.work_done;
@@ -119,37 +136,59 @@ let create size =
   end;
   t
 
-let parallel_for t n f =
+let run_job t ~chunk ~make_f n =
+  let chunk = max 1 chunk in
+  let job =
+    { make_f;
+      n;
+      chunk;
+      next = Atomic.make 0;
+      completed = Atomic.make 0;
+      failure = None }
+  in
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.parallel_for: pool is shut down"
+  end;
+  if t.job <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.parallel_for: pool already running a loop"
+  end;
+  t.job <- Some job;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  (* The caller is a full member of the crew. *)
+  drain t job;
+  Mutex.lock t.mutex;
+  while Atomic.get job.completed < job.n do
+    Condition.wait t.work_done t.mutex
+  done;
+  t.job <- None;
+  let failure = job.failure in
+  Mutex.unlock t.mutex;
+  match failure with None -> () | Some e -> raise e
+
+let parallel_for ?(chunk = 1) t n f =
   if n <= 0 then ()
   else if t.size <= 1 || n = 1 then
     for i = 0 to n - 1 do
       f i
     done
-  else begin
-    let job =
-      { f; n; next = Atomic.make 0; completed = Atomic.make 0; failure = None }
-    in
-    Mutex.lock t.mutex;
-    if t.stopping then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Domain_pool.parallel_for: pool is shut down"
-    end;
-    if t.job <> None then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Domain_pool.parallel_for: pool already running a loop"
-    end;
-    t.job <- Some job;
-    t.generation <- t.generation + 1;
-    Condition.broadcast t.work_ready;
-    Mutex.unlock t.mutex;
-    (* The caller is a full member of the crew. *)
-    drain t job;
-    Mutex.lock t.mutex;
-    while Atomic.get job.completed < job.n do
-      Condition.wait t.work_done t.mutex
-    done;
-    t.job <- None;
-    let failure = job.failure in
-    Mutex.unlock t.mutex;
-    match failure with None -> () | Some e -> raise e
+  else run_job t ~chunk ~make_f:(fun () -> f) n
+
+let parallel_for_with ?(chunk = 1) t ~init n f =
+  if n <= 0 then ()
+  else if t.size <= 1 || n = 1 then begin
+    let s = init () in
+    for i = 0 to n - 1 do
+      f s i
+    done
   end
+  else
+    run_job t ~chunk
+      ~make_f:(fun () ->
+        let s = init () in
+        fun i -> f s i)
+      n

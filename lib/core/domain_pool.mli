@@ -17,12 +17,25 @@ val create : int -> t
 
 val size : t -> int
 
-val parallel_for : t -> int -> (int -> unit) -> unit
+val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
 (** [parallel_for t n f] runs [f i] for every [i] in [0 .. n-1] and
     returns when all are done.  If any [f i] raises, the first exception
     is re-raised in the caller after the loop drains (remaining indices
     still run).  Loops do not nest: a pool runs one loop at a time, and
-    calling from within [f] is an error. *)
+    calling from within [f] is an error.
+
+    [chunk] (default 1) is how many consecutive indices a domain claims
+    per visit to the shared counter.  Larger chunks amortize the atomic
+    handout for cheap bodies; 1 balances best when bodies are expensive
+    or uneven. *)
+
+val parallel_for_with :
+  ?chunk:int -> t -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit
+(** Like {!parallel_for}, but every participating domain (workers and the
+    caller alike) evaluates [init ()] once before claiming indices and
+    threads the resulting private state through its share of the loop —
+    the idiom for reusable per-domain scratch (Dijkstra work arrays).
+    States never cross domains, so [f] may mutate its state freely. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent; the pool cannot be used

@@ -95,6 +95,44 @@ let adopt_series t ?(labels = []) name existing =
 
 (* ---------------------------------------------------------------- *)
 
+(* Instruments of [src] in deterministic (name, labels) order — the same
+   order [to_json] renders, so merge results never depend on hash-table
+   internals. *)
+let sorted_instruments t =
+  Hashtbl.fold (fun key i acc -> (key, i) :: acc) t.instruments []
+  |> List.sort (fun ((n, l), _) ((n', l'), _) ->
+         match String.compare n n' with 0 -> compare l l' | c -> c)
+
+let merge ~into src =
+  Hashtbl.iter (fun k v -> Hashtbl.replace into.meta k v) src.meta;
+  List.iter
+    (fun (((name, _) as key), instrument) ->
+      match (Hashtbl.find_opt into.instruments key, instrument) with
+      | None, Counter c ->
+        Hashtbl.add into.instruments key (Counter { count = c.count })
+      | Some (Counter c'), Counter c -> c'.count <- c'.count + c.count
+      | None, Gauge g ->
+        Hashtbl.add into.instruments key (Gauge { value = g.value })
+      | Some (Gauge g'), Gauge g -> g'.value <- g.value
+      | None, Histogram h ->
+        let bins = Histo.bins h in
+        let lo, _ = Histo.bin_bounds h 0 in
+        let _, hi = Histo.bin_bounds h (bins - 1) in
+        Hashtbl.add into.instruments key
+          (Histogram (Histo.merge (Histo.create ~lo ~hi ~bins) h))
+      | Some (Histogram h'), Histogram h ->
+        Hashtbl.replace into.instruments key (Histogram (Histo.merge h' h))
+      | None, Series s ->
+        let s' = Time_series.create (Time_series.name s) in
+        Time_series.iter s (fun ~time ~value ->
+            Time_series.record s' ~time value);
+        Hashtbl.add into.instruments key (Series s')
+      | Some (Series s'), Series s ->
+        Time_series.iter s (fun ~time ~value ->
+            Time_series.record s' ~time value)
+      | Some other, _ -> mismatch name other)
+    (sorted_instruments src)
+
 let labels_json labels =
   Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
 

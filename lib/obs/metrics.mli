@@ -70,6 +70,19 @@ val adopt_series : t -> ?labels:labels -> string -> Routing_stats.Time_series.t 
     @raise Invalid_argument on a (name, labels) collision with a
     different instrument. *)
 
+val merge : into:t -> t -> unit
+(** Fold one registry into another, instrument by instrument in
+    deterministic (name, labels) order: counters add, gauges take the
+    source's value, histograms merge bin-wise (layouts must match),
+    series append the source's points, metadata keys overwrite.  Source
+    instruments absent from [into] are deep-copied, so later mutation of
+    either registry never aliases the other.  The sweep engine uses this
+    to combine per-domain registries into one report whose bytes are
+    independent of the domain count — merge in a fixed order (point
+    index), not completion order.
+    @raise Invalid_argument if a (name, labels) pair carries different
+    instrument kinds in the two registries. *)
+
 val to_json : ?extra:(string * Json.t) list -> t -> Json.t
 (** The full snapshot; [extra] appends additional top-level fields (the
     span profile, say) after ["meta"] and ["metrics"]. *)

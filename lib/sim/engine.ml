@@ -16,33 +16,30 @@ let schedule t ~after run =
   if after < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(t.now +. after) run
 
+(* The drain loops read the head's time as an unboxed float and take the
+   callback with the allocation-free pop, so processing an event allocates
+   nothing here — only whatever the callback itself does. *)
 let run_until t horizon =
-  let rec loop () =
-    match Event_queue.next_time t.queue with
-    | Some time when time <= horizon -> (
-      match Event_queue.pop t.queue with
-      | Some (time, run) ->
-        t.now <- time;
-        t.processed <- t.processed + 1;
-        run ();
-        loop ()
-      | None -> ())
-    | _ -> ()
-  in
-  loop ();
+  let q = t.queue in
+  let continue_ = ref true in
+  while !continue_ do
+    if Event_queue.is_empty q || Event_queue.min_time q > horizon then
+      continue_ := false
+    else begin
+      t.now <- Event_queue.min_time q;
+      t.processed <- t.processed + 1;
+      (Event_queue.pop_min q) ()
+    end
+  done;
   if horizon > t.now then t.now <- horizon
 
 let run_all t =
-  let rec loop () =
-    match Event_queue.pop t.queue with
-    | Some (time, run) ->
-      t.now <- time;
-      t.processed <- t.processed + 1;
-      run ();
-      loop ()
-    | None -> ()
-  in
-  loop ()
+  let q = t.queue in
+  while not (Event_queue.is_empty q) do
+    t.now <- Event_queue.min_time q;
+    t.processed <- t.processed + 1;
+    (Event_queue.pop_min q) ()
+  done
 
 let events_processed t = t.processed
 

@@ -19,7 +19,7 @@ type period_stats = {
   routes_changed : int;
 }
 
-type flow = { src : Node.t; dst : Node.t; demand_bps : float }
+type flow = Load_assign.flow = { src : Node.t; dst : Node.t; demand_bps : float }
 
 (* Telemetry handles, resolved once when the bundle is attached.  The flow
    simulator keeps no series of its own, so the registry's are the only
@@ -83,6 +83,17 @@ type t = {
   mutable adaptive_sources : bool;
   throttle : (int * int, float) Hashtbl.t; (* (src,dst) -> send fraction *)
   mutable prev_first_hop : int array; (* per flow index; -1 = none yet *)
+  (* Per-period scratch, sized once and reused forever: the hot path
+     allocates nothing in steady state. *)
+  assign : Load_assign.t;
+  offered : float array; (* per link *)
+  link_delay : float array; (* per link: M/M/1/K delay at this period's load *)
+  link_pass : float array; (* per link: 1 - blocking probability *)
+  mutable sending : float array; (* per flow: demand x throttle *)
+  mutable first_hop : int array; (* per flow, this period *)
+  changed_costs : (Link.id * int) list array; (* per origin node *)
+  changed_origins : int array; (* origins touched, first-touch order *)
+  mutable changed_count : int;
   obs : obs_state option;
 }
 
@@ -116,6 +127,15 @@ let create_with ?(domains = Domain_pool.default_size ()) ?telemetry graph
     adaptive_sources = false;
     throttle = Hashtbl.create 256;
     prev_first_hop = [||];
+    assign = Load_assign.create graph;
+    offered = Array.make nl 0.;
+    link_delay = Array.make nl 0.;
+    link_pass = Array.make nl 0.;
+    sending = [||];
+    first_hop = [||];
+    changed_costs = Array.make (Graph.node_count graph) [];
+    changed_origins = Array.make (Graph.node_count graph) 0;
+    changed_count = 0;
     obs = Option.map (fun tele -> make_obs_state tele ~links:nl) telemetry }
 
 let create ?domains ?telemetry graph kind tm =
@@ -178,18 +198,6 @@ let span t name f =
 
 let telemetry t = Option.map (fun o -> o.tele) t.obs
 
-(* Climb the tree from [dst] to the root, applying [f] to each link id. *)
-let iter_path tree dst f =
-  let g = Spf_tree.graph tree in
-  let rec climb n =
-    match Spf_tree.parent_link tree n with
-    | None -> ()
-    | Some (l : Link.t) ->
-      f l;
-      climb (Graph.link g l.Link.id).Link.src
-  in
-  climb dst
-
 (* End-to-end source adaptation: the 1987 ARPANET's users backed off under
    loss (TCP and the IMP's own end-to-end mechanisms), so offered traffic
    tracked what the network could carry.  Multiplicative decrease on
@@ -219,100 +227,107 @@ let step t =
     (fun i _ -> t.prev_costs.(i) <- Metric.cost t.metric (Link.id_of_int i))
     t.prev_costs;
   let nl = Graph.link_count t.graph in
-  let offered = Array.make nl 0. in
-  if Array.length t.prev_first_hop <> Array.length t.flows then
-    t.prev_first_hop <- Array.make (Array.length t.flows) (-1);
-  let routes_changed = ref 0 in
-  (* Pass 1: load links along each flow's current route, noting first-hop
-     changes against the previous period (§3.3's route oscillation). *)
-  Array.iteri
-    (fun fi flow ->
-      let tree = tree_for t flow.src in
-      if Spf_tree.reached tree flow.dst then begin
-        let sending = flow.demand_bps *. throttle_of t flow in
-        let first_hop = ref (-1) in
-        iter_path tree flow.dst (fun l ->
-            let i = Link.id_to_int l.Link.id in
-            (* iter_path climbs destination-to-source: the last link seen
-               leaves the source. *)
-            first_hop := i;
-            offered.(i) <- offered.(i) +. sending);
-        if t.prev_first_hop.(fi) >= 0 && t.prev_first_hop.(fi) <> !first_hop
-        then incr routes_changed;
-        t.prev_first_hop.(fi) <- !first_hop
-      end)
-    t.flows;
-  for i = 0 to nl - 1 do
-    let cap = Link.capacity_bps (Graph.link t.graph (Link.id_of_int i)) in
-    t.utilization.(i) <- (if t.link_up.(i) then offered.(i) /. cap else 0.)
+  let nf = Array.length t.flows in
+  if Array.length t.prev_first_hop <> nf then
+    t.prev_first_hop <- Array.make nf (-1);
+  if Array.length t.sending < nf then begin
+    t.sending <- Array.make nf 0.;
+    t.first_hop <- Array.make nf (-2)
+  end;
+  for fi = 0 to nf - 1 do
+    t.sending.(fi) <- t.flows.(fi).demand_bps *. throttle_of t t.flows.(fi)
   done;
-  (* Pass 2: per-flow delay, hop counts and thinning over hot links. *)
+  (* Pass 1: aggregate demand by destination and push subtree loads across
+     each source's tree — O(V+E) per source instead of a walk per flow. *)
+  Array.fill t.offered 0 nl 0.;
+  let tree_for = tree_for t in
+  span t "flow_assign" (fun () ->
+      Load_assign.assign t.assign ~flows:t.flows ~tree_for ~sending:t.sending
+        ~offered:t.offered ~first_hop:t.first_hop);
+  (* First-hop changes against the previous period (§3.3's route
+     oscillation); unreached flows keep their last known first hop. *)
+  let routes_changed = ref 0 in
+  for fi = 0 to nf - 1 do
+    let fh = t.first_hop.(fi) in
+    if fh <> -2 then begin
+      if t.prev_first_hop.(fi) >= 0 && t.prev_first_hop.(fi) <> fh then
+        incr routes_changed;
+      t.prev_first_hop.(fi) <- fh
+    end
+  done;
+  (* Per-link queueing terms, once per link rather than once per flow-hop:
+     utilization, M/M/1/K delay and the survival probability. *)
+  for i = 0 to nl - 1 do
+    let l = Graph.link t.graph (Link.id_of_int i) in
+    let u =
+      if t.link_up.(i) then t.offered.(i) /. Link.capacity_bps l else 0.
+    in
+    t.utilization.(i) <- u;
+    t.link_delay.(i) <- Queueing.mm1k_delay_s l ~utilization:u;
+    t.link_pass.(i) <- 1. -. Queueing.mm1k_blocking ~utilization:u
+  done;
+  (* Pass 2: per-flow delay, hop counts and thinning over hot links — path
+     totals served in O(1) per flow from the root-outward sweep. *)
   let total_offered = ref 0. in
   let delivered = ref 0. in
   let dropped = ref 0. in
   let delay_weighted = ref 0. in
   let hops_weighted = ref 0. in
   let min_hops_weighted = ref 0. in
-  Array.iter
-    (fun flow ->
-      let sending = flow.demand_bps *. throttle_of t flow in
+  Load_assign.iter_metrics t.assign ~flows:t.flows ~tree_for
+    ~link_delay:t.link_delay ~link_pass:t.link_pass
+    ~f:(fun fi ~reached ~delay_s ~share ~hops ->
+      let flow = t.flows.(fi) in
+      let sending = t.sending.(fi) in
       total_offered := !total_offered +. sending;
-      let tree = tree_for t flow.src in
-      if not (Spf_tree.reached tree flow.dst) then begin
+      if not reached then begin
         dropped := !dropped +. sending;
         update_throttle t flow ~loss_fraction:1.
       end
       else begin
-        let share = ref 1. in
-        let delay = ref 0. in
-        let hops = ref 0 in
-        iter_path tree flow.dst (fun l ->
-            let i = Link.id_to_int l.Link.id in
-            let u = t.utilization.(i) in
-            share := !share *. (1. -. Queueing.mm1k_blocking ~utilization:u);
-            delay := !delay +. Queueing.mm1k_delay_s l ~utilization:u;
-            incr hops);
-        update_throttle t flow ~loss_fraction:(1. -. !share);
-        let carried = sending *. !share in
+        update_throttle t flow ~loss_fraction:(1. -. share);
+        let carried = sending *. share in
         delivered := !delivered +. carried;
         dropped := !dropped +. (sending -. carried);
-        delay_weighted := !delay_weighted +. (!delay *. carried);
-        hops_weighted := !hops_weighted +. (float_of_int !hops *. carried);
+        delay_weighted := !delay_weighted +. (delay_s *. carried);
+        hops_weighted := !hops_weighted +. (float_of_int hops *. carried);
         let min_tree = Spf_engine.tree t.min_engine flow.src in
         let mh =
           if Spf_tree.reached min_tree flow.dst then
             Spf_tree.hops min_tree flow.dst
-          else !hops
+          else hops
         in
-        min_hops_weighted :=
-          !min_hops_weighted +. (float_of_int mh *. carried)
-      end)
-    t.flows;
-  (* Metric pass: feed each up link its period utilization. *)
-  let changed_by_origin = Hashtbl.create 16 in
+        min_hops_weighted := !min_hops_weighted +. (float_of_int mh *. carried)
+      end);
+  (* Metric pass: feed each up link its period utilization.  Changed costs
+     collect into per-origin slots reused across periods. *)
   Graph.iter_links t.graph (fun (l : Link.t) ->
       let i = Link.id_to_int l.Link.id in
       if t.link_up.(i) then
         (* The PSN measures what its finite-buffer line actually does. *)
-        let measured = Queueing.mm1k_delay_s l ~utilization:t.utilization.(i) in
+        let measured = t.link_delay.(i) in
         match Metric.period_update t.metric l.Link.id ~measured_delay_s:measured with
         | Some cost ->
           let origin = Node.to_int l.Link.src in
-          let existing =
-            Option.value ~default:[] (Hashtbl.find_opt changed_by_origin origin)
-          in
-          Hashtbl.replace changed_by_origin origin ((l.Link.id, cost) :: existing)
+          if t.changed_costs.(origin) = [] then begin
+            t.changed_origins.(t.changed_count) <- origin;
+            t.changed_count <- t.changed_count + 1
+          end;
+          t.changed_costs.(origin) <- (l.Link.id, cost) :: t.changed_costs.(origin)
         | None -> ());
   let updates = ref 0 in
   let update_bits = ref 0. in
   span t "flood" (fun () ->
-      Hashtbl.iter
-        (fun origin costs ->
-          let update = Flooder.originate t.flooders.(origin) ~costs in
-          let outcome = Broadcast.flood t.graph t.flooders update in
-          incr updates;
-          update_bits := !update_bits +. outcome.Broadcast.bits)
-        changed_by_origin);
+      for k = 0 to t.changed_count - 1 do
+        let origin = t.changed_origins.(k) in
+        let costs = t.changed_costs.(origin) in
+        t.changed_costs.(origin) <- [];
+        let update = Flooder.originate t.flooders.(origin) ~costs in
+        let outcome = Broadcast.flood t.graph t.flooders update in
+        incr updates;
+        update_bits := !update_bits +. outcome.Broadcast.bits
+      done);
+  t.changed_count <- 0;
   t.period <- t.period + 1;
   let max_utilization = Array.fold_left Float.max 0. t.utilization in
   let congested_links =

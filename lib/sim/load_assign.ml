@@ -1,0 +1,232 @@
+open! Import
+
+(* Destination-aggregated flow assignment.
+
+   The historical hot path walked every flow's tree path individually:
+   O(flows × path length) per period, with most links visited once per
+   flow crossing them.  But all of a source's flows ride the *same* SPF
+   tree, and a link's offered load is just the total demand of the subtree
+   hanging off it.  So per source:
+
+   + bucket the source's flow demands onto their destination nodes,
+   + sweep the reached nodes leaves-inward (descending hop count — a
+     counting sort, since tree depth is bounded by the 8-bit hop field),
+     adding each node's accumulated demand to its parent link and parent
+     node.
+
+   One pass over the flows plus one pass over the tree: O(V + E + F_s) per
+   source instead of O(F_s × path length).  The same sweep run root-outward
+   labels every node with its first-hop link, path delay and survival
+   share, making the per-flow metrics pass O(1) per flow.
+
+   Everything here writes into caller- or self-owned scratch sized once;
+   steady-state periods allocate nothing. *)
+
+type flow = { src : Node.t; dst : Node.t; demand_bps : float }
+
+(* Tree depth is bounded by the composite-weight encoding's 8-bit hop
+   field, so counting sort over hop counts needs this many buckets. *)
+let max_hops = 256
+
+type t = {
+  graph : Graph.t;
+  n : int; (* nodes *)
+  (* CSR-style grouping of flow indices by source node, rebuilt only when
+     the flow array itself is replaced (physical identity). *)
+  mutable grouped : flow array;
+  by_src_off : int array; (* n + 1 *)
+  mutable by_src_flow : int array;
+  (* per-source sweep scratch *)
+  lsrc : int array; (* per link: its source node, denormalized from the graph *)
+  acc : float array; (* per node: pending subtree demand; zeroed on use *)
+  order : int array; (* reached nodes, ascending hop count *)
+  bucket : int array; (* counting-sort buckets; all-zero between sorts *)
+  first_link : int array; (* per node: first link on the root's path to it *)
+  delay_to : float array; (* per node: summed link delay from the root *)
+  share_to : float array; (* per node: product of link pass-probabilities *)
+}
+
+let create graph =
+  let n = Graph.node_count graph in
+  { graph;
+    n;
+    grouped = [||];
+    by_src_off = Array.make (n + 1) 0;
+    by_src_flow = [||];
+    lsrc =
+      Array.init (Graph.link_count graph) (fun i ->
+          Node.to_int (Graph.link graph (Link.id_of_int i)).Link.src);
+    acc = Array.make n 0.;
+    order = Array.make n 0;
+    bucket = Array.make (max_hops + 2) 0;
+    first_link = Array.make n (-1);
+    delay_to = Array.make n 0.;
+    share_to = Array.make n 0. }
+
+(* Rebuild the by-source grouping (counting sort on source ids, stable in
+   flow order).  Keyed on the array's physical identity: Flow_sim replaces
+   the whole array when traffic changes and never mutates it in place. *)
+let group t flows =
+  if flows != t.grouped then begin
+    let nf = Array.length flows in
+    if Array.length t.by_src_flow < nf then t.by_src_flow <- Array.make nf 0;
+    let off = t.by_src_off in
+    Array.fill off 0 (t.n + 1) 0;
+    for fi = 0 to nf - 1 do
+      let s = Node.to_int flows.(fi).src in
+      off.(s + 1) <- off.(s + 1) + 1
+    done;
+    for s = 1 to t.n do
+      off.(s) <- off.(s) + off.(s - 1)
+    done;
+    (* [order] doubles as the per-source cursor during placement. *)
+    Array.blit off 0 t.order 0 t.n;
+    for fi = 0 to nf - 1 do
+      let s = Node.to_int flows.(fi).src in
+      t.by_src_flow.(t.order.(s)) <- fi;
+      t.order.(s) <- t.order.(s) + 1
+    done;
+    t.grouped <- flows
+  end
+
+let link_src t p = t.lsrc.(p)
+
+(* Fill [order.(0 .. m-1)] with the tree's reached nodes in ascending hop
+   count (ties: ascending node id) and return [m].  Counting sort: hop
+   counts fit in 8 bits by construction, but real trees are much
+   shallower, so the sort only touches buckets up to the deepest hop seen
+   — [bucket] is kept all-zero between calls instead of cleared up front,
+   which would cost more than the sort itself on mid-sized graphs. *)
+let sort_reached t tree =
+  let n = t.n in
+  let b = t.bucket in
+  let max_h = ref 0 in
+  for i = 0 to n - 1 do
+    if Spf_tree.reached_i tree i then begin
+      let h = Spf_tree.hops_i tree i in
+      if h > !max_h then max_h := h;
+      b.(h + 1) <- b.(h + 1) + 1
+    end
+  done;
+  let max_h = !max_h in
+  for h = 1 to max_h + 1 do
+    b.(h) <- b.(h) + b.(h - 1)
+  done;
+  let m = b.(max_h + 1) in
+  for i = 0 to n - 1 do
+    if Spf_tree.reached_i tree i then begin
+      let h = Spf_tree.hops_i tree i in
+      t.order.(b.(h)) <- i;
+      b.(h) <- b.(h) + 1
+    end
+  done;
+  Array.fill b 0 (max_h + 2) 0;
+  m
+
+let assign t ~flows ~tree_for ~sending ~offered ~first_hop =
+  group t flows;
+  let off = t.by_src_off in
+  for s = 0 to t.n - 1 do
+    if off.(s) < off.(s + 1) then begin
+      let tree = tree_for (Node.of_int s) in
+      (* Bucket demands onto destinations. *)
+      for k = off.(s) to off.(s + 1) - 1 do
+        let fi = t.by_src_flow.(k) in
+        let d = Node.to_int flows.(fi).dst in
+        if Spf_tree.reached_i tree d then t.acc.(d) <- t.acc.(d) +. sending.(fi)
+      done;
+      let m = sort_reached t tree in
+      (* Root outward: label nodes with their first-hop link. *)
+      for k = 0 to m - 1 do
+        let v = t.order.(k) in
+        let p = Spf_tree.parent_id tree v in
+        t.first_link.(v) <-
+          (if p < 0 then -1
+           else begin
+             let u = link_src t p in
+             if t.first_link.(u) < 0 then p else t.first_link.(u)
+           end)
+      done;
+      (* Leaves inward: push accumulated subtree demand across parent
+         links.  Zeroing as we go leaves [acc] clean for the next source. *)
+      for k = m - 1 downto 0 do
+        let v = t.order.(k) in
+        let a = t.acc.(v) in
+        if a <> 0. then begin
+          t.acc.(v) <- 0.;
+          let p = Spf_tree.parent_id tree v in
+          if p >= 0 then begin
+            offered.(p) <- offered.(p) +. a;
+            let u = link_src t p in
+            t.acc.(u) <- t.acc.(u) +. a
+          end
+        end
+      done;
+      for k = off.(s) to off.(s + 1) - 1 do
+        let fi = t.by_src_flow.(k) in
+        let d = Node.to_int flows.(fi).dst in
+        first_hop.(fi) <-
+          (if Spf_tree.reached_i tree d then t.first_link.(d) else -2)
+      done
+    end
+  done
+
+let iter_metrics t ~flows ~tree_for ~link_delay ~link_pass ~f =
+  group t flows;
+  let off = t.by_src_off in
+  for s = 0 to t.n - 1 do
+    if off.(s) < off.(s + 1) then begin
+      let tree = tree_for (Node.of_int s) in
+      let m = sort_reached t tree in
+      (* Root outward: delay is additive, survival multiplicative. *)
+      for k = 0 to m - 1 do
+        let v = t.order.(k) in
+        let p = Spf_tree.parent_id tree v in
+        if p < 0 then begin
+          t.delay_to.(v) <- 0.;
+          t.share_to.(v) <- 1.
+        end
+        else begin
+          let u = link_src t p in
+          t.delay_to.(v) <- t.delay_to.(u) +. link_delay.(p);
+          t.share_to.(v) <- t.share_to.(u) *. link_pass.(p)
+        end
+      done;
+      for k = off.(s) to off.(s + 1) - 1 do
+        let fi = t.by_src_flow.(k) in
+        let d = Node.to_int flows.(fi).dst in
+        if Spf_tree.reached_i tree d then
+          f fi ~reached:true ~delay_s:t.delay_to.(d) ~share:t.share_to.(d)
+            ~hops:(Spf_tree.hops_i tree d)
+        else f fi ~reached:false ~delay_s:0. ~share:0. ~hops:0
+      done
+    end
+  done
+
+(* The historical per-flow tree climb, kept as the reference the qcheck
+   property and the benchmark compare the aggregated path against.  It
+   reproduces the access pattern the aggregated sweep replaced, including
+   the per-hop graph record lookups the old path iterator performed — not
+   the denormalized [lsrc] table, which belongs to the new design. *)
+let assign_baseline t ~flows ~tree_for ~sending ~offered ~first_hop =
+  let link_src p = Node.to_int (Graph.link t.graph (Link.id_of_int p)).Link.src in
+  for fi = 0 to Array.length flows - 1 do
+    let flow = flows.(fi) in
+    let tree = tree_for flow.src in
+    let d = Node.to_int flow.dst in
+    if Spf_tree.reached_i tree d then begin
+      let fh = ref (-1) in
+      let v = ref d in
+      let p = ref (Spf_tree.parent_id tree !v) in
+      while !p >= 0 do
+        offered.(!p) <- offered.(!p) +. sending.(fi);
+        (* climbing destination-to-source: the last link seen leaves the
+           source *)
+        fh := !p;
+        v := link_src !p;
+        p := Spf_tree.parent_id tree !v
+      done;
+      first_hop.(fi) <- !fh
+    end
+    else first_hop.(fi) <- -2
+  done

@@ -1,0 +1,69 @@
+open! Import
+
+(** Destination-aggregated flow-to-link load assignment — the flow
+    simulator's per-period hot path.
+
+    All of a source's flows ride the same SPF tree, so a link's offered
+    load equals the total demand of the subtree hanging below it.  One
+    leaves-inward sweep per source (counting-sorted by hop count) assigns
+    every link's load in O(V + E + flows) per source, replacing the
+    historical O(flows × path length) per-flow tree climbs; a root-outward
+    sweep labels each node with its first-hop link, cumulative delay and
+    survival share so per-flow metrics cost O(1).
+
+    A [t] holds reusable scratch for one graph; steady-state calls
+    allocate nothing.  Results are deterministic: sweeps visit nodes in
+    (hop count, node id) order and flows in their array order, so equal
+    inputs give bit-equal outputs — though the {e floating-point grouping}
+    differs from the per-flow baseline, which accumulates flow-by-flow
+    (sums agree to rounding; the qcheck property in [test_sweep] pins
+    this). *)
+
+type flow = { src : Node.t; dst : Node.t; demand_bps : float }
+
+type t
+
+val create : Graph.t -> t
+
+val assign :
+  t ->
+  flows:flow array ->
+  tree_for:(Node.t -> Spf_tree.t) ->
+  sending:float array ->
+  offered:float array ->
+  first_hop:int array ->
+  unit
+(** Add every flow's sending rate ([sending.(i)] for [flows.(i)], bps) to
+    [offered.(l)] for each link [l] on its path — [offered] is {b not}
+    cleared first — and set [first_hop.(i)] to the flow's first link id,
+    [-1] when the destination {e is} the source, or [-2] when the
+    destination is unreachable on the source's tree.
+
+    The flow-to-source grouping is cached on the physical identity of
+    [flows]: replace the array to change traffic, don't mutate it. *)
+
+val iter_metrics :
+  t ->
+  flows:flow array ->
+  tree_for:(Node.t -> Spf_tree.t) ->
+  link_delay:float array ->
+  link_pass:float array ->
+  f:(int -> reached:bool -> delay_s:float -> share:float -> hops:int -> unit) ->
+  unit
+(** Call [f] once per flow index (sources in node order, a source's flows
+    in array order) with its path totals over the per-link tables:
+    [delay_s] the sum of [link_delay], [share] the product of [link_pass],
+    [hops] the path length.  Unreached flows get
+    [~reached:false ~delay_s:0. ~share:0. ~hops:0]. *)
+
+val assign_baseline :
+  t ->
+  flows:flow array ->
+  tree_for:(Node.t -> Spf_tree.t) ->
+  sending:float array ->
+  offered:float array ->
+  first_hop:int array ->
+  unit
+(** The historical per-flow tree climb, identical contract to {!assign}
+    (up to floating-point grouping of the sums).  Kept as the reference
+    implementation for property tests and the [bench sim] speedup row. *)

@@ -58,6 +58,24 @@ type obs_state = {
   spf_reused : Obs_metrics.gauge;
 }
 
+(* Tiny growable buffer for the per-period expiry sweeps: collect doomed
+   keys in one pass over the table, then remove them — no intermediate
+   list, and the buffer is reused across periods. *)
+type 'a vec = { mutable buf : 'a array; mutable len : int }
+
+let vec_make zero = { buf = Array.make 16 zero; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.buf then begin
+    let buf = Array.make (2 * v.len) v.buf.(0) in
+    Array.blit v.buf 0 buf 0 v.len;
+    v.buf <- buf
+  end;
+  v.buf.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_clear v = v.len <- 0
+
 let reason_index = function
   | Trace.Buffer_full -> 0
   | Trace.Line_down -> 1
@@ -137,6 +155,13 @@ type t = {
      stays pending until the far end acknowledges it; a timer retransmits
      it meanwhile.  (link id, token) -> still unacknowledged. *)
   pending_acks : (int * int, unit) Hashtbl.t;
+  (* Reused per-period scratch: expiry-sweep buffers and the per-origin
+     changed-cost slots (historically a fresh Hashtbl every period). *)
+  doomed_tokens : int vec;
+  doomed_acks : (int * int) vec;
+  changed_costs : (Link.id * int) list array; (* per origin node *)
+  changed_origins : int array; (* origins touched, first-touch order *)
+  mutable changed_count : int;
   link_rng : Rng.t;
   flood_latency : Welford.t;
   (* Per-node incremental SPF engines (§2.2's PSN algorithm), used when
@@ -387,17 +412,22 @@ let routing_period t =
   (* Garbage-collect long-finished floods: anything older than 100 s has
      either been delivered everywhere or superseded by newer sequence
      numbers (the 50-second reliability refloods guarantee the latter). *)
-  Hashtbl.fold
-    (fun token (_, originated_s) doomed ->
-      if now -. originated_s > 100. then token :: doomed else doomed)
-    t.in_flight []
-  |> List.iter (Hashtbl.remove t.in_flight);
-  Hashtbl.fold
-    (fun ((_, token) as key) () doomed ->
-      if Hashtbl.mem t.in_flight token then doomed else key :: doomed)
-    t.pending_acks []
-  |> List.iter (Hashtbl.remove t.pending_acks);
-  let changed_by_origin = Hashtbl.create 16 in
+  vec_clear t.doomed_tokens;
+  Hashtbl.iter
+    (fun token (_, originated_s) ->
+      if now -. originated_s > 100. then vec_push t.doomed_tokens token)
+    t.in_flight;
+  for k = 0 to t.doomed_tokens.len - 1 do
+    Hashtbl.remove t.in_flight t.doomed_tokens.buf.(k)
+  done;
+  vec_clear t.doomed_acks;
+  Hashtbl.iter
+    (fun ((_, token) as key) () ->
+      if not (Hashtbl.mem t.in_flight token) then vec_push t.doomed_acks key)
+    t.pending_acks;
+  for k = 0 to t.doomed_acks.len - 1 do
+    Hashtbl.remove t.pending_acks t.doomed_acks.buf.(k)
+  done;
   let all_changes = ref [] in
   Array.iter
     (fun psn ->
@@ -410,25 +440,26 @@ let routing_period t =
             with
             | Some cost ->
               let origin = Node.to_int link.Link.src in
-              let existing =
-                Option.value ~default:[]
-                  (Hashtbl.find_opt changed_by_origin origin)
-              in
-              Hashtbl.replace changed_by_origin origin
-                ((link.Link.id, cost) :: existing);
+              if t.changed_costs.(origin) = [] then begin
+                t.changed_origins.(t.changed_count) <- origin;
+                t.changed_count <- t.changed_count + 1
+              end;
+              t.changed_costs.(origin) <-
+                (link.Link.id, cost) :: t.changed_costs.(origin);
               all_changes := (link.Link.id, cost) :: !all_changes
             | None -> ()
           end)
         (Psn.out_measurements psn))
     t.psns;
   (* Flood one update per origin that had significant changes. *)
-  if Hashtbl.length changed_by_origin > 0 then
+  if t.changed_count > 0 then
     Log.debug (fun m ->
-        m "t=%.0fs: %d PSNs flooding updates" now
-          (Hashtbl.length changed_by_origin));
+        m "t=%.0fs: %d PSNs flooding updates" now t.changed_count);
   span t "flood" (fun () ->
-  Hashtbl.iter
-    (fun origin costs ->
+  for k = 0 to t.changed_count - 1 do
+      let origin = t.changed_origins.(k) in
+      let costs = t.changed_costs.(origin) in
+      t.changed_costs.(origin) <- [];
       trace t (fun () ->
           Trace.Update_flooded
             { origin = Node.of_int origin; links = List.length costs });
@@ -454,8 +485,9 @@ let routing_period t =
             if t.link_up.(Link.id_to_int l.Link.id) then
               send_control t l.Link.id token)
           (Graph.out_links t.graph (Node.of_int origin))
-      end)
-    changed_by_origin);
+      end
+  done);
+  t.changed_count <- 0;
   if t.tables_dirty && t.config.instant_flooding then begin
     if incremental_active t then apply_changes_incrementally t !all_changes
     else install_tables t
@@ -542,6 +574,11 @@ let create ?config graph tm =
       in_flight = Hashtbl.create 64;
       next_update_token = 0;
       pending_acks = Hashtbl.create 64;
+      doomed_tokens = vec_make 0;
+      doomed_acks = vec_make (0, 0);
+      changed_costs = Array.make n [];
+      changed_origins = Array.make n 0;
+      changed_count = 0;
       link_rng = Rng.create (config.seed lxor 0x5F5F5F);
       flood_latency = Welford.create ();
       incrementals = [||];
@@ -614,13 +651,16 @@ let set_link_up t lid up =
         m "t=%.0fs: link %a %s" (Engine.now t.engine) Link.pp
           (Graph.link t.graph lid)
           (if up then "up (easing in)" else "down"));
-    if not up then
+    if not up then begin
       (* Updates pending on a dead line will never be acknowledged. *)
-      Hashtbl.fold
-        (fun ((l, _) as key) () doomed ->
-          if l = i then key :: doomed else doomed)
-        t.pending_acks []
-      |> List.iter (Hashtbl.remove t.pending_acks);
+      vec_clear t.doomed_acks;
+      Hashtbl.iter
+        (fun ((l, _) as key) () -> if l = i then vec_push t.doomed_acks key)
+        t.pending_acks;
+      for k = 0 to t.doomed_acks.len - 1 do
+        Hashtbl.remove t.pending_acks t.doomed_acks.buf.(k)
+      done
+    end;
     Link_queue.set_up t.queues.(i) up;
     if up then Metric.link_up t.metric lid;
     recompute_min_hops t;

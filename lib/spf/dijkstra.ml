@@ -45,21 +45,49 @@ let compute_weights ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost
 let composite ~dist ~hops =
   if dist = max_int then max_int else (dist * cost_scale * hop_scale) + hops
 
+(* Reusable work arrays for the inner loop.  The settled flags, composite
+   distances and the heap never escape a computation, so one scratch can
+   serve every tree a domain computes — per-period refreshes stop paying
+   three array allocations plus heap growth per source.  (The parent,
+   units and hops arrays *do* escape, into the returned [Spf_tree.t], and
+   are still allocated per tree.)  A scratch belongs to one domain; the
+   pool fan-out gives each participant its own. *)
+type scratch = {
+  mutable dist : int array; (* composite distances *)
+  mutable settled : bool array;
+  heap : (int * int, int) Priority_queue.t;
+}
+
+let pq_compare (wa, la) (wb, lb) =
+  match Int.compare wa wb with 0 -> Int.compare la lb | c -> c
+
+let scratch () =
+  { dist = [||]; settled = [||]; heap = Priority_queue.create ~compare:pq_compare }
+
+let ready scratch n =
+  if Array.length scratch.dist < n then begin
+    scratch.dist <- Array.make n max_int;
+    scratch.settled <- Array.make n false
+  end
+  else begin
+    Array.fill scratch.dist 0 n max_int;
+    Array.fill scratch.settled 0 n false
+  end;
+  Priority_queue.clear scratch.heap
+
 (* The SPF inner loop over the flat (CSR) adjacency and a memoized weight
    table.  Tie-breaking is identical to the historical list-based version:
    heap priorities are (composite weight, arriving link id) pairs — globally
    unique — and on a fully tied relaxation the lower arriving link id wins,
    so the tree is a pure function of the weight table. *)
-let compute_flat g ~weights root =
+let compute_flat_s s g ~weights root =
   let n = Graph.node_count g in
   let out_off, out_link_ids, out_dst = Graph.csr_out g in
-  let dist = Array.make n max_int in
+  ready s n;
+  let dist = s.dist in
   let parent = Array.make n (-1) in
-  let settled = Array.make n false in
-  let compare (wa, la) (wb, lb) =
-    match Int.compare wa wb with 0 -> Int.compare la lb | c -> c
-  in
-  let heap = Priority_queue.create ~compare in
+  let settled = s.settled in
+  let heap = s.heap in
   let ri = Node.to_int root in
   dist.(ri) <- 0;
   Priority_queue.push heap (0, -1) ri;
@@ -109,20 +137,31 @@ let compute_flat g ~weights root =
   in
   Spf_tree.make ~graph:g ~root ~parent ~dist:units ~hops
 
+let compute_flat g ~weights root = compute_flat_s (scratch ()) g ~weights root
+
 let compute ?tie_break ?enabled g ~cost root =
   compute_flat g ~weights:(compute_weights ?tie_break ?enabled g ~cost) root
+
+(* Chunk per-source fan-outs so domains claim several sources per visit to
+   the pool's atomic counter: one task per source made small graphs spend
+   comparable time on handout as on Dijkstra itself (the mesh200
+   regression in BENCH_spf.json). *)
+let source_chunk ~sources ~domains = max 1 (sources / (domains * 8))
 
 let all_pairs ?tie_break ?enabled ?pool g ~cost =
   let weights = compute_weights ?tie_break ?enabled g ~cost in
   let n = Graph.node_count g in
   let trees = Array.make n None in
-  let one i = trees.(i) <- Some (compute_flat g ~weights (Node.of_int i)) in
+  let one s i = trees.(i) <- Some (compute_flat_s s g ~weights (Node.of_int i)) in
   (match pool with
   | None ->
+    let s = scratch () in
     for i = 0 to n - 1 do
-      one i
+      one s i
     done
-  | Some pool -> Domain_pool.parallel_for pool n one);
+  | Some pool ->
+    let chunk = source_chunk ~sources:n ~domains:(Domain_pool.size pool) in
+    Domain_pool.parallel_for_with ~chunk pool ~init:scratch n one);
   Array.map Option.get trees
 
 let min_hop_tree ?enabled g root = compute ?enabled g ~cost:(fun _ -> 1) root

@@ -63,6 +63,24 @@ val compute_flat : Graph.t -> weights:int array -> Node.t -> Spf_tree.t
     from {!compute_weights}.  [compute ... root] is exactly
     [compute_flat g ~weights:(compute_weights ...) root]. *)
 
+type scratch
+(** Reusable work arrays (settled flags, composite distances, the heap)
+    for the inner loop.  Owned by one domain at a time; resizes itself to
+    whatever graph it is used on. *)
+
+val scratch : unit -> scratch
+
+val compute_flat_s :
+  scratch -> Graph.t -> weights:int array -> Node.t -> Spf_tree.t
+(** {!compute_flat} with caller-owned scratch: bit-identical trees, no
+    per-call work-array allocation.  [compute_flat g] is
+    [compute_flat_s (scratch ()) g]. *)
+
+val source_chunk : sources:int -> domains:int -> int
+(** Chunk size for fanning [sources] single-source computations over
+    [domains] domains — several sources per visit to the pool's shared
+    counter, small enough to balance uneven work. *)
+
 val composite : dist:int -> hops:int -> int
 (** Re-encode a tree's per-node [dist] (routing units) and [hops] into the
     composite distance the inner loop compared, assuming [`Neutral]

@@ -40,6 +40,7 @@ type t = {
   threshold : float;
   mutable weights : int array; (* [||] before the first refresh *)
   trees : Spf_tree.t option array;
+  scratch : Dijkstra.scratch; (* caller-domain work arrays, reused forever *)
   stats : stats;
 }
 
@@ -49,6 +50,7 @@ let create ?pool ?(threshold = 0.25) graph =
     threshold;
     weights = [||];
     trees = Array.make (Graph.node_count graph) None;
+    scratch = Dijkstra.scratch ();
     stats =
       { refreshes = 0;
         skipped = 0;
@@ -60,23 +62,37 @@ let graph t = t.graph
 
 let stats t = t.stats
 
-let run_for t n f =
-  match t.pool with
-  | None ->
-    for i = 0 to n - 1 do
-      f i
-    done
-  | Some pool -> Domain_pool.parallel_for pool n f
+(* Below this much total work, run the recompute inline even when a pool
+   is attached.  The unit is one node-or-edge visit; a visit costs on the
+   order of 100 ns (bench perf-spf: mesh200's ~840 visits/source take
+   ~75 µs), while waking the pool and draining a job costs tens of µs —
+   so a fan-out only pays for itself once the batch holds a couple of
+   milliseconds of work.  Incremental refreshes that touch a handful of
+   sources (the common per-period case) stay sequential. *)
+let parallel_grain = 16_384
 
 let recompute t sources =
   let todo = Array.of_list sources in
-  t.stats.sources_recomputed <-
-    t.stats.sources_recomputed + Array.length todo;
+  let nt = Array.length todo in
+  t.stats.sources_recomputed <- t.stats.sources_recomputed + nt;
   let weights = t.weights in
-  run_for t (Array.length todo) (fun k ->
+  let g = t.graph in
+  let work = nt * (Graph.node_count g + Graph.link_count g) in
+  match t.pool with
+  | Some pool when Domain_pool.size pool > 1 && work >= parallel_grain ->
+    let chunk =
+      Dijkstra.source_chunk ~sources:nt ~domains:(Domain_pool.size pool)
+    in
+    Domain_pool.parallel_for_with ~chunk pool ~init:Dijkstra.scratch nt
+      (fun s k ->
+        let i = todo.(k) in
+        t.trees.(i) <- Some (Dijkstra.compute_flat_s s g ~weights (Node.of_int i)))
+  | Some _ | None ->
+    for k = 0 to nt - 1 do
       let i = todo.(k) in
       t.trees.(i) <-
-        Some (Dijkstra.compute_flat t.graph ~weights (Node.of_int i)))
+        Some (Dijkstra.compute_flat_s t.scratch g ~weights (Node.of_int i))
+    done
 
 (* Can this set of weight changes alter [tree]?  See the module comment for
    why "no" here is a proof, not a heuristic. *)
@@ -170,7 +186,7 @@ let tree t node =
   match t.trees.(i) with
   | Some tree -> tree
   | None ->
-    let tree = Dijkstra.compute_flat t.graph ~weights:t.weights node in
+    let tree = Dijkstra.compute_flat_s t.scratch t.graph ~weights:t.weights node in
     t.trees.(i) <- Some tree;
     t.stats.sources_recomputed <- t.stats.sources_recomputed + 1;
     tree

@@ -24,6 +24,15 @@ let hops t n = t.hops.(Node.to_int n)
 let parent_link t n =
   Option.map (Graph.link t.graph) t.parent.(Node.to_int n)
 
+(* Raw int-indexed accessors for hot loops: no option or Node.t boxing. *)
+
+let reached_i t i = t.dist.(i) <> max_int
+
+let hops_i t i = t.hops.(i)
+
+let parent_id t i =
+  match t.parent.(i) with None -> -1 | Some lid -> Link.id_to_int lid
+
 let path t dst =
   if not (reached t dst) then invalid_arg "Spf_tree.path: unreachable";
   let rec climb n acc =

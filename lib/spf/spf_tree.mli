@@ -34,6 +34,20 @@ val hops : t -> Node.t -> int
 
 val parent_link : t -> Node.t -> Link.t option
 
+(** {2 Raw accessors} — int-indexed views for hot loops (load assignment
+    walks every reached node of every source's tree each period); no
+    option or [Node.t] boxing. *)
+
+val reached_i : t -> int -> bool
+(** [reached_i t i = reached t (Node.of_int i)]. *)
+
+val hops_i : t -> int -> int
+(** [hops_i t i = hops t (Node.of_int i)]. *)
+
+val parent_id : t -> int -> int
+(** The link id over which the path enters node [i], or [-1] for the root
+    and unreachable nodes. *)
+
 val path : t -> Node.t -> Link.t list
 (** Links from the root to the destination, in forwarding order; [[]] for
     the root itself.  @raise Invalid_argument if unreachable. *)

@@ -1,0 +1,197 @@
+open! Import
+
+type point = {
+  index : int;
+  scenario : string;
+  metric : Metric.kind;
+  scale : float;
+  seed : int;
+}
+
+type outcome = { point : point; indicators : Measure.indicators }
+
+type report = { outcomes : outcome array; json : Obs_json.t }
+
+let points (spec : Sweep_spec.t) =
+  (* Fixed axis nesting — scenario outermost, seed innermost — so a
+     spec always enumerates the same grid in the same order no matter
+     how the run is parallelized. *)
+  let acc = ref [] in
+  let index = ref 0 in
+  List.iter
+    (fun sc ->
+      let scenario = Sweep_spec.scenario_name sc in
+      List.iter
+        (fun metric ->
+          List.iter
+            (fun scale ->
+              List.iter
+                (fun seed ->
+                  acc := { index = !index; scenario; metric; scale; seed } :: !acc;
+                  incr index)
+                spec.seeds)
+            spec.scales)
+        spec.metrics)
+    spec.scenarios;
+  List.rev !acc
+
+(* Scenario files are read once up front; each point re-parses the
+   cached text so every simulator owns a private graph and traffic
+   matrix — scripted link failures must not leak between concurrently
+   running points. *)
+let preload_texts (spec : Sweep_spec.t) =
+  let texts = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Sweep_spec.Builtin _ -> ()
+      | Sweep_spec.File path ->
+        if not (Hashtbl.mem texts path) then
+          Hashtbl.add texts path
+            (In_channel.with_open_text path In_channel.input_all))
+    spec.scenarios;
+  texts
+
+let builtin_sim (spec : Sweep_spec.t) p =
+  let graph =
+    match p.scenario with
+    | "arpanet" -> Arpanet.topology ()
+    | "milnet" -> Milnet.topology ()
+    | other -> invalid_arg (Printf.sprintf "Sweep_engine: unknown builtin %S" other)
+  in
+  let peak =
+    match p.scenario with
+    | "arpanet" -> Arpanet.peak_traffic (Rng.create p.seed) graph
+    | _ -> Milnet.peak_traffic (Rng.create p.seed) graph
+  in
+  let traffic = Traffic_matrix.scale peak p.scale in
+  let sim = Flow_sim.create ~domains:1 graph p.metric traffic in
+  for _ = 1 to spec.periods do
+    ignore (Flow_sim.step sim)
+  done;
+  sim
+
+let scripted_sim (spec : Sweep_spec.t) texts p =
+  let text = Hashtbl.find texts p.scenario in
+  let script =
+    match Script.parse text with
+    | Ok s -> s
+    | Error e ->
+      invalid_arg (Printf.sprintf "Sweep_engine: scenario %S: %s" p.scenario e)
+  in
+  (* Per-seed demand jitter (±10 %, visiting flows in the matrix's
+     deterministic iteration order) turns one scenario file into a small
+     family of comparable traffic realisations; the load scale composes
+     on top.  Scripted [scale] events stay relative to these demands. *)
+  let rng = Rng.create p.seed in
+  let traffic = Traffic_matrix.create ~nodes:(Traffic_matrix.nodes script.traffic) in
+  Traffic_matrix.iter script.traffic (fun ~src ~dst demand ->
+      let jitter = Rng.uniform rng ~lo:0.9 ~hi:1.1 in
+      Traffic_matrix.set traffic ~src ~dst (demand *. jitter *. p.scale));
+  Script.run ~metric:p.metric { script with traffic } ~periods:spec.periods
+
+let run_point (spec : Sweep_spec.t) texts p =
+  let sim =
+    match p.scenario with
+    | "arpanet" | "milnet" -> builtin_sim spec p
+    | _ -> scripted_sim spec texts p
+  in
+  let indicators = Flow_sim.indicators sim ~skip:spec.warmup () in
+  let registry = Obs_metrics.create () in
+  Measure.export
+    ~labels:[ ("point", Printf.sprintf "%05d" p.index) ]
+    registry indicators;
+  ({ point = p; indicators }, registry)
+
+let indicators_json (i : Measure.indicators) =
+  Obs_json.Obj
+    [ ("elapsed_s", Obs_json.Float i.elapsed_s);
+      ("internode_traffic_bps", Obs_json.Float i.internode_traffic_bps);
+      ("round_trip_delay_ms", Obs_json.Float i.round_trip_delay_ms);
+      ("updates_per_s", Obs_json.Float i.updates_per_s);
+      ("update_period_per_node_s", Obs_json.Float i.update_period_per_node_s);
+      ("actual_path_hops", Obs_json.Float i.actual_path_hops);
+      ("minimum_path_hops", Obs_json.Float i.minimum_path_hops);
+      ("path_ratio", Obs_json.Float i.path_ratio);
+      ("dropped_per_s", Obs_json.Float i.dropped_per_s);
+      ("overhead_bps", Obs_json.Float i.overhead_bps)
+    ]
+
+let outcome_json o =
+  Obs_json.Obj
+    [ ("index", Obs_json.Int o.point.index);
+      ("scenario", Obs_json.String o.point.scenario);
+      ("metric", Obs_json.String (Metric.kind_name o.point.metric));
+      ("scale", Obs_json.Float o.point.scale);
+      ("seed", Obs_json.Int o.point.seed);
+      ("indicators", indicators_json o.indicators)
+    ]
+
+let run ?(domains = Domain_pool.default_size ()) (spec : Sweep_spec.t) =
+  let pts = Array.of_list (points spec) in
+  let texts = preload_texts spec in
+  let n = Array.length pts in
+  let slots = Array.make n None in
+  let one i = slots.(i) <- Some (run_point spec texts pts.(i)) in
+  (if domains > 1 && n > 1 then (
+     let pool = Domain_pool.create domains in
+     Fun.protect
+       ~finally:(fun () -> Domain_pool.shutdown pool)
+       (fun () -> Domain_pool.parallel_for pool n one))
+   else
+     for i = 0 to n - 1 do
+       one i
+     done);
+  let outcomes =
+    Array.map
+      (function
+        | Some (o, _) -> o
+        | None -> invalid_arg "Sweep_engine: point did not complete")
+      slots
+  in
+  (* One registry per point, merged in point-index order: the report's
+     bytes depend only on the grid, never on the domain count or the
+     order workers finished.  Deliberately no domain/core metadata in
+     the report itself — that lives in the bench records. *)
+  let master = Obs_metrics.create () in
+  Obs_metrics.set_meta master "tool" "arpanet_sweep";
+  Obs_metrics.set_meta master "points" (string_of_int n);
+  Obs_metrics.set_meta master "periods" (string_of_int spec.periods);
+  Obs_metrics.set_meta master "warmup" (string_of_int spec.warmup);
+  Array.iter
+    (function
+      | Some (_, registry) -> Obs_metrics.merge ~into:master registry
+      | None -> ())
+    slots;
+  let json =
+    Obs_metrics.to_json master
+      ~extra:
+        [ ("points", Obs_json.List (Array.to_list (Array.map outcome_json outcomes)))
+        ]
+  in
+  { outcomes; json }
+
+let csv_columns =
+  [ "index"; "scenario"; "metric"; "scale"; "seed"; "elapsed_s";
+    "internode_traffic_bps"; "round_trip_delay_ms"; "updates_per_s";
+    "update_period_per_node_s"; "actual_path_hops"; "minimum_path_hops";
+    "path_ratio"; "dropped_per_s"; "overhead_bps" ]
+
+let csv report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," csv_columns);
+  Buffer.add_char buf '\n';
+  let num x = Obs_json.to_string (Obs_json.Float x) in
+  Array.iter
+    (fun o ->
+      let i = o.indicators in
+      [ string_of_int o.point.index; o.point.scenario;
+        Metric.kind_name o.point.metric; num o.point.scale;
+        string_of_int o.point.seed; num i.elapsed_s;
+        num i.internode_traffic_bps; num i.round_trip_delay_ms;
+        num i.updates_per_s; num i.update_period_per_node_s;
+        num i.actual_path_hops; num i.minimum_path_hops; num i.path_ratio;
+        num i.dropped_per_s; num i.overhead_bps ]
+      |> String.concat "," |> Buffer.add_string buf;
+      Buffer.add_char buf '\n')
+    report.outcomes;
+  Buffer.contents buf

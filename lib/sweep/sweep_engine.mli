@@ -1,0 +1,49 @@
+open! Import
+
+(** The parallel scenario-sweep engine behind [arpanet_sweep].
+
+    A {!Sweep_spec.t} declares a grid of (scenario × metric × load scale
+    × seed) points; {!run} executes every point — each its own flow
+    simulator over [periods] routing periods — fanning points across a
+    {!Domain_pool} and folding the results into one report.
+
+    Determinism is load-bearing: points are enumerated in a fixed axis
+    order, every point builds a private graph and traffic matrix from
+    its own seed, per-point telemetry registries are merged in point
+    order (not completion order), and the report carries no domain or
+    core counts — so the report is {e byte-identical} under any
+    [domains] setting.  [test_sweep] pins this. *)
+
+type point = {
+  index : int;  (** position in the {!points} enumeration *)
+  scenario : string;  (** builtin name or scenario-file path *)
+  metric : Metric.kind;
+  scale : float;
+  seed : int;
+}
+
+type outcome = { point : point; indicators : Measure.indicators }
+
+type report = {
+  outcomes : outcome array;  (** one per point, in index order *)
+  json : Obs_json.t;
+      (** merged telemetry snapshot plus a ["points"] array of per-point
+          indicator objects *)
+}
+
+val points : Sweep_spec.t -> point list
+(** The grid in execution order: scenarios outermost, then metrics,
+    scales, seeds. *)
+
+val run : ?domains:int -> Sweep_spec.t -> report
+(** Run every point.  [domains] (default {!Domain_pool.default_size})
+    sizes the pool points are distributed over; each point's simulator
+    runs with [~domains:1] so pools never nest.  Scenario files are read
+    once and re-parsed per point, keeping concurrently running points
+    free of shared mutable state.
+    @raise Invalid_argument if a scenario file fails to parse (lint
+    first — [arpanet_sweep] does) and [Sys_error] if one is unreadable. *)
+
+val csv : report -> string
+(** One header line plus one row per point: grid coordinates then the
+    ten Table-1 indicator columns. *)

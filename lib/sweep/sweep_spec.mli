@@ -1,0 +1,69 @@
+open! Import
+
+(** Declarative sweep specifications: the grid a scenario sweep runs.
+
+    A spec is a small JSON object naming four axes — scenarios, metrics,
+    load scales, seeds — plus a period budget; the engine runs their
+    cartesian product:
+
+    {v
+    {
+      "scenarios": ["arpanet", "scenarios/two_region.scn"],
+      "metrics":   ["dspf", "hnspf"],
+      "scales":    [0.6, 1.0, 1.25],
+      "seeds":     {"from": 1, "count": 4},
+      "periods":   60,
+      "warmup":    10
+    }
+    v}
+
+    Scenario strings are either a builtin topology name ([arpanet],
+    [milnet] — a synthesized peak-hour matrix derived from the point's
+    seed) or a path to a {!Routing_sim.Script} scenario file (demands
+    jittered per seed).  [metrics] defaults to [\["hnspf"\]], [scales]
+    to [\[1.0\]], [seeds] to [\[0\]], [periods] to [60], [warmup]
+    to [0].
+
+    {!lint} reports every problem with a stable [S1xx] diagnostic code
+    (catalogued in DESIGN.md §8) so [arpanet_sweep] and [routing_check]
+    agree on what a broken spec looks like. *)
+
+type scenario =
+  | Builtin of string  (** ["arpanet"] or ["milnet"] *)
+  | File of string  (** a scenario-script path *)
+
+type t = {
+  scenarios : scenario list;
+  metrics : Metric.kind list;
+  scales : float list;
+  seeds : int list;
+  periods : int;  (** routing periods per point *)
+  warmup : int;  (** leading periods excluded from indicators *)
+}
+
+type severity = Error | Warning
+
+type issue = { severity : severity; code : string; message : string }
+
+val scenario_name : scenario -> string
+(** The spec string the scenario came from — point labels and reports. *)
+
+val parse : string -> (t, issue) result
+(** Decode spec text.  Any shape problem — invalid JSON, wrong field
+    type, unknown metric name — is one [S100] error. *)
+
+val lint : t -> issue list
+(** Every grid problem, in axis order: [S101] unknown scenario (no such
+    builtin, missing or unparseable file), [S102] empty axis, [S103]
+    duplicate axis value (warning), [S104] bad seed, [S105] scale out of
+    range, [S106] bad period/warmup budget. *)
+
+val lint_file : string -> issue list * t option
+(** Read, {!parse}, {!lint}; unreadable files are an [S100] error and
+    [None]. *)
+
+val load : string -> (t, string) result
+(** {!lint_file}, failing with the first error-severity issue. *)
+
+val errors : issue list -> issue list
+(** The error-severity subset — what blocks a run. *)

@@ -1,0 +1,256 @@
+(* Tests for the sweep subsystem and the aggregated flow assignment.
+
+   The two load-bearing contracts:
+   + Load_assign.assign distributes exactly the same load as the
+     historical per-flow tree climb (qcheck, random topologies and
+     traffic; first hops exactly equal, offered loads equal to rounding);
+   + Sweep_engine.run produces byte-identical reports under any domain
+     count (the merge order and point enumeration are fixed).
+
+   Plus the S1xx spec lint: every fixture trips exactly its code, and
+   the shipped example spec is clean. *)
+
+module Node = Routing_topology.Node
+module Link = Routing_topology.Link
+module Graph = Routing_topology.Graph
+module Generators = Routing_topology.Generators
+module Rng = Routing_stats.Rng
+module Metric = Routing_metric.Metric
+module Spf_engine = Routing_spf.Spf_engine
+module Load_assign = Routing_sim.Load_assign
+module Sweep_spec = Routing_sweep.Sweep_spec
+module Sweep_engine = Routing_sweep.Sweep_engine
+module Sweep_check = Routing_check.Sweep_check
+module Diagnostic = Routing_check.Diagnostic
+module Obs_json = Routing_obs.Json
+module Obs_metrics = Routing_obs.Metrics
+
+let scenario name = Filename.concat ".." (Filename.concat "scenarios" name)
+
+let fixture name = Filename.concat "fixtures/bad" name
+
+(* --- aggregated assignment vs the per-flow baseline ---------------- *)
+
+(* A random connected graph, random admissible link costs, and a random
+   flow set (duplicates and self-flows included — both must be handled). *)
+let assignment_case =
+  QCheck.make ~print:(fun (seed, nodes, chords, nf) ->
+      Printf.sprintf "seed=%d nodes=%d chords=%d flows=%d" seed nodes chords nf)
+    QCheck.Gen.(
+      quad (int_bound 1_000_000) (int_range 4 40) (int_range 0 30)
+        (int_range 0 120))
+
+let close ~tol a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let run_assignment_case (seed, nodes, chords, nf) =
+  let rng = Rng.create seed in
+  let g = Generators.ring_chord (Rng.copy rng) ~nodes ~chords in
+  let nl = Graph.link_count g in
+  let costs = Array.init nl (fun _ -> 1 + Rng.int rng 60) in
+  let engine = Spf_engine.create g in
+  Spf_engine.refresh engine ~cost:(fun lid -> costs.(Link.id_to_int lid));
+  let tree_for = Spf_engine.tree engine in
+  let flows =
+    Array.init nf (fun _ ->
+        { Load_assign.src = Node.of_int (Rng.int rng nodes);
+          dst = Node.of_int (Rng.int rng nodes);
+          demand_bps = 100. +. Rng.float rng 10_000. })
+  in
+  let sending = Array.map (fun f -> f.Load_assign.demand_bps) flows in
+  let t = Load_assign.create g in
+  let offered = Array.make nl 0. in
+  let first_hop = Array.make nf (-7) in
+  Load_assign.assign t ~flows ~tree_for ~sending ~offered ~first_hop;
+  let t' = Load_assign.create g in
+  let offered' = Array.make nl 0. in
+  let first_hop' = Array.make nf (-7) in
+  Load_assign.assign_baseline t' ~flows ~tree_for ~sending ~offered:offered'
+    ~first_hop:first_hop';
+  Array.iteri
+    (fun fi fh ->
+      if fh <> first_hop'.(fi) then
+        QCheck.Test.fail_reportf "flow %d: first_hop %d (aggregated) vs %d"
+          fi fh first_hop'.(fi))
+    first_hop;
+  Array.iteri
+    (fun l o ->
+      if not (close ~tol:1e-9 o offered'.(l)) then
+        QCheck.Test.fail_reportf "link %d: offered %g (aggregated) vs %g" l o
+          offered'.(l))
+    offered;
+  true
+
+let prop_assignment_matches_baseline =
+  QCheck.Test.make ~count:60 ~name:"aggregated assignment == per-flow baseline"
+    assignment_case run_assignment_case
+
+(* Repeated [assign] calls over the same scratch must not leak state
+   between rounds (the buckets/acc arrays are reused, never reallocated). *)
+let test_assignment_scratch_reuse () =
+  let g = Generators.ring_chord (Rng.create 5) ~nodes:12 ~chords:6 in
+  let nl = Graph.link_count g in
+  let engine = Spf_engine.create g in
+  Spf_engine.refresh engine ~cost:(fun lid -> 1 + (Link.id_to_int lid mod 9));
+  let tree_for = Spf_engine.tree engine in
+  let flows =
+    Array.init 30 (fun i ->
+        { Load_assign.src = Node.of_int (i mod 12);
+          dst = Node.of_int ((i * 7 + 3) mod 12);
+          demand_bps = float_of_int (1000 * (i + 1)) })
+  in
+  let sending = Array.map (fun f -> f.Load_assign.demand_bps) flows in
+  let t = Load_assign.create g in
+  let round () =
+    let offered = Array.make nl 0. in
+    let first_hop = Array.make (Array.length flows) (-7) in
+    Load_assign.assign t ~flows ~tree_for ~sending ~offered ~first_hop;
+    (offered, first_hop)
+  in
+  let o1, f1 = round () in
+  let o2, f2 = round () in
+  Alcotest.(check (array (float 0.))) "offered stable across rounds" o1 o2;
+  Alcotest.(check (array int)) "first hops stable across rounds" f1 f2
+
+(* --- sweep engine -------------------------------------------------- *)
+
+let small_spec =
+  { Sweep_spec.scenarios =
+      [ Sweep_spec.Builtin "arpanet"; Sweep_spec.File (scenario "two_region.scn") ];
+    metrics = [ Metric.D_spf; Metric.Hn_spf ];
+    scales = [ 0.8; 1.1 ];
+    seeds = [ 1 ];
+    periods = 5;
+    warmup = 1 }
+
+let test_points_enumeration () =
+  let pts = Sweep_engine.points small_spec in
+  Alcotest.(check int) "grid size" (2 * 2 * 2 * 1) (List.length pts);
+  List.iteri
+    (fun i p -> Alcotest.(check int) "indexed in order" i p.Sweep_engine.index)
+    pts;
+  match pts with
+  | first :: _ ->
+    Alcotest.(check string) "scenario outermost" "arpanet"
+      first.Sweep_engine.scenario
+  | [] -> Alcotest.fail "empty grid"
+
+let test_report_domain_independent () =
+  let r1 = Sweep_engine.run ~domains:1 small_spec in
+  let r2 = Sweep_engine.run ~domains:2 small_spec in
+  Alcotest.(check string) "reports byte-identical at 1 vs 2 domains"
+    (Obs_json.to_string r1.Sweep_engine.json)
+    (Obs_json.to_string r2.Sweep_engine.json);
+  Alcotest.(check string) "CSV byte-identical at 1 vs 2 domains"
+    (Sweep_engine.csv r1) (Sweep_engine.csv r2);
+  let lines = String.split_on_char '\n' (String.trim (Sweep_engine.csv r1)) in
+  Alcotest.(check int) "CSV: header plus one row per point"
+    (1 + Array.length r1.Sweep_engine.outcomes)
+    (List.length lines)
+
+let test_report_round_trips () =
+  let r = Sweep_engine.run ~domains:1 small_spec in
+  match Obs_json.of_string (Obs_json.to_string r.Sweep_engine.json) with
+  | Ok round ->
+    Alcotest.(check bool) "report JSON round-trips" true
+      (Obs_json.equal round r.Sweep_engine.json)
+  | Error e -> Alcotest.failf "report does not re-parse: %s" e
+
+(* --- registry merge ------------------------------------------------ *)
+
+let test_registry_merge () =
+  let a = Obs_metrics.create () in
+  let b = Obs_metrics.create () in
+  Obs_metrics.inc ~by:3 (Obs_metrics.counter a "drops");
+  Obs_metrics.inc ~by:4 (Obs_metrics.counter b "drops");
+  Obs_metrics.set (Obs_metrics.gauge b "level") 2.5;
+  Obs_metrics.sample (Obs_metrics.series b "util") ~time:1. 0.5;
+  Obs_metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7
+    (Obs_metrics.counter_value (Obs_metrics.counter a "drops"));
+  Alcotest.(check (float 0.)) "gauges copy" 2.5
+    (Obs_metrics.gauge_value (Obs_metrics.gauge a "level"));
+  (* The merged copy is deep: mutating the source later must not leak. *)
+  Obs_metrics.inc ~by:100 (Obs_metrics.counter b "drops");
+  Alcotest.(check int) "merge copies, not aliases" 7
+    (Obs_metrics.counter_value (Obs_metrics.counter a "drops"))
+
+(* --- S1xx spec lint ------------------------------------------------ *)
+
+let codes diags = List.map (fun d -> d.Diagnostic.code) diags
+
+let check_fixture_code (name, code) () =
+  let diags, _ = Sweep_check.check_file (fixture name) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s raises %s (got: %s)" name code
+       (String.concat " " (codes diags)))
+    true
+    (List.exists (fun d -> String.equal d.Diagnostic.code code) diags)
+
+let sweep_fixtures =
+  [ ("sweep_not_json.json", "S100");
+    ("sweep_unknown_scenario.json", "S101");
+    ("sweep_empty_axis.json", "S102");
+    ("sweep_duplicates.json", "S103");
+    ("sweep_bad_seed.json", "S104");
+    ("sweep_bad_scale.json", "S105");
+    ("sweep_bad_budget.json", "S106") ]
+
+let test_shipped_spec_clean () =
+  (* The shipped example names scenario files relative to the repo root,
+     so parse+lint the grid axes directly rather than through the
+     file-existence pass (builtin-only: no file references). *)
+  let text =
+    In_channel.with_open_text (scenario "paper_sweep.json") In_channel.input_all
+  in
+  match Sweep_spec.parse text with
+  | Error issue -> Alcotest.failf "paper_sweep.json: %s" issue.message
+  | Ok spec ->
+    Alcotest.(check (list string)) "paper_sweep.json lints clean" []
+      (List.map (fun (i : Sweep_spec.issue) -> i.code) (Sweep_spec.lint spec));
+    Alcotest.(check int) "grid: 2 metrics x 7 scales x 2 seeds" 28
+      (List.length (Sweep_engine.points spec))
+
+let test_spec_defaults () =
+  match Sweep_spec.parse {|{"scenarios": ["milnet"]}|} with
+  | Error issue -> Alcotest.failf "minimal spec rejected: %s" issue.message
+  | Ok spec ->
+    Alcotest.(check int) "default periods" 60 spec.Sweep_spec.periods;
+    Alcotest.(check int) "default warmup" 0 spec.Sweep_spec.warmup;
+    Alcotest.(check (list (float 0.))) "default scales" [ 1.0 ]
+      spec.Sweep_spec.scales;
+    Alcotest.(check (list int)) "default seeds" [ 0 ] spec.Sweep_spec.seeds;
+    Alcotest.(check int) "default metrics" 1 (List.length spec.Sweep_spec.metrics)
+
+let test_seed_range () =
+  match Sweep_spec.parse {|{"scenarios": ["arpanet"], "seeds": {"from": 3, "count": 4}}|} with
+  | Error issue -> Alcotest.failf "range spec rejected: %s" issue.message
+  | Ok spec ->
+    Alcotest.(check (list int)) "range expands" [ 3; 4; 5; 6 ]
+      spec.Sweep_spec.seeds
+
+let () =
+  Alcotest.run "sweep"
+    [ ( "assignment",
+        [ QCheck_alcotest.to_alcotest prop_assignment_matches_baseline;
+          Alcotest.test_case "scratch reuse" `Quick test_assignment_scratch_reuse
+        ] );
+      ( "engine",
+        [ Alcotest.test_case "points enumeration" `Quick test_points_enumeration;
+          Alcotest.test_case "domain-count independence" `Quick
+            test_report_domain_independent;
+          Alcotest.test_case "report round-trips" `Quick test_report_round_trips
+        ] );
+      ( "merge",
+        [ Alcotest.test_case "registry merge" `Quick test_registry_merge ] );
+      ( "spec",
+        List.map
+          (fun (name, code) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s -> %s" name code)
+              `Quick
+              (check_fixture_code (name, code)))
+          sweep_fixtures
+        @ [ Alcotest.test_case "shipped example clean" `Quick
+              test_shipped_spec_clean;
+            Alcotest.test_case "defaults" `Quick test_spec_defaults;
+            Alcotest.test_case "seed range" `Quick test_seed_range ] ) ]
