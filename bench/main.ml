@@ -1129,33 +1129,109 @@ let perf () =
 (* smoke mode — tiny quota, no file written.                           *)
 
 module Spf_engine = Routing_spf.Spf_engine
+module Spf_tree = Routing_spf.Spf_tree
 module Domain_pool = Routing_metric.Domain_pool
 
-let spf_bench_topologies () =
-  [ ("arpanet", Lazy.force arpanet);
-    ("mesh200", Generators.ring_chord (Rng.create 99) ~nodes:200 ~chords:120) ]
+(* Each topology is (name, graph, wanted sources): [None] benches the
+   all-pairs baselines too (feasible only when every tree fits in memory
+   and a full sweep fits the quota); [Some k] restricts the engine to [k]
+   evenly spread sources — how a large-network experiment would actually
+   use it.  The 10^5-node tier is opt-in ([BENCH_SPF_100K=1]): its
+   recompute rows cost seconds per iteration. *)
+let spf_bench_topologies ~quick () =
+  if quick then
+    [ ("arpanet", Lazy.force arpanet, None);
+      ( "mesh200",
+        Generators.ring_chord (Rng.create 99) ~nodes:200 ~chords:120,
+        None );
+      ( "hier184",
+        Generators.hierarchical ~cores:4 ~pops_per_core:5 ~access_per_pop:8
+          (),
+        None ) ]
+  else
+    [ ("arpanet", Lazy.force arpanet, None);
+      ( "mesh200",
+        Generators.ring_chord (Rng.create 99) ~nodes:200 ~chords:120,
+        None );
+      ( "hier1k",
+        Generators.hierarchical ~cores:8 ~pops_per_core:11 ~access_per_pop:10
+          (),
+        None );
+      ( "wax1k",
+        Generators.waxman (Rng.create 42) ~nodes:1000 ~alpha:0.9 ~beta:0.05,
+        None );
+      ( "hier10k",
+        Generators.hierarchical ~cores:16 ~pops_per_core:25
+          ~access_per_pop:24 (),
+        Some 128 ) ]
+    @
+    if Sys.getenv_opt "BENCH_SPF_100K" <> None then
+      [ ( "hier100k",
+          Generators.hierarchical ~cores:25 ~pops_per_core:40
+            ~access_per_pop:99 (),
+          Some 8 ) ]
+    else []
 
 (* One benchmark group per topology.  The baseline reproduces the
    pre-engine behavior: an independent full Dijkstra per source, costs
-   re-evaluated per edge.  The engine rows measure a refresh after one
-   link's flooded cost changed, and after none did — the two cases every
-   simulated routing period falls into. *)
-let spf_bench_tests ~pool (name, g) =
+   re-evaluated per edge.  The engine rows measure a refresh after one or
+   eight links' flooded costs changed — against both the dynamic-repair
+   path and the per-source recompute fallback, so BENCH_spf.json carries
+   the repair speedup directly — and after none did. *)
+let spf_bench_tests ~pool (name, g, wanted_count) =
   let open Bechamel in
   let nl = Graph.link_count g in
   let costs = Array.init nl (fun i -> 1 + ((i * 37) mod 60)) in
   let cost lid = costs.(Link.id_to_int lid) in
   let n = Graph.node_count g in
+  let wanted =
+    match wanted_count with
+    | None -> fun _ -> true
+    | Some k ->
+      let stride = max 1 (n / k) in
+      fun node -> Node.to_int node mod stride = 0
+  in
+  let make_engine ?repair () =
+    let e = Spf_engine.create ?repair g in
+    Spf_engine.refresh ~wanted e ~cost;
+    e
+  in
+  let engine_one = make_engine () in
+  let engine_one_rc = make_engine ~repair:false () in
+  let engine_multi = make_engine () in
+  let engine_multi_rc = make_engine ~repair:false () in
+  let engine_none = make_engine () in
+  let probe = Link.id_of_int 0 in
+  (* Each test owns its flip state: the first measured call must be a
+     real change (the engine starts at base costs), and every later call
+     alternates the delta back and forth so no call degenerates into the
+     no-change fast path.  A shared flip would let another test's parity
+     leak in and turn a row's first — sometimes only — sample into a
+     no-op refresh, wrecking the estimate for the slow rows. *)
+  let one_change engine =
+    let flip = ref false in
+    Staged.stage (fun () ->
+        flip := not !flip;
+        let base = costs.(Link.id_to_int probe) in
+        let c = if !flip then base + 10 else base in
+        Spf_engine.refresh ~wanted engine ~cost:(fun lid ->
+            if Link.id_equal lid probe then c else cost lid))
+  in
+  let probes = Array.init 8 (fun k -> k * nl / 8) in
+  let multi_change engine =
+    let flip = ref false in
+    Staged.stage (fun () ->
+        flip := not !flip;
+        let delta = if !flip then 10 else 0 in
+        Spf_engine.refresh ~wanted engine ~cost:(fun lid ->
+            let i = Link.id_to_int lid in
+            if Array.exists (fun p -> p = i) probes then costs.(i) + delta
+            else costs.(i)))
+  in
   let seed_all_pairs () =
     Array.init n (fun i -> Routing_spf.Dijkstra.compute g ~cost (Node.of_int i))
   in
-  let engine_one = Spf_engine.create g in
-  Spf_engine.refresh engine_one ~cost;
-  let engine_none = Spf_engine.create g in
-  Spf_engine.refresh engine_none ~cost;
-  let flip = ref false in
-  let probe = Link.id_of_int 0 in
-  Test.make_grouped ~name ~fmt:"%s %s"
+  let all_pairs_rows =
     [ Test.make ~name:"all-pairs full (per-source baseline)"
         (Staged.stage (fun () -> ignore (seed_all_pairs ())));
       Test.make ~name:"all-pairs shared weights"
@@ -1166,16 +1242,25 @@ let spf_bench_tests ~pool (name, g) =
           (Printf.sprintf "all-pairs parallel (%d domains)"
              (Domain_pool.size pool))
         (Staged.stage (fun () ->
-             ignore (Routing_spf.Dijkstra.all_pairs ~pool g ~cost)));
-      Test.make ~name:"engine refresh (one link change)"
-        (Staged.stage (fun () ->
-             flip := not !flip;
-             let base = costs.(Link.id_to_int probe) in
-             let c = if !flip then base + 10 else base in
-             Spf_engine.refresh engine_one ~cost:(fun lid ->
-                 if Link.id_equal lid probe then c else cost lid)));
+             ignore (Routing_spf.Dijkstra.all_pairs ~pool g ~cost))) ]
+  in
+  let engine_rows =
+    [ Test.make ~name:"engine refresh (one link change)"
+        (one_change engine_one);
+      Test.make ~name:"engine refresh (one link change, recompute)"
+        (one_change engine_one_rc);
+      Test.make ~name:"engine refresh (8 link changes)"
+        (multi_change engine_multi);
+      Test.make ~name:"engine refresh (8 link changes, recompute)"
+        (multi_change engine_multi_rc);
       Test.make ~name:"engine refresh (no change)"
-        (Staged.stage (fun () -> Spf_engine.refresh engine_none ~cost)) ]
+        (Staged.stage (fun () -> Spf_engine.refresh ~wanted engine_none ~cost))
+    ]
+  in
+  Test.make_grouped ~name ~fmt:"%s %s"
+    (match wanted_count with
+    | None -> all_pairs_rows @ engine_rows
+    | Some _ -> engine_rows)
 
 module Obs_metrics = Routing_obs.Metrics
 module Obs_json = Routing_obs.Json
@@ -1185,7 +1270,7 @@ module Obs_json = Routing_obs.Json
 let bench_env key =
   match Sys.getenv_opt key with Some v when v <> "" -> v | _ -> "unknown"
 
-let write_bench_json path ~domains rows =
+let write_bench_json path ~domains ~topologies rows =
   let reg = Obs_metrics.create () in
   Obs_metrics.set_meta reg "benchmark" "all-pairs SPF refresh";
   Obs_metrics.set_meta reg "units" "ns per run (bechamel OLS estimate)";
@@ -1210,6 +1295,14 @@ let write_bench_json path ~domains rows =
       [ ("topology", Obs_json.String topology);
         ( "incremental_vs_full",
           ratio baseline (find "engine refresh (one link change)") );
+        ( "repair_vs_recompute_1change",
+          ratio
+            (find "engine refresh (one link change, recompute)")
+            (find "engine refresh (one link change)") );
+        ( "repair_vs_recompute_8changes",
+          ratio
+            (find "engine refresh (8 link changes, recompute)")
+            (find "engine refresh (8 link changes)") );
         ( "shared_weights_vs_full",
           ratio baseline (find "all-pairs shared weights") );
         ( "parallel_vs_full",
@@ -1220,26 +1313,73 @@ let write_bench_json path ~domains rows =
   Obs_metrics.write_file reg path
     ~extra:
       [ ( "speedups_vs_full_recompute",
-          Obs_json.List
-            (List.map (fun (t, _) -> speedup_of t) (spf_bench_topologies ()))
-        ) ]
+          Obs_json.List (List.map speedup_of topologies) ) ]
+
+(* Crash-and-identity gate, run before any timing: drive the repair
+   engine through the delta shapes the rows below measure (one-link
+   increase and decrease, an 8-link batch, a link outage and its
+   recovery) on a generated hierarchy, and insist every repaired tree is
+   bit-identical to a from-scratch [Dijkstra.compute].  A benchmark that
+   times a wrong answer is worse than no benchmark. *)
+let spf_identity_gate () =
+  let g =
+    Generators.hierarchical ~cores:4 ~pops_per_core:5 ~access_per_pop:8 ()
+  in
+  let nl = Graph.link_count g in
+  let n = Graph.node_count g in
+  let costs = Array.init nl (fun i -> 1 + ((i * 37) mod 60)) in
+  let up = Array.make nl true in
+  let cost lid = costs.(Link.id_to_int lid) in
+  let enabled lid = up.(Link.id_to_int lid) in
+  let engine = Spf_engine.create g in
+  let check step =
+    Spf_engine.refresh ~enabled engine ~cost;
+    for i = 0 to n - 1 do
+      let src = Node.of_int i in
+      let fresh = Routing_spf.Dijkstra.compute ~enabled g ~cost src in
+      if not (Spf_tree.equal (Spf_engine.tree engine src) fresh) then
+        failwith
+          (Printf.sprintf
+             "spf identity gate: repaired tree for source %d diverges \
+              after %s"
+             i step)
+    done
+  in
+  check "initial refresh";
+  costs.(0) <- costs.(0) + 10;
+  check "one link increase";
+  costs.(0) <- costs.(0) - 6;
+  check "one link decrease";
+  for k = 0 to 7 do
+    costs.(k * nl / 8 mod nl) <- 1 + (k * 13 mod 60)
+  done;
+  check "8 link batch";
+  up.(5) <- false;
+  check "link disable";
+  up.(5) <- true;
+  check "link enable";
+  note "identity gate: repaired trees match from-scratch Dijkstra@."
 
 let perf_spf ~quick () =
   section
     (if quick then
        "perf-quick — SPF engine smoke benchmarks (tiny quota, no file)"
-     else "perf-spf — full vs incremental vs parallel all-pairs SPF");
+     else "perf-spf — full vs repair vs recompute vs parallel all-pairs SPF");
+  spf_identity_gate ();
   let pool = Domain_pool.create (max 2 (Domain_pool.recommended_size ())) in
   Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
   let quota_s = if quick then 0.02 else 0.5 in
+  let topologies = spf_bench_topologies ~quick () in
   let rows =
     List.concat_map
       (fun topo -> run_benchmarks ~quota_s (spf_bench_tests ~pool topo))
-      (spf_bench_topologies ())
+      topologies
   in
   print_rows rows;
   if not quick then begin
-    write_bench_json "BENCH_spf.json" ~domains:(Domain_pool.size pool) rows;
+    write_bench_json "BENCH_spf.json" ~domains:(Domain_pool.size pool)
+      ~topologies:(List.map (fun (t, _, _) -> t) topologies)
+      rows;
     note "wrote BENCH_spf.json@."
   end
 

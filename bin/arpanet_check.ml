@@ -5,9 +5,11 @@
      dune exec bin/arpanet_check.exe -- --params my_table.json net.scn
      dune exec bin/arpanet_check.exe -- --src lib
      dune exec bin/arpanet_check.exe -- --sweep scenarios/paper_sweep.json
+     dune exec bin/arpanet_check.exe -- --gen wax100k.json
      dune exec bin/arpanet_check.exe -- --json net.scn
 
-   Produces compiler-style diagnostics (stable codes T0xx topology,
+   Produces compiler-style diagnostics (stable codes T0xx topology and
+   generator specs,
    P0xx parameter tables, S0xx scenario scripts, S1xx sweep specs,
    R0xx loop stability,
    L0xx source lint; see DESIGN.md §8 for the catalogue) and exits with
@@ -21,6 +23,7 @@ module Params_check = Routing_check.Params_check
 module Stability_check = Routing_check.Stability_check
 module Src_check = Routing_check.Src_check
 module Sweep_check = Routing_check.Sweep_check
+module Generator_check = Routing_check.Generator_check
 module Obs_json = Routing_obs.Json
 module Rng = Routing_stats.Rng
 
@@ -35,7 +38,8 @@ let reference_stability (params : Params_check.file) =
     ~movement_limits:params.Params_check.movement_limits
     ~entries:params.Params_check.entries g tm
 
-let run scenario_files sweep_files params_file src_root no_stability json quiet =
+let run scenario_files sweep_files gen_files params_file src_root no_stability
+    json quiet =
   let params_diags, params =
     match params_file with
     | None -> ([], None)
@@ -50,6 +54,9 @@ let run scenario_files sweep_files params_file src_root no_stability json quiet 
   let sweep_diags =
     List.concat_map (fun f -> fst (Sweep_check.check_file f)) sweep_files
   in
+  let gen_diags =
+    List.concat_map (fun f -> fst (Generator_check.check_file f)) gen_files
+  in
   let reference_diags =
     (* Only when there is no scenario to sweep the table against. *)
     match params with
@@ -59,8 +66,8 @@ let run scenario_files sweep_files params_file src_root no_stability json quiet 
   in
   let default_table_diags =
     if
-      scenario_files = [] && sweep_files = [] && params_file = None
-      && src_root = None
+      scenario_files = [] && sweep_files = [] && gen_files = []
+      && params_file = None && src_root = None
     then Checker.check_default_table ()
     else []
   in
@@ -70,7 +77,7 @@ let run scenario_files sweep_files params_file src_root no_stability json quiet 
     | Some root -> Src_check.check_tree ~root
   in
   let diags =
-    params_diags @ reference_diags @ scenario_diags @ sweep_diags
+    params_diags @ reference_diags @ scenario_diags @ sweep_diags @ gen_diags
     @ default_table_diags @ src_diags
   in
   if json then
@@ -85,8 +92,8 @@ let run scenario_files sweep_files params_file src_root no_stability json quiet 
     in
     Diagnostic.pp_report Format.std_formatter shown;
     if
-      scenario_files = [] && sweep_files = [] && params_file = None
-      && src_root = None
+      scenario_files = [] && sweep_files = [] && gen_files = []
+      && params_file = None && src_root = None
     then
       Format.printf
         "(no inputs: checked the built-in HNM parameter table; see --help)@."
@@ -109,6 +116,14 @@ let cmd =
              ~doc:"Lint a sweep-spec grid (S1xx): unknown scenarios, \
                    empty or duplicated axes, bad seed ranges and load \
                    scales, period budgets.  Repeatable.")
+  in
+  let gen_files =
+    Arg.(value & opt_all file []
+         & info [ "gen" ] ~docv:"GEN.json"
+             ~doc:"Lint a generated-topology spec (T02x): unknown \
+                   families, non-positive sizes, Waxman alpha/beta \
+                   outside (0, 1], implausibly sparse parameter \
+                   combinations.  Repeatable.")
   in
   let params_file =
     Arg.(value & opt (some file) None
@@ -153,7 +168,7 @@ let cmd =
            `P "0 on success (info diagnostics at most); 1 when the worst \
                finding is a warning; 2 on errors." ])
     Term.(
-      const run $ scenarios $ sweep_files $ params_file $ src_root
-      $ no_stability $ json $ quiet)
+      const run $ scenarios $ sweep_files $ gen_files $ params_file
+      $ src_root $ no_stability $ json $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -94,7 +94,9 @@ let copy_spf_stats (s : Spf_engine.stats) =
     skipped = s.Spf_engine.skipped;
     full_sweeps = s.Spf_engine.full_sweeps;
     sources_recomputed = s.Spf_engine.sources_recomputed;
-    sources_reused = s.Spf_engine.sources_reused }
+    sources_repaired = s.Spf_engine.sources_repaired;
+    sources_reused = s.Spf_engine.sources_reused;
+    nodes_resettled = s.Spf_engine.nodes_resettled }
 
 let run_flow g tm kind ~domains ~minutes ~warmup_minutes ?telemetry () =
   let periods_per_minute = int_of_float (60. /. Units.routing_period_s) in
@@ -155,9 +157,10 @@ let out_path base kind ~multi =
 let pp_spf_stats ppf (name, (s : Spf_engine.stats)) =
   Format.fprintf ppf
     "  %-16s %d refreshes (%d skipped, %d full sweeps); sources: %d \
-     recomputed, %d reused@."
+     recomputed, %d repaired (%d nodes re-settled), %d reused@."
     name s.Spf_engine.refreshes s.Spf_engine.skipped s.Spf_engine.full_sweeps
-    s.Spf_engine.sources_recomputed s.Spf_engine.sources_reused
+    s.Spf_engine.sources_recomputed s.Spf_engine.sources_repaired
+    s.Spf_engine.nodes_resettled s.Spf_engine.sources_reused
 
 let main topology file dump dot metrics scale minutes warmup packet_level seed
     domains trace_out metrics_out profile check =

@@ -1,0 +1,141 @@
+open! Import
+
+(* See the .mli for the T02x catalogue.  Parsing is total: every shape
+   problem becomes a T020/T021 diagnostic rather than an exception, so the
+   CLI can report all of a bad spec's problems and exit cleanly. *)
+
+let ( let* ) = Result.bind
+
+let num_field field json =
+  match Obs_json.member field json with
+  | Error _ -> Result.Error (Printf.sprintf "missing %S field" field)
+  | Ok v ->
+    (match Obs_json.to_float v with
+    | Ok f -> Ok f
+    | Error _ -> Result.Error (Printf.sprintf "%S must be a number" field))
+
+let int_field field json =
+  match Obs_json.member field json with
+  | Error _ -> Result.Error (Printf.sprintf "missing %S field" field)
+  | Ok v ->
+    (match Obs_json.to_int v with
+    | Ok n -> Ok n
+    | Error _ -> Result.Error (Printf.sprintf "%S must be an integer" field))
+
+let parse text =
+  let* json =
+    match Obs_json.of_string text with
+    | Ok j -> Ok j
+    | Error e -> Result.Error (Printf.sprintf "not valid JSON: %s" e)
+  in
+  let* () =
+    match json with
+    | Obs_json.Obj _ -> Ok ()
+    | _ -> Result.Error "spec must be a JSON object"
+  in
+  let* family =
+    match Obs_json.member "family" json with
+    | Error _ -> Result.Error "missing \"family\" field"
+    | Ok v ->
+      (match Obs_json.to_str v with
+      | Ok s -> Ok s
+      | Error _ -> Result.Error "\"family\" must be a string")
+  in
+  match family with
+  | "waxman" ->
+    let* nodes = int_field "nodes" json in
+    let* alpha = num_field "alpha" json in
+    let* beta = num_field "beta" json in
+    Ok (Ok (Generators.Waxman { nodes; alpha; beta }))
+  | "hierarchical" ->
+    let* cores = int_field "cores" json in
+    let* pops_per_core = int_field "pops_per_core" json in
+    let* access_per_pop = int_field "access_per_pop" json in
+    Ok (Ok (Generators.Hierarchical { cores; pops_per_core; access_per_pop }))
+  | other -> Ok (Result.Error other)
+
+(* Mean Waxman degree, integrating the connection probability over the
+   plane: alpha * 2 pi (beta L)^2 * n.  Below ~2 the generated edges do
+   not even form a connected backbone and the output is dominated by the
+   stitching pass. *)
+let waxman_expected_degree ~nodes ~alpha ~beta =
+  let bl = beta *. sqrt 2. in
+  alpha *. 2. *. Float.pi *. bl *. bl *. float_of_int (nodes - 1)
+
+let lint ?file spec =
+  let error code fmt =
+    Printf.ksprintf (fun m -> Diagnostic.error ?file ~code m) fmt
+  in
+  let warning code fmt =
+    Printf.ksprintf (fun m -> Diagnostic.warning ?file ~code m) fmt
+  in
+  match spec with
+  | Generators.Waxman { nodes; alpha; beta } ->
+    let sizes =
+      if nodes < 2 then
+        [ error "T022" "waxman needs at least 2 nodes (got %d)" nodes ]
+      else []
+    in
+    let alpha_d =
+      if not (alpha > 0. && alpha <= 1.) then
+        [ error "T023" "waxman alpha %g outside (0, 1]" alpha ]
+      else []
+    in
+    let beta_d =
+      if not (beta > 0. && beta <= 1.) then
+        [ error "T024" "waxman beta %g outside (0, 1]" beta ]
+      else []
+    in
+    let sparse =
+      if sizes = [] && alpha_d = [] && beta_d = [] then begin
+        let deg = waxman_expected_degree ~nodes ~alpha ~beta in
+        if deg < 2. then
+          [ warning "T025"
+              "waxman expected degree %.2f < 2: the result is mostly \
+               connectivity stitching, not a Waxman graph (raise alpha or \
+               beta)"
+              deg ]
+        else []
+      end
+      else []
+    in
+    sizes @ alpha_d @ beta_d @ sparse
+  | Generators.Hierarchical { cores; pops_per_core; access_per_pop } ->
+    (if cores < 3 then
+       [ error "T022" "hierarchical needs at least 3 cores (got %d)" cores ]
+     else [])
+    @ (if pops_per_core < 1 then
+         [ error "T022" "hierarchical needs at least 1 PoP per core (got %d)"
+             pops_per_core ]
+       else [])
+    @
+    if access_per_pop < 0 then
+      [ error "T022" "hierarchical access_per_pop is negative (%d)"
+          access_per_pop ]
+    else []
+
+let check_file path =
+  let error code fmt =
+    Printf.ksprintf (fun m -> Diagnostic.error ~file:path ~code m) fmt
+  in
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e ->
+    ([ error "T020" "cannot read generator spec: %s" e ], None)
+  | text ->
+    (match parse text with
+    | Result.Error msg -> ([ error "T020" "bad generator spec: %s" msg ], None)
+    | Ok (Result.Error family) ->
+      ( [ error "T021"
+            "unknown generator family %S (expected \"waxman\" or \
+             \"hierarchical\")"
+            family ],
+        None )
+    | Ok (Ok spec) ->
+      let diags = lint ~file:path spec in
+      let ok =
+        not
+          (List.exists
+             (fun d -> d.Diagnostic.severity = Diagnostic.Error)
+             diags)
+      in
+      (diags, if ok then Some spec else None))

@@ -1,0 +1,30 @@
+open! Import
+
+(** T02x — validation of generated-topology specs.
+
+    The scaling benchmarks and experiments describe their topologies as
+    small JSON specs ({!Generators.spec}); generating a 10^5-node graph
+    from a bad spec wastes minutes before failing, so this pass rejects
+    one before any generation happens:
+
+    - [T020] (error) — unreadable, unparseable, or mis-shaped spec file
+    - [T021] (error) — unknown generator family
+    - [T022] (error) — non-positive or too-small size parameters
+      (Waxman [nodes < 2]; hierarchical [cores < 3], [pops_per_core < 1],
+      [access_per_pop < 0])
+    - [T023] (error) — Waxman [alpha] outside [(0, 1]]
+    - [T024] (error) — Waxman [beta] outside [(0, 1]]
+    - [T025] (warning) — Waxman parameters give an expected degree below
+      2: the graph would be mostly stitching, not a Waxman topology
+
+    The spec shape is one JSON object:
+    [{"family": "waxman", "nodes": n, "alpha": a, "beta": b}] or
+    [{"family": "hierarchical", "cores": c, "pops_per_core": p,
+    "access_per_pop": a}]. *)
+
+val lint : ?file:string -> Generators.spec -> Diagnostic.t list
+(** Validate an in-memory spec (T022–T025). *)
+
+val check_file : string -> Diagnostic.t list * Generators.spec option
+(** Parse and {!lint} a spec file.  The spec is returned only when it
+    carries no error-severity diagnostic. *)

@@ -5,6 +5,7 @@ module Line_type = Routing_topology.Line_type
 module Link = Routing_topology.Link
 module Graph = Routing_topology.Graph
 module Traffic_matrix = Routing_topology.Traffic_matrix
+module Generators = Routing_topology.Generators
 module Serial = Routing_topology.Serial
 module Graph_analysis = Routing_topology.Graph_analysis
 module Metric = Routing_metric.Metric

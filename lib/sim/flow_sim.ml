@@ -37,7 +37,9 @@ type obs_state = {
   spf_skipped : Obs_metrics.gauge;
   spf_full_sweeps : Obs_metrics.gauge;
   spf_recomputed : Obs_metrics.gauge;
+  spf_repaired : Obs_metrics.gauge;
   spf_reused : Obs_metrics.gauge;
+  spf_resettled : Obs_metrics.gauge;
 }
 
 let make_obs_state tele ~links =
@@ -61,7 +63,9 @@ let make_obs_state tele ~links =
     spf_skipped = spf_gauge "skipped";
     spf_full_sweeps = spf_gauge "full_sweeps";
     spf_recomputed = spf_gauge "sources_recomputed";
-    spf_reused = spf_gauge "sources_reused" }
+    spf_repaired = spf_gauge "sources_repaired";
+    spf_reused = spf_gauge "sources_reused";
+    spf_resettled = spf_gauge "nodes_resettled" }
 
 type t = {
   graph : Graph.t;
@@ -383,7 +387,11 @@ let step t =
     Obs_metrics.set o.spf_full_sweeps (float_of_int s.Spf_engine.full_sweeps);
     Obs_metrics.set o.spf_recomputed
       (float_of_int s.Spf_engine.sources_recomputed);
+    Obs_metrics.set o.spf_repaired
+      (float_of_int s.Spf_engine.sources_repaired);
     Obs_metrics.set o.spf_reused (float_of_int s.Spf_engine.sources_reused);
+    Obs_metrics.set o.spf_resettled
+      (float_of_int s.Spf_engine.nodes_resettled);
     Obs_sink.emit o.obs_sink (fun () ->
         Obs_json.Obj
           [ ("t", Obs_json.Float now);

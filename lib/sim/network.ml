@@ -55,7 +55,9 @@ type obs_state = {
   spf_skipped : Obs_metrics.gauge;
   spf_full_sweeps : Obs_metrics.gauge;
   spf_recomputed : Obs_metrics.gauge;
+  spf_repaired : Obs_metrics.gauge;
   spf_reused : Obs_metrics.gauge;
+  spf_resettled : Obs_metrics.gauge;
 }
 
 (* Tiny growable buffer for the per-period expiry sweeps: collect doomed
@@ -120,7 +122,9 @@ let make_obs_state tele ~links =
     spf_skipped = spf_gauge "skipped";
     spf_full_sweeps = spf_gauge "full_sweeps";
     spf_recomputed = spf_gauge "sources_recomputed";
-    spf_reused = spf_gauge "sources_reused" }
+    spf_repaired = spf_gauge "sources_repaired";
+    spf_reused = spf_gauge "sources_reused";
+    spf_resettled = spf_gauge "nodes_resettled" }
 
 let count_event o = function
   | Trace.Packet_delivered _ -> Obs_metrics.inc o.delivered
@@ -535,7 +539,11 @@ let routing_period t =
     Obs_metrics.set o.spf_full_sweeps (float_of_int s.Spf_engine.full_sweeps);
     Obs_metrics.set o.spf_recomputed
       (float_of_int s.Spf_engine.sources_recomputed);
-    Obs_metrics.set o.spf_reused (float_of_int s.Spf_engine.sources_reused)
+    Obs_metrics.set o.spf_repaired
+      (float_of_int s.Spf_engine.sources_repaired);
+    Obs_metrics.set o.spf_reused (float_of_int s.Spf_engine.sources_reused);
+    Obs_metrics.set o.spf_resettled
+      (float_of_int s.Spf_engine.nodes_resettled)
 
 let rec schedule_periods t =
   Engine.schedule t.engine ~after:Units.routing_period_s (fun () ->

@@ -45,6 +45,19 @@ let compute_weights ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost
 let composite ~dist ~hops =
   if dist = max_int then max_int else (dist * cost_scale * hop_scale) + hops
 
+(* Inverse of [composite] under [`Neutral] tie-breaking: the hop count
+   lives in the low byte and the unit distance above the scales, with the
+   half-up rounding that absorbs [`Favor]/[`Avoid] adjustments (for which
+   the middle bits are nonzero). *)
+let decompose comp =
+  if comp = max_int then (max_int, max_int)
+  else
+    let units =
+      (comp / hop_scale / cost_scale)
+      + (if (comp / hop_scale) mod cost_scale > cost_scale / 2 then 1 else 0)
+    in
+    (units, comp mod hop_scale)
+
 (* Reusable work arrays for the inner loop.  The settled flags, composite
    distances and the heap never escape a computation, so one scratch can
    serve every tree a domain computes — per-period refreshes stop paying
@@ -55,14 +68,10 @@ let composite ~dist ~hops =
 type scratch = {
   mutable dist : int array; (* composite distances *)
   mutable settled : bool array;
-  heap : (int * int, int) Priority_queue.t;
+  heap : Radix_queue.t;
 }
 
-let pq_compare (wa, la) (wb, lb) =
-  match Int.compare wa wb with 0 -> Int.compare la lb | c -> c
-
-let scratch () =
-  { dist = [||]; settled = [||]; heap = Priority_queue.create ~compare:pq_compare }
+let scratch () = { dist = [||]; settled = [||]; heap = Radix_queue.create () }
 
 let ready scratch n =
   if Array.length scratch.dist < n then begin
@@ -73,13 +82,15 @@ let ready scratch n =
     Array.fill scratch.dist 0 n max_int;
     Array.fill scratch.settled 0 n false
   end;
-  Priority_queue.clear scratch.heap
+  Radix_queue.clear scratch.heap
 
 (* The SPF inner loop over the flat (CSR) adjacency and a memoized weight
    table.  Tie-breaking is identical to the historical list-based version:
-   heap priorities are (composite weight, arriving link id) pairs — globally
+   queue priorities are (composite weight, arriving link id) pairs — globally
    unique — and on a fully tied relaxation the lower arriving link id wins,
-   so the tree is a pure function of the weight table. *)
+   so the tree is a pure function of the weight table.  Dijkstra never
+   pushes a key below the last popped one (edge weights are positive), the
+   exact precondition of the monotone radix queue. *)
 let compute_flat_s s g ~weights root =
   let n = Graph.node_count g in
   let out_off, out_link_ids, out_dst = Graph.csr_out g in
@@ -90,11 +101,11 @@ let compute_flat_s s g ~weights root =
   let heap = s.heap in
   let ri = Node.to_int root in
   dist.(ri) <- 0;
-  Priority_queue.push heap (0, -1) ri;
+  Radix_queue.push heap ~key:0 ~tie:(-1) ri;
   let rec run () =
-    match Priority_queue.pop_min heap with
+    match Radix_queue.pop_min heap with
     | None -> ()
-    | Some ((w, _), i) ->
+    | Some (w, _, i) ->
       if not settled.(i) then begin
         settled.(i) <- true;
         for k = out_off.(i) to out_off.(i + 1) - 1 do
@@ -106,13 +117,13 @@ let compute_flat_s s g ~weights root =
             if w' < dist.(j) then begin
               dist.(j) <- w';
               parent.(j) <- lid;
-              Priority_queue.push heap (w', lid) j
+              Radix_queue.push heap ~key:w' ~tie:lid j
             end
             else if w' = dist.(j) && lid < parent.(j) then begin
               (* Fully tied: keep the lower arriving link id so the tree
-                 is independent of heap internals. *)
+                 is independent of queue internals. *)
               parent.(j) <- lid;
-              Priority_queue.push heap (w', lid) j
+              Radix_queue.push heap ~key:w' ~tie:lid j
             end
           end
         done
@@ -125,11 +136,9 @@ let compute_flat_s s g ~weights root =
   let hops = Array.make n max_int in
   for i = 0 to n - 1 do
     if dist.(i) <> max_int then begin
-      hops.(i) <- dist.(i) mod hop_scale;
-      units.(i) <-
-        (dist.(i) / hop_scale / cost_scale)
-        + (if (dist.(i) / hop_scale) mod cost_scale > cost_scale / 2 then 1
-           else 0)
+      let u, h = decompose dist.(i) in
+      units.(i) <- u;
+      hops.(i) <- h
     end
   done;
   let parent =

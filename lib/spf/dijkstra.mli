@@ -64,9 +64,9 @@ val compute_flat : Graph.t -> weights:int array -> Node.t -> Spf_tree.t
     [compute_flat g ~weights:(compute_weights ...) root]. *)
 
 type scratch
-(** Reusable work arrays (settled flags, composite distances, the heap)
-    for the inner loop.  Owned by one domain at a time; resizes itself to
-    whatever graph it is used on. *)
+(** Reusable work arrays (settled flags, composite distances, the monotone
+    {!Radix_queue}) for the inner loop.  Owned by one domain at a time;
+    resizes itself to whatever graph it is used on. *)
 
 val scratch : unit -> scratch
 
@@ -87,6 +87,12 @@ val composite : dist:int -> hops:int -> int
     tie-breaking (the encoding is lossy under [`Favor]/[`Avoid]).
     [max_int] maps to [max_int].  Used by {!Spf_engine} to reason about
     whether a weight change can affect a tree. *)
+
+val decompose : int -> int * int
+(** Inverse of {!composite} under [`Neutral] tie-breaking: composite
+    distance back to [(units, hops)].  [max_int] maps to
+    [(max_int, max_int)].  Used by the repair path to re-decode patched
+    distances exactly as {!compute_flat} decodes fresh ones. *)
 
 val all_pairs :
   ?tie_break:tie_break ->

@@ -1,0 +1,122 @@
+(* One-level radix heap over non-negative int keys.
+
+   Bucket [0] holds entries whose key equals [last] (the key most recently
+   popped); bucket [b > 0] holds entries whose key first differs from
+   [last] at bit [b - 1].  Pops drain bucket 0; when it is empty the first
+   non-empty bucket is scanned for its lexicographic [(key, tie)] minimum,
+   [last] advances to that key, and the bucket's entries are redistributed
+   — each lands in a strictly lower bucket (they agreed with the old [last]
+   above their bucket's bit, and the new [last] is one of them), which is
+   where the amortized O(bits) bound comes from. *)
+
+type bucket = {
+  mutable keys : int array;
+  mutable ties : int array;
+  mutable vals : int array;
+  mutable len : int;
+}
+
+(* 63-bit ints: keys differ from [last] somewhere in bits 0..62, so
+   buckets 0..63 cover every case. *)
+let bucket_count = 64
+
+type t = {
+  buckets : bucket array;
+  mutable last : int;
+  mutable length : int;
+}
+
+let make_bucket () = { keys = [||]; ties = [||]; vals = [||]; len = 0 }
+
+let create () =
+  { buckets = Array.init bucket_count (fun _ -> make_bucket ());
+    last = 0;
+    length = 0 }
+
+let is_empty t = t.length = 0
+
+let length t = t.length
+
+let last t = t.last
+
+(* Index of the highest set bit of [x > 0]. *)
+let msb x =
+  let r = ref 0 in
+  let x = ref x in
+  if !x lsr 32 <> 0 then begin r := !r + 32; x := !x lsr 32 end;
+  if !x lsr 16 <> 0 then begin r := !r + 16; x := !x lsr 16 end;
+  if !x lsr 8 <> 0 then begin r := !r + 8; x := !x lsr 8 end;
+  if !x lsr 4 <> 0 then begin r := !r + 4; x := !x lsr 4 end;
+  if !x lsr 2 <> 0 then begin r := !r + 2; x := !x lsr 2 end;
+  if !x lsr 1 <> 0 then r := !r + 1;
+  !r
+
+let bucket_of t key =
+  let d = key lxor t.last in
+  if d = 0 then 0 else msb d + 1
+
+let append b ~key ~tie v =
+  if b.len = Array.length b.keys then begin
+    let cap = if b.len = 0 then 16 else 2 * b.len in
+    let grow a = let a' = Array.make cap 0 in Array.blit a 0 a' 0 b.len; a' in
+    b.keys <- grow b.keys;
+    b.ties <- grow b.ties;
+    b.vals <- grow b.vals
+  end;
+  b.keys.(b.len) <- key;
+  b.ties.(b.len) <- tie;
+  b.vals.(b.len) <- v;
+  b.len <- b.len + 1
+
+let push t ~key ~tie v =
+  if key < t.last then
+    invalid_arg
+      (Printf.sprintf "Radix_queue.push: key %d below the monotone floor %d"
+         key t.last);
+  append t.buckets.(bucket_of t key) ~key ~tie v;
+  t.length <- t.length + 1
+
+(* Swap-remove entry [i]; order within a bucket carries no meaning. *)
+let remove b i =
+  let l = b.len - 1 in
+  b.keys.(i) <- b.keys.(l);
+  b.ties.(i) <- b.ties.(l);
+  b.vals.(i) <- b.vals.(l);
+  b.len <- l
+
+let pop_min t =
+  if t.length = 0 then None
+  else begin
+    let b0 = t.buckets.(0) in
+    if b0.len = 0 then begin
+      (* Advance [last] to the smallest key present and pull its cohort
+         down into bucket 0. *)
+      let bi = ref 1 in
+      while t.buckets.(!bi).len = 0 do incr bi done;
+      let b = t.buckets.(!bi) in
+      let min_key = ref b.keys.(0) in
+      for i = 1 to b.len - 1 do
+        if b.keys.(i) < !min_key then min_key := b.keys.(i)
+      done;
+      t.last <- !min_key;
+      for i = 0 to b.len - 1 do
+        append t.buckets.(bucket_of t b.keys.(i))
+          ~key:b.keys.(i) ~tie:b.ties.(i) b.vals.(i)
+      done;
+      b.len <- 0
+    end;
+    (* Bucket 0: every key equals [last]; the tie decides. *)
+    let best = ref 0 in
+    for i = 1 to b0.len - 1 do
+      if b0.ties.(i) < b0.ties.(!best) then best := i
+    done;
+    let key = b0.keys.(!best) and tie = b0.ties.(!best) and v = b0.vals.(!best) in
+    remove b0 !best;
+    t.length <- t.length - 1;
+    Some (key, tie, v)
+  end
+
+let clear t =
+  Array.iter (fun b -> b.len <- 0) t.buckets;
+  t.last <- 0;
+  t.length <- 0

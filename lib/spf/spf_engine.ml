@@ -23,40 +23,54 @@ open! Import
    These tests compose across any set of simultaneous changes (induction on
    the decreased edges of a hypothetical shorter path, using the strict
    inequality from the decrease test), so a tree passing every per-link
-   test is bit-identical to a full recompute.  Trees that fail any test are
-   recomputed in full, fanned over the domain pool. *)
+   test is bit-identical to a full recompute.  Trees that fail any test
+   are brought up to date by {!Spf_repair} — in-place dynamic repair that
+   re-settles only the disturbed region and restores the same bit-identity
+   — or, when repair is off or the tree is missing, recomputed in full.
+   Both paths fan over the domain pool when the batch is big enough. *)
 
 type stats = {
   mutable refreshes : int;
   mutable skipped : int;
   mutable full_sweeps : int;
   mutable sources_recomputed : int;
+  mutable sources_repaired : int;
   mutable sources_reused : int;
+  mutable nodes_resettled : int;
 }
 
 type t = {
   graph : Graph.t;
   pool : Domain_pool.t option;
   threshold : float;
+  repair : bool;
+  repair_grain : int;
   mutable weights : int array; (* [||] before the first refresh *)
   trees : Spf_tree.t option array;
   scratch : Dijkstra.scratch; (* caller-domain work arrays, reused forever *)
+  repair_scratch : Spf_repair.scratch;
   stats : stats;
 }
 
-let create ?pool ?(threshold = 0.25) graph =
+let create ?pool ?(threshold = 0.25) ?(repair = true) ?(repair_grain = 256)
+    graph =
   { graph;
     pool;
     threshold;
+    repair;
+    repair_grain;
     weights = [||];
     trees = Array.make (Graph.node_count graph) None;
     scratch = Dijkstra.scratch ();
+    repair_scratch = Spf_repair.scratch ();
     stats =
       { refreshes = 0;
         skipped = 0;
         full_sweeps = 0;
         sources_recomputed = 0;
-        sources_reused = 0 } }
+        sources_repaired = 0;
+        sources_reused = 0;
+        nodes_resettled = 0 } }
 
 let graph t = t.graph
 
@@ -93,6 +107,38 @@ let recompute t sources =
       t.trees.(i) <-
         Some (Dijkstra.compute_flat_s t.scratch g ~weights (Node.of_int i))
     done
+
+(* Repair affected trees in place.  Per-tree work is proportional to the
+   disturbed region, usually a few nodes, so the fan-out threshold is a
+   tree count ([repair_grain]) rather than a visit estimate. *)
+let repair_trees t sources changes =
+  match sources with
+  | [] -> ()
+  | _ ->
+    let todo = Array.of_list sources in
+    let nt = Array.length todo in
+    t.stats.sources_repaired <- t.stats.sources_repaired + nt;
+    let weights = t.weights in
+    let g = t.graph in
+    (match t.pool with
+    | Some pool when Domain_pool.size pool > 1 && nt >= t.repair_grain ->
+      let resettled = Array.make nt 0 in
+      let chunk =
+        Dijkstra.source_chunk ~sources:nt ~domains:(Domain_pool.size pool)
+      in
+      Domain_pool.parallel_for_with ~chunk pool ~init:Spf_repair.scratch nt
+        (fun s k ->
+          let tree = Option.get t.trees.(todo.(k)) in
+          resettled.(k) <- Spf_repair.repair s g ~tree ~weights ~changes);
+      t.stats.nodes_resettled <-
+        t.stats.nodes_resettled + Array.fold_left ( + ) 0 resettled
+    | Some _ | None ->
+      for k = 0 to nt - 1 do
+        let tree = Option.get t.trees.(todo.(k)) in
+        t.stats.nodes_resettled <-
+          t.stats.nodes_resettled
+          + Spf_repair.repair t.repair_scratch g ~tree ~weights ~changes
+      done)
 
 (* Can this set of weight changes alter [tree]?  See the module comment for
    why "no" here is a proof, not a heuristic. *)
@@ -167,15 +213,19 @@ let refresh ?(wanted = fun _ -> true) ?(enabled = fun _ -> true) t ~cost =
   end
   else begin
     let todo = ref [] in
+    let to_repair = ref [] in
     for i = n - 1 downto 0 do
       match t.trees.(i) with
       | Some tree when not (affected t tree changes) ->
         (* Provably identical to a recompute — keep it, wanted or not. *)
         t.stats.sources_reused <- t.stats.sources_reused + 1
       | Some _ ->
-        if wanted i then todo := i :: !todo else t.trees.(i) <- None
+        if not (wanted i) then t.trees.(i) <- None
+        else if t.repair then to_repair := i :: !to_repair
+        else todo := i :: !todo
       | None -> if wanted i then todo := i :: !todo
     done;
+    repair_trees t !to_repair changes;
     recompute t !todo
   end
 

@@ -15,23 +15,43 @@ open! Import
     - if a small set changed, {e proves} per source whether the changes
       can touch that tree — an increase only matters to trees using the
       link, a decrease only to trees it could shorten or tie — and
-      recomputes just the affected sources;
+      dynamically {e repairs} just the affected sources in place
+      ({!Spf_repair}), re-settling only the disturbed region of each
+      tree;
     - if a large fraction changed (more than [threshold] of the links),
       recomputes every wanted source outright.
 
-    Recomputation fans out over an optional {!Domain_pool.t}.  In every
-    configuration — sequential or parallel, incremental or full sweep —
-    the served trees are {b bit-identical} to [Dijkstra.compute] from
-    scratch on the current costs: reuse happens only when a tree provably
-    equals its recomputation (same distances, hops and parent links), and
+    Repair and recomputation fan out over an optional {!Domain_pool.t}.
+    In every configuration — sequential or parallel, repaired, swept or
+    reused — the served trees are {b bit-identical} to [Dijkstra.compute]
+    from scratch on the current costs: reuse happens only when a tree
+    provably equals its recomputation (same distances, hops and parent
+    links), repair restores exactly the from-scratch fixpoint, and
     parallel sources each write only their own slot.  Trees use [`Neutral]
-    tie-breaking. *)
+    tie-breaking.
+
+    {b Aliasing.}  Repair patches trees in place: a [Spf_tree.t] obtained
+    from the engine reflects the {e latest} refresh, not the one it was
+    fetched under.  Callers needing a frozen snapshot must copy before
+    the next refresh. *)
 
 type t
 
-val create : ?pool:Domain_pool.t -> ?threshold:float -> Graph.t -> t
+val create :
+  ?pool:Domain_pool.t ->
+  ?threshold:float ->
+  ?repair:bool ->
+  ?repair_grain:int ->
+  Graph.t ->
+  t
 (** [threshold] (default 0.25) is the changed-links fraction above which a
-    refresh abandons per-source analysis and recomputes everything. *)
+    refresh abandons per-source analysis and recomputes everything.
+    [repair] (default [true]) selects in-place dynamic repair for affected
+    sources; [false] falls back to per-source full recomputation (useful
+    for differential testing and benchmarking).  [repair_grain] (default
+    256) is the affected-tree count at or above which repairs fan out over
+    [pool] — repairs are usually so cheap that the fan-out only pays off
+    for large batches. *)
 
 val graph : t -> Graph.t
 
@@ -67,8 +87,14 @@ type stats = {
       (** refreshes that recomputed every wanted source (first refresh, or
           changed set above [threshold]) *)
   mutable sources_recomputed : int;  (** single-source Dijkstra runs *)
+  mutable sources_repaired : int;
+      (** source trees patched in place by dynamic repair *)
   mutable sources_reused : int;
       (** source trees kept across a refresh without recomputation *)
+  mutable nodes_resettled : int;
+      (** total nodes re-settled across all repairs — the work dynamic
+          repair actually did, vs. [sources_repaired × node_count] a
+          recompute would have *)
 }
 
 val stats : t -> stats

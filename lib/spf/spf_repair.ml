@@ -1,0 +1,233 @@
+open! Import
+
+(* See the .mli for the algorithm outline and the bit-identity argument.
+
+   Node states during one repair, tracked by epoch stamps so consecutive
+   repairs share arrays without clearing them:
+
+   - untouched: the tree entry is still exact (or provably an
+     over-approximation that no surviving path undercuts); its composite
+     distance is re-encoded from the tree on demand.
+   - touched, not settled: [newdist]/[newparent] hold the best candidate
+     so far ([max_int]/[-1] for invalidated nodes not yet re-offered a
+     path); the tree entry is stale and must not be read.
+   - settled: the tree entry has been patched with the final value.
+
+   Every strict improvement pushes a (key, link-id) entry; a popped entry
+   is acted on only if it still matches [newdist] (lazy deletion).  Exact
+   ties never push: for a touched node the candidate parent array is
+   lowered in place, for an untouched node the tree's parent pointer is
+   patched directly — a parent swap at equal distance changes nothing
+   downstream.  Ties arriving after a node settled are impossible: an
+   achieving predecessor's key is at least one edge weight below the
+   node's, so it settles (and relaxes) strictly earlier in the monotone
+   pop order, and achieving predecessors that never enter the queue are
+   exactly the intact ones the seeding phase already scanned. *)
+
+type scratch = {
+  queue : Radix_queue.t;
+  mutable stamp : int array; (* touched this epoch *)
+  mutable settled : int array;
+  mutable invalid : int array;
+  mutable newdist : int array; (* composite; valid when touched *)
+  mutable newparent : int array;
+  mutable touched : int array; (* node ids, first [ntouched] live *)
+  mutable ntouched : int;
+  mutable epoch : int;
+}
+
+let scratch () =
+  { queue = Radix_queue.create ();
+    stamp = [||];
+    settled = [||];
+    invalid = [||];
+    newdist = [||];
+    newparent = [||];
+    touched = [||];
+    ntouched = 0;
+    epoch = 0 }
+
+let ready s n =
+  if Array.length s.stamp < n then begin
+    s.stamp <- Array.make n 0;
+    s.settled <- Array.make n 0;
+    s.invalid <- Array.make n 0;
+    s.newdist <- Array.make n 0;
+    s.newparent <- Array.make n 0;
+    s.touched <- Array.make n 0;
+    s.epoch <- 0
+  end;
+  s.epoch <- s.epoch + 1;
+  s.ntouched <- 0;
+  Radix_queue.clear s.queue
+
+let repair s g ~tree ~weights ~changes =
+  let n = Graph.node_count g in
+  ready s n;
+  let parent, dist_u, hops_u = Spf_tree.unsafe_arrays tree in
+  let out_off, out_link_ids, out_dst = Graph.csr_out g in
+  let in_off, in_link_ids = Graph.csr_in g in
+  let epoch = s.epoch in
+  let touched i = s.stamp.(i) = epoch in
+  let touch i =
+    if s.stamp.(i) <> epoch then begin
+      s.stamp.(i) <- epoch;
+      s.touched.(s.ntouched) <- i;
+      s.ntouched <- s.ntouched + 1
+    end
+  in
+  (* Composite distance under the old table, decoded from the tree —
+     only meaningful for untouched nodes. *)
+  let old_comp i = Dijkstra.composite ~dist:dist_u.(i) ~hops:hops_u.(i) in
+  let parent_id i =
+    match parent.(i) with None -> -1 | Some lid -> Link.id_to_int lid
+  in
+  (* Phase 1+2: invalidate the subtrees hanging below worsened parent
+     links.  The root has no parent and is never invalidated, so distance
+     0 stays anchored. *)
+  let stack = ref [] in
+  let invalidate v =
+    if s.invalid.(v) <> epoch then begin
+      s.invalid.(v) <- epoch;
+      touch v;
+      s.newdist.(v) <- max_int;
+      s.newparent.(v) <- -1;
+      stack := v :: !stack
+    end
+  in
+  List.iter
+    (fun (lid, old_w, new_w) ->
+      let increase = old_w >= 0 && (new_w < 0 || new_w > old_w) in
+      if increase then begin
+        let l = Graph.link g lid in
+        let v = Node.to_int l.Link.dst in
+        if parent_id v = Link.id_to_int lid then invalidate v
+      end)
+    changes;
+  let rec flood () =
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+      stack := rest;
+      for k = out_off.(u) to out_off.(u + 1) - 1 do
+        let j = out_dst.(k) in
+        if s.invalid.(j) <> epoch && parent_id j = out_link_ids.(k) then
+          invalidate j
+      done;
+      flood ()
+  in
+  flood ();
+  (* Phase 3a: offer each invalidated node its best in-link from intact
+     nodes.  Intact distances may still shrink (a pending decrease), in
+     which case the seed is an over-approximation of a path that does
+     exist — the source's own settle re-relaxes with the better value
+     before the stale entry can win a pop. *)
+  let ninvalid = s.ntouched in
+  for t = 0 to ninvalid - 1 do
+    let v = s.touched.(t) in
+    let best_w = ref max_int and best_l = ref (-1) in
+    for k = in_off.(v) to in_off.(v + 1) - 1 do
+      let lid = in_link_ids.(k) in
+      let ew = weights.(lid) in
+      if ew >= 0 then begin
+        let u = Node.to_int (Graph.link g (Link.id_of_int lid)).Link.src in
+        if s.invalid.(u) <> epoch then begin
+          let du = old_comp u in
+          if du <> max_int then begin
+            let cand = du + ew in
+            if cand < !best_w || (cand = !best_w && lid < !best_l) then begin
+              best_w := cand;
+              best_l := lid
+            end
+          end
+        end
+      end
+    done;
+    if !best_w <> max_int then begin
+      s.newdist.(v) <- !best_w;
+      s.newparent.(v) <- !best_l;
+      Radix_queue.push s.queue ~key:!best_w ~tie:!best_l v
+    end
+  done;
+  (* Phase 3b: decreased links from intact sources.  Invalidated
+     destinations were already offered this link by the in-scan above;
+     invalidated sources relax it when (if) they re-settle. *)
+  List.iter
+    (fun (lid_t, old_w, new_w) ->
+      let decrease = new_w >= 0 && (old_w < 0 || new_w < old_w) in
+      if decrease then begin
+        let l = Graph.link g lid_t in
+        let u = Node.to_int l.Link.src and v = Node.to_int l.Link.dst in
+        let lid = Link.id_to_int lid_t in
+        if s.invalid.(u) <> epoch && s.invalid.(v) <> epoch then begin
+          let du = if touched u then s.newdist.(u) else old_comp u in
+          if du <> max_int then begin
+            let cand = du + new_w in
+            let cur = if touched v then s.newdist.(v) else old_comp v in
+            if cand < cur then begin
+              touch v;
+              s.newdist.(v) <- cand;
+              s.newparent.(v) <- lid;
+              Radix_queue.push s.queue ~key:cand ~tie:lid v
+            end
+            else if cand = cur then
+              if touched v then begin
+                if lid < s.newparent.(v) then s.newparent.(v) <- lid
+              end
+              else if lid < parent_id v then parent.(v) <- Some lid_t
+          end
+        end
+      end)
+    changes;
+  (* Phase 4: monotone re-settle, patching the tree exactly as a fresh
+     computation would decode it. *)
+  let resettled = ref 0 in
+  let rec run () =
+    match Radix_queue.pop_min s.queue with
+    | None -> ()
+    | Some (w, _, v) ->
+      if s.settled.(v) <> epoch && s.newdist.(v) = w then begin
+        s.settled.(v) <- epoch;
+        incr resettled;
+        let units, hops = Dijkstra.decompose w in
+        dist_u.(v) <- units;
+        hops_u.(v) <- hops;
+        parent.(v) <-
+          (if s.newparent.(v) < 0 then None
+           else Some (Link.id_of_int s.newparent.(v)));
+        for k = out_off.(v) to out_off.(v + 1) - 1 do
+          let lid = out_link_ids.(k) in
+          let ew = weights.(lid) in
+          let j = out_dst.(k) in
+          if ew >= 0 && s.settled.(j) <> epoch then begin
+            let w' = w + ew in
+            let cur = if touched j then s.newdist.(j) else old_comp j in
+            if w' < cur then begin
+              touch j;
+              s.newdist.(j) <- w';
+              s.newparent.(j) <- lid;
+              Radix_queue.push s.queue ~key:w' ~tie:lid j
+            end
+            else if w' = cur then
+              if touched j then begin
+                if lid < s.newparent.(j) then s.newparent.(j) <- lid
+              end
+              else if lid < parent_id j then parent.(j) <- Some (Link.id_of_int lid)
+          end
+        done
+      end;
+      run ()
+  in
+  run ();
+  (* Touched nodes that never re-settled have no surviving path: every
+     strict improvement pushed an entry at its final value, so only
+     [max_int] candidates can be left standing. *)
+  for t = 0 to s.ntouched - 1 do
+    let v = s.touched.(t) in
+    if s.settled.(v) <> epoch then begin
+      dist_u.(v) <- max_int;
+      hops_u.(v) <- max_int;
+      parent.(v) <- None
+    end
+  done;
+  !resettled

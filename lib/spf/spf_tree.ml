@@ -33,6 +33,8 @@ let hops_i t i = t.hops.(i)
 let parent_id t i =
   match t.parent.(i) with None -> -1 | Some lid -> Link.id_to_int lid
 
+let unsafe_arrays t = (t.parent, t.dist, t.hops)
+
 let path t dst =
   if not (reached t dst) then invalid_arg "Spf_tree.path: unreachable";
   let rec climb n acc =

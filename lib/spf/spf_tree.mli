@@ -48,6 +48,13 @@ val parent_id : t -> int -> int
 (** The link id over which the path enters node [i], or [-1] for the root
     and unreachable nodes. *)
 
+val unsafe_arrays : t -> Link.id option array * int array * int array
+(** [(parent, dist, hops)] — the tree's own arrays, exposed so
+    {!Spf_repair} can patch them in place.  Mutating them silently changes
+    what every holder of the tree sees; only the repair path, which
+    restores the [Dijkstra.compute] invariant before returning, may
+    write. *)
+
 val path : t -> Node.t -> Link.t list
 (** Links from the root to the destination, in forwarding order; [[]] for
     the root itself.  @raise Invalid_argument if unreachable. *)

@@ -37,6 +37,55 @@ val random_geometric :
     [radius]; extra edges are added to stitch any disconnected components
     together, so the result is always connected. *)
 
+val waxman :
+  ?line_type:Line_type.t ->
+  Routing_stats.Rng.t ->
+  nodes:int ->
+  alpha:float ->
+  beta:float ->
+  Graph.t
+(** The classic Waxman random topology (Waxman 1988): nodes uniform in the
+    unit square, a pair at distance [d] connected with probability
+    [alpha *. exp (-. d /. (beta *. sqrt 2.))].  Grid-accelerated — pairs
+    whose probability is below 1e-5 are never examined — and stitched to a
+    single component along the x-sorted node order, so the result is
+    always connected and deterministic in the given [rng].  Usable at
+    10^5 nodes when [beta] keeps the neighborhood radius small.
+    @raise Invalid_argument if [nodes < 2] or [alpha]/[beta] lie outside
+    [(0, 1]]. *)
+
+val hierarchical :
+  ?core_type:Line_type.t ->
+  ?pop_type:Line_type.t ->
+  ?access_type:Line_type.t ->
+  cores:int ->
+  pops_per_core:int ->
+  access_per_pop:int ->
+  unit ->
+  Graph.t
+(** A three-tier ISP-like topology, fully deterministic: [cores] backbone
+    nodes ["c*"] in a ring (457 kb/s trunks; skip-two chords when
+    [cores >= 5]), each carrying [pops_per_core] PoPs ["c*p*"] dual-homed
+    to their own and the next core (230 kb/s), each PoP carrying
+    [access_per_pop] access nodes ["c*p*a*"] dual-homed to their own and
+    the next PoP of the same core (56 kb/s).  Total nodes:
+    [cores * (1 + pops_per_core * (1 + access_per_pop))].
+    @raise Invalid_argument if [cores < 3], [pops_per_core < 1] or
+    [access_per_pop < 0]. *)
+
+(** A first-class description of a generated topology — what the bench
+    CLI and {!Routing_check} validate before paying for generation. *)
+type spec =
+  | Waxman of { nodes : int; alpha : float; beta : float }
+  | Hierarchical of { cores : int; pops_per_core : int; access_per_pop : int }
+
+val spec_nodes : spec -> int
+(** Node count the spec will generate, without generating. *)
+
+val of_spec : Routing_stats.Rng.t -> spec -> Graph.t
+(** Generate.  The [rng] is consumed only by stochastic families.
+    @raise Invalid_argument exactly when the underlying generator would. *)
+
 val line : ?line_type:Line_type.t -> int -> Graph.t
 (** A path graph of [n] nodes — the degenerate no-alternate-paths case.
     @raise Invalid_argument if [n < 2]. *)

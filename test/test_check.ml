@@ -9,6 +9,8 @@ module Params_check = Routing_check.Params_check
 module Stability_check = Routing_check.Stability_check
 module Scenario_check = Routing_check.Scenario_check
 module Src_check = Routing_check.Src_check
+module Generator_check = Routing_check.Generator_check
+module Generators = Routing_topology.Generators
 module Hnm_params = Routing_metric.Hnm_params
 module Line_type = Routing_topology.Line_type
 
@@ -200,6 +202,46 @@ let test_src_lint_scoping () =
   Sys.remove doc;
   Alcotest.(check (list string)) "mentions are not uses" [] (codes diags)
 
+(* --- Generator specs (T02x) --- *)
+
+let generator_fixtures =
+  [ ("gen_shape.json", "T020", 2);
+    ("gen_family.json", "T021", 2);
+    ("gen_nodes.json", "T022", 2);
+    ("gen_alpha.json", "T023", 2);
+    ("gen_beta.json", "T024", 2);
+    ("gen_sparse.json", "T025", 1) ]
+
+let test_generator_fixtures () =
+  List.iter
+    (fun (name, code, exit_code) ->
+      let diags, spec = Generator_check.check_file (fixture name) in
+      check_has_code ~what:name code diags;
+      Alcotest.(check int)
+        (Printf.sprintf "%s exit code" name)
+        exit_code
+        (Diagnostic.exit_code diags);
+      (* Errors never hand back a spec; mere warnings still do. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s spec presence" name)
+        (exit_code < 2) (Option.is_some spec))
+    generator_fixtures
+
+let test_generator_fixture_counts () =
+  (* gen_nodes breaks all three hierarchical sizes: one T022 each. *)
+  let diags, _ = Generator_check.check_file (fixture "gen_nodes.json") in
+  Alcotest.(check (list string))
+    "every bad size reported" [ "T022"; "T022"; "T022" ] (codes diags)
+
+let test_generator_lint_accepts_valid_specs () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check (list string))
+        "valid spec lints clean" [] (codes (Generator_check.lint spec)))
+    [ Generators.Waxman { nodes = 1000; alpha = 0.9; beta = 0.05 };
+      Generators.Hierarchical
+        { cores = 4; pops_per_core = 5; access_per_pop = 8 } ]
+
 (* --- Located diagnostics (the file:line satellite) --- *)
 
 let test_scenario_errors_carry_lines () =
@@ -275,6 +317,11 @@ let () =
            test_ablation_triggers_r001;
          Alcotest.test_case "src" `Quick test_src_fixtures;
          Alcotest.test_case "src scoping" `Quick test_src_lint_scoping;
+         Alcotest.test_case "generators" `Quick test_generator_fixtures;
+         Alcotest.test_case "generators counted" `Quick
+           test_generator_fixture_counts;
+         Alcotest.test_case "generators clean" `Quick
+           test_generator_lint_accepts_valid_specs;
          Alcotest.test_case "locations" `Quick
            test_scenario_errors_carry_lines ]);
       ("properties",

@@ -2,6 +2,7 @@
 
 open Routing_topology
 module Pq = Routing_spf.Priority_queue
+module Rq = Routing_spf.Radix_queue
 module Dijkstra = Routing_spf.Dijkstra
 module Spf_tree = Routing_spf.Spf_tree
 module Incremental = Routing_spf.Incremental
@@ -40,6 +41,87 @@ let prop_pq_sorts =
         | None -> List.rev acc
       in
       drain [] = List.sort Int.compare xs)
+
+(* --- radix queue --- *)
+
+let test_radix_ordering () =
+  let q = Rq.create () in
+  List.iter
+    (fun (k, t) -> Rq.push q ~key:k ~tie:t (k * 10))
+    [ (5, 0); (1, 2); (1, 1); (3, 0); (2, 0) ];
+  Alcotest.(check int) "length" 5 (Rq.length q);
+  let order = List.init 5 (fun _ -> Option.get (Rq.pop_min q)) in
+  Alcotest.(check bool) "lexicographic (key, tie)" true
+    (order = [ (1, 1, 10); (1, 2, 10); (2, 0, 20); (3, 0, 30); (5, 0, 50) ]);
+  Alcotest.(check bool) "empty" true (Rq.is_empty q);
+  Alcotest.(check int) "floor follows pops" 5 (Rq.last q)
+
+let test_radix_rejects_non_monotone () =
+  let q = Rq.create () in
+  Rq.push q ~key:10 ~tie:0 1;
+  (match Rq.pop_min q with
+  | Some (10, 0, 1) -> ()
+  | _ -> Alcotest.fail "pop should return the pushed entry");
+  Rq.push q ~key:10 ~tie:1 2;
+  (* 10 equals the floor: allowed.  9 is below it: rejected. *)
+  Alcotest.check_raises "below the floor"
+    (Invalid_argument "Radix_queue.push: key 9 below the monotone floor 10")
+    (fun () -> Rq.push q ~key:9 ~tie:0 3)
+
+let test_radix_clear () =
+  let q = Rq.create () in
+  Rq.push q ~key:7 ~tie:0 0;
+  ignore (Rq.pop_min q);
+  Rq.clear q;
+  Alcotest.(check bool) "cleared" true (Rq.is_empty q);
+  Alcotest.(check int) "floor reset" 0 (Rq.last q);
+  (* After clear the floor is gone, so small keys are admissible again. *)
+  Rq.push q ~key:1 ~tie:0 9;
+  Alcotest.(check bool) "reusable" true (Rq.pop_min q = Some (1, 0, 9))
+
+(* The queue only promises anything for monotone sequences (every push at
+   or above the last popped key) — exactly what Dijkstra and the repair
+   loop produce.  Against a model [Priority_queue] ordered by (key, tie),
+   random interleavings of pushes and pops must agree pop for pop.  Ties
+   are made unique so the comparison is exact, not set-valued. *)
+let prop_radix_matches_priority_queue =
+  QCheck2.Test.make ~name:"radix queue = priority queue (monotone ops)"
+    ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 300)
+        (pair (option (int_range 0 2000)) (int_range 0 9)))
+    (fun ops ->
+      let q = Rq.create () in
+      let model =
+        Pq.create ~compare:(fun (k1, t1) (k2, t2) ->
+            if k1 <> k2 then Int.compare k1 k2 else Int.compare t1 t2)
+      in
+      let last = ref 0 in
+      let ok = ref true in
+      List.iteri
+        (fun i (op, r) ->
+          match op with
+          | Some delta ->
+            let key = !last + delta and tie = (r * 1_000_000) + i in
+            Rq.push q ~key ~tie i;
+            Pq.push model (key, tie) i
+          | None -> (
+            match (Rq.pop_min q, Pq.pop_min model) with
+            | None, None -> ()
+            | Some (k, t, v), Some ((k', t'), v') ->
+              last := k;
+              if not (k = k' && t = t' && v = v') then ok := false
+            | _ -> ok := false))
+        ops;
+      let rec drain () =
+        match (Rq.pop_min q, Pq.pop_min model) with
+        | None, None -> ()
+        | Some (k, t, v), Some ((k', t'), v') ->
+          if k = k' && t = t' && v = v' then drain () else ok := false
+        | _ -> ok := false
+      in
+      drain ();
+      !ok)
 
 (* --- helpers --- *)
 
@@ -378,6 +460,12 @@ let () =
         [ Alcotest.test_case "ordering" `Quick test_pq_ordering;
           Alcotest.test_case "peek/clear" `Quick test_pq_peek_and_clear ]
         @ qsuite [ prop_pq_sorts ] );
+      ( "radix_queue",
+        [ Alcotest.test_case "ordering" `Quick test_radix_ordering;
+          Alcotest.test_case "monotone floor" `Quick
+            test_radix_rejects_non_monotone;
+          Alcotest.test_case "clear" `Quick test_radix_clear ]
+        @ qsuite [ prop_radix_matches_priority_queue ] );
       ( "dijkstra",
         [ Alcotest.test_case "direct wins" `Quick test_dijkstra_direct_wins;
           Alcotest.test_case "reroutes" `Quick

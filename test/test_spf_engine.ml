@@ -143,6 +143,63 @@ let prop_engine_incremental_matches_full =
         ~cost:(fun i -> costs.(i));
       true)
 
+(* Multi-link batch deltas: several links move in one refresh — mixed
+   increases, decreases, outages and recoveries — which is exactly the
+   shape the dynamic-repair path has to get right in one pass.  Also
+   pins the repair path on (`~repair:false` never repairs), so a
+   regression cannot hide behind the recompute fallback. *)
+let prop_engine_batch_deltas_match_full =
+  QCheck2.Test.make ~name:"engine batch deltas = full recompute" ~count:30
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let rng = Rng.create (seed lxor 0xBA7C4) in
+      let nl = Graph.link_count g in
+      let costs = Array.init nl (fun _ -> 1 + Rng.int rng 60) in
+      let up = Array.make nl true in
+      let engine = Spf_engine.create g in
+      check_engine_matches_full g engine
+        ~enabled:(fun i -> up.(i))
+        ~cost:(fun i -> costs.(i));
+      for _ = 1 to 8 do
+        (* Between 2 and 5 links change together, each either flapping
+           or moving its cost. *)
+        let batch = 2 + Rng.int rng 4 in
+        for _ = 1 to batch do
+          let i = Rng.int rng nl in
+          match Rng.int rng 3 with
+          | 0 -> up.(i) <- not up.(i)
+          | _ -> costs.(i) <- 1 + Rng.int rng 60
+        done;
+        check_engine_matches_full g engine
+          ~enabled:(fun i -> up.(i))
+          ~cost:(fun i -> costs.(i))
+      done;
+      (* Guarantee the repair path actually ran at least once: bumping a
+         tree-parent link is provably "affected", and one change is
+         always under the full-sweep threshold. *)
+      for i = 0 to nl - 1 do
+        up.(i) <- true
+      done;
+      check_engine_matches_full g engine
+        ~enabled:(fun i -> up.(i))
+        ~cost:(fun i -> costs.(i));
+      let before = (Spf_engine.stats engine).Spf_engine.sources_repaired in
+      let tree = Spf_engine.tree engine (Node.of_int 0) in
+      let parent =
+        Option.get (Spf_tree.parent_link tree (Node.of_int 1))
+      in
+      costs.(Link.id_to_int parent.Link.id) <-
+        costs.(Link.id_to_int parent.Link.id) + 1;
+      check_engine_matches_full g engine
+        ~enabled:(fun i -> up.(i))
+        ~cost:(fun i -> costs.(i));
+      let after = (Spf_engine.stats engine).Spf_engine.sources_repaired in
+      if after <= before then
+        QCheck2.Test.fail_report
+          "a tree-parent cost bump must take the repair path";
+      true)
+
 (* --- Determinism: parallel = sequential, bit for bit --- *)
 
 let test_parallel_engine_matches_sequential () =
@@ -165,6 +222,35 @@ let test_parallel_engine_matches_sequential () =
           (Spf_tree.equal (Spf_engine.tree seq node) (Spf_engine.tree par node)));
     costs.(Rng.int rng nl) <- 1 + Rng.int rng 40
   done
+
+(* Same agreement when the repairs themselves fan out over the pool:
+   [repair_grain:1] forces the parallel branch for any affected set. *)
+let test_parallel_repair_matches_sequential () =
+  let g = Arpanet.topology () in
+  let pool = Domain_pool.create 3 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  let par = Spf_engine.create ~pool ~repair_grain:1 g in
+  let seq = Spf_engine.create g in
+  let rng = Rng.create 23 in
+  let nl = Graph.link_count g in
+  let costs = Array.init nl (fun _ -> 1 + Rng.int rng 40) in
+  for _ = 0 to 8 do
+    let cost l = costs.(Link.id_to_int l) in
+    Spf_engine.refresh par ~cost;
+    Spf_engine.refresh seq ~cost;
+    Graph.iter_nodes g (fun node ->
+        Alcotest.(check bool)
+          (Printf.sprintf "trees agree at node %d" (Node.to_int node))
+          true
+          (Spf_tree.equal (Spf_engine.tree seq node) (Spf_engine.tree par node)));
+    costs.(Rng.int rng nl) <- 1 + Rng.int rng 40
+  done;
+  let s = Spf_engine.stats par in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel branch repaired trees (%d repaired)"
+       s.Spf_engine.sources_repaired)
+    true
+    (s.Spf_engine.sources_repaired > 0)
 
 let flap_scenario sim =
   let g = Flow_sim.graph sim in
@@ -235,8 +321,12 @@ let () =
       ("csr", qsuite [ prop_csr_matches_lists ]);
       ( "engine",
         [ Alcotest.test_case "parallel = sequential" `Quick
-            test_parallel_engine_matches_sequential ]
-        @ qsuite [ prop_engine_incremental_matches_full ] );
+            test_parallel_engine_matches_sequential;
+          Alcotest.test_case "parallel repair = sequential" `Quick
+            test_parallel_repair_matches_sequential ]
+        @ qsuite
+            [ prop_engine_incremental_matches_full;
+              prop_engine_batch_deltas_match_full ] );
       ( "simulator",
         [ Alcotest.test_case "stats independent of domains" `Quick
             test_flow_sim_stats_independent_of_domains;

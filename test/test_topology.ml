@@ -141,6 +141,73 @@ let prop_random_geometric_connected =
       let g = Generators.random_geometric (Rng.create seed) ~nodes ~radius:0.25 in
       Graph.is_connected g)
 
+let link_pairs g =
+  let acc = ref [] in
+  Graph.iter_links g (fun l ->
+      acc := (Node.to_int l.Link.src, Node.to_int l.Link.dst) :: !acc);
+  List.rev !acc
+
+let prop_waxman_connected_and_deterministic =
+  QCheck2.Test.make ~name:"waxman connected and seed-deterministic" ~count:25
+    QCheck2.Gen.(triple (int_range 0 1000) (int_range 2 120) (int_range 1 10))
+    (fun (seed, nodes, b10) ->
+      let beta = float_of_int b10 /. 10. in
+      let gen () =
+        Generators.waxman (Rng.create seed) ~nodes ~alpha:0.9 ~beta
+      in
+      let g = gen () in
+      Graph.node_count g = nodes
+      && Graph.is_connected g
+      && link_pairs g = link_pairs (gen ()))
+
+let test_waxman_rejects_bad_parameters () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let w ?(nodes = 10) ?(alpha = 0.5) ?(beta = 0.5) () =
+    Generators.waxman (Rng.create 1) ~nodes ~alpha ~beta
+  in
+  Alcotest.(check bool) "nodes < 2" true (bad (w ~nodes:1));
+  Alcotest.(check bool) "alpha = 0" true (bad (w ~alpha:0.));
+  Alcotest.(check bool) "alpha > 1" true (bad (w ~alpha:1.5));
+  Alcotest.(check bool) "beta = 0" true (bad (w ~beta:0.));
+  Alcotest.(check bool) "beta > 1" true (bad (w ~beta:1.01));
+  Alcotest.(check bool) "valid corner accepted" false
+    (bad (w ~alpha:1.0 ~beta:1.0))
+
+let test_hierarchical_shape () =
+  let g =
+    Generators.hierarchical ~cores:4 ~pops_per_core:5 ~access_per_pop:8 ()
+  in
+  Alcotest.(check int) "node count = cores*(1+pops*(1+access))" 184
+    (Graph.node_count g);
+  Alcotest.(check bool) "connected" true (Graph.is_connected g);
+  (* Purely structural, so two builds are identical. *)
+  let g' =
+    Generators.hierarchical ~cores:4 ~pops_per_core:5 ~access_per_pop:8 ()
+  in
+  Alcotest.(check bool) "deterministic" true (link_pairs g = link_pairs g');
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "cores < 3 rejected" true
+    (bad (fun () ->
+         Generators.hierarchical ~cores:2 ~pops_per_core:1 ~access_per_pop:0
+           ()))
+
+let test_generator_spec () =
+  let h =
+    Generators.Hierarchical
+      { cores = 3; pops_per_core = 2; access_per_pop = 1 }
+  in
+  Alcotest.(check int) "hierarchical spec size" 15 (Generators.spec_nodes h);
+  let w = Generators.Waxman { nodes = 40; alpha = 0.9; beta = 0.4 } in
+  Alcotest.(check int) "waxman spec size" 40 (Generators.spec_nodes w);
+  List.iter
+    (fun spec ->
+      let g = Generators.of_spec (Rng.create 5) spec in
+      Alcotest.(check int)
+        "of_spec honors spec_nodes" (Generators.spec_nodes spec)
+        (Graph.node_count g);
+      Alcotest.(check bool) "of_spec connected" true (Graph.is_connected g))
+    [ h; w ]
+
 (* --- ARPANET / MILNET topologies --- *)
 
 let test_arpanet_shape () =
@@ -522,8 +589,16 @@ let () =
       ( "generators",
         [ Alcotest.test_case "two region" `Quick test_two_region;
           Alcotest.test_case "ring" `Quick test_ring;
-          Alcotest.test_case "line and mesh" `Quick test_line_and_mesh ]
-        @ qsuite [ prop_ring_chord_connected; prop_random_geometric_connected ] );
+          Alcotest.test_case "line and mesh" `Quick test_line_and_mesh;
+          Alcotest.test_case "waxman parameter guard" `Quick
+            test_waxman_rejects_bad_parameters;
+          Alcotest.test_case "hierarchical shape" `Quick
+            test_hierarchical_shape;
+          Alcotest.test_case "generator specs" `Quick test_generator_spec ]
+        @ qsuite
+            [ prop_ring_chord_connected;
+              prop_random_geometric_connected;
+              prop_waxman_connected_and_deterministic ] );
       ( "arpanet+milnet",
         [ Alcotest.test_case "arpanet shape" `Quick test_arpanet_shape;
           Alcotest.test_case "arpanet bridges" `Quick test_arpanet_bridges;
