@@ -1031,37 +1031,61 @@ let floodlat () =
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel).                                        *)
 
-(* Run a bechamel test tree and return (name, ns per run) rows, sorted. *)
+(* Run a bechamel test tree and return [(name, (ns, minor words, major
+   words))] rows per run, sorted by name.  The allocation responders ride
+   the same OLS regression as the clock, so every benchmark table and
+   BENCH_*.json record carries the hot path's allocation rate next to its
+   time — the number the zero-allocation steady-state work is graded on. *)
 let run_benchmarks ~quota_s tests =
   let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let instances =
+    Toolkit.Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+  in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> rows := (name, est) :: !rows
-      | _ -> ())
-    results;
-  List.sort compare !rows
+  let estimates instance =
+    let results = Analyze.all ols instance raw in
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> acc)
+      results []
+  in
+  let times = estimates Toolkit.Instance.monotonic_clock in
+  let minors = estimates Toolkit.Instance.minor_allocated in
+  let majors = estimates Toolkit.Instance.major_allocated in
+  let words tbl name = Option.value ~default:0. (List.assoc_opt name tbl) in
+  List.sort compare
+    (List.map
+       (fun (name, ns) -> (name, (ns, words minors name, words majors name)))
+       times)
 
 let humanize ns =
   if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
   else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
+(* Negative OLS estimates (noise around zero) print as a clean 0. *)
+let humanize_words w =
+  if w < 0.5 then "0" else Printf.sprintf "%.0f" w
+
 let print_rows rows =
   let t =
-    Table.create [ ("benchmark", Table.Left); ("time per run", Table.Right) ]
+    Table.create
+      [ ("benchmark", Table.Left); ("time per run", Table.Right);
+        ("minor w/run", Table.Right); ("major w/run", Table.Right) ]
   in
-  List.iter (fun (name, ns) -> Table.add_row t [ name; humanize ns ]) rows;
+  List.iter
+    (fun (name, (ns, minor, major)) ->
+      Table.add_row t
+        [ name; humanize ns; humanize_words minor; humanize_words major ])
+    rows;
   print_string (Table.to_string t)
 
 let perf () =
@@ -1264,6 +1288,7 @@ let spf_bench_tests ~pool (name, g, wanted_count) =
 
 module Obs_metrics = Routing_obs.Metrics
 module Obs_json = Routing_obs.Json
+module Obs_tracer = Routing_obs.Tracer
 
 (* Run metadata the harness passes via the environment ([BENCH_GIT_REV],
    [BENCH_DATE] — an ISO date); "unknown" when run by hand. *)
@@ -1273,18 +1298,28 @@ let bench_env key =
 let write_bench_json path ~domains ~topologies rows =
   let reg = Obs_metrics.create () in
   Obs_metrics.set_meta reg "benchmark" "all-pairs SPF refresh";
-  Obs_metrics.set_meta reg "units" "ns per run (bechamel OLS estimate)";
+  Obs_metrics.set_meta reg "units"
+    "ns / minor words / major words per run (bechamel OLS estimates)";
   Obs_metrics.set_meta reg "domains" (string_of_int domains);
   Obs_metrics.set_meta reg "git_rev" (bench_env "BENCH_GIT_REV");
   Obs_metrics.set_meta reg "date" (bench_env "BENCH_DATE");
   List.iter
-    (fun (name, ns) ->
-      Obs_metrics.set
-        (Obs_metrics.gauge reg ~labels:[ ("case", name) ] "ns_per_run")
-        ns)
+    (fun (name, (ns, minor, major)) ->
+      let gauge metric v =
+        Obs_metrics.set
+          (Obs_metrics.gauge reg ~labels:[ ("case", name) ] metric)
+          v
+      in
+      gauge "ns_per_run" ns;
+      gauge "minor_words_per_run" minor;
+      gauge "major_words_per_run" major)
     rows;
   let speedup_of topology =
-    let find suffix = List.assoc_opt (topology ^ " " ^ suffix) rows in
+    let find suffix =
+      Option.map
+        (fun (ns, _, _) -> ns)
+        (List.assoc_opt (topology ^ " " ^ suffix) rows)
+    in
     let ratio num den =
       match (num, den) with
       | Some n, Some d when d > 0. -> Obs_json.Float (n /. d)
@@ -1400,6 +1435,15 @@ let sim_bench_rows ~quota_s =
   let g = mesh200 () in
   let tm = Traffic_matrix.gravity (Rng.create 3) ~nodes:200 ~total_bps:2e6 in
   let flow = Flow_sim.create g Metric.Hn_spf tm in
+  (* Same simulation with a live flight recorder: the pair of rows is the
+     measured cost of tracing (the "(traced)" / plain ratio lands in
+     BENCH_sim.json as [tracer_on_vs_off]; the plain row's cost with the
+     null tracer is the disabled-tracing overhead, a single branch). *)
+  let traced_flow =
+    Flow_sim.create
+      ~tracer:(Obs_tracer.create ~clock:Obs_tracer.Untimed ())
+      g Metric.Hn_spf tm
+  in
   (* Assignment rows isolate the per-period load spread: trees are fixed
      (one refresh up front), so aggregated-vs-baseline is exactly the
      O(V+E) sweep against the historical per-flow tree climb. *)
@@ -1424,6 +1468,8 @@ let sim_bench_rows ~quota_s =
     Test.make_grouped ~name:"mesh200" ~fmt:"%s %s"
       [ Test.make ~name:"flow sim routing period"
           (Staged.stage (fun () -> ignore (Flow_sim.step flow)));
+        Test.make ~name:"flow sim routing period (traced)"
+          (Staged.stage (fun () -> ignore (Flow_sim.step traced_flow)));
         Test.make ~name:"assignment (aggregated)"
           (Staged.stage (fun () ->
                Array.fill offered 0 nl 0.;
@@ -1478,17 +1524,23 @@ let write_sim_json path ~cores ~rows ~sweep =
   let reg = Obs_metrics.create () in
   Obs_metrics.set_meta reg "benchmark" "flow-sim hot path + sweep throughput";
   Obs_metrics.set_meta reg "units"
-    "ns per run (bechamel OLS estimate); sweep rows are grid points per second";
+    "ns / minor words / major words per run (bechamel OLS estimates); sweep \
+     rows are grid points per second";
   (* This box's physical parallelism, recorded so the sweep-throughput
      rows read honestly: with one core, more domains cannot beat one. *)
   Obs_metrics.set_meta reg "cores" (string_of_int cores);
   Obs_metrics.set_meta reg "git_rev" (bench_env "BENCH_GIT_REV");
   Obs_metrics.set_meta reg "date" (bench_env "BENCH_DATE");
   List.iter
-    (fun (name, ns) ->
-      Obs_metrics.set
-        (Obs_metrics.gauge reg ~labels:[ ("case", name) ] "ns_per_run")
-        ns)
+    (fun (name, (ns, minor, major)) ->
+      let gauge metric v =
+        Obs_metrics.set
+          (Obs_metrics.gauge reg ~labels:[ ("case", name) ] metric)
+          v
+      in
+      gauge "ns_per_run" ns;
+      gauge "minor_words_per_run" minor;
+      gauge "major_words_per_run" major)
     rows;
   List.iter
     (fun (domains, pps) ->
@@ -1503,6 +1555,9 @@ let write_sim_json path ~cores ~rows ~sweep =
     | Some n, Some d when d > 0. -> Obs_json.Float (n /. d)
     | _ -> Obs_json.Null
   in
+  let time name =
+    Option.map (fun (ns, _, _) -> ns) (List.assoc_opt name rows)
+  in
   let json =
     Obs_metrics.to_json reg
       ~extra:
@@ -1510,9 +1565,12 @@ let write_sim_json path ~cores ~rows ~sweep =
             Obs_json.Obj
               [ ( "assignment_aggregated_vs_baseline",
                   ratio
-                    (List.assoc_opt "mesh200 assignment (per-flow baseline)"
-                       rows)
-                    (List.assoc_opt "mesh200 assignment (aggregated)" rows) );
+                    (time "mesh200 assignment (per-flow baseline)")
+                    (time "mesh200 assignment (aggregated)") );
+                ( "tracer_on_vs_off",
+                  ratio
+                    (time "mesh200 flow sim routing period (traced)")
+                    (time "mesh200 flow sim routing period") );
                 ( "sweep_4_domains_vs_1",
                   ratio
                     (List.assoc_opt 4 sweep)

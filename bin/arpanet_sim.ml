@@ -19,6 +19,8 @@ module Rng = Routing_stats.Rng
 module Table = Routing_stats.Table
 module Spf_engine = Routing_spf.Spf_engine
 module Telemetry = Routing_obs.Telemetry
+module Tracer = Routing_obs.Tracer
+module Trace_export = Routing_obs.Trace_export
 module Obs_sink = Routing_obs.Sink
 module Obs_span = Routing_obs.Span
 module Obs_metrics = Routing_obs.Metrics
@@ -144,14 +146,20 @@ let write_dot g tm metric path =
   Format.printf "wrote %s (render with: dot -Tsvg %s -o net.svg)@." path path
 
 (* With --compare each metric gets its own output files: insert the metric
-   slug before the extension ("m.json" -> "m.hn-spf.json"). *)
+   slug before the extension ("m.json" -> "m.hn-spf.json").  The compound
+   ".trace.json" suffix stays intact ("m.trace.json" ->
+   "m.hn-spf.trace.json") so replay still recognises Chrome traces. *)
 let out_path base kind ~multi =
   if not multi then base
   else begin
     let slug = String.lowercase_ascii (Metric.kind_name kind) in
-    let ext = Filename.extension base in
-    if ext = "" then base ^ "." ^ slug
-    else Filename.remove_extension base ^ "." ^ slug ^ ext
+    if Filename.check_suffix base ".trace.json" then
+      Filename.chop_suffix base ".trace.json" ^ "." ^ slug ^ ".trace.json"
+    else begin
+      let ext = Filename.extension base in
+      if ext = "" then base ^ "." ^ slug
+      else Filename.remove_extension base ^ "." ^ slug ^ ext
+    end
   end
 
 let pp_spf_stats ppf (name, (s : Spf_engine.stats)) =
@@ -163,7 +171,7 @@ let pp_spf_stats ppf (name, (s : Spf_engine.stats)) =
     s.Spf_engine.nodes_resettled s.Spf_engine.sources_reused
 
 let main topology file dump dot metrics scale minutes warmup packet_level seed
-    domains trace_out metrics_out profile check =
+    domains trace_out metrics_out chrome_trace profile check =
   let g, tm = build_scenario topology file seed scale ~check in
   if dump then print_string (Serial.to_string g (Some tm))
   else match dot with
@@ -185,7 +193,9 @@ let main topology file dump dot metrics scale minutes warmup packet_level seed
       | Two_region -> "two-region")
   in
   let telemetry_for kind =
-    if trace_out = None && metrics_out = None && not profile then None
+    if trace_out = None && metrics_out = None && chrome_trace = None
+       && not profile
+    then None
     else begin
       let sink =
         match trace_out with
@@ -193,7 +203,17 @@ let main topology file dump dot metrics scale minutes warmup packet_level seed
         | Some path -> Obs_sink.file (out_path path kind ~multi)
       in
       let clock = if profile then Obs_span.wall else Obs_span.untimed in
-      let tele = Telemetry.create ~sink ~clock () in
+      (* The flight recorder shares --profile's clock choice: wall time
+         for a real profile, untimed (deterministic) otherwise. *)
+      let tracer =
+        match chrome_trace with
+        | None -> Tracer.null
+        | Some _ ->
+          Tracer.create
+            ~clock:(if profile then Tracer.Wall else Tracer.Untimed)
+            ()
+      in
+      let tele = Telemetry.create ~sink ~clock ~tracer ~gc:profile () in
       let m = Telemetry.metrics tele in
       Obs_metrics.set_meta m "topology" topo_name;
       Obs_metrics.set_meta m "metric" (Metric.kind_name kind);
@@ -234,6 +254,16 @@ let main topology file dump dot metrics scale minutes warmup packet_level seed
               Format.printf "wrote %d trace events to %s@."
                 (Obs_sink.emitted (Telemetry.sink tele))
                 (out_path path kind ~multi)
+            | None -> ());
+            (match chrome_trace with
+            | Some path ->
+              let path = out_path path kind ~multi in
+              let tr = Telemetry.tracer tele in
+              Trace_export.write_chrome tr path;
+              Format.printf
+                "wrote Chrome trace %s (%d domain track(s), %d dropped; \
+                 load in Perfetto)@."
+                path (Tracer.slots tr) (Tracer.dropped tr)
             | None -> ());
             if profile then
               Format.printf "@.%s wall-time profile:@.%a@."
@@ -321,6 +351,18 @@ let cmd =
              ~doc:"Write the end-of-run metrics snapshot (counters, gauges, \
                    per-link cost/utilization series, span timings) to $(docv).")
   in
+  let chrome_trace =
+    Arg.(value & opt (some string) None
+         & info [ "chrome-trace" ] ~docv:"FILE.trace.json"
+             ~doc:"Flight-record the run and write a Chrome trace-event \
+                   file to $(docv): routing periods, SPF refreshes, flow \
+                   assignment and floods as spans, one track per domain.  \
+                   Loadable in Perfetto or chrome://tracing; $(b,replay) \
+                   $(docv) prints a digest.  Timestamps are deterministic \
+                   sequence numbers unless $(b,--profile) adds a wall \
+                   clock.  With $(b,--compare) the metric name is \
+                   inserted before the extension.")
+  in
   let profile =
     Arg.(value & flag
          & info [ "profile" ]
@@ -377,7 +419,8 @@ let cmd =
                   ~doc:"Skip the pre-run scenario lint.") ])
   in
   let run topology file dump dot metric compare scale minutes warmup
-      packet_level seed domains trace_out metrics_out profile check verbose =
+      packet_level seed domains trace_out metrics_out chrome_trace profile
+      check verbose =
     setup_logging verbose;
     let metrics =
       if compare then
@@ -385,7 +428,7 @@ let cmd =
       else [ metric ]
     in
     main topology file dump dot metrics scale minutes warmup packet_level seed
-      domains trace_out metrics_out profile check
+      domains trace_out metrics_out chrome_trace profile check
   in
   Cmd.v
     (Cmd.info "arpanet_sim"
@@ -393,6 +436,6 @@ let cmd =
     Term.(
       const run $ topology $ file $ dump $ dot $ metric $ compare $ scale
       $ minutes $ warmup $ packet_level $ seed $ domains $ trace_out
-      $ metrics_out $ profile $ check $ verbose)
+      $ metrics_out $ chrome_trace $ profile $ check $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -18,6 +18,8 @@ module Sweep_check = Routing_check.Sweep_check
 module Sweep_engine = Routing_sweep.Sweep_engine
 module Domain_pool = Routing_metric.Domain_pool
 module Obs_json = Routing_obs.Json
+module Tracer = Routing_obs.Tracer
+module Trace_export = Routing_obs.Trace_export
 
 let write_text path text =
   let oc = open_out path in
@@ -25,7 +27,7 @@ let write_text path text =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc text)
 
-let run spec_path out csv_out domains no_check quiet =
+let run spec_path out csv_out domains chrome_trace no_check quiet =
   let diags, spec = Sweep_check.check_file spec_path in
   let blocking =
     List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags
@@ -37,12 +39,28 @@ let run spec_path out csv_out domains no_check quiet =
   | Some _, _ :: _ when not no_check -> Diagnostic.exit_code diags
   | Some spec, _ ->
     let t0 = Unix.gettimeofday () in
-    let report = Sweep_engine.run ~domains spec in
+    (* Untimed clock: the trace orders events by sequence number, so the
+       file is deterministic and replay digests are comparable across
+       machines.  The report bytes never depend on the tracer. *)
+    let tracer =
+      match chrome_trace with
+      | None -> Tracer.null
+      | Some _ -> Tracer.create ~clock:Tracer.Untimed ()
+    in
+    let report = Sweep_engine.run ~domains ~tracer spec in
     let elapsed = Unix.gettimeofday () -. t0 in
     write_text out (Obs_json.to_string_pretty report.Sweep_engine.json ^ "\n");
     Option.iter
       (fun path -> write_text path (Sweep_engine.csv report))
       csv_out;
+    Option.iter
+      (fun path ->
+        Trace_export.write_chrome tracer path;
+        if not quiet then
+          Format.printf
+            "chrome trace: %s (%d domain track(s), %d dropped)@." path
+            (Tracer.slots tracer) (Tracer.dropped tracer))
+      chrome_trace;
     if not quiet then begin
       let n = Array.length report.Sweep_engine.outcomes in
       Format.printf "sweep: %d point%s in %.1f s (%.2f points/s, %d domain%s) -> %s@."
@@ -88,6 +106,16 @@ let cmd =
                    $(b,ARPANET_DOMAINS) or 1).  The report is \
                    byte-identical for every value.")
   in
+  let chrome_trace =
+    Arg.(value & opt (some string) None
+         & info [ "chrome-trace" ] ~docv:"FILE.trace.json"
+             ~doc:"Flight-record the sweep and write a Chrome trace-event \
+                   file to $(docv): one $(b,sweep_point) span per grid \
+                   point on the track of the domain that ran it, with the \
+                   simulator's routing periods and SPF work nested inside. \
+                   Loadable in Perfetto; $(b,replay) $(docv) prints a \
+                   digest.  Deterministic (sequence-numbered timestamps).")
+  in
   let no_check =
     Arg.(value & flag
          & info [ "no-check" ]
@@ -107,6 +135,8 @@ let cmd =
          [ `S Manpage.s_exit_status;
            `P "0 when the sweep ran; otherwise the spec lint's exit code \
                (1 warnings, 2 errors)." ])
-    Term.(const run $ spec $ out $ csv_out $ domains $ no_check $ quiet)
+    Term.(
+      const run $ spec $ out $ csv_out $ domains $ chrome_trace $ no_check
+      $ quiet)
 
 let () = exit (Cmd.eval' cmd)

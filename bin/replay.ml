@@ -1,15 +1,21 @@
-(* replay — run a scripted scenario file on the flow simulator, or digest a
-   JSONL trace captured with `arpanet_sim --trace-out`.
+(* replay — run a scripted scenario file on the flow simulator, digest a
+   JSONL trace captured with `arpanet_sim --trace-out`, or digest a Chrome
+   trace-event file captured with `--chrome-trace`.
 
      dune exec bin/replay.exe -- scenarios/outage_demo.scn
      dune exec bin/replay.exe -- my.scn --periods 120 --metric dspf --csv
      dune exec bin/replay.exe -- trace.jsonl
      dune exec bin/replay.exe -- trace.jsonl --events
+     dune exec bin/replay.exe -- sweep.trace.json
 
    The scenario format is Routing_topology.Serial plus timed `at` events; see
    lib/sim/script.mli and scenarios/outage_demo.scn.  A file ending in
    `.jsonl` is treated as a trace: one JSON object per line, field "ev"
-   naming the event type (see lib/sim/trace.mli). *)
+   naming the event type (see lib/sim/trace.mli).  A file ending in
+   `.trace.json` is treated as a Chrome trace-event flight recording (see
+   lib/obs/trace_export.mli): the digest prints per-track event counts and
+   per-span-name total durations, and a malformed or empty trace exits 1 —
+   CI uses this to validate sweep flight recordings. *)
 
 open Routing_topology
 module Script = Routing_sim.Script
@@ -19,6 +25,7 @@ module Metric = Routing_metric.Metric
 module Table = Routing_stats.Table
 module Trace = Routing_sim.Trace
 module Obs_json = Routing_obs.Json
+module Trace_export = Routing_obs.Trace_export
 
 (* Summarize (and with [show_events], pretty-print) a JSONL trace.  Event
    types this binary predates — e.g. a later simulator adding new "ev"
@@ -93,6 +100,22 @@ let main_jsonl path show_events =
       (sorted drops)
   end
 
+(* Digest a Chrome trace-event flight recording.  An unreadable, malformed
+   or empty trace is a failure — the digest doubles as CI validation that
+   --chrome-trace produced a real recording. *)
+let main_chrome path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match Result.bind (Obs_json.of_string text) Trace_export.digest with
+  | Error msg ->
+    Format.eprintf "%s: %s@." path msg;
+    exit 1
+  | Ok d ->
+    Format.printf "%s: %a@." path Trace_export.pp_digest d;
+    if d.Trace_export.total_events = 0 then begin
+      Format.eprintf "%s: trace contains no events@." path;
+      exit 1
+    end
+
 let main path periods metric warmup csv =
   match Script.load path with
   | Error message ->
@@ -162,13 +185,15 @@ let cmd =
                    before the summary.")
   in
   let run path periods metric warmup csv events =
-    if Filename.extension path = ".jsonl" then main_jsonl path events
+    if Filename.check_suffix path ".trace.json" then main_chrome path
+    else if Filename.extension path = ".jsonl" then main_jsonl path events
     else main path periods metric warmup csv
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a scripted scenario on the flow simulator, or summarize \
-             a JSONL trace from arpanet_sim --trace-out")
+             a JSONL trace from arpanet_sim --trace-out or a Chrome trace \
+             from --chrome-trace")
     Term.(const run $ file $ periods $ metric $ warmup $ csv $ events)
 
 let () = exit (Cmd.eval cmd)

@@ -10,12 +10,18 @@
    which domain ran what.  A pool of size 1 spawns no domains at all and
    runs the loop inline — the sequential reference path. *)
 
+type probe = {
+  chunk_begin : label:int -> lo:int -> hi:int -> unit;
+  chunk_end : label:int -> lo:int -> hi:int -> unit;
+}
+
 type job = {
   make_f : unit -> int -> unit;
       (* each participating domain materializes its own body once (letting
          it close over private scratch) and then feeds it indices *)
   n : int;
   chunk : int;
+  label : int; (* passed through to the probe; -1 = unlabeled *)
   next : int Atomic.t; (* next index to hand out *)
   completed : int Atomic.t; (* indices finished (ran or skipped on error) *)
   mutable failure : exn option; (* first exception, re-raised by the caller *)
@@ -31,9 +37,14 @@ type t = {
                                distinguish a new job from a drained one *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  mutable probe : probe option;
+      (* fired by whichever domain drains a chunk, so an observer (the
+         flight recorder) sees which indices each domain ran and when *)
 }
 
 let size t = t.size
+
+let set_probe t probe = t.probe <- probe
 
 let default_env_var = "ARPANET_DOMAINS"
 
@@ -66,11 +77,18 @@ let drain t job =
     if base >= job.n then continue_ := false
     else begin
       let stop = min job.n (base + job.chunk) in
+      let probe = t.probe in
+      (match probe with
+      | Some p -> p.chunk_begin ~label:job.label ~lo:base ~hi:stop
+      | None -> ());
       (try
          for i = base to stop - 1 do
            f i
          done
        with e -> record_failure t job e);
+      (match probe with
+      | Some p -> p.chunk_end ~label:job.label ~lo:base ~hi:stop
+      | None -> ());
       let count = stop - base in
       let done_ = count + Atomic.fetch_and_add job.completed count in
       if done_ = job.n then begin
@@ -117,7 +135,8 @@ let create size =
       job = None;
       generation = 0;
       stopping = false;
-      workers = [] }
+      workers = [];
+      probe = None }
   in
   if size > 1 then begin
     t.workers <-
@@ -136,12 +155,13 @@ let create size =
   end;
   t
 
-let run_job t ~chunk ~make_f n =
+let run_job t ~chunk ~label ~make_f n =
   let chunk = max 1 chunk in
   let job =
     { make_f;
       n;
       chunk;
+      label;
       next = Atomic.make 0;
       completed = Atomic.make 0;
       failure = None }
@@ -170,24 +190,36 @@ let run_job t ~chunk ~make_f n =
   Mutex.unlock t.mutex;
   match failure with None -> () | Some e -> raise e
 
-let parallel_for ?(chunk = 1) t n f =
-  if n <= 0 then ()
-  else if t.size <= 1 || n = 1 then
+(* The inline (pool of one / single index) path still reports to the probe:
+   the caller domain "drained" the whole range as one chunk. *)
+let run_inline t ~label n f =
+  match t.probe with
+  | None ->
     for i = 0 to n - 1 do
       f i
     done
-  else run_job t ~chunk ~make_f:(fun () -> f) n
+  | Some p ->
+    p.chunk_begin ~label ~lo:0 ~hi:n;
+    Fun.protect
+      ~finally:(fun () -> p.chunk_end ~label ~lo:0 ~hi:n)
+      (fun () ->
+        for i = 0 to n - 1 do
+          f i
+        done)
 
-let parallel_for_with ?(chunk = 1) t ~init n f =
+let parallel_for ?(chunk = 1) ?(label = -1) t n f =
+  if n <= 0 then ()
+  else if t.size <= 1 || n = 1 then run_inline t ~label n f
+  else run_job t ~chunk ~label ~make_f:(fun () -> f) n
+
+let parallel_for_with ?(chunk = 1) ?(label = -1) t ~init n f =
   if n <= 0 then ()
   else if t.size <= 1 || n = 1 then begin
     let s = init () in
-    for i = 0 to n - 1 do
-      f s i
-    done
+    run_inline t ~label n (fun i -> f s i)
   end
   else
-    run_job t ~chunk
+    run_job t ~chunk ~label
       ~make_f:(fun () ->
         let s = init () in
         fun i -> f s i)

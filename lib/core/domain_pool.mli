@@ -17,7 +17,23 @@ val create : int -> t
 
 val size : t -> int
 
-val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
+type probe = {
+  chunk_begin : label:int -> lo:int -> hi:int -> unit;
+  chunk_end : label:int -> lo:int -> hi:int -> unit;
+}
+(** Observer hooks fired by whichever domain drains a chunk of loop
+    indices, from that domain, around the chunk's execution.  [label] is
+    the loop's [?label] (-1 when unlabeled); [lo]/[hi] bound the index
+    range ([hi] exclusive).  Built for the flight recorder
+    ({!Routing_obs.Tracer.pool_probe}): each worker domain records which
+    indices it ran and when. *)
+
+val set_probe : t -> probe option -> unit
+(** Install (or clear) the probe.  Not synchronized with a loop already in
+    flight — set it between loops.  Hooks must be thread-safe and cheap;
+    they run on worker domains inside the work loop. *)
+
+val parallel_for : ?chunk:int -> ?label:int -> t -> int -> (int -> unit) -> unit
 (** [parallel_for t n f] runs [f i] for every [i] in [0 .. n-1] and
     returns when all are done.  If any [f i] raises, the first exception
     is re-raised in the caller after the loop drains (remaining indices
@@ -27,10 +43,19 @@ val parallel_for : ?chunk:int -> t -> int -> (int -> unit) -> unit
     [chunk] (default 1) is how many consecutive indices a domain claims
     per visit to the shared counter.  Larger chunks amortize the atomic
     handout for cheap bodies; 1 balances best when bodies are expensive
-    or uneven. *)
+    or uneven.
+
+    [label] (default -1) tags the loop for the installed {!probe}; the
+    pool itself never interprets it. *)
 
 val parallel_for_with :
-  ?chunk:int -> t -> init:(unit -> 's) -> int -> ('s -> int -> unit) -> unit
+  ?chunk:int ->
+  ?label:int ->
+  t ->
+  init:(unit -> 's) ->
+  int ->
+  ('s -> int -> unit) ->
+  unit
 (** Like {!parallel_for}, but every participating domain (workers and the
     caller alike) evaluates [init ()] once before claiming indices and
     threads the resulting private state through its share of the loop —

@@ -19,10 +19,13 @@ let create link =
 
 let link t = t.link
 
-let period_update t ~measured_delay_s =
-  let c = max t.bias (Units.of_delay measured_delay_s) in
+let[@inline] apply_units t ~units =
+  let c = max t.bias units in
   t.last <- c;
   c
+
+let[@inline] period_update t ~measured_delay_s =
+  apply_units t ~units:(Units.of_delay measured_delay_s)
 
 let current_cost t = t.last
 

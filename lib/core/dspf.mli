@@ -21,6 +21,11 @@ val bias : Line_type.t -> int
 val period_update : t -> measured_delay_s:float -> int
 (** Convert one period's average measured delay into the reported cost. *)
 
+val apply_units : t -> units:int -> int
+(** Finish one period from a delay already converted to routing units by
+    {!Units.of_delay_into}: apply the bias floor and store.  Integer-only
+    for the metric's allocation-free batch update path. *)
+
 val current_cost : t -> int
 (** Cost as of the last update; an idle line's report before any update. *)
 

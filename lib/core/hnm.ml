@@ -21,7 +21,7 @@ type t = {
   mutable last_reported : int;
 }
 
-let clip t c = max t.min_cost (min t.config.params.Hnm_params.max_cost c)
+let[@inline] clip t c = max t.min_cost (min t.config.params.Hnm_params.max_cost c)
 
 (* The per-link floor still tracks the configured propagation delay, scaled
    to custom bounds: base_min plus the standard adjustment, capped under
@@ -57,7 +57,7 @@ let link t = t.link
 
 let params t = t.config.params
 
-let limit_movement t raw =
+let[@inline] limit_movement t raw =
   if not t.config.movement_limits then raw
   else begin
     let p = t.config.params in
@@ -67,18 +67,23 @@ let limit_movement t raw =
     max down_limit (min up_limit raw)
   end
 
-let period_update t ~measured_delay_s =
+let[@inline] apply_raw t ~raw =
+  let revised = clip t (limit_movement t raw) in
+  t.last_reported <- revised;
+  revised
+
+let[@inline] period_update t ~measured_delay_s =
   let sample =
     Queueing.utilization_of_delay t.link ~delay_s:measured_delay_s
   in
   let average = Filter.ewma_update t.average sample in
-  let raw =
-    int_of_float
-      (Float.round (Hnm_params.raw_cost t.config.params ~utilization:average))
-  in
-  let revised = clip t (limit_movement t raw) in
-  t.last_reported <- revised;
-  revised
+  apply_raw t
+    ~raw:
+      (int_of_float
+         (Float.round
+            (Hnm_params.raw_cost t.config.params ~utilization:average)))
+
+let average_filter t = t.average
 
 let current_cost t = t.last_reported
 

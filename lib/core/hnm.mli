@@ -68,6 +68,16 @@ val period_update : t -> measured_delay_s:float -> int
     revised cost.  Mutates the per-link averaging filter and last-reported
     state. *)
 
+val average_filter : t -> Filter.ewma
+(** The per-link smoothing filter itself — {!Metric}'s batch update path
+    drives all links' filters in one {!Filter.ewma_update_into} call. *)
+
+val apply_raw : t -> raw:int -> int
+(** Finish one period from an already-computed, rounded raw cost: movement
+    limits, clipping, store.  Integer-only, so the batch update path
+    crosses this module boundary without boxing a float;
+    [period_update t] is measure → smooth → transform → [apply_raw t]. *)
+
 val current_cost : t -> int
 (** The cost as of the last {!period_update} (the link's minimum before any
     update, its maximum for an easing-in link). *)

@@ -43,7 +43,16 @@ let min_cost_of p (link : Link.t) =
 
 let min_cost (link : Link.t) = min_cost_of (for_line_type link.line_type) link
 
-let raw_cost p ~utilization = (p.slope *. utilization) +. p.offset
+let[@inline] raw_cost p ~utilization = (p.slope *. utilization) +. p.offset
+
+let raw_costs_into params ~up ~utilization ~raw =
+  let n = Array.length params in
+  for i = 0 to n - 1 do
+    if up.(i) then
+      raw.(i) <-
+        int_of_float
+          (Float.round (raw_cost params.(i) ~utilization:utilization.(i)))
+  done
 
 let all = Array.to_list table
 

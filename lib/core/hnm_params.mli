@@ -48,6 +48,12 @@ val min_cost_of : t -> Link.t -> int
 val raw_cost : t -> utilization:float -> float
 (** The unclipped linear transform [slope * u + offset]. *)
 
+val raw_costs_into :
+  t array -> up:bool array -> utilization:float array -> raw:int array -> unit
+(** Batch {!raw_cost}, rounded to the nearest routing unit, over every
+    index with [up.(i)] set (others are left untouched) — the float→int
+    stage of the metric's allocation-free period update. *)
+
 val all : t list
 (** The full table, one entry per {!Line_type.t}. *)
 

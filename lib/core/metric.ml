@@ -28,6 +28,15 @@ type t = {
   states : link_state array;
   flooded : int array;  (* what the network believes, per link *)
   mutable updates : int;
+  (* Batch-update machinery: per-link scratch plus parallel views of the
+     HNM states' innards, so {!period_update_all} can run the measurement
+     pipeline as staged array sweeps — each stage one cross-module call —
+     instead of boxing floats on every link (dev builds compile interfaces
+     -opaque, so [@inline] never crosses a module boundary). *)
+  scratch_f : float array;
+  scratch_i : int array;
+  mutable hn_filters : Filter.ewma array;  (* Hn_spf only, else [||] *)
+  mutable hn_params : Hnm_params.t array;  (* Hn_spf only, else [||] *)
 }
 
 let hnm_significance config h =
@@ -54,30 +63,49 @@ let initial_cost = function
   | Delay (d, _) -> Dspf.current_cost d
   | Hop_normalized (h, _) -> Hnm.current_cost h
 
-let create_custom_hnspf hnm_config graph =
-  let states =
-    Array.init (Graph.link_count graph) (fun i ->
-        make_state Hn_spf hnm_config (Graph.link graph (Link.id_of_int i)))
+(* (Re)build the parallel views the batch update path sweeps over; called
+   after any [states.(i)] replacement (creation, link restoration). *)
+let refresh_batch_views t =
+  match t.kind with
+  | Min_hop | Static_capacity | D_spf -> ()
+  | Hn_spf ->
+    t.hn_filters <-
+      Array.map
+        (function
+          | Hop_normalized (h, _) -> Hnm.average_filter h
+          | _ -> assert false)
+        t.states;
+    t.hn_params <-
+      Array.map
+        (function Hop_normalized (h, _) -> Hnm.params h | _ -> assert false)
+        t.states
+
+let make kind hnm_config graph states =
+  let t =
+    { kind;
+      graph;
+      hnm_config;
+      states;
+      flooded = Array.map initial_cost states;
+      updates = 0;
+      scratch_f = Array.make (Array.length states) 0.;
+      scratch_i = Array.make (Array.length states) 0;
+      hn_filters = [||];
+      hn_params = [||] }
   in
-  { kind = Hn_spf;
-    graph;
-    hnm_config;
-    states;
-    flooded = Array.map initial_cost states;
-    updates = 0 }
+  refresh_batch_views t;
+  t
+
+let create_custom_hnspf hnm_config graph =
+  make Hn_spf hnm_config graph
+    (Array.init (Graph.link_count graph) (fun i ->
+         make_state Hn_spf hnm_config (Graph.link graph (Link.id_of_int i))))
 
 let create kind graph =
   let hnm_config (link : Link.t) = Hnm.default_config link.Link.line_type in
-  let states =
-    Array.init (Graph.link_count graph) (fun i ->
-        make_state kind hnm_config (Graph.link graph (Link.id_of_int i)))
-  in
-  { kind;
-    graph;
-    hnm_config;
-    states;
-    flooded = Array.map initial_cost states;
-    updates = 0 }
+  make kind hnm_config graph
+    (Array.init (Graph.link_count graph) (fun i ->
+         make_state kind hnm_config (Graph.link graph (Link.id_of_int i))))
 
 let kind t = t.kind
 
@@ -116,6 +144,56 @@ let period_update t lid ~measured_delay_s =
     end
     else None
 
+(* Batch form of {!period_update} for the flow simulator's hot loop: one
+   call per period instead of one per link.  The measurement pipeline runs
+   as staged array sweeps — delay→utilization in {!Queueing}, smoothing in
+   {!Filter}, the linear transform in {!Hnm_params} — so every float stays
+   inside the module that computes it; the per-link finish (movement
+   limits, bias floor, significance) crosses module boundaries with
+   integers only.  A quiet period allocates nothing. *)
+let period_update_all t ~up ~link_delay_s ~changed_ids ~changed_costs =
+  let n = Array.length t.states in
+  let count = ref 0 in
+  (match t.kind with
+  | Min_hop | Static_capacity -> ()
+  | D_spf ->
+    Units.of_delay_into ~up ~delay_s:link_delay_s ~units:t.scratch_i;
+    for i = 0 to n - 1 do
+      if up.(i) then begin
+        match t.states.(i) with
+        | Delay (d, sig_state) ->
+          let c = Dspf.apply_units d ~units:t.scratch_i.(i) in
+          if Significance.consider sig_state ~cost:c then begin
+            flood t (Link.id_of_int i) c;
+            changed_ids.(!count) <- i;
+            changed_costs.(!count) <- c;
+            incr count
+          end
+        | _ -> ()
+      end
+    done
+  | Hn_spf ->
+    Queueing.utilization_of_delay_into t.graph ~up ~delay_s:link_delay_s
+      ~utilization:t.scratch_f;
+    Filter.ewma_update_into t.hn_filters ~mask:up ~values:t.scratch_f;
+    Hnm_params.raw_costs_into t.hn_params ~up ~utilization:t.scratch_f
+      ~raw:t.scratch_i;
+    for i = 0 to n - 1 do
+      if up.(i) then begin
+        match t.states.(i) with
+        | Hop_normalized (h, sig_state) ->
+          let c = Hnm.apply_raw h ~raw:t.scratch_i.(i) in
+          if Significance.consider sig_state ~cost:c then begin
+            flood t (Link.id_of_int i) c;
+            changed_ids.(!count) <- i;
+            changed_costs.(!count) <- c;
+            incr count
+          end
+        | _ -> ()
+      end
+    done);
+  !count
+
 let period_update_utilization t lid ~utilization =
   let link = Graph.link t.graph lid in
   period_update t lid ~measured_delay_s:(Queueing.delay_s link ~utilization)
@@ -138,6 +216,7 @@ let link_up t lid =
     let h = Hnm.create_custom_easing_in config link in
     let c = Hnm.current_cost h in
     t.states.(i) <- Hop_normalized (h, hnm_significance config h);
+    refresh_batch_views t;
     flood t lid c)
 
 let updates_flooded t = t.updates

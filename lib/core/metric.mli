@@ -55,6 +55,19 @@ val period_update : t -> Link.id -> measured_delay_s:float -> int option
     returns the new value); [None] otherwise.  Min-hop always returns
     [None]. *)
 
+val period_update_all :
+  t ->
+  up:bool array ->
+  link_delay_s:float array ->
+  changed_ids:int array ->
+  changed_costs:int array ->
+  int
+(** Batch {!period_update} over every link in one call: link [i] is skipped
+    unless [up.(i)], and otherwise fed [link_delay_s.(i)].  Links whose
+    update was flooded are written into [changed_ids]/[changed_costs]
+    (caller-provided, length ≥ link count) and the number of floods is
+    returned.  Allocation-free; quiet periods touch no heap at all. *)
+
 val period_update_utilization : t -> Link.id -> utilization:float -> int option
 (** Flow-simulator entry point: derive the measured delay from a steady
     utilization via the M/M/1 model, then proceed as {!period_update}. *)

@@ -2,22 +2,22 @@ open! Import
 
 let max_utilization = 0.99
 
-let clamp rho = Float.max 0. (Float.min max_utilization rho)
+let[@inline] clamp rho = Float.max 0. (Float.min max_utilization rho)
 
-let service_time_s lt = Units.average_packet_bits /. Line_type.bandwidth_bps lt
+let[@inline] service_time_s lt = Units.average_packet_bits /. Line_type.bandwidth_bps lt
 
-let sojourn_s lt ~utilization =
+let[@inline] sojourn_s lt ~utilization =
   let rho = clamp utilization in
   service_time_s lt /. (1. -. rho)
 
-let delay_s (link : Link.t) ~utilization =
+let[@inline] delay_s (link : Link.t) ~utilization =
   sojourn_s link.line_type ~utilization +. link.propagation_s
 
-let utilization_of_sojourn lt ~sojourn_s =
+let[@inline] utilization_of_sojourn lt ~sojourn_s =
   let s = service_time_s lt in
   if sojourn_s <= s then 0. else clamp (1. -. (s /. sojourn_s))
 
-let utilization_of_delay (link : Link.t) ~delay_s =
+let[@inline] utilization_of_delay (link : Link.t) ~delay_s =
   utilization_of_sojourn link.line_type
     ~sojourn_s:(delay_s -. link.propagation_s)
 
@@ -37,7 +37,7 @@ let buffer_capacity = 40
    neighbourhood falls back to the exact rho = 1 values. *)
 let k_float = float_of_int buffer_capacity
 
-let mm1k_blocking ~utilization =
+let[@inline] mm1k_blocking ~utilization =
   let rho = Float.max 0. utilization in
   if Float.abs (rho -. 1.) < 1e-9 then 1. /. (k_float +. 1.)
   else begin
@@ -45,7 +45,7 @@ let mm1k_blocking ~utilization =
     (1. -. rho) *. rk /. (1. -. (rk *. rho))
   end
 
-let mm1k_number_in_system rho =
+let[@inline] mm1k_number_in_system rho =
   if Float.abs (rho -. 1.) < 1e-9 then k_float /. 2.
   else begin
     let rk1 = rho ** (k_float +. 1.) in
@@ -53,7 +53,7 @@ let mm1k_number_in_system rho =
     -. ((k_float +. 1.) *. rk1 /. (1. -. rk1))
   end
 
-let mm1k_sojourn_s lt ~utilization =
+let[@inline] mm1k_sojourn_s lt ~utilization =
   let rho = Float.max 0. utilization in
   let s = service_time_s lt in
   if rho <= 0. then s
@@ -63,5 +63,31 @@ let mm1k_sojourn_s lt ~utilization =
     little_l /. accepted_rate
   end
 
-let mm1k_delay_s (link : Link.t) ~utilization =
+let[@inline] mm1k_delay_s (link : Link.t) ~utilization =
   mm1k_sojourn_s link.line_type ~utilization +. link.propagation_s
+
+(* Dev-profile builds compile interfaces -opaque, so [@inline] cannot cross
+   the library boundary and every external call of the functions above boxes
+   its float argument and result.  Callers on an allocation-free path (the
+   flow simulator's per-period link sweep) use this one batch entry point
+   instead; the per-link math stays in-module, where it inlines and stays
+   unboxed. *)
+let mm1k_into graph ~up ~offered_bps ~utilization ~delay_s ~pass =
+  let n = Graph.link_count graph in
+  for i = 0 to n - 1 do
+    let l = Graph.link graph (Link.id_of_int i) in
+    let u = if up.(i) then offered_bps.(i) /. Link.capacity_bps l else 0. in
+    utilization.(i) <- u;
+    delay_s.(i) <- mm1k_delay_s l ~utilization:u;
+    pass.(i) <- 1. -. mm1k_blocking ~utilization:u
+  done
+
+let utilization_of_delay_into graph ~up ~delay_s ~utilization =
+  let n = Graph.link_count graph in
+  for i = 0 to n - 1 do
+    if up.(i) then
+      utilization.(i) <-
+        utilization_of_delay
+          (Graph.link graph (Link.id_of_int i))
+          ~delay_s:delay_s.(i)
+  done

@@ -61,6 +61,31 @@ val mm1k_delay_s : Link.t -> utilization:float -> float
 (** {!mm1k_sojourn_s} plus propagation — what the PSN's 10-second window
     measures on a line offered that load. *)
 
+val mm1k_into :
+  Graph.t ->
+  up:bool array ->
+  offered_bps:float array ->
+  utilization:float array ->
+  delay_s:float array ->
+  pass:float array ->
+  unit
+(** Evaluate every link of the graph in one batch: for link [i],
+    [utilization.(i)] becomes [offered_bps.(i) / capacity] (0 when
+    [up.(i)] is false), [delay_s.(i)] its {!mm1k_delay_s} and [pass.(i)]
+    the survival probability [1 - mm1k_blocking].  Exists so the flow
+    simulator's steady-state period allocates zero minor words: one call
+    per period instead of two boxing cross-module float calls per link. *)
+
+val utilization_of_delay_into :
+  Graph.t ->
+  up:bool array ->
+  delay_s:float array ->
+  utilization:float array ->
+  unit
+(** Batch {!utilization_of_delay} over every link with [up.(i)] set
+    (others are left untouched) — the first stage of the metric's
+    allocation-free period update. *)
+
 (** {2 Robustness check (M/D/1)}
 
     The paper uses M/M/1 "for illustrative purposes"; real 1987 packets

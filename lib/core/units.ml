@@ -6,12 +6,18 @@ let max_cost = 254
 
 let hop = 30
 
-let clamp_cost c = max 1 (min max_cost c)
+let[@inline] clamp_cost c = max 1 (min max_cost c)
 
-let of_delay seconds =
+let[@inline] of_delay seconds =
   clamp_cost (int_of_float (Float.round (seconds *. 1000. /. unit_ms)))
 
-let to_delay cost = float_of_int cost *. unit_ms /. 1000.
+let of_delay_into ~up ~delay_s ~units =
+  let n = Array.length delay_s in
+  for i = 0 to n - 1 do
+    if up.(i) then units.(i) <- of_delay delay_s.(i)
+  done
+
+let[@inline] to_delay cost = float_of_int cost *. unit_ms /. 1000.
 
 let hops_of_cost c = float_of_int c /. float_of_int hop
 

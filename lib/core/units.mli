@@ -24,6 +24,12 @@ val of_delay : float -> int
 (** [of_delay seconds] converts a measured delay to routing units, rounding
     to nearest and clamping to [\[1, max_cost\]]. *)
 
+val of_delay_into :
+  up:bool array -> delay_s:float array -> units:int array -> unit
+(** Batch {!of_delay} over every index with [up.(i)] set (others are left
+    untouched) — keeps D-SPF's per-link conversion inside this module so
+    the flow simulator's period update stays allocation-free. *)
+
 val to_delay : int -> float
 (** Inverse of {!of_delay} (seconds at bucket center). *)
 

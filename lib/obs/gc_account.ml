@@ -1,0 +1,56 @@
+type t = {
+  minor_words : Metrics.counter;
+  promoted_words : Metrics.counter;
+  minor_collections : Metrics.counter;
+  major_collections : Metrics.counter;
+  section_count : Metrics.counter;
+  mutable base_minor : float;
+  mutable base_promoted : float;
+  mutable base_minor_col : int;
+  mutable base_major_col : int;
+}
+
+let create ?(labels = []) registry ~scope =
+  let labels = ("scope", scope) :: labels in
+  { minor_words = Metrics.counter registry ~labels "gc_minor_words";
+    promoted_words = Metrics.counter registry ~labels "gc_promoted_words";
+    minor_collections = Metrics.counter registry ~labels "gc_minor_collections";
+    major_collections = Metrics.counter registry ~labels "gc_major_collections";
+    section_count = Metrics.counter registry ~labels "gc_sections";
+    base_minor = 0.;
+    base_promoted = 0.;
+    base_minor_col = 0;
+    base_major_col = 0 }
+
+(* On OCaml 5, [Gc.quick_stat]'s word counters lag the current domain
+   (they sync only at collection boundaries) — a section that allocates
+   without triggering a minor collection would read as zero.
+   [Gc.minor_words ()] reads the domain's live allocation pointer, so it
+   is exact; the collection counts and promoted words genuinely change
+   only at collections, where quick_stat is in sync. *)
+let start t =
+  let s = Gc.quick_stat () in
+  t.base_minor <- Gc.minor_words ();
+  t.base_promoted <- s.Gc.promoted_words;
+  t.base_minor_col <- s.Gc.minor_collections;
+  t.base_major_col <- s.Gc.major_collections
+
+let finish t =
+  let s = Gc.quick_stat () in
+  Metrics.inc ~by:(int_of_float (Gc.minor_words () -. t.base_minor))
+    t.minor_words;
+  Metrics.inc ~by:(int_of_float (s.Gc.promoted_words -. t.base_promoted))
+    t.promoted_words;
+  Metrics.inc ~by:(s.Gc.minor_collections - t.base_minor_col)
+    t.minor_collections;
+  Metrics.inc ~by:(s.Gc.major_collections - t.base_major_col)
+    t.major_collections;
+  Metrics.inc t.section_count
+
+let with_ t f =
+  start t;
+  Fun.protect ~finally:(fun () -> finish t) f
+
+let minor_words t = Metrics.counter_value t.minor_words
+
+let sections t = Metrics.counter_value t.section_count

@@ -1,0 +1,42 @@
+(** GC accounting around instrumented sections.
+
+    An account snapshots the GC counters at {!start} and publishes the
+    deltas at {!finish} through four {!Metrics} counters labeled with the
+    account's scope:
+
+    - [gc_minor_words] — words allocated on the minor heap
+    - [gc_promoted_words] — words promoted to the major heap
+    - [gc_minor_collections] — minor GC cycles
+    - [gc_major_collections] — major GC cycles
+
+    plus [gc_sections], the number of accounted sections.  Wrapping a
+    steady-state routing period should add {e zero} to [gc_minor_words] —
+    that is exactly what the allocation-regression gate asserts.
+
+    Minor words come from [Gc.minor_words] (the domain's live allocation
+    pointer — exact even when no collection ran during the section; on
+    OCaml 5 [Gc.quick_stat]'s word counters sync only at collection
+    boundaries); the collection and promotion counters come from
+    [Gc.quick_stat].  Neither walks the heap, so an account adds a few
+    loads per section. *)
+
+type t
+
+val create : ?labels:Metrics.labels -> Metrics.t -> scope:string -> t
+(** Counters are registered immediately under
+    [("scope", scope) :: labels]. *)
+
+val start : t -> unit
+(** Snapshot the GC counters.  A second [start] before {!finish} simply
+    re-snapshots. *)
+
+val finish : t -> unit
+(** Publish the deltas since the matching {!start}. *)
+
+val with_ : t -> (unit -> 'a) -> 'a
+(** [start]; run; [finish] (also on exceptions). *)
+
+val minor_words : t -> int
+(** Total minor words published so far (convenience accessor). *)
+
+val sections : t -> int

@@ -3,6 +3,7 @@ type link_state = {
   mutable seen : bool;
   mutable direction : int; (* -1, 0, +1: sign of the last cost change *)
   mutable flips : float list; (* flip times, newest first, within window *)
+  mutable flips_total : int; (* flips ever, window-independent *)
   mutable flagged : bool; (* currently over threshold *)
   mutable ever : bool;
 }
@@ -12,6 +13,7 @@ type t = {
   max_flips : int;
   states : link_state array;
   mutable flag_count : int;
+  mutable flips_total : int; (* sum of per-link flips_total *)
 }
 
 let create ?(window_s = 120.) ?(max_flips = 4) ~links () =
@@ -26,22 +28,26 @@ let create ?(window_s = 120.) ?(max_flips = 4) ~links () =
             seen = false;
             direction = 0;
             flips = [];
+            flips_total = 0;
             flagged = false;
             ever = false });
-    flag_count = 0 }
+    flag_count = 0;
+    flips_total = 0 }
 
-let prune t s ~time =
-  let horizon = time -. t.window_s in
-  (* Newest-first: keep the prefix inside the window. *)
-  let rec keep = function
-    | x :: rest when x >= horizon -> x :: keep rest
-    | _ -> []
-  in
-  (match s.flips with
+(* Newest-first: keep the prefix inside the window.  Top-level so quiet
+   observations stay allocation-free — a local [let rec] would close over
+   the horizon and be allocated on every call, flips or not. *)
+let rec keep_within horizon = function
+  | x :: rest when x >= horizon -> x :: keep_within horizon rest
+  | _ -> []
+
+let[@inline] prune t s ~time =
+  match s.flips with
   | [] -> ()
-  | oldest_might_expire -> s.flips <- keep oldest_might_expire)
+  | oldest_might_expire ->
+      s.flips <- keep_within (time -. t.window_s) oldest_might_expire
 
-let observe ?on_flag t ~link ~time ~cost =
+let[@inline] observe ?on_flag t ~link ~time ~cost =
   let s = t.states.(link) in
   prune t s ~time;
   (if not s.seen then begin
@@ -50,8 +56,11 @@ let observe ?on_flag t ~link ~time ~cost =
    end
    else if cost <> s.last_cost then begin
      let direction = if cost > s.last_cost then 1 else -1 in
-     if s.direction <> 0 && direction <> s.direction then
+     if s.direction <> 0 && direction <> s.direction then begin
        s.flips <- time :: s.flips;
+       s.flips_total <- s.flips_total + 1;
+       t.flips_total <- t.flips_total + 1
+     end;
      s.direction <- direction;
      s.last_cost <- cost
    end);
@@ -69,6 +78,10 @@ let observe ?on_flag t ~link ~time ~cost =
   else s.flagged <- false
 
 let flips_in_window t ~link = List.length t.states.(link).flips
+
+let link_total_flips t ~link = t.states.(link).flips_total
+
+let total_flips t = t.flips_total
 
 let collect t pred =
   let out = ref [] in

@@ -24,15 +24,29 @@ val with_ : t -> name:string -> (unit -> 'a) -> 'a
     each invocation contributes its own elapsed time.  Exceptions
     propagate after the span is closed. *)
 
+val clock_now : t -> float
+(** Read the profile's clock directly, for the closure-free recording
+    idiom: take a timestamp, run straight-line code, then {!record}. *)
+
+val record : t -> name:string -> started:float -> unit
+(** Close a span opened by hand at [started] (a {!clock_now} reading).
+    Equivalent to {!with_} without allocating a closure — for hot paths
+    that must not box. *)
+
 type row = {
   name : string;
   count : int;
   total_s : float;
   max_s : float;
+  p50_s : float;  (** P² estimate of the median duration *)
+  p95_s : float;
+  p99_s : float;
 }
 
 val report : t -> row list
-(** One row per span name, sorted by name. *)
+(** One row per span name, sorted by name.  Percentiles are streaming P²
+    estimates ({!Routing_stats.Quantile}): exact below five observations,
+    0 when a span never closed. *)
 
 val to_json : t -> Json.t
 

@@ -2,16 +2,20 @@ type t = {
   metrics : Metrics.t;
   sink : Sink.t;
   spans : Span.t;
+  tracer : Tracer.t;
+  gc : bool;
   osc_window_s : float;
   osc_max_flips : int;
   mutable osc : Oscillation.t option;
 }
 
-let create ?(sink = Sink.null) ?(clock = Span.untimed) ?(osc_window_s = 120.)
-    ?(osc_max_flips = 4) () =
+let create ?(sink = Sink.null) ?(clock = Span.untimed) ?(tracer = Tracer.null)
+    ?(gc = false) ?(osc_window_s = 120.) ?(osc_max_flips = 4) () =
   { metrics = Metrics.create ();
     sink;
     spans = Span.create ~clock ();
+    tracer;
+    gc;
     osc_window_s;
     osc_max_flips;
     osc = None }
@@ -21,6 +25,10 @@ let metrics t = t.metrics
 let sink t = t.sink
 
 let spans t = t.spans
+
+let tracer t = t.tracer
+
+let gc_enabled t = t.gc
 
 let init_oscillation t ~links =
   match t.osc with

@@ -12,19 +12,29 @@ type t
 val create :
   ?sink:Sink.t ->
   ?clock:Span.clock ->
+  ?tracer:Tracer.t ->
+  ?gc:bool ->
   ?osc_window_s:float ->
   ?osc_max_flips:int ->
   unit ->
   t
 (** [sink] defaults to {!Sink.null}; [clock] to {!Span.untimed} (so span
-    durations stay deterministic — pass {!Span.wall} for a real profile).
-    The oscillation parameters are stored for {!init_oscillation}. *)
+    durations stay deterministic — pass {!Span.wall} for a real profile);
+    [tracer] to {!Tracer.null} (pass a live one to flight-record the run).
+    [gc] turns on {!Gc_account} sections around routing periods and major
+    phases (default off: GC counters are compiler-version-dependent, so
+    deterministic-artifact tests keep them out).  The oscillation
+    parameters are stored for {!init_oscillation}. *)
 
 val metrics : t -> Metrics.t
 
 val sink : t -> Sink.t
 
 val spans : t -> Span.t
+
+val tracer : t -> Tracer.t
+
+val gc_enabled : t -> bool
 
 val init_oscillation : t -> links:int -> Oscillation.t
 (** Create (or return the already-created) detector sized to the

@@ -1,4 +1,5 @@
 open! Import
+module Quantile = Routing_stats.Quantile
 
 let log_src = Logs.Src.create "routing_sim.flow" ~doc:"flow-level simulator"
 
@@ -17,6 +18,8 @@ type period_stats = {
   max_utilization : float;
   congested_links : int;
   routes_changed : int;
+  next_hop_flips : int;
+  link_flips : int;
 }
 
 type flow = Load_assign.flow = { src : Node.t; dst : Node.t; demand_bps : float }
@@ -40,6 +43,8 @@ type obs_state = {
   spf_repaired : Obs_metrics.gauge;
   spf_reused : Obs_metrics.gauge;
   spf_resettled : Obs_metrics.gauge;
+  gc_period : Gc_account.t option; (* when the bundle enables GC accounting *)
+  gc_refresh : Gc_account.t option;
 }
 
 let make_obs_state tele ~links =
@@ -50,6 +55,10 @@ let make_obs_state tele ~links =
   in
   let spf_gauge which =
     Obs_metrics.gauge m ~labels:[ ("counter", which) ] "spf_engine"
+  in
+  let gc_account scope =
+    if Telemetry.gc_enabled tele then Some (Gc_account.create m ~scope)
+    else None
   in
   { tele;
     obs_sink = Telemetry.sink tele;
@@ -65,7 +74,88 @@ let make_obs_state tele ~links =
     spf_recomputed = spf_gauge "sources_recomputed";
     spf_repaired = spf_gauge "sources_repaired";
     spf_reused = spf_gauge "sources_reused";
-    spf_resettled = spf_gauge "nodes_resettled" }
+    spf_resettled = spf_gauge "nodes_resettled";
+    gc_period = gc_account "routing_period";
+    gc_refresh = gc_account "spf_refresh" }
+
+(* All-float and therefore flat: per-period accumulation stores unboxed
+   floats into these fields, where a float ref (or a mixed int/float
+   record) would box on update. *)
+type facc = {
+  mutable f_offered : float;
+  mutable f_delivered : float;
+  mutable f_dropped : float;
+  mutable f_delay_w : float;
+  mutable f_hops_w : float;
+  mutable f_min_hops_w : float;
+  mutable f_bits : float;
+  mutable f_max_util : float;
+}
+
+(* Struct-of-arrays period history.  [tick] appends plain floats and ints
+   into preallocated columns instead of consing a [period_stats] — the
+   allocation-regression gate counts on this — and [step] / [history] /
+   [indicators] rebuild record views on demand (cold). *)
+type hist = {
+  mutable len : int;
+  mutable h_time : float array;
+  mutable h_offered : float array;
+  mutable h_delivered : float array;
+  mutable h_dropped : float array;
+  mutable h_delay : float array;
+  mutable h_hops : float array;
+  mutable h_min_hops : float array;
+  mutable h_updates : int array;
+  mutable h_bits : float array;
+  mutable h_max_util : float array;
+  mutable h_congested : int array;
+  mutable h_routes : int array;
+  mutable h_nh_flips : int array;
+  mutable h_link_flips : int array;
+}
+
+let hist_create () =
+  let c = 64 in
+  { len = 0;
+    h_time = Array.make c 0.;
+    h_offered = Array.make c 0.;
+    h_delivered = Array.make c 0.;
+    h_dropped = Array.make c 0.;
+    h_delay = Array.make c 0.;
+    h_hops = Array.make c 0.;
+    h_min_hops = Array.make c 0.;
+    h_updates = Array.make c 0;
+    h_bits = Array.make c 0.;
+    h_max_util = Array.make c 0.;
+    h_congested = Array.make c 0;
+    h_routes = Array.make c 0;
+    h_nh_flips = Array.make c 0;
+    h_link_flips = Array.make c 0 }
+
+let hist_grow h =
+  let growf a =
+    let b = Array.make (2 * Array.length a) 0. in
+    Array.blit a 0 b 0 h.len;
+    b
+  and growi a =
+    let b = Array.make (2 * Array.length a) 0 in
+    Array.blit a 0 b 0 h.len;
+    b
+  in
+  h.h_time <- growf h.h_time;
+  h.h_offered <- growf h.h_offered;
+  h.h_delivered <- growf h.h_delivered;
+  h.h_dropped <- growf h.h_dropped;
+  h.h_delay <- growf h.h_delay;
+  h.h_hops <- growf h.h_hops;
+  h.h_min_hops <- growf h.h_min_hops;
+  h.h_updates <- growi h.h_updates;
+  h.h_bits <- growf h.h_bits;
+  h.h_max_util <- growf h.h_max_util;
+  h.h_congested <- growi h.h_congested;
+  h.h_routes <- growi h.h_routes;
+  h.h_nh_flips <- growi h.h_nh_flips;
+  h.h_link_flips <- growi h.h_link_flips
 
 type t = {
   graph : Graph.t;
@@ -81,23 +171,54 @@ type t = {
       (* laggard sources' trees on the previous period's costs; created on
          first use when stagger > 0 *)
   mutable period : int;
-  mutable history : period_stats list; (* newest first *)
+  hist : hist;
   mutable stagger : float; (* fraction of nodes applying updates one period late *)
   mutable prev_costs : int array; (* flooded costs as of the previous period *)
   mutable adaptive_sources : bool;
   throttle : (int * int, float) Hashtbl.t; (* (src,dst) -> send fraction *)
   mutable prev_first_hop : int array; (* per flow index; -1 = none yet *)
+  mutable prev2_first_hop : int array; (* first hop two periods ago *)
   (* Per-period scratch, sized once and reused forever: the hot path
      allocates nothing in steady state. *)
   assign : Load_assign.t;
   offered : float array; (* per link *)
   link_delay : float array; (* per link: M/M/1/K delay at this period's load *)
   link_pass : float array; (* per link: 1 - blocking probability *)
+  link_src : int array; (* per link: source node id, denormalized *)
   mutable sending : float array; (* per flow: demand x throttle *)
   mutable first_hop : int array; (* per flow, this period *)
+  mutable flow_delay : float array; (* per flow: path delay this period *)
+  mutable flow_share : float array; (* per flow: survival share *)
+  mutable flow_hops : int array; (* per flow: path length; -1 = unreached *)
+  chg_ids : int array; (* links whose update flooded, from the metric *)
+  chg_costs : int array;
   changed_costs : (Link.id * int) list array; (* per origin node *)
   changed_origins : int array; (* origins touched, first-touch order *)
   mutable changed_count : int;
+  acc : facc;
+  (* Always-on flip counter over the flooded costs, mirroring
+     {!Routing_obs.Oscillation}'s window-independent flip total but kept
+     in-module: a cross-module [observe ~time:_] call would box its float
+     time argument on every link, and the steady-state period must
+     allocate nothing.  The telemetry bundle layers the windowed detector
+     (flag events, per-link series) on top. *)
+  osc_seen : bool array; (* per link: cost observed at least once *)
+  osc_last : int array; (* per link: last flooded cost *)
+  osc_dir : int array; (* per link: sign of the last change; 0 = none *)
+  mutable link_flips_total : int;
+  (* Closure caches: the hot path passes stored closures (and stored
+     options, which ride through [?arg:opt] without re-wrapping) instead of
+     rebuilding them every period. *)
+  mutable tree_for_f : Node.t -> Spf_tree.t;
+  enabled_opt : (Link.id -> bool) option;
+  mutable cost_f : Link.id -> int; (* rebuilt on switch_metric *)
+  tracer : Tracer.t;
+  tr_period : int; (* interned event names *)
+  tr_refresh : int;
+  tr_assign : int;
+  tr_flood : int;
+  tr_updates : int;
+  tr_routes : int;
   obs : obs_state option;
 }
 
@@ -110,40 +231,104 @@ let make_flooders graph =
   Array.init (Graph.node_count graph) (fun i ->
       Flooder.create graph ~owner:(Node.of_int i))
 
-let create_with ?(domains = Domain_pool.default_size ()) ?telemetry graph
-    metric tm =
+(* Deterministic membership in the lagging set for a stagger fraction:
+   hash the node id into [0, 1). *)
+let[@inline] lags_at ~stagger i =
+  stagger > 0.
+  && float_of_int ((i * 2654435761) land 0xFFFF) /. 65536. < stagger
+
+let create_with ?(domains = Domain_pool.default_size ()) ?telemetry ?tracer
+    graph metric tm =
   let nl = Graph.link_count graph in
   let pool = if domains > 1 then Some (Domain_pool.create domains) else None in
-  { graph;
-    metric;
-    flows = flows_of_matrix tm;
-    flooders = make_flooders graph;
-    link_up = Array.make nl true;
-    utilization = Array.make nl 0.;
-    pool;
-    engine = Spf_engine.create ?pool graph;
-    min_engine = Spf_engine.create ?pool graph;
-    lag_engine = None;
-    period = 0;
-    history = [];
-    stagger = 0.;
-    prev_costs = Array.init nl (fun i -> Metric.cost metric (Link.id_of_int i));
-    adaptive_sources = false;
-    throttle = Hashtbl.create 256;
-    prev_first_hop = [||];
-    assign = Load_assign.create graph;
-    offered = Array.make nl 0.;
-    link_delay = Array.make nl 0.;
-    link_pass = Array.make nl 0.;
-    sending = [||];
-    first_hop = [||];
-    changed_costs = Array.make (Graph.node_count graph) [];
-    changed_origins = Array.make (Graph.node_count graph) 0;
-    changed_count = 0;
-    obs = Option.map (fun tele -> make_obs_state tele ~links:nl) telemetry }
+  let tracer =
+    match tracer with
+    | Some tr -> tr
+    | None -> (
+      match telemetry with
+      | Some tele -> Telemetry.tracer tele
+      | None -> Tracer.null)
+  in
+  if Tracer.enabled tracer then
+    Option.iter
+      (fun p -> Domain_pool.set_probe p (Some (Tracer.pool_probe tracer)))
+      pool;
+  let link_up = Array.make nl true in
+  let obs = Option.map (fun tele -> make_obs_state tele ~links:nl) telemetry in
+  let t =
+    { graph;
+      metric;
+      flows = flows_of_matrix tm;
+      flooders = make_flooders graph;
+      link_up;
+      utilization = Array.make nl 0.;
+      pool;
+      engine = Spf_engine.create ?pool ~tracer graph;
+      min_engine = Spf_engine.create ?pool ~tracer graph;
+      lag_engine = None;
+      period = 0;
+      hist = hist_create ();
+      stagger = 0.;
+      prev_costs =
+        Array.init nl (fun i -> Metric.cost metric (Link.id_of_int i));
+      adaptive_sources = false;
+      throttle = Hashtbl.create 256;
+      prev_first_hop = [||];
+      prev2_first_hop = [||];
+      assign = Load_assign.create graph;
+      offered = Array.make nl 0.;
+      link_delay = Array.make nl 0.;
+      link_pass = Array.make nl 0.;
+      link_src =
+        Array.init nl (fun i ->
+            Node.to_int (Graph.link graph (Link.id_of_int i)).Link.src);
+      sending = [||];
+      first_hop = [||];
+      flow_delay = [||];
+      flow_share = [||];
+      flow_hops = [||];
+      chg_ids = Array.make nl 0;
+      chg_costs = Array.make nl 0;
+      changed_costs = Array.make (Graph.node_count graph) [];
+      changed_origins = Array.make (Graph.node_count graph) 0;
+      changed_count = 0;
+      acc =
+        { f_offered = 0.;
+          f_delivered = 0.;
+          f_dropped = 0.;
+          f_delay_w = 0.;
+          f_hops_w = 0.;
+          f_min_hops_w = 0.;
+          f_bits = 0.;
+          f_max_util = 0. };
+      osc_seen = Array.make nl false;
+      osc_last = Array.make nl 0;
+      osc_dir = Array.make nl 0;
+      link_flips_total = 0;
+      tree_for_f = (fun _ -> assert false);
+      enabled_opt = Some (fun lid -> link_up.(Link.id_to_int lid));
+      cost_f = Metric.cost_fn metric;
+      tracer;
+      tr_period = Tracer.intern tracer "routing_period";
+      tr_refresh = Tracer.intern tracer "spf_refresh";
+      tr_assign = Tracer.intern tracer "flow_assign";
+      tr_flood = Tracer.intern tracer "flood";
+      tr_updates = Tracer.intern tracer "updates_flooded";
+      tr_routes = Tracer.intern tracer "routes_changed";
+      obs }
+  in
+  (* The tree a source routes on this period; built once, reads the
+     mutable stagger/lag state at call time. *)
+  t.tree_for_f <-
+    (fun src ->
+      match t.lag_engine with
+      | Some lag when lags_at ~stagger:t.stagger (Node.to_int src) ->
+        Spf_engine.tree lag src
+      | _ -> Spf_engine.tree t.engine src);
+  t
 
-let create ?domains ?telemetry graph kind tm =
-  create_with ?domains ?telemetry graph (Metric.create kind graph) tm
+let create ?domains ?telemetry ?tracer graph kind tm =
+  create_with ?domains ?telemetry ?tracer graph (Metric.create kind graph) tm
 
 let graph t = t.graph
 
@@ -153,60 +338,58 @@ let time_s t = float_of_int t.period *. Units.routing_period_s
 
 let period_index t = t.period
 
-let enabled t lid = t.link_up.(Link.id_to_int lid)
-
-(* Deterministic membership in the lagging set for a stagger fraction:
-   hash the node id into [0, 1). *)
-let node_lags t i =
-  t.stagger > 0.
-  && float_of_int ((i * 2654435761) land 0xFFFF) /. 65536. < t.stagger
+let min_hop_cost = fun _ -> 1
 
 (* The engines diff the flooded costs (and the up/down set) themselves, so
    refresh is cheap whenever a period flooded no significant update — no
    dirty flags to maintain.  Laggard sources under [stagger] route on the
    previous period's costs, served by a second engine fed [prev_costs]. *)
 let refresh_trees t =
-  Spf_engine.refresh t.min_engine ~enabled:(enabled t) ~cost:(fun _ -> 1);
+  Spf_engine.refresh ?enabled:t.enabled_opt t.min_engine ~cost:min_hop_cost;
   if t.stagger > 0. then begin
-    let lags n = node_lags t (Node.to_int n) in
+    let lags n = lags_at ~stagger:t.stagger (Node.to_int n) in
     Spf_engine.refresh t.engine
       ~wanted:(fun n -> not (lags n))
-      ~enabled:(enabled t) ~cost:(Metric.cost_fn t.metric);
+      ?enabled:t.enabled_opt ~cost:t.cost_f;
     let lag_engine =
       match t.lag_engine with
       | Some e -> e
       | None ->
-        let e = Spf_engine.create ?pool:t.pool t.graph in
+        let e = Spf_engine.create ?pool:t.pool ~tracer:t.tracer t.graph in
         t.lag_engine <- Some e;
         e
     in
-    Spf_engine.refresh lag_engine ~wanted:lags ~enabled:(enabled t)
+    Spf_engine.refresh lag_engine ~wanted:lags ?enabled:t.enabled_opt
       ~cost:(fun lid -> t.prev_costs.(Link.id_to_int lid))
   end
-  else
-    Spf_engine.refresh t.engine ~enabled:(enabled t)
-      ~cost:(Metric.cost_fn t.metric)
-
-(* The tree a source routes on this period. *)
-let tree_for t src =
-  match t.lag_engine with
-  | Some lag when node_lags t (Node.to_int src) -> Spf_engine.tree lag src
-  | _ -> Spf_engine.tree t.engine src
+  else Spf_engine.refresh ?enabled:t.enabled_opt t.engine ~cost:t.cost_f
 
 let spf_stats t = Spf_engine.stats t.engine
 
-let span t name f =
-  match t.obs with
-  | None -> f ()
-  | Some o -> Obs_span.with_ (Telemetry.spans o.tele) ~name f
-
 let telemetry t = Option.map (fun o -> o.tele) t.obs
+
+(* Closure-free span recording: take a clock reading, run straight-line
+   code, record under a static name.  With no bundle attached each hook is
+   one branch. *)
+let[@inline] span_start t =
+  match t.obs with
+  | None -> 0.
+  | Some o -> Obs_span.clock_now (Telemetry.spans o.tele)
+
+let[@inline] span_stop t name started =
+  match t.obs with
+  | None -> ()
+  | Some o -> Obs_span.record (Telemetry.spans o.tele) ~name ~started
+
+let[@inline] gc_start = function Some a -> Gc_account.start a | None -> ()
+
+let[@inline] gc_finish = function Some a -> Gc_account.finish a | None -> ()
 
 (* End-to-end source adaptation: the 1987 ARPANET's users backed off under
    loss (TCP and the IMP's own end-to-end mechanisms), so offered traffic
    tracked what the network could carry.  Multiplicative decrease on
    significant loss, slow additive recovery. *)
-let throttle_of t flow =
+let[@inline] throttle_of t flow =
   if not t.adaptive_sources then 1.
   else
     Option.value ~default:1.
@@ -223,20 +406,39 @@ let update_throttle t flow ~loss_fraction =
     Hashtbl.replace t.throttle key next
   end
 
-let step t =
-  span t "routing_period" @@ fun () ->
-  span t "spf_refresh" (fun () -> refresh_trees t);
+let tick t =
+  let tr = t.tracer in
+  let gc_p, gc_r =
+    match t.obs with
+    | None -> (None, None)
+    | Some o -> (o.gc_period, o.gc_refresh)
+  in
+  Tracer.span_begin tr t.tr_period;
+  gc_start gc_p;
+  let p_started = span_start t in
+  Tracer.span_begin tr t.tr_refresh;
+  gc_start gc_r;
+  let r_started = span_start t in
+  refresh_trees t;
+  span_stop t "spf_refresh" r_started;
+  gc_finish gc_r;
+  Tracer.span_end tr t.tr_refresh;
   (* Snapshot this period's flooded costs for next period's laggards. *)
-  Array.iteri
-    (fun i _ -> t.prev_costs.(i) <- Metric.cost t.metric (Link.id_of_int i))
-    t.prev_costs;
   let nl = Graph.link_count t.graph in
+  for i = 0 to nl - 1 do
+    t.prev_costs.(i) <- Metric.cost t.metric (Link.id_of_int i)
+  done;
   let nf = Array.length t.flows in
-  if Array.length t.prev_first_hop <> nf then
+  if Array.length t.prev_first_hop <> nf then begin
     t.prev_first_hop <- Array.make nf (-1);
+    t.prev2_first_hop <- Array.make nf (-1)
+  end;
   if Array.length t.sending < nf then begin
     t.sending <- Array.make nf 0.;
-    t.first_hop <- Array.make nf (-2)
+    t.first_hop <- Array.make nf (-2);
+    t.flow_delay <- Array.make nf 0.;
+    t.flow_share <- Array.make nf 0.;
+    t.flow_hops <- Array.make nf (-1)
   end;
   for fi = 0 to nf - 1 do
     t.sending.(fi) <- t.flows.(fi).demand_bps *. throttle_of t t.flows.(fi)
@@ -244,122 +446,139 @@ let step t =
   (* Pass 1: aggregate demand by destination and push subtree loads across
      each source's tree — O(V+E) per source instead of a walk per flow. *)
   Array.fill t.offered 0 nl 0.;
-  let tree_for = tree_for t in
-  span t "flow_assign" (fun () ->
-      Load_assign.assign t.assign ~flows:t.flows ~tree_for ~sending:t.sending
-        ~offered:t.offered ~first_hop:t.first_hop);
-  (* First-hop changes against the previous period (§3.3's route
-     oscillation); unreached flows keep their last known first hop. *)
+  Tracer.span_begin tr t.tr_assign;
+  let a_started = span_start t in
+  Load_assign.assign t.assign ~flows:t.flows ~tree_for:t.tree_for_f
+    ~sending:t.sending ~offered:t.offered ~first_hop:t.first_hop;
+  span_stop t "flow_assign" a_started;
+  Tracer.span_end tr t.tr_assign;
+  (* Route-change accounting against the previous periods (§3.3's route
+     oscillation, counted Rzepka & Chołda-style): a changed first hop is a
+     route change; coming straight back to the hop of two periods ago is a
+     next-hop flip.  Unreached flows keep their last known first hop. *)
   let routes_changed = ref 0 in
+  let nh_flips = ref 0 in
   for fi = 0 to nf - 1 do
     let fh = t.first_hop.(fi) in
     if fh <> -2 then begin
-      if t.prev_first_hop.(fi) >= 0 && t.prev_first_hop.(fi) <> fh then
+      let prev = t.prev_first_hop.(fi) in
+      if prev >= 0 && prev <> fh then begin
         incr routes_changed;
+        if t.prev2_first_hop.(fi) = fh then incr nh_flips
+      end;
+      t.prev2_first_hop.(fi) <- prev;
       t.prev_first_hop.(fi) <- fh
     end
   done;
   (* Per-link queueing terms, once per link rather than once per flow-hop:
      utilization, M/M/1/K delay and the survival probability. *)
+  let acc = t.acc in
+  acc.f_offered <- 0.;
+  acc.f_delivered <- 0.;
+  acc.f_dropped <- 0.;
+  acc.f_delay_w <- 0.;
+  acc.f_hops_w <- 0.;
+  acc.f_min_hops_w <- 0.;
+  acc.f_bits <- 0.;
+  acc.f_max_util <- 0.;
+  let congested = ref 0 in
+  Queueing.mm1k_into t.graph ~up:t.link_up ~offered_bps:t.offered
+    ~utilization:t.utilization ~delay_s:t.link_delay ~pass:t.link_pass;
   for i = 0 to nl - 1 do
-    let l = Graph.link t.graph (Link.id_of_int i) in
-    let u =
-      if t.link_up.(i) then t.offered.(i) /. Link.capacity_bps l else 0.
-    in
-    t.utilization.(i) <- u;
-    t.link_delay.(i) <- Queueing.mm1k_delay_s l ~utilization:u;
-    t.link_pass.(i) <- 1. -. Queueing.mm1k_blocking ~utilization:u
+    let u = t.utilization.(i) in
+    if u > acc.f_max_util then acc.f_max_util <- u;
+    if u > 0.9 then incr congested
   done;
   (* Pass 2: per-flow delay, hop counts and thinning over hot links — path
-     totals served in O(1) per flow from the root-outward sweep. *)
-  let total_offered = ref 0. in
-  let delivered = ref 0. in
-  let dropped = ref 0. in
-  let delay_weighted = ref 0. in
-  let hops_weighted = ref 0. in
-  let min_hops_weighted = ref 0. in
-  Load_assign.iter_metrics t.assign ~flows:t.flows ~tree_for
-    ~link_delay:t.link_delay ~link_pass:t.link_pass
-    ~f:(fun fi ~reached ~delay_s ~share ~hops ->
+     totals served in O(1) per flow from the root-outward sweep, landing in
+     per-flow columns rather than boxed callback arguments. *)
+  Load_assign.metrics_into t.assign ~flows:t.flows ~tree_for:t.tree_for_f
+    ~link_delay:t.link_delay ~link_pass:t.link_pass ~delay_s:t.flow_delay
+    ~share:t.flow_share ~hops:t.flow_hops;
+  for fi = 0 to nf - 1 do
+    let sending = t.sending.(fi) in
+    acc.f_offered <- acc.f_offered +. sending;
+    let hops = t.flow_hops.(fi) in
+    if hops < 0 then begin
+      acc.f_dropped <- acc.f_dropped +. sending;
+      if t.adaptive_sources then
+        update_throttle t t.flows.(fi) ~loss_fraction:1.
+    end
+    else begin
+      let share = t.flow_share.(fi) in
+      if t.adaptive_sources then
+        update_throttle t t.flows.(fi) ~loss_fraction:(1. -. share);
+      let carried = sending *. share in
+      acc.f_delivered <- acc.f_delivered +. carried;
+      acc.f_dropped <- acc.f_dropped +. (sending -. carried);
+      acc.f_delay_w <- acc.f_delay_w +. (t.flow_delay.(fi) *. carried);
+      acc.f_hops_w <- acc.f_hops_w +. (float_of_int hops *. carried);
       let flow = t.flows.(fi) in
-      let sending = t.sending.(fi) in
-      total_offered := !total_offered +. sending;
-      if not reached then begin
-        dropped := !dropped +. sending;
-        update_throttle t flow ~loss_fraction:1.
-      end
-      else begin
-        update_throttle t flow ~loss_fraction:(1. -. share);
-        let carried = sending *. share in
-        delivered := !delivered +. carried;
-        dropped := !dropped +. (sending -. carried);
-        delay_weighted := !delay_weighted +. (delay_s *. carried);
-        hops_weighted := !hops_weighted +. (float_of_int hops *. carried);
-        let min_tree = Spf_engine.tree t.min_engine flow.src in
-        let mh =
-          if Spf_tree.reached min_tree flow.dst then
-            Spf_tree.hops min_tree flow.dst
-          else hops
-        in
-        min_hops_weighted := !min_hops_weighted +. (float_of_int mh *. carried)
-      end);
-  (* Metric pass: feed each up link its period utilization.  Changed costs
-     collect into per-origin slots reused across periods. *)
-  Graph.iter_links t.graph (fun (l : Link.t) ->
-      let i = Link.id_to_int l.Link.id in
-      if t.link_up.(i) then
-        (* The PSN measures what its finite-buffer line actually does. *)
-        let measured = t.link_delay.(i) in
-        match Metric.period_update t.metric l.Link.id ~measured_delay_s:measured with
-        | Some cost ->
-          let origin = Node.to_int l.Link.src in
-          if t.changed_costs.(origin) = [] then begin
-            t.changed_origins.(t.changed_count) <- origin;
-            t.changed_count <- t.changed_count + 1
-          end;
-          t.changed_costs.(origin) <- (l.Link.id, cost) :: t.changed_costs.(origin)
-        | None -> ());
+      let min_tree = Spf_engine.tree t.min_engine flow.src in
+      let mh =
+        if Spf_tree.reached min_tree flow.dst then
+          Spf_tree.hops min_tree flow.dst
+        else hops
+      in
+      acc.f_min_hops_w <- acc.f_min_hops_w +. (float_of_int mh *. carried)
+    end
+  done;
+  (* Metric pass: feed each up link its period delay, in one batch call.
+     Changed costs collect into per-origin slots reused across periods;
+     quiet periods return 0 without touching the heap. *)
+  let nch =
+    Metric.period_update_all t.metric ~up:t.link_up ~link_delay_s:t.link_delay
+      ~changed_ids:t.chg_ids ~changed_costs:t.chg_costs
+  in
+  for k = 0 to nch - 1 do
+    let li = t.chg_ids.(k) in
+    let origin = t.link_src.(li) in
+    if t.changed_costs.(origin) = [] then begin
+      t.changed_origins.(t.changed_count) <- origin;
+      t.changed_count <- t.changed_count + 1
+    end;
+    t.changed_costs.(origin) <-
+      (Link.id_of_int li, t.chg_costs.(k)) :: t.changed_costs.(origin)
+  done;
   let updates = ref 0 in
-  let update_bits = ref 0. in
-  span t "flood" (fun () ->
-      for k = 0 to t.changed_count - 1 do
-        let origin = t.changed_origins.(k) in
-        let costs = t.changed_costs.(origin) in
-        t.changed_costs.(origin) <- [];
-        let update = Flooder.originate t.flooders.(origin) ~costs in
-        let outcome = Broadcast.flood t.graph t.flooders update in
-        incr updates;
-        update_bits := !update_bits +. outcome.Broadcast.bits
-      done);
+  Tracer.span_begin tr t.tr_flood;
+  let f_started = span_start t in
+  for k = 0 to t.changed_count - 1 do
+    let origin = t.changed_origins.(k) in
+    let costs = t.changed_costs.(origin) in
+    t.changed_costs.(origin) <- [];
+    let update = Flooder.originate t.flooders.(origin) ~costs in
+    let outcome = Broadcast.flood t.graph t.flooders update in
+    incr updates;
+    acc.f_bits <- acc.f_bits +. outcome.Broadcast.bits
+  done;
+  span_stop t "flood" f_started;
+  Tracer.span_end tr t.tr_flood;
   t.changed_count <- 0;
   t.period <- t.period + 1;
-  let max_utilization = Array.fold_left Float.max 0. t.utilization in
-  let congested_links =
-    Array.fold_left (fun acc u -> if u > 0.9 then acc + 1 else acc) 0
-      t.utilization
-  in
-  let stats =
-    { time_s = time_s t;
-      offered_bps = !total_offered;
-      delivered_bps = !delivered;
-      dropped_bps = !dropped;
-      mean_delay_s =
-        (if !delivered > 0. then !delay_weighted /. !delivered else 0.);
-      mean_hops = (if !delivered > 0. then !hops_weighted /. !delivered else 0.);
-      mean_min_hops =
-        (if !delivered > 0. then !min_hops_weighted /. !delivered else 0.);
-      updates = !updates;
-      update_bits = !update_bits;
-      max_utilization;
-      congested_links;
-      routes_changed = !routes_changed }
-  in
-  (* Telemetry per-period: per-link series, oscillation detection, update
-     counters, SPF engine gauges, and one JSONL summary event. *)
+  let now = time_s t in
+  let updates = !updates in
+  (* Flip accounting over the flooded costs runs with or without a
+     telemetry bundle; the bundle adds the windowed oscillation detector,
+     per-link series and flag events. *)
+  let flips_before = t.link_flips_total in
+  for i = 0 to nl - 1 do
+    let cost = Metric.cost t.metric (Link.id_of_int i) in
+    if not t.osc_seen.(i) then begin
+      t.osc_seen.(i) <- true;
+      t.osc_last.(i) <- cost
+    end
+    else if cost <> t.osc_last.(i) then begin
+      let dir = if cost > t.osc_last.(i) then 1 else -1 in
+      if t.osc_dir.(i) <> 0 && dir <> t.osc_dir.(i) then
+        t.link_flips_total <- t.link_flips_total + 1;
+      t.osc_dir.(i) <- dir;
+      t.osc_last.(i) <- cost
+    end
+  done;
   (match t.obs with
   | None -> ()
   | Some o ->
-    let now = stats.time_s in
     let on_flag ~link ~time ~flips =
       Obs_metrics.inc o.osc_flags;
       Obs_sink.emit o.obs_sink (fun () ->
@@ -379,8 +598,16 @@ let step t =
       Obs_metrics.sample o.cost_hops_series.(i) ~time:now
         (float_of_int cost /. float_of_int (max 1 idle));
       Obs_oscillation.observe ~on_flag o.osc ~link:i ~time:now ~cost
-    done;
-    Obs_metrics.inc ~by:!updates o.updates_counter;
+    done);
+  let link_flips = t.link_flips_total - flips_before in
+  Tracer.counter tr t.tr_updates ~value:updates;
+  Tracer.counter tr t.tr_routes ~value:!routes_changed;
+  (* Telemetry per-period: update counters, SPF engine gauges, and one
+     JSONL summary event. *)
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Obs_metrics.inc ~by:updates o.updates_counter;
     let s = Spf_engine.stats t.engine in
     Obs_metrics.set o.spf_refreshes (float_of_int s.Spf_engine.refreshes);
     Obs_metrics.set o.spf_skipped (float_of_int s.Spf_engine.skipped);
@@ -392,18 +619,63 @@ let step t =
     Obs_metrics.set o.spf_reused (float_of_int s.Spf_engine.sources_reused);
     Obs_metrics.set o.spf_resettled
       (float_of_int s.Spf_engine.nodes_resettled);
+    let routes_changed = !routes_changed in
+    let congested = !congested in
     Obs_sink.emit o.obs_sink (fun () ->
         Obs_json.Obj
           [ ("t", Obs_json.Float now);
             ("ev", Obs_json.String "period");
-            ("updates", Obs_json.Int stats.updates);
-            ("delivered_bps", Obs_json.Float stats.delivered_bps);
-            ("dropped_bps", Obs_json.Float stats.dropped_bps);
-            ("max_utilization", Obs_json.Float stats.max_utilization);
-            ("congested_links", Obs_json.Int stats.congested_links);
-            ("routes_changed", Obs_json.Int stats.routes_changed) ]));
-  t.history <- stats :: t.history;
-  stats
+            ("updates", Obs_json.Int updates);
+            ("delivered_bps", Obs_json.Float acc.f_delivered);
+            ("dropped_bps", Obs_json.Float acc.f_dropped);
+            ("max_utilization", Obs_json.Float acc.f_max_util);
+            ("congested_links", Obs_json.Int congested);
+            ("routes_changed", Obs_json.Int routes_changed) ]));
+  (* Append the period's row to the history columns. *)
+  let h = t.hist in
+  if h.len = Array.length h.h_time then hist_grow h;
+  let k = h.len in
+  let delivered = acc.f_delivered in
+  h.h_time.(k) <- now;
+  h.h_offered.(k) <- acc.f_offered;
+  h.h_delivered.(k) <- delivered;
+  h.h_dropped.(k) <- acc.f_dropped;
+  h.h_delay.(k) <- (if delivered > 0. then acc.f_delay_w /. delivered else 0.);
+  h.h_hops.(k) <- (if delivered > 0. then acc.f_hops_w /. delivered else 0.);
+  h.h_min_hops.(k) <-
+    (if delivered > 0. then acc.f_min_hops_w /. delivered else 0.);
+  h.h_updates.(k) <- updates;
+  h.h_bits.(k) <- acc.f_bits;
+  h.h_max_util.(k) <- acc.f_max_util;
+  h.h_congested.(k) <- !congested;
+  h.h_routes.(k) <- !routes_changed;
+  h.h_nh_flips.(k) <- !nh_flips;
+  h.h_link_flips.(k) <- link_flips;
+  h.len <- k + 1;
+  span_stop t "routing_period" p_started;
+  gc_finish gc_p;
+  Tracer.span_end tr t.tr_period
+
+let stats_at t k =
+  let h = t.hist in
+  { time_s = h.h_time.(k);
+    offered_bps = h.h_offered.(k);
+    delivered_bps = h.h_delivered.(k);
+    dropped_bps = h.h_dropped.(k);
+    mean_delay_s = h.h_delay.(k);
+    mean_hops = h.h_hops.(k);
+    mean_min_hops = h.h_min_hops.(k);
+    updates = h.h_updates.(k);
+    update_bits = h.h_bits.(k);
+    max_utilization = h.h_max_util.(k);
+    congested_links = h.h_congested.(k);
+    routes_changed = h.h_routes.(k);
+    next_hop_flips = h.h_nh_flips.(k);
+    link_flips = h.h_link_flips.(k) }
+
+let step t =
+  tick t;
+  stats_at t (t.hist.len - 1)
 
 let run t ~periods = List.init periods (fun _ -> step t)
 
@@ -415,6 +687,7 @@ let switch_metric t kind =
   Log.info (fun m ->
       m "t=%.0fs: switching metric to %s" (time_s t) (Metric.kind_name kind));
   t.metric <- Metric.create kind t.graph;
+  t.cost_f <- Metric.cost_fn t.metric;
   (* A software reload floods fresh costs for every link at once; the
      engines pick the new costs up by diffing on the next refresh. *)
   t.flooders <- make_flooders t.graph
@@ -441,30 +714,66 @@ let link_utilization t lid = t.utilization.(Link.id_to_int lid)
 
 let link_cost t lid = Metric.cost t.metric lid
 
+let route_change_totals t =
+  let h = t.hist in
+  let routes = ref 0 and nh = ref 0 and links = ref 0 in
+  for k = 0 to h.len - 1 do
+    routes := !routes + h.h_routes.(k);
+    nh := !nh + h.h_nh_flips.(k);
+    links := !links + h.h_link_flips.(k)
+  done;
+  (!routes, !nh, !links)
+
 let indicators t ?(skip = 0) () =
-  let all = List.rev t.history in
-  let rec drop k = function
-    | rest when k <= 0 -> rest
-    | [] -> []
-    | _ :: rest -> drop (k - 1) rest
+  let h = t.hist in
+  let n = h.len - skip in
+  if n <= 0 then invalid_arg "Flow_sim.indicators: no periods retained";
+  let fn = float_of_int n in
+  let elapsed = fn *. Units.routing_period_s in
+  let sumf a =
+    let s = ref 0. in
+    for k = skip to h.len - 1 do
+      s := !s +. a.(k)
+    done;
+    !s
+  and sumi a =
+    let s = ref 0 in
+    for k = skip to h.len - 1 do
+      s := !s + a.(k)
+    done;
+    !s
   in
-  let kept = drop skip all in
-  if kept = [] then invalid_arg "Flow_sim.indicators: no periods retained";
-  let n = List.length kept in
-  let elapsed = float_of_int n *. Units.routing_period_s in
-  let sum f = List.fold_left (fun acc s -> acc +. f s) 0. kept in
-  let delivered_total = sum (fun s -> s.delivered_bps) in
-  let weighted f =
-    if delivered_total > 0. then
-      sum (fun s -> f s *. s.delivered_bps) /. delivered_total
+  let delivered_total = sumf h.h_delivered in
+  let weighted a =
+    if delivered_total > 0. then begin
+      let s = ref 0. in
+      for k = skip to h.len - 1 do
+        s := !s +. (a.(k) *. h.h_delivered.(k))
+      done;
+      !s /. delivered_total
+    end
     else 0.
   in
-  let actual = weighted (fun s -> s.mean_hops) in
-  let minimum = weighted (fun s -> s.mean_min_hops) in
-  let updates = sum (fun s -> float_of_int s.updates) in
+  let actual = weighted h.h_hops in
+  let minimum = weighted h.h_min_hops in
+  let updates = float_of_int (sumi h.h_updates) in
+  (* Per-period delay percentiles, streamed in period order so the result
+     is deterministic for equal histories. *)
+  let q50 = Quantile.create 0.5
+  and q95 = Quantile.create 0.95
+  and q99 = Quantile.create 0.99 in
+  for k = skip to h.len - 1 do
+    Quantile.add q50 h.h_delay.(k);
+    Quantile.add q95 h.h_delay.(k);
+    Quantile.add q99 h.h_delay.(k)
+  done;
+  let quantile_ms q =
+    let v = Quantile.value q in
+    if Float.is_nan v then 0. else 1000. *. v
+  in
   { Measure.elapsed_s = elapsed;
-    internode_traffic_bps = delivered_total /. float_of_int n;
-    round_trip_delay_ms = 2. *. weighted (fun s -> s.mean_delay_s) *. 1000.;
+    internode_traffic_bps = delivered_total /. fn;
+    round_trip_delay_ms = 2. *. weighted h.h_delay *. 1000.;
     updates_per_s = updates /. elapsed;
     update_period_per_node_s =
       (if updates = 0. then infinity
@@ -472,8 +781,13 @@ let indicators t ?(skip = 0) () =
     actual_path_hops = actual;
     minimum_path_hops = minimum;
     path_ratio = (if minimum > 0. then actual /. minimum else 1.);
-    dropped_per_s =
-      sum (fun s -> s.dropped_bps) /. float_of_int n /. 600.;
-    overhead_bps = sum (fun s -> s.update_bits) /. elapsed }
+    dropped_per_s = sumf h.h_dropped /. fn /. 600.;
+    overhead_bps = sumf h.h_bits /. elapsed;
+    delay_p50_ms = quantile_ms q50;
+    delay_p95_ms = quantile_ms q95;
+    delay_p99_ms = quantile_ms q99;
+    route_changes_per_period = float_of_int (sumi h.h_routes) /. fn;
+    next_hop_flips_per_period = float_of_int (sumi h.h_nh_flips) /. fn;
+    link_flips_per_period = float_of_int (sumi h.h_link_flips) /. fn }
 
-let history t = List.rev t.history
+let history t = List.init t.hist.len (fun k -> stats_at t k)

@@ -37,13 +37,20 @@ type period_stats = {
   routes_changed : int;
       (** flows whose first-hop link differs from the previous period —
           §3.3 item 3's per-flow route oscillation, counted *)
+  next_hop_flips : int;
+      (** route changes that returned to the first hop of two periods ago
+          (A→B→A) — the sharpest oscillation signature, after Rzepka &
+          Chołda's route-change counters *)
+  link_flips : int;
+      (** per-link flooded-cost direction flips this period, summed over
+          links ({!Routing_obs.Oscillation}) *)
 }
 
 type t
 
 val create :
-  ?domains:int -> ?telemetry:Telemetry.t -> Graph.t -> Metric.kind ->
-  Traffic_matrix.t -> t
+  ?domains:int -> ?telemetry:Telemetry.t -> ?tracer:Tracer.t -> Graph.t ->
+  Metric.kind -> Traffic_matrix.t -> t
 (** The flow simulator is fully deterministic: same inputs, same run.
     [domains] (default {!Domain_pool.default_size}, i.e. the
     [ARPANET_DOMAINS] environment variable or 1) sizes the domain pool the
@@ -57,11 +64,17 @@ val create :
     SPF refreshes and routing periods run inside profiling spans, and the
     oscillation detector watches every link's flooded cost.  Everything
     recorded is deterministic (span durations stay 0 unless the bundle
-    uses {!Routing_obs.Span.wall}). *)
+    uses {!Routing_obs.Span.wall}).
+
+    [tracer] (default: the telemetry bundle's tracer, or {!Tracer.null})
+    flight-records the run: every routing period, SPF refresh, flow
+    assignment and flood becomes a span on the calling domain's track, the
+    SPF engines record their recompute/repair batches, and worker domains
+    record the source chunks they drain. *)
 
 val create_with :
-  ?domains:int -> ?telemetry:Telemetry.t -> Graph.t -> Metric.t ->
-  Traffic_matrix.t -> t
+  ?domains:int -> ?telemetry:Telemetry.t -> ?tracer:Tracer.t -> Graph.t ->
+  Metric.t -> Traffic_matrix.t -> t
 (** Use a pre-built metric — e.g. a custom-parameterized HNM from
     {!Routing_metric.Metric.create_custom_hnspf}. *)
 
@@ -74,6 +87,15 @@ val metric : t -> Metric.t
 val time_s : t -> float
 
 val period_index : t -> int
+
+val tick : t -> unit
+(** Run one routing period, retaining its statistics in the simulator's
+    struct-of-arrays history ({!step} without building the record).  In
+    steady state — no flooded update, no topology or traffic change, no
+    telemetry bundle, adaptive sources off — a tick allocates {e zero}
+    minor words, even with a live {!Tracer} under its default untimed
+    clock; the allocation-regression test pins this with
+    [Gc.minor_words]. *)
 
 val step : t -> period_stats
 (** Run one routing period and return its statistics (also retained
@@ -124,6 +146,11 @@ val spf_stats : t -> Spf_engine.stats
 (** Live counters of the main SPF engine: how many refreshes were skipped
     outright (no significant update flooded), how many source trees were
     reused versus recomputed. *)
+
+val route_change_totals : t -> int * int * int
+(** [(routes_changed, next_hop_flips, link_flips)] summed over every
+    period so far — the Rzepka & Chołda-style change counters the sweep
+    reports publish per point. *)
 
 val indicators : t -> ?skip:int -> unit -> Measure.indicators
 (** Aggregate the retained per-period stats into Table-1 indicators,

@@ -203,6 +203,49 @@ let iter_metrics t ~flows ~tree_for ~link_delay ~link_pass ~f =
     end
   done
 
+(* [iter_metrics] without the callback: results land in caller-owned
+   struct-of-arrays slots instead of boxed float arguments, so the
+   simulator's per-period metrics pass allocates nothing.  [hops.(fi) < 0]
+   marks an unreached flow. *)
+let metrics_into t ~flows ~tree_for ~link_delay ~link_pass ~delay_s ~share
+    ~hops =
+  group t flows;
+  let off = t.by_src_off in
+  for s = 0 to t.n - 1 do
+    if off.(s) < off.(s + 1) then begin
+      let tree = tree_for (Node.of_int s) in
+      let m = sort_reached t tree in
+      (* Root outward: delay is additive, survival multiplicative. *)
+      for k = 0 to m - 1 do
+        let v = t.order.(k) in
+        let p = Spf_tree.parent_id tree v in
+        if p < 0 then begin
+          t.delay_to.(v) <- 0.;
+          t.share_to.(v) <- 1.
+        end
+        else begin
+          let u = link_src t p in
+          t.delay_to.(v) <- t.delay_to.(u) +. link_delay.(p);
+          t.share_to.(v) <- t.share_to.(u) *. link_pass.(p)
+        end
+      done;
+      for k = off.(s) to off.(s + 1) - 1 do
+        let fi = t.by_src_flow.(k) in
+        let d = Node.to_int flows.(fi).dst in
+        if Spf_tree.reached_i tree d then begin
+          delay_s.(fi) <- t.delay_to.(d);
+          share.(fi) <- t.share_to.(d);
+          hops.(fi) <- Spf_tree.hops_i tree d
+        end
+        else begin
+          delay_s.(fi) <- 0.;
+          share.(fi) <- 0.;
+          hops.(fi) <- -1
+        end
+      done
+    end
+  done
+
 (* The historical per-flow tree climb, kept as the reference the qcheck
    property and the benchmark compare the aggregated path against.  It
    reproduces the access pattern the aggregated sweep replaced, including

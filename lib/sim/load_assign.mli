@@ -56,6 +56,22 @@ val iter_metrics :
     [hops] the path length.  Unreached flows get
     [~reached:false ~delay_s:0. ~share:0. ~hops:0]. *)
 
+val metrics_into :
+  t ->
+  flows:flow array ->
+  tree_for:(Node.t -> Spf_tree.t) ->
+  link_delay:float array ->
+  link_pass:float array ->
+  delay_s:float array ->
+  share:float array ->
+  hops:int array ->
+  unit
+(** {!iter_metrics} into caller-owned per-flow arrays (length ≥ flows)
+    instead of a callback — allocation-free, because the callback form
+    boxes its float arguments on every call.  [hops.(fi) = -1] marks an
+    unreached flow (with [delay_s]/[share] zeroed); flows of sources with
+    no flows are untouched. *)
+
 val assign_baseline :
   t ->
   flows:flow array ->

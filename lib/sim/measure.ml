@@ -12,6 +12,12 @@ type indicators = {
   path_ratio : float;
   dropped_per_s : float;
   overhead_bps : float;
+  delay_p50_ms : float;
+  delay_p95_ms : float;
+  delay_p99_ms : float;
+  route_changes_per_period : float;
+  next_hop_flips_per_period : float;
+  link_flips_per_period : float;
 }
 
 let pp_indicators ppf i =
@@ -34,7 +40,13 @@ let export ?(labels = []) registry i =
   g "indicator_minimum_path_hops" i.minimum_path_hops;
   g "indicator_path_ratio" i.path_ratio;
   g "indicator_dropped_per_s" i.dropped_per_s;
-  g "indicator_overhead_bps" i.overhead_bps
+  g "indicator_overhead_bps" i.overhead_bps;
+  g "indicator_delay_p50_ms" i.delay_p50_ms;
+  g "indicator_delay_p95_ms" i.delay_p95_ms;
+  g "indicator_delay_p99_ms" i.delay_p99_ms;
+  g "indicator_route_changes_per_period" i.route_changes_per_period;
+  g "indicator_next_hop_flips_per_period" i.next_hop_flips_per_period;
+  g "indicator_link_flips_per_period" i.link_flips_per_period
 
 let comparison_table ?title runs =
   let columns =
@@ -56,6 +68,12 @@ let comparison_table ?title runs =
   row "Path Ratio (Actual/Min.)" (fun i -> i.path_ratio);
   row "Dropped Packets (/s)" (fun i -> i.dropped_per_s);
   row "Routing Overhead (b/s)" ~decimals:0 (fun i -> i.overhead_bps);
+  row "One-way Delay p50 (ms)" (fun i -> i.delay_p50_ms);
+  row "One-way Delay p95 (ms)" (fun i -> i.delay_p95_ms);
+  row "One-way Delay p99 (ms)" (fun i -> i.delay_p99_ms);
+  row "Route Changes (/period)" (fun i -> i.route_changes_per_period);
+  row "Next-hop Flips (/period)" (fun i -> i.next_hop_flips_per_period);
+  row "Link Dir. Flips (/period)" (fun i -> i.link_flips_per_period);
   table
 
 module Quantile = Routing_stats.Quantile
@@ -65,6 +83,7 @@ type t = {
   delay : Welford.t;
   mutable delay_p50 : Quantile.t;
   mutable delay_p95 : Quantile.t;
+  mutable delay_p99 : Quantile.t;
   hops : Welford.t;
   min_hops : Welford.t;
   mutable delivered_bits : float;
@@ -79,6 +98,7 @@ let create ~nodes =
     delay = Welford.create ();
     delay_p50 = Quantile.create 0.5;
     delay_p95 = Quantile.create 0.95;
+    delay_p99 = Quantile.create 0.99;
     hops = Welford.create ();
     min_hops = Welford.create ();
     delivered_bits = 0.;
@@ -91,6 +111,7 @@ let record_delivery t ~delay_s ~bits ~hops ~min_hops =
   Welford.add t.delay delay_s;
   Quantile.add t.delay_p50 delay_s;
   Quantile.add t.delay_p95 delay_s;
+  Quantile.add t.delay_p99 delay_s;
   Welford.add t.hops (float_of_int hops);
   Welford.add t.min_hops (float_of_int min_hops);
   t.delivered_bits <- t.delivered_bits +. bits;
@@ -112,6 +133,14 @@ let median_delay_ms t = 1000. *. Quantile.value t.delay_p50
 
 let p95_delay_ms t = 1000. *. Quantile.value t.delay_p95
 
+let p99_delay_ms t = 1000. *. Quantile.value t.delay_p99
+
+(* The P² estimators report [nan] before their first observation; the
+   indicator record carries 0 instead so exports stay valid JSON. *)
+let quantile_ms q =
+  let v = Quantile.value q in
+  if Float.is_nan v then 0. else 1000. *. v
+
 let indicators t ~elapsed_s =
   if elapsed_s <= 0. then invalid_arg "Measure.indicators: elapsed <= 0";
   let actual = Welford.mean t.hops in
@@ -127,12 +156,19 @@ let indicators t ~elapsed_s =
     minimum_path_hops = minimum;
     path_ratio = (if minimum > 0. then actual /. minimum else 1.);
     dropped_per_s = float_of_int t.dropped /. elapsed_s;
-    overhead_bps = t.update_bits /. elapsed_s }
+    overhead_bps = t.update_bits /. elapsed_s;
+    delay_p50_ms = quantile_ms t.delay_p50;
+    delay_p95_ms = quantile_ms t.delay_p95;
+    delay_p99_ms = quantile_ms t.delay_p99;
+    route_changes_per_period = 0.;
+    next_hop_flips_per_period = 0.;
+    link_flips_per_period = 0. }
 
 let reset t =
   Welford.reset t.delay;
   t.delay_p50 <- Quantile.create 0.5;
   t.delay_p95 <- Quantile.create 0.95;
+  t.delay_p99 <- Quantile.create 0.99;
   Welford.reset t.hops;
   Welford.reset t.min_hops;
   t.delivered_bits <- 0.;

@@ -16,6 +16,19 @@ type indicators = {
   path_ratio : float;  (** actual / minimum *)
   dropped_per_s : float;  (** packets dropped per second *)
   overhead_bps : float;  (** link bandwidth consumed by routing updates *)
+  delay_p50_ms : float;  (** streaming (P²) one-way delay median *)
+  delay_p95_ms : float;  (** 95th-percentile one-way delay *)
+  delay_p99_ms : float;  (** 99th-percentile one-way delay *)
+  route_changes_per_period : float;
+      (** flows whose first hop changed, per routing period — §3.3's route
+          oscillation averaged over the run *)
+  next_hop_flips_per_period : float;
+      (** A→B→A first-hop flips per period (the flow came straight back to
+          the hop it used two periods ago) — the sharpest oscillation
+          signature, after Rzepka & Chołda's route-change counters *)
+  link_flips_per_period : float;
+      (** per-link cost direction flips per period, summed over links
+          ({!Routing_obs.Oscillation.total_flips}) *)
 }
 
 val pp_indicators : Format.formatter -> indicators -> unit
@@ -57,7 +70,13 @@ val p95_delay_ms : t -> float
 (** Streaming (P²) estimate of the 95th-percentile one-way delay — the
     congested tail Table 1's mean hides. *)
 
+val p99_delay_ms : t -> float
+(** Streaming (P²) estimate of the 99th-percentile one-way delay. *)
+
 val indicators : t -> elapsed_s:float -> indicators
-(** @raise Invalid_argument if [elapsed_s <= 0]. *)
+(** The route-change indicators are reported as [0.] here: the packet
+    accumulator has no flow identity to diff first hops against.  The flow
+    simulator fills them from its own per-period counters.
+    @raise Invalid_argument if [elapsed_s <= 0]. *)
 
 val reset : t -> unit

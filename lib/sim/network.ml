@@ -562,6 +562,17 @@ let create ?config graph tm =
     if config.domains > 1 then Some (Domain_pool.create config.domains)
     else None
   in
+  (* The telemetry bundle's tracer flight-records the SPF engines and
+     the pool's worker domains, as in {!Flow_sim}. *)
+  let tracer =
+    match config.telemetry with
+    | Some tele -> Telemetry.tracer tele
+    | None -> Tracer.null
+  in
+  if Tracer.enabled tracer then
+    Option.iter
+      (fun p -> Domain_pool.set_probe p (Some (Tracer.pool_probe tracer)))
+      pool;
   let t =
     { graph;
       config;
@@ -590,8 +601,8 @@ let create ?config graph tm =
       link_rng = Rng.create (config.seed lxor 0x5F5F5F);
       flood_latency = Welford.create ();
       incrementals = [||];
-      spf = Spf_engine.create ?pool graph;
-      min_spf = Spf_engine.create ?pool graph;
+      spf = Spf_engine.create ?pool ~tracer graph;
+      min_spf = Spf_engine.create ?pool ~tracer graph;
       trace =
         (if config.trace_capacity > 0 then
            Some (Trace.create ~capacity:config.trace_capacity)

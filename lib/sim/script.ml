@@ -161,8 +161,9 @@ let apply t sim = function
     Flow_sim.set_traffic sim (Traffic_matrix.scale t.traffic factor)
   | Adaptive_sources on -> Flow_sim.set_adaptive_sources sim on
 
-let run ?(metric = Metric.Hn_spf) ?(on_period = fun _ _ -> ()) t ~periods =
-  let sim = Flow_sim.create t.graph metric t.traffic in
+let run ?domains ?telemetry ?tracer ?(metric = Metric.Hn_spf)
+    ?(on_period = fun _ _ -> ()) t ~periods =
+  let sim = Flow_sim.create ?domains ?telemetry ?tracer t.graph metric t.traffic in
   let pending = ref t.events in
   for period = 0 to periods - 1 do
     let now = float_of_int period *. Units.routing_period_s in

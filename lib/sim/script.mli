@@ -64,6 +64,9 @@ val lint : string -> error list * t
 val load : string -> (t, string) result
 
 val run :
+  ?domains:int ->
+  ?telemetry:Telemetry.t ->
+  ?tracer:Tracer.t ->
   ?metric:Metric.kind ->
   ?on_period:(Flow_sim.t -> Flow_sim.period_stats -> unit) ->
   t ->
@@ -71,7 +74,9 @@ val run :
   Flow_sim.t
 (** Replay on the flow simulator (initial metric defaults to [Hn_spf]),
     firing each event at the start of its period and calling [on_period]
-    after every step.  Returns the simulator for inspection.
+    after every step.  [domains], [telemetry] and [tracer] pass through to
+    {!Flow_sim.create} — a tracer flight-records every routing period of
+    the replay.  Returns the simulator for inspection.
     @raise Invalid_argument if an event names an unknown node or a pair
     with no direct trunk — impossible for a [t] obtained from {!parse},
     which rejects such references up front. *)

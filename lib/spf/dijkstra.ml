@@ -34,12 +34,20 @@ let edge_weight ~tie_break ~cost lid =
 (* Memoized per-link composite weights: one cost_fn call + range check per
    link per refresh, instead of per edge per source.  Disabled links carry
    the sentinel -1 and are never entered. *)
-let compute_weights ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g ~cost
-    =
+(* Fill a caller-owned table in place.  A plain for-loop rather than
+   [Graph.iter_links]: this runs every routing period on the simulator's
+   steady path, which must not allocate (an [iter_links] closure would). *)
+let compute_weights_into ?(tie_break = `Neutral) ?(enabled = fun _ -> true) g
+    ~cost weights =
+  for i = 0 to Graph.link_count g - 1 do
+    let lid = Link.id_of_int i in
+    weights.(i) <-
+      (if enabled lid then edge_weight ~tie_break ~cost lid else -1)
+  done
+
+let compute_weights ?tie_break ?enabled g ~cost =
   let weights = Array.make (Graph.link_count g) (-1) in
-  Graph.iter_links g (fun (l : Link.t) ->
-      if enabled l.id then
-        weights.(Link.id_to_int l.id) <- edge_weight ~tie_break ~cost l.id);
+  compute_weights_into ?tie_break ?enabled g ~cost weights;
   weights
 
 let composite ~dist ~hops =

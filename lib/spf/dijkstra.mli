@@ -58,6 +58,17 @@ val compute_weights :
     @raise Invalid_argument if any enabled link's cost is outside
     [\[1, max_link_cost\]]. *)
 
+val compute_weights_into :
+  ?tie_break:tie_break ->
+  ?enabled:(Link.id -> bool) ->
+  Graph.t ->
+  cost:(Link.id -> int) ->
+  int array ->
+  unit
+(** {!compute_weights} into a caller-owned array of length
+    [Graph.link_count] — allocation-free, for tables refreshed every
+    routing period. *)
+
 val compute_flat : Graph.t -> weights:int array -> Node.t -> Spf_tree.t
 (** [compute_flat g ~weights root]: the SPF inner loop proper, over a table
     from {!compute_weights}.  [compute ... root] is exactly

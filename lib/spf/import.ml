@@ -8,3 +8,4 @@ module Link = Routing_topology.Link
 module Graph = Routing_topology.Graph
 module Domain_pool = Routing_metric.Domain_pool
 module Traffic_matrix = Routing_topology.Traffic_matrix
+module Tracer = Routing_obs.Tracer

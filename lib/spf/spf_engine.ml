@@ -45,21 +45,31 @@ type t = {
   threshold : float;
   repair : bool;
   repair_grain : int;
+  tracer : Tracer.t;
+  tr_recompute : int; (* interned "spf_recompute" *)
+  tr_repair : int; (* interned "spf_repair" *)
   mutable weights : int array; (* [||] before the first refresh *)
+  mutable weights_scratch : int array;
+      (* the previous table, recycled: each refresh fills it in place,
+         diffs, and swaps — steady periods never allocate a table *)
   trees : Spf_tree.t option array;
   scratch : Dijkstra.scratch; (* caller-domain work arrays, reused forever *)
   repair_scratch : Spf_repair.scratch;
   stats : stats;
 }
 
-let create ?pool ?(threshold = 0.25) ?(repair = true) ?(repair_grain = 256)
-    graph =
+let create ?pool ?(tracer = Tracer.null) ?(threshold = 0.25) ?(repair = true)
+    ?(repair_grain = 256) graph =
   { graph;
     pool;
     threshold;
     repair;
     repair_grain;
+    tracer;
+    tr_recompute = Tracer.intern tracer "spf_recompute";
+    tr_repair = Tracer.intern tracer "spf_repair";
     weights = [||];
+    weights_scratch = [||];
     trees = Array.make (Graph.node_count graph) None;
     scratch = Dijkstra.scratch ();
     repair_scratch = Spf_repair.scratch ();
@@ -88,25 +98,30 @@ let parallel_grain = 16_384
 let recompute t sources =
   let todo = Array.of_list sources in
   let nt = Array.length todo in
-  t.stats.sources_recomputed <- t.stats.sources_recomputed + nt;
-  let weights = t.weights in
-  let g = t.graph in
-  let work = nt * (Graph.node_count g + Graph.link_count g) in
-  match t.pool with
-  | Some pool when Domain_pool.size pool > 1 && work >= parallel_grain ->
-    let chunk =
-      Dijkstra.source_chunk ~sources:nt ~domains:(Domain_pool.size pool)
-    in
-    Domain_pool.parallel_for_with ~chunk pool ~init:Dijkstra.scratch nt
-      (fun s k ->
+  if nt > 0 then begin
+    Tracer.span_begin_range t.tracer t.tr_recompute ~lo:0 ~hi:nt;
+    t.stats.sources_recomputed <- t.stats.sources_recomputed + nt;
+    let weights = t.weights in
+    let g = t.graph in
+    let work = nt * (Graph.node_count g + Graph.link_count g) in
+    (match t.pool with
+    | Some pool when Domain_pool.size pool > 1 && work >= parallel_grain ->
+      let chunk =
+        Dijkstra.source_chunk ~sources:nt ~domains:(Domain_pool.size pool)
+      in
+      Domain_pool.parallel_for_with ~chunk ~label:t.tr_recompute pool
+        ~init:Dijkstra.scratch nt (fun s k ->
+          let i = todo.(k) in
+          t.trees.(i) <-
+            Some (Dijkstra.compute_flat_s s g ~weights (Node.of_int i)))
+    | Some _ | None ->
+      for k = 0 to nt - 1 do
         let i = todo.(k) in
-        t.trees.(i) <- Some (Dijkstra.compute_flat_s s g ~weights (Node.of_int i)))
-  | Some _ | None ->
-    for k = 0 to nt - 1 do
-      let i = todo.(k) in
-      t.trees.(i) <-
-        Some (Dijkstra.compute_flat_s t.scratch g ~weights (Node.of_int i))
-    done
+        t.trees.(i) <-
+          Some (Dijkstra.compute_flat_s t.scratch g ~weights (Node.of_int i))
+      done);
+    Tracer.span_end t.tracer t.tr_recompute
+  end
 
 (* Repair affected trees in place.  Per-tree work is proportional to the
    disturbed region, usually a few nodes, so the fan-out threshold is a
@@ -117,6 +132,7 @@ let repair_trees t sources changes =
   | _ ->
     let todo = Array.of_list sources in
     let nt = Array.length todo in
+    Tracer.span_begin_range t.tracer t.tr_repair ~lo:0 ~hi:nt;
     t.stats.sources_repaired <- t.stats.sources_repaired + nt;
     let weights = t.weights in
     let g = t.graph in
@@ -126,8 +142,8 @@ let repair_trees t sources changes =
       let chunk =
         Dijkstra.source_chunk ~sources:nt ~domains:(Domain_pool.size pool)
       in
-      Domain_pool.parallel_for_with ~chunk pool ~init:Spf_repair.scratch nt
-        (fun s k ->
+      Domain_pool.parallel_for_with ~chunk ~label:t.tr_repair pool
+        ~init:Spf_repair.scratch nt (fun s k ->
           let tree = Option.get t.trees.(todo.(k)) in
           resettled.(k) <- Spf_repair.repair s g ~tree ~weights ~changes);
       t.stats.nodes_resettled <-
@@ -138,7 +154,8 @@ let repair_trees t sources changes =
         t.stats.nodes_resettled <-
           t.stats.nodes_resettled
           + Spf_repair.repair t.repair_scratch g ~tree ~weights ~changes
-      done)
+      done);
+    Tracer.span_end t.tracer t.tr_repair
 
 (* Can this set of weight changes alter [tree]?  See the module comment for
    why "no" here is a proof, not a heuristic. *)
@@ -161,72 +178,97 @@ let affected t tree changes =
       end)
     changes
 
-let refresh ?(wanted = fun _ -> true) ?(enabled = fun _ -> true) t ~cost =
+(* [?wanted] stays an option internally so the steady path never builds
+   the [Node.of_int] wrapper closure the old code allocated per refresh. *)
+let[@inline] wanted_at wanted i =
+  match wanted with None -> true | Some f -> f (Node.of_int i)
+
+let refresh ?wanted ?enabled t ~cost =
   t.stats.refreshes <- t.stats.refreshes + 1;
   let n = Graph.node_count t.graph in
-  let weights = Dijkstra.compute_weights ~enabled t.graph ~cost in
-  let first = Array.length t.weights = 0 in
-  let changes =
-    if first then []
-    else begin
-      let acc = ref [] in
-      for i = Array.length weights - 1 downto 0 do
-        if weights.(i) <> t.weights.(i) then
-          acc := (Link.id_of_int i, t.weights.(i), weights.(i)) :: !acc
-      done;
-      !acc
-    end
-  in
-  t.weights <- weights;
-  let wanted i = wanted (Node.of_int i) in
-  if first then begin
+  if Array.length t.weights = 0 then begin
+    (* First refresh: allocate both tables once; they live forever. *)
+    t.weights <- Dijkstra.compute_weights ?enabled t.graph ~cost;
+    t.weights_scratch <- Array.make (Array.length t.weights) (-1);
     t.stats.full_sweeps <- t.stats.full_sweeps + 1;
     let todo = ref [] in
     for i = n - 1 downto 0 do
-      if wanted i then todo := i :: !todo else t.trees.(i) <- None
-    done;
-    recompute t !todo
-  end
-  else if changes = [] then begin
-    (* Nothing flooded a significant update: every existing tree is still
-       exact; only sources newly wanted need work. *)
-    let todo = ref [] in
-    for i = n - 1 downto 0 do
-      if wanted i && t.trees.(i) = None then todo := i :: !todo
-    done;
-    if !todo = [] then t.stats.skipped <- t.stats.skipped + 1
-    else recompute t !todo;
-    t.stats.sources_reused <-
-      t.stats.sources_reused
-      + Array.fold_left (fun a tr -> if tr = None then a else a + 1) 0 t.trees
-  end
-  else if
-    float_of_int (List.length changes)
-    > t.threshold *. float_of_int (Graph.link_count t.graph)
-  then begin
-    t.stats.full_sweeps <- t.stats.full_sweeps + 1;
-    let todo = ref [] in
-    for i = n - 1 downto 0 do
-      if wanted i then todo := i :: !todo else t.trees.(i) <- None
+      if wanted_at wanted i then todo := i :: !todo else t.trees.(i) <- None
     done;
     recompute t !todo
   end
   else begin
-    let todo = ref [] in
-    let to_repair = ref [] in
-    for i = n - 1 downto 0 do
-      match t.trees.(i) with
-      | Some tree when not (affected t tree changes) ->
-        (* Provably identical to a recompute — keep it, wanted or not. *)
-        t.stats.sources_reused <- t.stats.sources_reused + 1
-      | Some _ ->
-        if not (wanted i) then t.trees.(i) <- None
-        else if t.repair then to_repair := i :: !to_repair
-        else todo := i :: !todo
-      | None -> if wanted i then todo := i :: !todo
+    let w = t.weights_scratch in
+    let old = t.weights in
+    Dijkstra.compute_weights_into ?enabled t.graph ~cost w;
+    let nl = Array.length w in
+    let nchanged = ref 0 in
+    for i = 0 to nl - 1 do
+      if w.(i) <> old.(i) then incr nchanged
     done;
-    repair_trees t !to_repair changes;
-    recompute t !todo
+    if !nchanged = 0 then begin
+      (* Nothing flooded a significant update: every existing tree is
+         still exact; only sources newly wanted need work.  This is the
+         per-period steady path and allocates nothing (unless trees are
+         missing, which only happens right after a wanted-set change). *)
+      let missing = ref 0 in
+      for i = 0 to n - 1 do
+        match t.trees.(i) with
+        | Some _ -> t.stats.sources_reused <- t.stats.sources_reused + 1
+        | None -> if wanted_at wanted i then incr missing
+      done;
+      if !missing = 0 then t.stats.skipped <- t.stats.skipped + 1
+      else begin
+        let todo = ref [] in
+        for i = n - 1 downto 0 do
+          match t.trees.(i) with
+          | None -> if wanted_at wanted i then todo := i :: !todo
+          | Some _ -> ()
+        done;
+        recompute t !todo
+      end
+    end
+    else begin
+      (* Change path (floods happened): swap the tables and fall back to
+         the proof-driven repair/recompute split.  Allocation is fine
+         here — the network itself is churning. *)
+      t.weights <- w;
+      t.weights_scratch <- old;
+      let changes = ref [] in
+      for i = nl - 1 downto 0 do
+        if w.(i) <> old.(i) then
+          changes := (Link.id_of_int i, old.(i), w.(i)) :: !changes
+      done;
+      let changes = !changes in
+      if
+        float_of_int !nchanged
+        > t.threshold *. float_of_int (Graph.link_count t.graph)
+      then begin
+        t.stats.full_sweeps <- t.stats.full_sweeps + 1;
+        let todo = ref [] in
+        for i = n - 1 downto 0 do
+          if wanted_at wanted i then todo := i :: !todo
+        done;
+        recompute t !todo
+      end
+      else begin
+        let todo = ref [] in
+        let to_repair = ref [] in
+        for i = n - 1 downto 0 do
+          match t.trees.(i) with
+          | Some tree when not (affected t tree changes) ->
+            (* Provably identical to a recompute — keep it, wanted or not. *)
+            t.stats.sources_reused <- t.stats.sources_reused + 1
+          | Some _ ->
+            if not (wanted_at wanted i) then t.trees.(i) <- None
+            else if t.repair then to_repair := i :: !to_repair
+            else todo := i :: !todo
+          | None -> if wanted_at wanted i then todo := i :: !todo
+        done;
+        repair_trees t !to_repair changes;
+        recompute t !todo
+      end
+    end
   end
 
 let tree t node =

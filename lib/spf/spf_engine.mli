@@ -39,6 +39,7 @@ type t
 
 val create :
   ?pool:Domain_pool.t ->
+  ?tracer:Tracer.t ->
   ?threshold:float ->
   ?repair:bool ->
   ?repair_grain:int ->
@@ -51,7 +52,13 @@ val create :
     for differential testing and benchmarking).  [repair_grain] (default
     256) is the affected-tree count at or above which repairs fan out over
     [pool] — repairs are usually so cheap that the fan-out only pays off
-    for large batches. *)
+    for large batches.
+
+    [tracer] (default {!Tracer.null}) flight-records the engine:
+    recompute and repair batches become [spf_recompute] / [spf_repair]
+    spans on the calling domain's track, and — when the same tracer's
+    {!Tracer.pool_probe} is installed on [pool] — each worker domain
+    records the chunks of sources it actually ran. *)
 
 val graph : t -> Graph.t
 

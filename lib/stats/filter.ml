@@ -1,28 +1,40 @@
-type ewma = { gain : float; mutable value : float; mutable primed : bool }
+(* [ewma] is deliberately all-float: OCaml stores float-only records flat,
+   so [t.value <- ...] on the per-link hot path writes a raw double instead
+   of boxing.  [primed] rides along as 0. / 1. to keep the record flat. *)
+type ewma = { gain : float; mutable value : float; mutable primed : float }
 
 let ewma ~gain =
   if gain <= 0. || gain > 1. then invalid_arg "Filter.ewma: gain out of (0,1]";
-  { gain; value = 0.; primed = false }
+  { gain; value = 0.; primed = 0. }
 
-let ewma_update t x =
-  if t.primed then t.value <- (t.gain *. x) +. ((1. -. t.gain) *. t.value)
+let[@inline] ewma_update t x =
+  if t.primed <> 0. then t.value <- (t.gain *. x) +. ((1. -. t.gain) *. t.value)
   else begin
     t.value <- x;
-    t.primed <- true
+    t.primed <- 1.
   end;
   t.value
 
-let ewma_value t = t.value
+(* One call per batch instead of one cross-module call per element: dev
+   builds compile interfaces -opaque, so a per-element [ewma_update] from
+   another library boxes its float argument and result. *)
+let ewma_update_into filters ~mask ~values =
+  let n = Array.length filters in
+  for i = 0 to n - 1 do
+    if mask.(i) then values.(i) <- ewma_update filters.(i) values.(i)
+  done
 
-let ewma_is_primed t = t.primed
+let[@inline] ewma_value t = t.value
+
+let[@inline] ewma_is_primed t = t.primed <> 0.
 
 let ewma_reset t =
   t.value <- 0.;
-  t.primed <- false
+  t.primed <- 0.
 
 let ewma_set t x =
   t.value <- x;
-  t.primed <- true
+  t.primed <- 1.
 
 type moving_average = {
   samples : float array;

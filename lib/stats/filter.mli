@@ -16,6 +16,14 @@ val ewma_update : ewma -> float -> float
 (** Feed one sample; returns the new average.  The first sample initializes
     the average directly (no bias toward zero). *)
 
+val ewma_update_into :
+  ewma array -> mask:bool array -> values:float array -> unit
+(** Feed [values.(i)] to [filters.(i)] and store the new average back into
+    [values.(i)], for every [i] with [mask.(i)] set; unmasked entries are
+    left untouched, filter and value alike.  One batch call keeps the float
+    traffic inside this module so allocation-free callers avoid the
+    per-element boxing of a cross-library {!ewma_update}. *)
+
 val ewma_value : ewma -> float
 (** Current average; [0.] before any sample. *)
 

@@ -14,3 +14,4 @@ module Script = Routing_sim.Script
 module Measure = Routing_sim.Measure
 module Obs_json = Routing_obs.Json
 module Obs_metrics = Routing_obs.Metrics
+module Tracer = Routing_obs.Tracer

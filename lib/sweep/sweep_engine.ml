@@ -51,7 +51,7 @@ let preload_texts (spec : Sweep_spec.t) =
     spec.scenarios;
   texts
 
-let builtin_sim (spec : Sweep_spec.t) p =
+let builtin_sim ?tracer (spec : Sweep_spec.t) p =
   let graph =
     match p.scenario with
     | "arpanet" -> Arpanet.topology ()
@@ -64,13 +64,13 @@ let builtin_sim (spec : Sweep_spec.t) p =
     | _ -> Milnet.peak_traffic (Rng.create p.seed) graph
   in
   let traffic = Traffic_matrix.scale peak p.scale in
-  let sim = Flow_sim.create ~domains:1 graph p.metric traffic in
+  let sim = Flow_sim.create ~domains:1 ?tracer graph p.metric traffic in
   for _ = 1 to spec.periods do
     ignore (Flow_sim.step sim)
   done;
   sim
 
-let scripted_sim (spec : Sweep_spec.t) texts p =
+let scripted_sim ?tracer (spec : Sweep_spec.t) texts p =
   let text = Hashtbl.find texts p.scenario in
   let script =
     match Script.parse text with
@@ -87,13 +87,14 @@ let scripted_sim (spec : Sweep_spec.t) texts p =
   Traffic_matrix.iter script.traffic (fun ~src ~dst demand ->
       let jitter = Rng.uniform rng ~lo:0.9 ~hi:1.1 in
       Traffic_matrix.set traffic ~src ~dst (demand *. jitter *. p.scale));
-  Script.run ~metric:p.metric { script with traffic } ~periods:spec.periods
+  Script.run ~domains:1 ?tracer ~metric:p.metric { script with traffic }
+    ~periods:spec.periods
 
-let run_point (spec : Sweep_spec.t) texts p =
+let run_point ?tracer (spec : Sweep_spec.t) texts p =
   let sim =
     match p.scenario with
-    | "arpanet" | "milnet" -> builtin_sim spec p
-    | _ -> scripted_sim spec texts p
+    | "arpanet" | "milnet" -> builtin_sim ?tracer spec p
+    | _ -> scripted_sim ?tracer spec texts p
   in
   let indicators = Flow_sim.indicators sim ~skip:spec.warmup () in
   let registry = Obs_metrics.create () in
@@ -113,7 +114,13 @@ let indicators_json (i : Measure.indicators) =
       ("minimum_path_hops", Obs_json.Float i.minimum_path_hops);
       ("path_ratio", Obs_json.Float i.path_ratio);
       ("dropped_per_s", Obs_json.Float i.dropped_per_s);
-      ("overhead_bps", Obs_json.Float i.overhead_bps)
+      ("overhead_bps", Obs_json.Float i.overhead_bps);
+      ("delay_p50_ms", Obs_json.Float i.delay_p50_ms);
+      ("delay_p95_ms", Obs_json.Float i.delay_p95_ms);
+      ("delay_p99_ms", Obs_json.Float i.delay_p99_ms);
+      ("route_changes_per_period", Obs_json.Float i.route_changes_per_period);
+      ("next_hop_flips_per_period", Obs_json.Float i.next_hop_flips_per_period);
+      ("link_flips_per_period", Obs_json.Float i.link_flips_per_period)
     ]
 
 let outcome_json o =
@@ -126,14 +133,26 @@ let outcome_json o =
       ("indicators", indicators_json o.indicators)
     ]
 
-let run ?(domains = Domain_pool.default_size ()) (spec : Sweep_spec.t) =
+let run ?(domains = Domain_pool.default_size ()) ?(tracer = Tracer.null)
+    (spec : Sweep_spec.t) =
   let pts = Array.of_list (points spec) in
   let texts = preload_texts spec in
   let n = Array.length pts in
   let slots = Array.make n None in
-  let one i = slots.(i) <- Some (run_point spec texts pts.(i)) in
+  (* Each point's whole simulation is one span on the track of whichever
+     domain ran it, index range in the args — Perfetto shows the sweep's
+     work distribution directly. *)
+  let tr_point = Tracer.intern tracer "sweep_point" in
+  let one i =
+    Tracer.span_begin_range tracer tr_point ~lo:i ~hi:(i + 1);
+    let r = run_point ~tracer spec texts pts.(i) in
+    Tracer.span_end tracer tr_point;
+    slots.(i) <- Some r
+  in
   (if domains > 1 && n > 1 then (
      let pool = Domain_pool.create domains in
+     if Tracer.enabled tracer then
+       Domain_pool.set_probe pool (Some (Tracer.pool_probe tracer));
      Fun.protect
        ~finally:(fun () -> Domain_pool.shutdown pool)
        (fun () -> Domain_pool.parallel_for pool n one))
@@ -174,7 +193,9 @@ let csv_columns =
   [ "index"; "scenario"; "metric"; "scale"; "seed"; "elapsed_s";
     "internode_traffic_bps"; "round_trip_delay_ms"; "updates_per_s";
     "update_period_per_node_s"; "actual_path_hops"; "minimum_path_hops";
-    "path_ratio"; "dropped_per_s"; "overhead_bps" ]
+    "path_ratio"; "dropped_per_s"; "overhead_bps"; "delay_p50_ms";
+    "delay_p95_ms"; "delay_p99_ms"; "route_changes_per_period";
+    "next_hop_flips_per_period"; "link_flips_per_period" ]
 
 let csv report =
   let buf = Buffer.create 1024 in
@@ -190,7 +211,10 @@ let csv report =
         num i.internode_traffic_bps; num i.round_trip_delay_ms;
         num i.updates_per_s; num i.update_period_per_node_s;
         num i.actual_path_hops; num i.minimum_path_hops; num i.path_ratio;
-        num i.dropped_per_s; num i.overhead_bps ]
+        num i.dropped_per_s; num i.overhead_bps; num i.delay_p50_ms;
+        num i.delay_p95_ms; num i.delay_p99_ms;
+        num i.route_changes_per_period; num i.next_hop_flips_per_period;
+        num i.link_flips_per_period ]
       |> String.concat "," |> Buffer.add_string buf;
       Buffer.add_char buf '\n')
     report.outcomes;

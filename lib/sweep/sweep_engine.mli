@@ -35,15 +35,24 @@ val points : Sweep_spec.t -> point list
 (** The grid in execution order: scenarios outermost, then metrics,
     scales, seeds. *)
 
-val run : ?domains:int -> Sweep_spec.t -> report
+val run : ?domains:int -> ?tracer:Tracer.t -> Sweep_spec.t -> report
 (** Run every point.  [domains] (default {!Domain_pool.default_size})
     sizes the pool points are distributed over; each point's simulator
     runs with [~domains:1] so pools never nest.  Scenario files are read
     once and re-parsed per point, keeping concurrently running points
     free of shared mutable state.
+
+    [tracer] (default {!Tracer.null}) flight-records the sweep: each
+    point becomes a ["sweep_point"] span (point index in its args) on the
+    track of whichever worker domain ran it, the pool's chunk draining is
+    probed, and inside every point the simulator's routing periods, SPF
+    refreshes and floods record as usual.  The tracer never influences
+    the report — reports stay byte-identical with or without one.
     @raise Invalid_argument if a scenario file fails to parse (lint
     first — [arpanet_sweep] does) and [Sys_error] if one is unreadable. *)
 
 val csv : report -> string
-(** One header line plus one row per point: grid coordinates then the
-    ten Table-1 indicator columns. *)
+(** One header line plus one row per point: grid coordinates, the ten
+    Table-1 indicator columns, the streamed one-way delay percentiles
+    (p50/p95/p99, ms) and the per-period route-change counters (routes
+    changed, A→B→A next-hop flips, per-link cost direction flips). *)

@@ -31,7 +31,7 @@ let medium = function
 
 let is_satellite t = medium t = Satellite
 
-let bandwidth_bps = function
+let[@inline] bandwidth_bps = function
   | T9_6 | S9_6 -> 9_600.
   | T56 | S56 -> 56_000.
   | T112 | S112 -> 112_000.

@@ -21,9 +21,9 @@ type t = {
   reverse : id;
 }
 
-let capacity_bps t = Line_type.bandwidth_bps t.line_type
+let[@inline] capacity_bps t = Line_type.bandwidth_bps t.line_type
 
-let transmission_s t ~bits = bits /. capacity_bps t
+let[@inline] transmission_s t ~bits = bits /. capacity_bps t
 
 let equal a b = id_equal a.id b.id
 

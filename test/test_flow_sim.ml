@@ -6,6 +6,7 @@ module Flow_sim = Routing_sim.Flow_sim
 module Measure = Routing_sim.Measure
 module Metric = Routing_metric.Metric
 module Rng = Routing_stats.Rng
+module Tracer = Routing_obs.Tracer
 
 (* The Fig 1 scenario: two regions, two equal bridges, heavy inter-region
    load (~74% of combined bridge capacity). *)
@@ -282,6 +283,124 @@ let test_indicators_validation () =
   Alcotest.(check int) "period index" 1 (Flow_sim.period_index sim);
   Alcotest.(check (float 1e-9)) "time" 10. (Flow_sim.time_s sim)
 
+(* ROADMAP item 4's allocation-regression gate: a steady-state routing
+   period must allocate zero minor words.  Measured with [Gc.minor_words]
+   (noalloc, unboxed) deltas around [tick], which appends to preallocated
+   history columns instead of consing records. *)
+let measure_tick_words sim ~warmup ~measured =
+  for _ = 1 to warmup do
+    Flow_sim.tick sim
+  done;
+  let deltas = Array.make measured 0. in
+  for k = 0 to measured - 1 do
+    let before = Gc.minor_words () in
+    Flow_sim.tick sim;
+    deltas.(k) <- Gc.minor_words () -. before
+  done;
+  deltas
+
+let test_static_steady_state_allocates_nothing () =
+  let g, tm, _, _ = two_region_setup () in
+  let sim = Flow_sim.create ~domains:1 g Metric.Static_capacity tm in
+  let deltas = measure_tick_words sim ~warmup:30 ~measured:10 in
+  Array.iteri
+    (fun k d ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "static metric, period %d allocates nothing" k)
+        0. d)
+    deltas
+
+let test_hnspf_quiet_periods_allocate_nothing () =
+  (* Under HN-SPF the 50-second re-flood timer fires every 5 periods even
+     in steady state, and flood periods legitimately allocate (update
+     records, broadcast bookkeeping).  The gate applies to the quiet
+     periods in between — and must hold even with a live flight recorder
+     attached (untimed clock), the tentpole's no-per-event-allocation
+     claim. *)
+  let g, tm, _, _ = two_region_setup () in
+  let tracer = Tracer.create () in
+  let sim = Flow_sim.create ~domains:1 ~tracer g Metric.Hn_spf tm in
+  let warmup = 30 and measured = 12 in
+  let deltas = measure_tick_words sim ~warmup ~measured in
+  let history = Array.of_list (Flow_sim.history sim) in
+  let quiet = ref 0 in
+  Array.iteri
+    (fun k d ->
+      let stats = history.(warmup + k) in
+      if stats.Flow_sim.updates = 0 then begin
+        incr quiet;
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "quiet period %d allocates nothing" k)
+          0. d
+      end)
+    deltas;
+  Alcotest.(check bool)
+    (Printf.sprintf "gate exercised on quiet periods (%d/%d)" !quiet measured)
+    true (!quiet > 0);
+  Alcotest.(check bool) "tracer recorded period spans" true
+    (Tracer.slots tracer > 0 && Tracer.slot_recorded tracer 0 > 0)
+
+let test_route_change_counters () =
+  let g, tm, _, _ = two_region_setup () in
+  (* D-SPF's oscillation is route flapping by definition: flows stampede
+     between the bridges every period, so route changes, A->B->A next-hop
+     flips and link cost direction flips all accumulate. *)
+  let sim = Flow_sim.create g Metric.D_spf tm in
+  ignore (Flow_sim.run sim ~periods:20);
+  let routes, nh, links = Flow_sim.route_change_totals sim in
+  Alcotest.(check bool)
+    (Printf.sprintf "D-SPF flaps routes (%d changes)" routes)
+    true (routes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "D-SPF flips next hops A->B->A (%d)" nh)
+    true (nh > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "D-SPF flips link cost directions (%d)" links)
+    true (links > 0);
+  (* Totals are exactly the per-period sums. *)
+  let sum f =
+    List.fold_left (fun acc s -> acc + f s) 0 (Flow_sim.history sim)
+  in
+  Alcotest.(check int) "routes total" routes
+    (sum (fun s -> s.Flow_sim.routes_changed));
+  Alcotest.(check int) "next-hop flips total" nh
+    (sum (fun s -> s.Flow_sim.next_hop_flips));
+  Alcotest.(check int) "link flips total" links
+    (sum (fun s -> s.Flow_sim.link_flips));
+  (* Indicators expose the same counters per period. *)
+  let i = Flow_sim.indicators sim () in
+  Alcotest.(check (float 1e-9)) "routes/period"
+    (float_of_int routes /. 20.)
+    i.Measure.route_changes_per_period;
+  Alcotest.(check (float 1e-9)) "nh flips/period"
+    (float_of_int nh /. 20.)
+    i.Measure.next_hop_flips_per_period;
+  Alcotest.(check (float 1e-9)) "link flips/period"
+    (float_of_int links /. 20.)
+    i.Measure.link_flips_per_period;
+  (* HN-SPF's bounded movement quiets all three counters on the same
+     workload (it may still adjust, but not flap every period). *)
+  let hn = Flow_sim.create g Metric.Hn_spf tm in
+  ignore (Flow_sim.run hn ~periods:20);
+  let hn_routes, _, _ = Flow_sim.route_change_totals hn in
+  Alcotest.(check bool)
+    (Printf.sprintf "HN-SPF changes fewer routes (%d vs %d)" hn_routes routes)
+    true
+    (hn_routes < routes)
+
+let test_delay_percentile_indicators () =
+  let g, tm, _, _ = two_region_setup () in
+  let sim = Flow_sim.create g Metric.Hn_spf tm in
+  ignore (Flow_sim.run sim ~periods:20);
+  let i = Flow_sim.indicators sim () in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 <= p95 <= p99 (%.2f/%.2f/%.2f ms)" i.Measure.delay_p50_ms
+       i.Measure.delay_p95_ms i.Measure.delay_p99_ms)
+    true
+    (i.Measure.delay_p50_ms > 0.
+    && i.Measure.delay_p50_ms <= i.Measure.delay_p95_ms
+    && i.Measure.delay_p95_ms <= i.Measure.delay_p99_ms)
+
 let test_history_order () =
   let g, tm, _, _ = two_region_setup () in
   let sim = Flow_sim.create g Metric.Hn_spf tm in
@@ -311,4 +430,13 @@ let () =
             test_indicators_validation;
           Alcotest.test_case "history order" `Quick test_history_order ]
         @ List.map QCheck_alcotest.to_alcotest
-            [ prop_flow_conservation; prop_survives_random_link_flaps ] ) ]
+            [ prop_flow_conservation; prop_survives_random_link_flaps ] );
+      ( "allocation gate",
+        [ Alcotest.test_case "static metric steady state" `Quick
+            test_static_steady_state_allocates_nothing;
+          Alcotest.test_case "HN-SPF quiet periods (traced)" `Quick
+            test_hnspf_quiet_periods_allocate_nothing ] );
+      ( "route changes",
+        [ Alcotest.test_case "counters" `Quick test_route_change_counters;
+          Alcotest.test_case "delay percentiles" `Quick
+            test_delay_percentile_indicators ] ) ]

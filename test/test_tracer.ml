@@ -1,0 +1,234 @@
+(* Tests for the flight recorder: ring accounting under wraparound,
+   well-nestedness and time-ordering of recorded streams (qcheck over
+   random span programs), byte-deterministic Chrome trace-event export
+   with a JSON round-trip and digest, and multi-domain recording through
+   the pool probe. *)
+
+module Json = Routing_obs.Json
+module Tracer = Routing_obs.Tracer
+module Trace_export = Routing_obs.Trace_export
+module Sink = Routing_obs.Sink
+module Metrics = Routing_obs.Metrics
+module Gc_account = Routing_obs.Gc_account
+module Telemetry = Routing_obs.Telemetry
+module Domain_pool = Routing_metric.Domain_pool
+
+(* --- ring accounting --- *)
+
+let test_wraparound () =
+  let t = Tracer.create ~capacity:16 () in
+  let ev = Tracer.intern t "tick" in
+  for i = 0 to 49 do
+    Tracer.instant t ev ~arg:i
+  done;
+  Alcotest.(check int) "one slot" 1 (Tracer.slots t);
+  Alcotest.(check int) "recorded" 50 (Tracer.slot_recorded t 0);
+  Alcotest.(check int) "dropped" 34 (Tracer.slot_dropped t 0);
+  Alcotest.(check int) "total dropped" 34 (Tracer.dropped t);
+  (* The retained window is the newest [capacity] events, oldest first,
+     with their original sequence timestamps. *)
+  let args = ref [] and last_ts = ref neg_infinity in
+  Tracer.iter_slot t 0 (fun ~ts ~kind ~name ~a ~b:_ ->
+      Alcotest.(check bool) "instant kind" true (kind = Tracer.Instant);
+      Alcotest.(check string) "name survives" "tick" (Tracer.name t name);
+      Alcotest.(check bool) "ts increases" true (ts > !last_ts);
+      last_ts := ts;
+      args := a :: !args);
+  Alcotest.(check (list int))
+    "newest 16 retained, in order"
+    (List.init 16 (fun i -> 34 + i))
+    (List.rev !args)
+
+let test_null_tracer () =
+  Alcotest.(check bool) "disabled" false (Tracer.enabled Tracer.null);
+  Alcotest.(check int) "intern is 0" 0 (Tracer.intern Tracer.null "x");
+  Tracer.span_begin Tracer.null 0;
+  Tracer.span_end Tracer.null 0;
+  Tracer.instant Tracer.null 0 ~arg:1;
+  Tracer.counter Tracer.null 0 ~value:2;
+  Alcotest.(check int) "no slots" 0 (Tracer.slots Tracer.null);
+  match Trace_export.digest (Trace_export.chrome_json Tracer.null) with
+  | Ok d -> Alcotest.(check int) "no events" 0 d.Trace_export.total_events
+  | Error e -> Alcotest.fail e
+
+let test_telemetry_default_null () =
+  let tele = Telemetry.create () in
+  Alcotest.(check bool)
+    "telemetry without a tracer records nothing" false
+    (Tracer.enabled (Telemetry.tracer tele))
+
+(* --- qcheck: random span programs stay well-nested and time-ordered --- *)
+
+(* A program is a tree of named spans with instants at the leaves.  Replay
+   records it; the checks below re-derive the nesting from the ring. *)
+type program = Leaf of int | Node of int * program list
+
+let program_gen =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 5) @@ fix (fun self n ->
+      if n = 0 then map (fun i -> Leaf i) (int_range 0 99)
+      else
+        oneof
+          [ map (fun i -> Leaf i) (int_range 0 99);
+            map2
+              (fun name children -> Node (name, children))
+              (int_range 0 7)
+              (list_size (int_range 0 3) (self (n - 1))) ])
+
+let rec replay t ids = function
+  | Leaf arg -> Tracer.instant t ids.(0) ~arg
+  | Node (name, children) ->
+    Tracer.span_begin t ids.(1 + name);
+    List.iter (replay t ids) children;
+    Tracer.span_end t ids.(1 + name)
+
+let prop_well_nested_time_ordered =
+  QCheck2.Test.make ~name:"tracer stream is well-nested and time-ordered"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 0 8) program_gen)
+    (fun programs ->
+      let t = Tracer.create ~capacity:65536 () in
+      let ids = Array.init 9 (fun i ->
+          Tracer.intern t (if i = 0 then "leaf" else Printf.sprintf "s%d" i))
+      in
+      List.iter (replay t ids) programs;
+      let stack = ref [] in
+      let last_ts = ref neg_infinity in
+      let ok = ref true in
+      Tracer.iter_slot t 0 (fun ~ts ~kind ~name ~a:_ ~b:_ ->
+          if ts <= !last_ts then ok := false;
+          last_ts := ts;
+          match kind with
+          | Tracer.Begin -> stack := name :: !stack
+          | Tracer.End -> (
+            match !stack with
+            | top :: rest when top = name -> stack := rest
+            | _ -> ok := false)
+          | Tracer.Instant | Tracer.Counter -> ());
+      !ok && !stack = [] && Tracer.dropped t = 0)
+
+(* --- Chrome export --- *)
+
+(* A fixed little scenario shared by the determinism and digest tests:
+   two nested spans with a counter and an instant inside. *)
+let record_fixture () =
+  let t = Tracer.create ~capacity:64 () in
+  let period = Tracer.intern t "period" in
+  let refresh = Tracer.intern t "refresh" in
+  let drops = Tracer.intern t "drops" in
+  for i = 0 to 2 do
+    Tracer.span_begin_range t period ~lo:i ~hi:(i + 1);
+    Tracer.span_begin t refresh;
+    Tracer.instant t refresh ~arg:i;
+    Tracer.span_end t refresh;
+    Tracer.counter t drops ~value:(10 * i);
+    Tracer.span_end t period
+  done;
+  t
+
+let test_chrome_byte_deterministic () =
+  let render () = Json.to_string (Trace_export.chrome_json (record_fixture ())) in
+  let a = render () and b = render () in
+  Alcotest.(check string) "identical bytes across runs" a b
+
+let test_chrome_roundtrip_and_digest () =
+  let t = record_fixture () in
+  let json = Trace_export.chrome_json t in
+  (* The export survives the repo's own JSON codec. *)
+  let reparsed =
+    match Json.of_string (Json.to_string json) with
+    | Ok j -> j
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "round-trips" true (Json.equal reparsed json);
+  match Trace_export.digest reparsed with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    (* 3 iterations x (2 B + 2 E + 1 instant + 1 counter) = 18 events. *)
+    Alcotest.(check int) "events" 18 d.Trace_export.total_events;
+    Alcotest.(check int) "dropped" 0 d.Trace_export.dropped;
+    Alcotest.(check (list (pair int int)))
+      "one track, all events" [ (0, 18) ] d.Trace_export.tracks;
+    (* Untimed clock: durations are sequence-number differences.  Each
+       period span opens at s and closes at s+5; each refresh at s+1 and
+       s+3. *)
+    Alcotest.(check bool)
+      "span totals" true
+      (List.assoc "period" d.Trace_export.span_totals = 15.
+      && List.assoc "refresh" d.Trace_export.span_totals = 6.)
+
+let test_to_sink_counts () =
+  let t = record_fixture () in
+  let sink = Sink.buffer () in
+  Trace_export.to_sink t sink;
+  Alcotest.(check int) "one JSONL line per event" 18 (Sink.emitted sink)
+
+(* --- multi-domain recording through the pool probe --- *)
+
+let test_pool_probe_multi_domain () =
+  let t = Tracer.create () in
+  let pool = Domain_pool.create 3 in
+  Domain_pool.set_probe pool (Some (Tracer.pool_probe t));
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () -> Domain_pool.parallel_for pool 64 (fun _ -> ()));
+  Alcotest.(check bool) "some domain recorded" true (Tracer.slots t >= 1);
+  (* Every track is independently well-nested (chunk spans never
+     interleave within a domain). *)
+  for slot = 0 to Tracer.slots t - 1 do
+    let depth = ref 0 in
+    Tracer.iter_slot t slot (fun ~ts:_ ~kind ~name:_ ~a:_ ~b:_ ->
+        match kind with
+        | Tracer.Begin -> incr depth
+        | Tracer.End ->
+          decr depth;
+          if !depth < 0 then Alcotest.fail "unbalanced track"
+        | Tracer.Instant | Tracer.Counter -> ());
+    Alcotest.(check int)
+      (Printf.sprintf "slot %d balanced" slot)
+      0 !depth
+  done;
+  match Trace_export.digest (Trace_export.chrome_json t) with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check int)
+      "digest covers every track"
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 d.Trace_export.tracks)
+      d.Trace_export.total_events
+
+(* --- GC accounting --- *)
+
+let test_gc_account_deltas () =
+  let reg = Metrics.create () in
+  let acc = Gc_account.create reg ~scope:"test" in
+  let sink = ref [] in
+  Gc_account.with_ acc (fun () ->
+      for i = 0 to 999 do
+        sink := (i, float_of_int i) :: !sink
+      done);
+  Alcotest.(check int) "one section" 1 (Gc_account.sections acc);
+  Alcotest.(check bool)
+    "boxed conses show up as minor words" true
+    (Gc_account.minor_words acc > 0)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "routing_tracer"
+    [ ( "ring",
+        [ Alcotest.test_case "wraparound accounting" `Quick test_wraparound;
+          Alcotest.test_case "null tracer" `Quick test_null_tracer;
+          Alcotest.test_case "telemetry default" `Quick
+            test_telemetry_default_null ]
+        @ qsuite [ prop_well_nested_time_ordered ] );
+      ( "chrome",
+        [ Alcotest.test_case "byte-deterministic" `Quick
+            test_chrome_byte_deterministic;
+          Alcotest.test_case "round-trip and digest" `Quick
+            test_chrome_roundtrip_and_digest;
+          Alcotest.test_case "to_sink counts" `Quick test_to_sink_counts ] );
+      ( "domains",
+        [ Alcotest.test_case "pool probe" `Quick test_pool_probe_multi_domain ]
+      );
+      ( "gc",
+        [ Alcotest.test_case "account deltas" `Quick test_gc_account_deltas ]
+      ) ]
