@@ -1,5 +1,6 @@
 (* arpanet_check — static analyzer for topologies, HNM parameter tables,
-   scenario scripts, and the SPF source path.
+   scenario scripts, the SPF source path, and the build's own compiled
+   artifacts.
 
      dune exec bin/arpanet_check.exe -- scenarios/*.scn
      dune exec bin/arpanet_check.exe -- --params my_table.json net.scn
@@ -7,14 +8,19 @@
      dune exec bin/arpanet_check.exe -- --sweep scenarios/paper_sweep.json
      dune exec bin/arpanet_check.exe -- --gen wax100k.json
      dune exec bin/arpanet_check.exe -- --json net.scn
+     dune clean && DUNE_CACHE=disabled dune build --profile check \
+       --sandbox none @all \
+       && _build/default/bin/arpanet_check.exe --alloc
+     dune exec bin/arpanet_check.exe -- --domains-lint
 
    Produces compiler-style diagnostics (stable codes T0xx topology and
    generator specs,
    P0xx parameter tables, S0xx scenario scripts, S1xx sweep specs,
    R0xx loop stability,
-   L0xx source lint; see DESIGN.md §8 for the catalogue) and exits with
-   the maximum severity found: 0 ok/info, 1 warnings, 2 errors.  With
-   no arguments it lints the built-in parameter table. *)
+   L0xx source lint, A0xx hot-path allocation analysis, D0xx
+   domain-safety lint; see DESIGN.md §8 for the catalogue) and exits
+   with the maximum severity found: 0 ok/info, 1 warnings, 2 errors.
+   With no arguments it lints the built-in parameter table. *)
 
 open Routing_topology
 module Diagnostic = Routing_check.Diagnostic
@@ -24,6 +30,8 @@ module Stability_check = Routing_check.Stability_check
 module Src_check = Routing_check.Src_check
 module Sweep_check = Routing_check.Sweep_check
 module Generator_check = Routing_check.Generator_check
+module Alloc_check = Routing_check.Alloc_check
+module Domains_check = Routing_check.Domains_check
 module Obs_json = Routing_obs.Json
 module Rng = Routing_stats.Rng
 
@@ -38,8 +46,8 @@ let reference_stability (params : Params_check.file) =
     ~movement_limits:params.Params_check.movement_limits
     ~entries:params.Params_check.entries g tm
 
-let run scenario_files sweep_files gen_files params_file src_root no_stability
-    json quiet =
+let run scenario_files sweep_files gen_files params_file src_root alloc
+    domains_lint build_dir no_stability json quiet =
   let params_diags, params =
     match params_file with
     | None -> ([], None)
@@ -67,7 +75,8 @@ let run scenario_files sweep_files gen_files params_file src_root no_stability
   let default_table_diags =
     if
       scenario_files = [] && sweep_files = [] && gen_files = []
-      && params_file = None && src_root = None
+      && params_file = None && src_root = None && not alloc
+      && not domains_lint
     then Checker.check_default_table ()
     else []
   in
@@ -76,9 +85,18 @@ let run scenario_files sweep_files gen_files params_file src_root no_stability
     | None -> []
     | Some root -> Src_check.check_tree ~root
   in
+  (* The artifact passes scan the library tree only: fixtures under
+     test/ carry deliberately bad artifacts. *)
+  let artifact_roots = [ Filename.concat build_dir "lib" ] in
+  let alloc_diags = if alloc then Alloc_check.check ~roots:artifact_roots else [] in
+  let domains_diags =
+    if domains_lint then Domains_check.check ~roots:artifact_roots else []
+  in
   let diags =
-    params_diags @ reference_diags @ scenario_diags @ sweep_diags @ gen_diags
-    @ default_table_diags @ src_diags
+    Diagnostic.merge
+      (params_diags @ reference_diags @ scenario_diags @ sweep_diags
+     @ gen_diags @ default_table_diags @ src_diags @ alloc_diags
+     @ domains_diags)
   in
   if json then
     print_endline (Obs_json.to_string_pretty (Diagnostic.report_to_json diags))
@@ -93,7 +111,8 @@ let run scenario_files sweep_files gen_files params_file src_root no_stability
     Diagnostic.pp_report Format.std_formatter shown;
     if
       scenario_files = [] && sweep_files = [] && gen_files = []
-      && params_file = None && src_root = None
+      && params_file = None && src_root = None && not alloc
+      && not domains_lint
     then
       Format.printf
         "(no inputs: checked the built-in HNM parameter table; see --help)@."
@@ -141,6 +160,34 @@ let cmd =
              ~doc:"Lint OCaml sources under $(docv) for constructs banned \
                    in the Domain-parallel SPF path (L0xx).")
   in
+  let alloc =
+    Arg.(value & flag
+         & info [ "alloc" ]
+             ~doc:"Run the A0xx hot-path allocation analysis: prove every \
+                   [@@hot_path]-annotated function allocation-free against \
+                   the compiler's Cmm dumps.  Needs a $(b,--profile check) \
+                   build (see the root dune file): $(b,dune clean && \
+                   DUNE_CACHE=disabled dune build --profile check \
+                   --sandbox none @all), then invoke the built binary \
+                   directly ($(b,_build/default/bin/arpanet_check.exe \
+                   --alloc)) — running through $(b,dune exec) prunes the \
+                   dumps again.")
+  in
+  let domains_lint =
+    Arg.(value & flag
+         & info [ "domains-lint" ]
+             ~doc:"Run the D0xx domain-safety lint over the build's typed \
+                   ASTs: flag shared mutable state captured by closures \
+                   passed to Domain_pool.parallel_for without per-worker \
+                   scratch or Atomic.")
+  in
+  let build_dir =
+    Arg.(value & opt string "_build/default"
+         & info [ "build-dir" ] ~docv:"DIR"
+             ~doc:"Where $(b,--alloc) and $(b,--domains-lint) look for \
+                   .cmt and .cmx.dump artifacts (their lib/ subtree is \
+                   scanned).")
+  in
   let no_stability =
     Arg.(value & flag
          & info [ "no-stability" ]
@@ -169,6 +216,7 @@ let cmd =
                finding is a warning; 2 on errors." ])
     Term.(
       const run $ scenarios $ sweep_files $ gen_files $ params_file
-      $ src_root $ no_stability $ json $ quiet)
+      $ src_root $ alloc $ domains_lint $ build_dir $ no_stability $ json
+      $ quiet)
 
 let () = exit (Cmd.eval' cmd)

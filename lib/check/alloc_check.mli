@@ -1,0 +1,19 @@
+(** A0xx — hot-path allocation analysis over compiler-emitted Cmm dumps.
+
+    Functions annotated [@@hot_path] are the steady-state paths the
+    simulator runs every routing period; the performance model (and the
+    ROADMAP's zero-allocation gate) requires them not to allocate.  This
+    pass reads the allowlist out of the build's [.cmt] files, locates
+    each annotated function's compiled body in its unit's
+    [<module>.cmx.dump] (emitted by [dune build --profile check], see the
+    root dune file), and reports every allocation site the compiler
+    placed there — [A001] errors with the source [file:line] the
+    compiler recorded, [A002] when an annotated function has no dump
+    coverage, [A003]/[A000] for artifact problems, [A004] as an info
+    summary.  Catalogue in DESIGN.md §8. *)
+
+val check : roots:string list -> Diagnostic.t list
+(** [check ~roots] scans the directories (typically
+    [_build/default/lib]) recursively for [.cmt] and [.cmx.dump]
+    artifacts and cross-checks them.  Diagnostics come back in emission
+    order; callers merge and sort. *)

@@ -1,0 +1,69 @@
+(* Shared plumbing for the artifact-driven passes: finding build
+   artifacts and reading typed ASTs out of .cmt files via compiler-libs.
+   Nothing here emits diagnostics — the passes (Alloc_check,
+   Domains_check) own their codes. *)
+
+let rec find_files ~ext acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    (* Deterministic traversal order regardless of filesystem. *)
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc e ->
+        let path = Filename.concat dir e in
+        if (try Sys.is_directory path with Sys_error _ -> false) then
+          find_files ~ext acc path
+        else if Filename.check_suffix e ext then path :: acc
+        else acc)
+      acc entries
+
+let find_all ~ext roots =
+  List.rev (List.fold_left (find_files ~ext) [] roots)
+
+type cmt = {
+  path : string;
+  modname : string;  (* the compilation unit, e.g. "Routing_spf__Dijkstra" *)
+  structure : Typedtree.structure;
+}
+
+let read_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception _ ->
+    Error "unreadable .cmt (truncated, or built by a different compiler)"
+  | cmt -> (
+    match cmt.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation structure ->
+      Ok { path; modname = cmt.Cmt_format.cmt_modname; structure }
+    | _ -> Error "no implementation annotations (interface-only .cmt)")
+
+let has_attr name attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      String.equal a.Parsetree.attr_name.Location.txt name)
+    attrs
+
+type annotated = { name : string; file : string; line : int }
+
+(* Every [@@hot_path]-annotated value binding in the structure, at any
+   nesting depth, in source order.  Only simple [let f ... = ...]
+   bindings are recognized — a pattern binding cannot name a function in
+   the native dump anyway. *)
+let hot_path_bindings structure =
+  let out = ref [] in
+  let value_binding sub vb =
+    (match vb.Typedtree.vb_pat.Typedtree.pat_desc with
+    | Typedtree.Tpat_var (id, _)
+      when has_attr "hot_path" vb.Typedtree.vb_attributes ->
+      let pos = vb.Typedtree.vb_loc.Location.loc_start in
+      out :=
+        { name = Ident.name id;
+          file = pos.Lexing.pos_fname;
+          line = pos.Lexing.pos_lnum }
+        :: !out
+    | _ -> ());
+    Tast_iterator.default_iterator.value_binding sub vb
+  in
+  let it = { Tast_iterator.default_iterator with value_binding } in
+  it.structure it structure;
+  List.rev !out

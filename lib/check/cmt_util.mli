@@ -1,0 +1,26 @@
+(** Build-artifact plumbing shared by the whole-program passes
+    ({!Alloc_check}, {!Domains_check}): artifact discovery and typed-AST
+    access via compiler-libs. *)
+
+val find_all : ext:string -> string list -> string list
+(** Every file under the root directories (recursively) whose name ends
+    in [ext], in a deterministic order.  Unreadable directories are
+    silently skipped. *)
+
+type cmt = {
+  path : string;
+  modname : string;
+      (** the compilation unit name, e.g. ["Routing_spf__Dijkstra"] —
+          matches the [caml<unit>.] prefix of native symbols *)
+  structure : Typedtree.structure;
+}
+
+val read_cmt : string -> (cmt, string) result
+(** Load a [.cmt] produced by this compiler.  [Error] carries a short
+    reason suitable for a diagnostic message. *)
+
+type annotated = { name : string; file : string; line : int }
+
+val hot_path_bindings : Typedtree.structure -> annotated list
+(** All [let f … = … [@@hot_path]] bindings in the structure, at any
+    depth, in source order. *)

@@ -45,13 +45,44 @@ let exit_code diags = severity_rank (max_severity diags)
 let count severity diags =
   List.length (List.filter (fun d -> d.severity = severity) diags)
 
+(* Total order: every field participates, so equal keys mean equal
+   diagnostics and the sorted report is byte-identical no matter what
+   order the passes ran in (locationless diagnostics sort first under the
+   empty file name). *)
+let sort_key d =
+  match d.location with
+  | None -> ("", max_int, d.code, severity_rank d.severity, d.message)
+  | Some { file; line } ->
+    ( file,
+      Option.value line ~default:0,
+      d.code,
+      severity_rank d.severity,
+      d.message )
+
 let sort diags =
-  let key d =
-    match d.location with
-    | None -> ("", max_int, d.code)
-    | Some { file; line } -> (file, Option.value line ~default:0, d.code)
+  List.stable_sort (fun a b -> compare (sort_key a) (sort_key b)) diags
+
+(* Two passes reporting the same code at the same location collapse to
+   one diagnostic: the highest severity wins, and among messages at that
+   severity the lexicographically least.  Merging after sorting keeps the
+   result a pure function of the diagnostic *set*. *)
+let merge diags =
+  let same_site a b = a.code = b.code && a.location = b.location in
+  let rec dedup = function
+    | [] -> []
+    | d :: rest ->
+      let dups, rest = List.partition (same_site d) rest in
+      let group = d :: dups in
+      let sev = max_severity group in
+      let best =
+        group
+        |> List.filter (fun x -> x.severity = sev)
+        |> List.map (fun x -> x.message)
+        |> List.sort compare |> List.hd
+      in
+      { d with severity = sev; message = best } :: dedup rest
   in
-  List.stable_sort (fun a b -> compare (key a) (key b)) diags
+  sort (dedup diags)
 
 let pp ppf d =
   (match d.location with
@@ -81,9 +112,41 @@ let to_json d =
   in
   Obs_json.Obj (fields @ [ ("message", Obs_json.String d.message) ])
 
+(* "T002" -> "T0xx", "S101" -> "S1xx": the letter prefix plus the first
+   digit name a family; the catalogue in DESIGN.md §8 is organized the
+   same way. *)
+let family code =
+  let n = String.length code in
+  let i = ref 0 in
+  while !i < n && not (code.[!i] >= '0' && code.[!i] <= '9') do incr i done;
+  if !i < n then String.sub code 0 (!i + 1) ^ "xx" else code
+
+let schema_version = 2
+
+let summary_to_json diags =
+  let families =
+    List.sort_uniq compare (List.map (fun d -> family d.code) diags)
+  in
+  Obs_json.Obj
+    [ ("errors", Obs_json.Int (count Error diags));
+      ("warnings", Obs_json.Int (count Warning diags));
+      ("infos", Obs_json.Int (count Info diags));
+      ( "by_family",
+        Obs_json.Obj
+          (List.map
+             (fun fam ->
+               let n =
+                 List.length
+                   (List.filter (fun d -> family d.code = fam) diags)
+               in
+               (fam, Obs_json.Int n))
+             families) ) ]
+
 let report_to_json diags =
   Obs_json.Obj
-    [ ("diagnostics", Obs_json.List (List.map to_json (sort diags)));
+    [ ("schema_version", Obs_json.Int schema_version);
+      ("diagnostics", Obs_json.List (List.map to_json (sort diags)));
       ("errors", Obs_json.Int (count Error diags));
       ("warnings", Obs_json.Int (count Warning diags));
-      ("infos", Obs_json.Int (count Info diags)) ]
+      ("infos", Obs_json.Int (count Info diags));
+      ("summary", summary_to_json diags) ]

@@ -13,6 +13,9 @@ open! Import
     - [R0xx] — static routing-loop stability ({!Stability_check})
     - [L0xx] — source lint for the Domain-parallel SPF path
       ({!Src_check})
+    - [A0xx] — hot-path allocation analysis over Cmm dumps
+      ({!Alloc_check})
+    - [D0xx] — domain-safety lint over typed ASTs ({!Domains_check})
 
     The catalogue lives in DESIGN.md §8. *)
 
@@ -48,7 +51,21 @@ val exit_code : t list -> int
 val count : severity -> t list -> int
 
 val sort : t list -> t list
-(** Stable order for reports: by file, then line, then code. *)
+(** Total order for reports: by file, then line, then code, then
+    severity, then message — every field participates, so the sorted
+    report is byte-identical regardless of the order passes ran or
+    emitted. *)
+
+val merge : t list -> t list
+(** {!sort} plus site-deduplication: diagnostics with the same code at
+    the same location (e.g. the same line flagged by two passes) collapse
+    into one, keeping the highest severity and, among messages at that
+    severity, the lexicographically least.  The result is a pure function
+    of the input {e set}. *)
+
+val family : string -> string
+(** The code's family key: the letter prefix and first digit, e.g.
+    [family "T002" = "T0xx"] and [family "S101" = "S1xx"]. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line, [file:line: severity[CODE]: message]. *)
@@ -60,6 +77,13 @@ val to_json : t -> Obs_json.t
 (** [{"code":…,"severity":…,"file":…,"line":…,"message":…}]; the file
     and line fields are omitted when unknown. *)
 
+val schema_version : int
+(** Version of the [--json] report shape.  Bumped when fields change
+    meaning; adding fields does not bump it — consumers must tolerate
+    unknown fields. *)
+
 val report_to_json : t list -> Obs_json.t
-(** [{"diagnostics":[…],"errors":n,"warnings":n,"infos":n}] — the
-    machine-readable form behind [arpanet_check --json]. *)
+(** [{"schema_version":2,"diagnostics":[…],"errors":n,"warnings":n,
+    "infos":n,"summary":{…}}] — the machine-readable form behind
+    [arpanet_check --json].  [summary] carries the per-severity counts
+    and a [by_family] object keyed by {!family}. *)

@@ -105,56 +105,128 @@ let spf_reachable ~root =
 
 (* --- The line scans --- *)
 
-(* Blank out comments (nested) and string/char literals, preserving the
-   line structure so reported line numbers and the column-0 [let] test
-   still hold.  Without this the lint would flag its own documentation
-   and error messages — the banned names appear there as text, not
-   code. *)
+(* Blank out comments and string/char literals, preserving the line
+   structure so reported line numbers and the column-0 [let] test still
+   hold.  Without this the lint would flag its own documentation and
+   error messages — the banned names appear there as text, not code.
+
+   The scan follows the reference lexer's comment rules: comments nest,
+   and a string literal inside a comment is lexed as a string — so
+   `(* "*)" *)` stays one comment — while char literals like '"' and
+   '\'' never open a string, inside a comment or out.  {id|…|id}
+   quoted-string literals are matched by delimiter. *)
 let code_lines text =
   let n = String.length text in
   let out = Buffer.create n in
-  let depth = ref 0 and in_string = ref false in
   let i = ref 0 in
+  (* Consume one char as blanked-out: newlines survive, the rest
+     becomes a space. *)
+  let blank () =
+    Buffer.add_char out (if text.[!i] = '\n' then '\n' else ' ');
+    incr i
+  in
+  (* Double-quoted string, [!i] at the opening quote. *)
+  let scan_string () =
+    blank ();
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      match text.[!i] with
+      | '\\' when !i + 1 < n -> blank (); blank ()
+      | '"' -> blank (); closed := true
+      | _ -> blank ()
+    done
+  in
+  (* {id|…|id} quoted string, [!i] at '{'.  Returns false (consuming
+     nothing) when the brace does not actually open one. *)
+  let scan_quoted () =
+    let j = ref (!i + 1) in
+    while
+      !j < n && (match text.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
+    do
+      incr j
+    done;
+    if !j >= n || text.[!j] <> '|' then false
+    else begin
+      let close = "|" ^ String.sub text (!i + 1) (!j - !i - 1) ^ "}" in
+      let clen = String.length close in
+      while !i <= !j do blank () done;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if !i + clen <= n && String.sub text !i clen = close then begin
+          for _ = 1 to clen do blank () done;
+          closed := true
+        end
+        else blank ()
+      done;
+      true
+    end
+  in
+  (* Is [!i] (at a single quote) the start of a char literal?  Covers
+     'c', '\n', '\\', '\"', '\123', '\xFF'; a lone prime (type
+     variables, primed identifiers) has no closing quote nearby and is
+     left as code. *)
+  let char_literal_end () =
+    if !i + 2 < n && text.[!i + 1] = '\\' then
+      let rec find j limit =
+        if j >= n || j > limit then None
+        else if text.[j] = '\'' then Some (j + 1)
+        else find (j + 1) limit
+      in
+      find (!i + 3) (!i + 7)
+    else if !i + 2 < n && text.[!i + 1] <> '\'' && text.[!i + 2] = '\'' then
+      Some (!i + 3)
+    else None
+  in
+  let scan_char_literal () =
+    match char_literal_end () with
+    | Some stop ->
+      while !i < stop do blank () done;
+      true
+    | None -> false
+  in
+  (* Comment body, [!i] at the '(' of "(*".  Recurses on nesting. *)
+  let rec scan_comment () =
+    blank ();
+    blank ();
+    let closed = ref false in
+    while (not !closed) && !i < n do
+      let c = text.[!i] in
+      let next = if !i + 1 < n then text.[!i + 1] else '\000' in
+      if c = '(' && next = '*' then scan_comment ()
+      else if c = '*' && next = ')' then begin
+        blank ();
+        blank ();
+        closed := true
+      end
+      else if c = '"' then scan_string ()
+      else if c = '{' then begin if not (scan_quoted ()) then blank () end
+      else if c = '\'' then begin
+        if not (scan_char_literal ()) then blank ()
+      end
+      else blank ()
+    done
+  in
   while !i < n do
     let c = text.[!i] in
     let next = if !i + 1 < n then text.[!i + 1] else '\000' in
-    if c = '\n' then begin Buffer.add_char out '\n'; incr i end
-    else if !in_string then begin
-      if c = '\\' && !i + 1 < n then begin
-        Buffer.add_char out ' ';
-        Buffer.add_char out (if next = '\n' then '\n' else ' ');
-        i := !i + 2
-      end
-      else begin
-        if c = '"' then in_string := false;
-        Buffer.add_char out ' ';
+    if c = '(' && next = '*' then scan_comment ()
+    else if c = '"' then scan_string ()
+    else if c = '{' then begin
+      if not (scan_quoted ()) then begin
+        Buffer.add_char out c;
         incr i
       end
     end
-    else if !depth > 0 then begin
-      (if c = '(' && next = '*' then begin incr depth; incr i end
-       else if c = '*' && next = ')' then begin decr depth; incr i end
-       else if c = '"' then in_string := true);
-      Buffer.add_char out ' ';
+    else if c = '\'' then begin
+      if not (scan_char_literal ()) then begin
+        Buffer.add_char out c;
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char out c;
       incr i
     end
-    else if c = '(' && next = '*' then begin
-      depth := 1;
-      Buffer.add_string out "  ";
-      i := !i + 2
-    end
-    else if c = '"' then begin
-      in_string := true;
-      Buffer.add_char out ' ';
-      incr i
-    end
-    else if c = '\'' && !i + 2 < n && text.[!i + 1] <> '\\'
-            && text.[!i + 2] = '\'' then begin
-      (* char literal, '"' in particular *)
-      Buffer.add_string out "   ";
-      i := !i + 3
-    end
-    else begin Buffer.add_char out c; incr i end
   done;
   String.split_on_char '\n' (Buffer.contents out)
 

@@ -53,6 +53,7 @@ let raw_costs_into params ~up ~utilization ~raw =
         int_of_float
           (Float.round (raw_cost params.(i) ~utilization:utilization.(i)))
   done
+[@@hot_path]
 
 let all = Array.to_list table
 

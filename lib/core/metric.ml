@@ -193,6 +193,7 @@ let period_update_all t ~up ~link_delay_s ~changed_ids ~changed_costs =
       end
     done);
   !count
+[@@hot_path]
 
 let period_update_utilization t lid ~utilization =
   let link = Graph.link t.graph lid in

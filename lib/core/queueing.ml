@@ -81,6 +81,7 @@ let mm1k_into graph ~up ~offered_bps ~utilization ~delay_s ~pass =
     delay_s.(i) <- mm1k_delay_s l ~utilization:u;
     pass.(i) <- 1. -. mm1k_blocking ~utilization:u
   done
+[@@hot_path]
 
 let utilization_of_delay_into graph ~up ~delay_s ~utilization =
   let n = Graph.link_count graph in
@@ -91,3 +92,4 @@ let utilization_of_delay_into graph ~up ~delay_s ~utilization =
           (Graph.link graph (Link.id_of_int i))
           ~delay_s:delay_s.(i)
   done
+[@@hot_path]

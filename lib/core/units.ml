@@ -16,6 +16,7 @@ let of_delay_into ~up ~delay_s ~units =
   for i = 0 to n - 1 do
     if up.(i) then units.(i) <- of_delay delay_s.(i)
   done
+[@@hot_path]
 
 let[@inline] to_delay cost = float_of_int cost *. unit_ms /. 1000.
 

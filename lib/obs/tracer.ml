@@ -125,16 +125,19 @@ let emit t kind id a b =
   Array.unsafe_set r.arg_a i a;
   Array.unsafe_set r.arg_b i b;
   r.written <- r.written + 1
+[@@hot_path]
 
-let[@inline] span_begin t id = if t.on then emit t 0 id 0 0
+let[@inline] span_begin t id = if t.on then emit t 0 id 0 0 [@@hot_path]
 
 let[@inline] span_begin_range t id ~lo ~hi = if t.on then emit t 0 id lo hi
+[@@hot_path]
 
-let[@inline] span_end t id = if t.on then emit t 1 id 0 0
+let[@inline] span_end t id = if t.on then emit t 1 id 0 0 [@@hot_path]
 
-let[@inline] instant t id ~arg = if t.on then emit t 2 id arg 0
+let[@inline] instant t id ~arg = if t.on then emit t 2 id arg 0 [@@hot_path]
 
 let[@inline] counter t id ~value = if t.on then emit t 3 id value 0
+[@@hot_path]
 
 let intern t name =
   if not t.on then 0

@@ -81,6 +81,7 @@ let add t ~time run =
   t.next_seq <- t.next_seq + 1;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
+[@@hot_path]
 
 let min_time t = if t.len = 0 then Float.infinity else t.times.(0)
 
@@ -99,6 +100,7 @@ let pop_min t =
   t.runs.(t.len) <- ignore;
   (* release the closure *)
   run
+[@@hot_path]
 
 let pop t =
   if t.len = 0 then None

@@ -122,6 +122,7 @@ let sort_reached t tree =
   done;
   Array.fill b 0 (max_h + 2) 0;
   m
+[@@hot_path]
 
 let assign t ~flows ~tree_for ~sending ~offered ~first_hop =
   group t flows;
@@ -170,6 +171,7 @@ let assign t ~flows ~tree_for ~sending ~offered ~first_hop =
       done
     end
   done
+[@@hot_path]
 
 let iter_metrics t ~flows ~tree_for ~link_delay ~link_pass ~f =
   group t flows;
@@ -245,6 +247,7 @@ let metrics_into t ~flows ~tree_for ~link_delay ~link_pass ~delay_s ~share
       done
     end
   done
+[@@hot_path]
 
 (* The historical per-flow tree climb, kept as the reference the qcheck
    property and the benchmark compare the aggregated path against.  It

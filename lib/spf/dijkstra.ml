@@ -57,14 +57,18 @@ let composite ~dist ~hops =
    lives in the low byte and the unit distance above the scales, with the
    half-up rounding that absorbs [`Favor]/[`Avoid] adjustments (for which
    the middle bits are nonzero). *)
-let decompose comp =
-  if comp = max_int then (max_int, max_int)
+(* Int-returning halves of [decompose]: results cross module boundaries
+   unboxed, so the repair resettle loop can re-decode patched distances
+   without allocating the pair. *)
+let composite_units comp =
+  if comp = max_int then max_int
   else
-    let units =
-      (comp / hop_scale / cost_scale)
-      + (if (comp / hop_scale) mod cost_scale > cost_scale / 2 then 1 else 0)
-    in
-    (units, comp mod hop_scale)
+    (comp / hop_scale / cost_scale)
+    + (if (comp / hop_scale) mod cost_scale > cost_scale / 2 then 1 else 0)
+
+let composite_hops comp = if comp = max_int then max_int else comp mod hop_scale
+
+let decompose comp = (composite_units comp, composite_hops comp)
 
 (* Reusable work arrays for the inner loop.  The settled flags, composite
    distances and the heap never escape a computation, so one scratch can
@@ -77,9 +81,14 @@ type scratch = {
   mutable dist : int array; (* composite distances *)
   mutable settled : bool array;
   heap : Radix_queue.t;
+  slot : Radix_queue.slot; (* out-cell for allocation-free pops *)
 }
 
-let scratch () = { dist = [||]; settled = [||]; heap = Radix_queue.create () }
+let scratch () =
+  { dist = [||];
+    settled = [||];
+    heap = Radix_queue.create ();
+    slot = Radix_queue.slot () }
 
 let ready scratch n =
   if Array.length scratch.dist < n then begin
@@ -101,7 +110,9 @@ let ready scratch n =
    exact precondition of the monotone radix queue. *)
 let compute_flat_s s g ~weights root =
   let n = Graph.node_count g in
-  let out_off, out_link_ids, out_dst = Graph.csr_out g in
+  let out_off = Graph.csr_out_off g in
+  let out_link_ids = Graph.csr_out_link_ids g in
+  let out_dst = Graph.csr_out_dst g in
   ready s n;
   let dist = s.dist in
   let parent = Array.make n (-1) in
@@ -110,43 +121,39 @@ let compute_flat_s s g ~weights root =
   let ri = Node.to_int root in
   dist.(ri) <- 0;
   Radix_queue.push heap ~key:0 ~tie:(-1) ri;
-  let rec run () =
-    match Radix_queue.pop_min heap with
-    | None -> ()
-    | Some (w, _, i) ->
-      if not settled.(i) then begin
-        settled.(i) <- true;
-        for k = out_off.(i) to out_off.(i + 1) - 1 do
-          let lid = out_link_ids.(k) in
-          let ew = weights.(lid) in
-          let j = out_dst.(k) in
-          if ew >= 0 && not settled.(j) then begin
-            let w' = w + ew in
-            if w' < dist.(j) then begin
-              dist.(j) <- w';
-              parent.(j) <- lid;
-              Radix_queue.push heap ~key:w' ~tie:lid j
-            end
-            else if w' = dist.(j) && lid < parent.(j) then begin
-              (* Fully tied: keep the lower arriving link id so the tree
-                 is independent of queue internals. *)
-              parent.(j) <- lid;
-              Radix_queue.push heap ~key:w' ~tie:lid j
-            end
+  let slot = s.slot in
+  while Radix_queue.pop_min_into heap slot do
+    let w = slot.Radix_queue.key and i = slot.Radix_queue.value in
+    if not settled.(i) then begin
+      settled.(i) <- true;
+      for k = out_off.(i) to out_off.(i + 1) - 1 do
+        let lid = out_link_ids.(k) in
+        let ew = weights.(lid) in
+        let j = out_dst.(k) in
+        if ew >= 0 && not settled.(j) then begin
+          let w' = w + ew in
+          if w' < dist.(j) then begin
+            dist.(j) <- w';
+            parent.(j) <- lid;
+            Radix_queue.push heap ~key:w' ~tie:lid j
           end
-        done
-      end;
-      run ()
-  in
-  run ();
+          else if w' = dist.(j) && lid < parent.(j) then begin
+            (* Fully tied: keep the lower arriving link id so the tree
+               is independent of queue internals. *)
+            parent.(j) <- lid;
+            Radix_queue.push heap ~key:w' ~tie:lid j
+          end
+        end
+      done
+    end
+  done;
   (* Decode composite weights back into routing units and hop counts. *)
   let units = Array.make n max_int in
   let hops = Array.make n max_int in
   for i = 0 to n - 1 do
     if dist.(i) <> max_int then begin
-      let u, h = decompose dist.(i) in
-      units.(i) <- u;
-      hops.(i) <- h
+      units.(i) <- composite_units dist.(i);
+      hops.(i) <- composite_hops dist.(i)
     end
   done;
   let parent =

@@ -105,6 +105,14 @@ val decompose : int -> int * int
     [(max_int, max_int)].  Used by the repair path to re-decode patched
     distances exactly as {!compute_flat} decodes fresh ones. *)
 
+val composite_units : int -> int
+(** First component of {!decompose}, returned unboxed — the repair
+    resettle loop re-decodes per popped node and must not allocate the
+    pair. *)
+
+val composite_hops : int -> int
+(** Second component of {!decompose}, returned unboxed. *)
+
 val all_pairs :
   ?tie_break:tie_break ->
   ?enabled:(Link.id -> bool) ->

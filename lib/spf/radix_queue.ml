@@ -55,13 +55,17 @@ let bucket_of t key =
   let d = key lxor t.last in
   if d = 0 then 0 else msb d + 1
 
+let[@inline never] grow_to a cap len =
+  let a' = Array.make cap 0 in
+  Array.blit a 0 a' 0 len;
+  a'
+
 let append b ~key ~tie v =
   if b.len = Array.length b.keys then begin
     let cap = if b.len = 0 then 16 else 2 * b.len in
-    let grow a = let a' = Array.make cap 0 in Array.blit a 0 a' 0 b.len; a' in
-    b.keys <- grow b.keys;
-    b.ties <- grow b.ties;
-    b.vals <- grow b.vals
+    b.keys <- grow_to b.keys cap b.len;
+    b.ties <- grow_to b.ties cap b.len;
+    b.vals <- grow_to b.vals cap b.len
   end;
   b.keys.(b.len) <- key;
   b.ties.(b.len) <- tie;
@@ -75,6 +79,7 @@ let push t ~key ~tie v =
          key t.last);
   append t.buckets.(bucket_of t key) ~key ~tie v;
   t.length <- t.length + 1
+[@@hot_path]
 
 (* Swap-remove entry [i]; order within a bucket carries no meaning. *)
 let remove b i =
@@ -84,8 +89,12 @@ let remove b i =
   b.vals.(i) <- b.vals.(l);
   b.len <- l
 
-let pop_min t =
-  if t.length = 0 then None
+type slot = { mutable key : int; mutable tie : int; mutable value : int }
+
+let slot () = { key = 0; tie = 0; value = 0 }
+
+let pop_min_into t (out : slot) =
+  if t.length = 0 then false
   else begin
     let b0 = t.buckets.(0) in
     if b0.len = 0 then begin
@@ -110,11 +119,18 @@ let pop_min t =
     for i = 1 to b0.len - 1 do
       if b0.ties.(i) < b0.ties.(!best) then best := i
     done;
-    let key = b0.keys.(!best) and tie = b0.ties.(!best) and v = b0.vals.(!best) in
+    out.key <- b0.keys.(!best);
+    out.tie <- b0.ties.(!best);
+    out.value <- b0.vals.(!best);
     remove b0 !best;
     t.length <- t.length - 1;
-    Some (key, tie, v)
+    true
   end
+[@@hot_path]
+
+let pop_min t =
+  let s = slot () in
+  if pop_min_into t s then Some (s.key, s.tie, s.value) else None
 
 let clear t =
   Array.iter (fun b -> b.len <- 0) t.buckets;

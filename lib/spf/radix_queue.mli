@@ -40,5 +40,18 @@ val pop_min : t -> (int * int * int) option
     with identical [(key, tie)] pop in unspecified (but deterministic)
     order. *)
 
+type slot = { mutable key : int; mutable tie : int; mutable value : int }
+(** A caller-owned out-cell for {!pop_min_into}: the allocation-free pop
+    the SPF inner loops use ({!pop_min} boxes an option and a triple per
+    entry, which dominates the loop's allocation profile). *)
+
+val slot : unit -> slot
+
+val pop_min_into : t -> slot -> bool
+(** [pop_min_into t s] pops the same entry {!pop_min} would into [s] and
+    returns [true], or returns [false] (leaving [s] untouched) when the
+    queue is empty.  Allocation-free; one slot per scratch is reused for
+    every pop. *)
+
 val clear : t -> unit
 (** Empty the queue and reset the monotone floor to 0. *)

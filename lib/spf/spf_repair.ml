@@ -22,10 +22,19 @@ open! Import
    achieving predecessor's key is at least one edge weight below the
    node's, so it settles (and relaxes) strictly earlier in the monotone
    pop order, and achieving predecessors that never enter the queue are
-   exactly the intact ones the seeding phase already scanned. *)
+   exactly the intact ones the seeding phase already scanned.
+
+   Structure note: [repair] runs every routing period on the simulator's
+   steady path and is pinned allocation-free by the A0xx gate (DESIGN.md
+   §8).  Hence no local closures (their environment blocks allocate): the
+   phases are top-level helpers over explicit arguments, the flood
+   worklist is an int stack in the scratch, queue pops go through a
+   reusable {!Radix_queue.slot}, and parent patches draw on a preallocated
+   [Some link-id] cache instead of boxing a fresh option per patch. *)
 
 type scratch = {
   queue : Radix_queue.t;
+  slot : Radix_queue.slot; (* out-cell for allocation-free pops *)
   mutable stamp : int array; (* touched this epoch *)
   mutable settled : int array;
   mutable invalid : int array;
@@ -33,11 +42,15 @@ type scratch = {
   mutable newparent : int array;
   mutable touched : int array; (* node ids, first [ntouched] live *)
   mutable ntouched : int;
+  mutable stack : int array; (* flood worklist, first [nstack] live *)
+  mutable nstack : int;
+  mutable some_link : Link.id option array; (* some_link.(i) = Some (id i) *)
   mutable epoch : int;
 }
 
 let scratch () =
   { queue = Radix_queue.create ();
+    slot = Radix_queue.slot ();
     stamp = [||];
     settled = [||];
     invalid = [||];
@@ -45,9 +58,14 @@ let scratch () =
     newparent = [||];
     touched = [||];
     ntouched = 0;
+    stack = [||];
+    nstack = 0;
+    some_link = [||];
     epoch = 0 }
 
-let ready s n =
+(* Kept out of line: the resize path allocates, and inlining it into
+   [repair] would put those (cold) sites inside the A0xx-gated body. *)
+let[@inline never] ready s n nl =
   if Array.length s.stamp < n then begin
     s.stamp <- Array.make n 0;
     s.settled <- Array.make n 0;
@@ -55,68 +73,121 @@ let ready s n =
     s.newdist <- Array.make n 0;
     s.newparent <- Array.make n 0;
     s.touched <- Array.make n 0;
+    s.stack <- Array.make n 0;
     s.epoch <- 0
   end;
+  if Array.length s.some_link < nl then
+    s.some_link <- Array.init nl (fun i -> Some (Link.id_of_int i));
   s.epoch <- s.epoch + 1;
   s.ntouched <- 0;
+  s.nstack <- 0;
   Radix_queue.clear s.queue
+
+let parent_id (parent : Link.id option array) v =
+  match parent.(v) with None -> -1 | Some lid -> Link.id_to_int lid
+
+(* Composite distance under the old table, decoded from the tree — only
+   meaningful for untouched nodes. *)
+let old_comp dist_u hops_u v =
+  Dijkstra.composite ~dist:dist_u.(v) ~hops:hops_u.(v)
+
+let touch s epoch v =
+  if s.stamp.(v) <> epoch then begin
+    s.stamp.(v) <- epoch;
+    s.touched.(s.ntouched) <- v;
+    s.ntouched <- s.ntouched + 1
+  end
+
+let invalidate s epoch v =
+  if s.invalid.(v) <> epoch then begin
+    s.invalid.(v) <- epoch;
+    touch s epoch v;
+    s.newdist.(v) <- max_int;
+    s.newparent.(v) <- -1;
+    s.stack.(s.nstack) <- v;
+    s.nstack <- s.nstack + 1
+  end
+
+(* Phase 1: invalidate the direct children of worsened parent links.  The
+   root has no parent and is never invalidated, so distance 0 stays
+   anchored. *)
+let rec seed_increases s g parent epoch changes =
+  match changes with
+  | [] -> ()
+  | (lid, old_w, new_w) :: rest ->
+    let increase = old_w >= 0 && (new_w < 0 || new_w > old_w) in
+    (if increase then begin
+       let l = Graph.link g lid in
+       let v = Node.to_int l.Link.dst in
+       if parent_id parent v = Link.id_to_int lid then invalidate s epoch v
+     end);
+    seed_increases s g parent epoch rest
+[@@hot_path]
+
+(* Phase 3b: decreased links from intact sources.  Invalidated
+   destinations were already offered this link by the in-scan of phase 3a;
+   invalidated sources relax it when (if) they re-settle. *)
+let rec seed_decreases s g parent dist_u hops_u epoch changes =
+  match changes with
+  | [] -> ()
+  | (lid_t, old_w, new_w) :: rest ->
+    let decrease = new_w >= 0 && (old_w < 0 || new_w < old_w) in
+    (if decrease then begin
+       let l = Graph.link g lid_t in
+       let u = Node.to_int l.Link.src and v = Node.to_int l.Link.dst in
+       let lid = Link.id_to_int lid_t in
+       if s.invalid.(u) <> epoch && s.invalid.(v) <> epoch then begin
+         let du =
+           if s.stamp.(u) = epoch then s.newdist.(u)
+           else old_comp dist_u hops_u u
+         in
+         if du <> max_int then begin
+           let cand = du + new_w in
+           let cur =
+             if s.stamp.(v) = epoch then s.newdist.(v)
+             else old_comp dist_u hops_u v
+           in
+           if cand < cur then begin
+             touch s epoch v;
+             s.newdist.(v) <- cand;
+             s.newparent.(v) <- lid;
+             Radix_queue.push s.queue ~key:cand ~tie:lid v
+           end
+           else if cand = cur then
+             if s.stamp.(v) = epoch then begin
+               if lid < s.newparent.(v) then s.newparent.(v) <- lid
+             end
+             else if lid < parent_id parent v then
+               parent.(v) <- s.some_link.(lid)
+         end
+       end
+     end);
+    seed_decreases s g parent dist_u hops_u epoch rest
+[@@hot_path]
 
 let repair s g ~tree ~weights ~changes =
   let n = Graph.node_count g in
-  ready s n;
-  let parent, dist_u, hops_u = Spf_tree.unsafe_arrays tree in
-  let out_off, out_link_ids, out_dst = Graph.csr_out g in
-  let in_off, in_link_ids = Graph.csr_in g in
+  ready s n (Graph.link_count g);
+  let parent = Spf_tree.unsafe_parent tree in
+  let dist_u = Spf_tree.unsafe_dist tree in
+  let hops_u = Spf_tree.unsafe_hops tree in
+  let out_off = Graph.csr_out_off g in
+  let out_link_ids = Graph.csr_out_link_ids g in
+  let out_dst = Graph.csr_out_dst g in
+  let in_off = Graph.csr_in_off g in
+  let in_link_ids = Graph.csr_in_link_ids g in
   let epoch = s.epoch in
-  let touched i = s.stamp.(i) = epoch in
-  let touch i =
-    if s.stamp.(i) <> epoch then begin
-      s.stamp.(i) <- epoch;
-      s.touched.(s.ntouched) <- i;
-      s.ntouched <- s.ntouched + 1
-    end
-  in
-  (* Composite distance under the old table, decoded from the tree —
-     only meaningful for untouched nodes. *)
-  let old_comp i = Dijkstra.composite ~dist:dist_u.(i) ~hops:hops_u.(i) in
-  let parent_id i =
-    match parent.(i) with None -> -1 | Some lid -> Link.id_to_int lid
-  in
-  (* Phase 1+2: invalidate the subtrees hanging below worsened parent
-     links.  The root has no parent and is never invalidated, so distance
-     0 stays anchored. *)
-  let stack = ref [] in
-  let invalidate v =
-    if s.invalid.(v) <> epoch then begin
-      s.invalid.(v) <- epoch;
-      touch v;
-      s.newdist.(v) <- max_int;
-      s.newparent.(v) <- -1;
-      stack := v :: !stack
-    end
-  in
-  List.iter
-    (fun (lid, old_w, new_w) ->
-      let increase = old_w >= 0 && (new_w < 0 || new_w > old_w) in
-      if increase then begin
-        let l = Graph.link g lid in
-        let v = Node.to_int l.Link.dst in
-        if parent_id v = Link.id_to_int lid then invalidate v
-      end)
-    changes;
-  let rec flood () =
-    match !stack with
-    | [] -> ()
-    | u :: rest ->
-      stack := rest;
-      for k = out_off.(u) to out_off.(u + 1) - 1 do
-        let j = out_dst.(k) in
-        if s.invalid.(j) <> epoch && parent_id j = out_link_ids.(k) then
-          invalidate j
-      done;
-      flood ()
-  in
-  flood ();
+  seed_increases s g parent epoch changes;
+  (* Phase 2: flood invalidation down the suspect subtrees. *)
+  while s.nstack > 0 do
+    s.nstack <- s.nstack - 1;
+    let u = s.stack.(s.nstack) in
+    for k = out_off.(u) to out_off.(u + 1) - 1 do
+      let j = out_dst.(k) in
+      if s.invalid.(j) <> epoch && parent_id parent j = out_link_ids.(k) then
+        invalidate s epoch j
+    done
+  done;
   (* Phase 3a: offer each invalidated node its best in-link from intact
      nodes.  Intact distances may still shrink (a pending decrease), in
      which case the seed is an over-approximation of a path that does
@@ -132,7 +203,7 @@ let repair s g ~tree ~weights ~changes =
       if ew >= 0 then begin
         let u = Node.to_int (Graph.link g (Link.id_of_int lid)).Link.src in
         if s.invalid.(u) <> epoch then begin
-          let du = old_comp u in
+          let du = old_comp dist_u hops_u u in
           if du <> max_int then begin
             let cand = du + ew in
             if cand < !best_w || (cand = !best_w && lid < !best_l) then begin
@@ -149,76 +220,46 @@ let repair s g ~tree ~weights ~changes =
       Radix_queue.push s.queue ~key:!best_w ~tie:!best_l v
     end
   done;
-  (* Phase 3b: decreased links from intact sources.  Invalidated
-     destinations were already offered this link by the in-scan above;
-     invalidated sources relax it when (if) they re-settle. *)
-  List.iter
-    (fun (lid_t, old_w, new_w) ->
-      let decrease = new_w >= 0 && (old_w < 0 || new_w < old_w) in
-      if decrease then begin
-        let l = Graph.link g lid_t in
-        let u = Node.to_int l.Link.src and v = Node.to_int l.Link.dst in
-        let lid = Link.id_to_int lid_t in
-        if s.invalid.(u) <> epoch && s.invalid.(v) <> epoch then begin
-          let du = if touched u then s.newdist.(u) else old_comp u in
-          if du <> max_int then begin
-            let cand = du + new_w in
-            let cur = if touched v then s.newdist.(v) else old_comp v in
-            if cand < cur then begin
-              touch v;
-              s.newdist.(v) <- cand;
-              s.newparent.(v) <- lid;
-              Radix_queue.push s.queue ~key:cand ~tie:lid v
-            end
-            else if cand = cur then
-              if touched v then begin
-                if lid < s.newparent.(v) then s.newparent.(v) <- lid
-              end
-              else if lid < parent_id v then parent.(v) <- Some lid_t
-          end
-        end
-      end)
-    changes;
+  seed_decreases s g parent dist_u hops_u epoch changes;
   (* Phase 4: monotone re-settle, patching the tree exactly as a fresh
      computation would decode it. *)
   let resettled = ref 0 in
-  let rec run () =
-    match Radix_queue.pop_min s.queue with
-    | None -> ()
-    | Some (w, _, v) ->
-      if s.settled.(v) <> epoch && s.newdist.(v) = w then begin
-        s.settled.(v) <- epoch;
-        incr resettled;
-        let units, hops = Dijkstra.decompose w in
-        dist_u.(v) <- units;
-        hops_u.(v) <- hops;
-        parent.(v) <-
-          (if s.newparent.(v) < 0 then None
-           else Some (Link.id_of_int s.newparent.(v)));
-        for k = out_off.(v) to out_off.(v + 1) - 1 do
-          let lid = out_link_ids.(k) in
-          let ew = weights.(lid) in
-          let j = out_dst.(k) in
-          if ew >= 0 && s.settled.(j) <> epoch then begin
-            let w' = w + ew in
-            let cur = if touched j then s.newdist.(j) else old_comp j in
-            if w' < cur then begin
-              touch j;
-              s.newdist.(j) <- w';
-              s.newparent.(j) <- lid;
-              Radix_queue.push s.queue ~key:w' ~tie:lid j
-            end
-            else if w' = cur then
-              if touched j then begin
-                if lid < s.newparent.(j) then s.newparent.(j) <- lid
-              end
-              else if lid < parent_id j then parent.(j) <- Some (Link.id_of_int lid)
+  let slot = s.slot in
+  while Radix_queue.pop_min_into s.queue slot do
+    let w = slot.Radix_queue.key and v = slot.Radix_queue.value in
+    if s.settled.(v) <> epoch && s.newdist.(v) = w then begin
+      s.settled.(v) <- epoch;
+      incr resettled;
+      dist_u.(v) <- Dijkstra.composite_units w;
+      hops_u.(v) <- Dijkstra.composite_hops w;
+      parent.(v) <-
+        (if s.newparent.(v) < 0 then None else s.some_link.(s.newparent.(v)));
+      for k = out_off.(v) to out_off.(v + 1) - 1 do
+        let lid = out_link_ids.(k) in
+        let ew = weights.(lid) in
+        let j = out_dst.(k) in
+        if ew >= 0 && s.settled.(j) <> epoch then begin
+          let w' = w + ew in
+          let cur =
+            if s.stamp.(j) = epoch then s.newdist.(j)
+            else old_comp dist_u hops_u j
+          in
+          if w' < cur then begin
+            touch s epoch j;
+            s.newdist.(j) <- w';
+            s.newparent.(j) <- lid;
+            Radix_queue.push s.queue ~key:w' ~tie:lid j
           end
-        done
-      end;
-      run ()
-  in
-  run ();
+          else if w' = cur then
+            if s.stamp.(j) = epoch then begin
+              if lid < s.newparent.(j) then s.newparent.(j) <- lid
+            end
+            else if lid < parent_id parent j then
+              parent.(j) <- s.some_link.(lid)
+        end
+      done
+    end
+  done;
   (* Touched nodes that never re-settled have no surviving path: every
      strict improvement pushed an entry at its final value, so only
      [max_int] candidates can be left standing. *)
@@ -231,3 +272,4 @@ let repair s g ~tree ~weights ~changes =
     end
   done;
   !resettled
+[@@hot_path]

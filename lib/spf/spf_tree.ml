@@ -35,6 +35,15 @@ let parent_id t i =
 
 let unsafe_arrays t = (t.parent, t.dist, t.hops)
 
+(* Individual array accessors: the tuple return of [unsafe_arrays] boxes,
+   which the repair path cannot afford on its steady path. *)
+
+let unsafe_parent t = t.parent
+
+let unsafe_dist t = t.dist
+
+let unsafe_hops t = t.hops
+
 let path t dst =
   if not (reached t dst) then invalid_arg "Spf_tree.path: unreachable";
   let rec climb n acc =

@@ -55,6 +55,14 @@ val unsafe_arrays : t -> Link.id option array * int array * int array
     restores the [Dijkstra.compute] invariant before returning, may
     write. *)
 
+val unsafe_parent : t -> Link.id option array
+(** The parent array alone — same caveats as {!unsafe_arrays}, without the
+    tuple allocation (the repair path fetches each array separately). *)
+
+val unsafe_dist : t -> int array
+
+val unsafe_hops : t -> int array
+
 val path : t -> Node.t -> Link.t list
 (** Links from the root to the destination, in forwarding order; [[]] for
     the root itself.  @raise Invalid_argument if unreachable. *)

@@ -23,6 +23,7 @@ let ewma_update_into filters ~mask ~values =
   for i = 0 to n - 1 do
     if mask.(i) then values.(i) <- ewma_update filters.(i) values.(i)
   done
+[@@hot_path]
 
 let[@inline] ewma_value t = t.value
 

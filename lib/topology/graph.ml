@@ -45,6 +45,19 @@ let csr_out t = (t.out_off, t.out_link_ids, t.out_dst)
 
 let csr_in t = (t.in_off, t.in_link_ids)
 
+(* Individual CSR components: the tuple returns above allocate, which the
+   repair path fetching them every call cannot afford. *)
+
+let csr_out_off t = t.out_off
+
+let csr_out_link_ids t = t.out_link_ids
+
+let csr_out_dst t = t.out_dst
+
+let csr_in_off t = t.in_off
+
+let csr_in_link_ids t = t.in_link_ids
+
 let find_link t ~src ~dst =
   List.find_opt (fun (l : Link.t) -> Node.equal l.dst dst) (out_links t src)
 

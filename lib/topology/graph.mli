@@ -49,6 +49,19 @@ val csr_in : t -> int array * int array
 (** [csr_in g] is [(off, link_ids)]: the in-links of node [i], grouped and
     ordered as {!in_links} presents them. *)
 
+val csr_out_off : t -> int array
+(** The components of {!csr_out} / {!csr_in} individually, without the
+    tuple allocation — for callers fetching them inside allocation-free
+    paths. *)
+
+val csr_out_link_ids : t -> int array
+
+val csr_out_dst : t -> int array
+
+val csr_in_off : t -> int array
+
+val csr_in_link_ids : t -> int array
+
 val find_link : t -> src:Node.t -> dst:Node.t -> Link.t option
 (** The (first) direct link between two nodes, if adjacent. *)
 

@@ -1,0 +1,3 @@
+(* A001 fixture: a [@@hot_path] function that allocates — the tuple it
+   stores is a fresh two-word block every call. *)
+let pair_into a b out = out := (a, b) [@@hot_path]

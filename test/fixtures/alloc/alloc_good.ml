@@ -1,0 +1,8 @@
+(* The allocation-free twin of alloc_bad.ml: same shape of API, all
+   writes into caller-owned cells, so the A0xx pass must stay silent. *)
+let sum_into (xs : int array) acc =
+  acc := 0;
+  for i = 0 to Array.length xs - 1 do
+    acc := !acc + xs.(i)
+  done
+[@@hot_path]

@@ -1,0 +1,14 @@
+(* Regression cases for Src_check's comment/string blanking.
+
+   A nested (* comment mentioning Random.self_init *) is still one
+   comment, a string "with an unmatched *) inside" must not close the
+   enclosing comment early, and Unix.gettimeofday here is only text. *)
+
+let quote = '"'
+
+let delim = {ext|Sys.time "*)" inside a quoted string is only text|ext}
+
+(* A '"' char literal inside a comment must not open a string and
+   swallow the terminator below. *)
+
+let self_seed () = Random.self_init ()

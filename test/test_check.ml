@@ -9,6 +9,9 @@ module Params_check = Routing_check.Params_check
 module Stability_check = Routing_check.Stability_check
 module Scenario_check = Routing_check.Scenario_check
 module Src_check = Routing_check.Src_check
+module Alloc_check = Routing_check.Alloc_check
+module Domains_check = Routing_check.Domains_check
+module Obs_json = Routing_obs.Json
 module Generator_check = Routing_check.Generator_check
 module Generators = Routing_topology.Generators
 module Hnm_params = Routing_metric.Hnm_params
@@ -202,6 +205,117 @@ let test_src_lint_scoping () =
   Sys.remove doc;
   Alcotest.(check (list string)) "mentions are not uses" [] (codes diags)
 
+(* The blanking behind the mentions-are-not-uses rule follows the real
+   lexer: nested comments, strings containing "*)", '"' char literals
+   (inside comments too) and {id|…|id} quoted strings all stay opaque,
+   and the code after them is still scanned. *)
+let test_src_comment_tricks () =
+  let diags =
+    Src_check.scan_file ~in_spf_closure:true (fixture "src/comment_tricks.ml")
+  in
+  Alcotest.(check (list string))
+    "only the real use fires" [ "L001" ] (codes diags);
+  match (List.hd diags).Diagnostic.location with
+  | Some { Diagnostic.line = Some 14; _ } -> ()
+  | _ -> Alcotest.fail "L001 should point at comment_tricks.ml line 14"
+
+(* --- The compiled-artifact passes (A0xx / D0xx) --- *)
+
+(* The fixture dune rules declare the .cmt / .cmx.dump artifacts as rule
+   targets, so unlike the library tree they reliably exist beside us. *)
+
+let test_alloc_fixtures () =
+  let diags = Alloc_check.check ~roots:[ "fixtures/alloc" ] in
+  Alcotest.(check (list string))
+    "one A001 from alloc_bad, the A004 summary, nothing else"
+    [ "A001"; "A004" ]
+    (List.sort compare (codes diags));
+  Alcotest.(check int) "allocation in a hot path is an error" 2
+    (Diagnostic.exit_code diags);
+  let a001 = List.find (fun d -> d.Diagnostic.code = "A001") diags in
+  match a001.Diagnostic.location with
+  | Some { Diagnostic.file = "alloc_bad.ml"; line = Some 3 } -> ()
+  | _ -> Alcotest.fail "A001 should carry the compiler's alloc_bad.ml:3"
+
+let test_domains_fixtures () =
+  let diags = Domains_check.check ~roots:[ "fixtures/domains" ] in
+  Alcotest.(check (list string))
+    "one D001 from domains_bad, nothing from domains_good" [ "D001" ]
+    (codes diags);
+  let d001 = List.hd diags in
+  match d001.Diagnostic.location with
+  | Some { Diagnostic.file; line = Some 16 } ->
+    Alcotest.(check string) "flagged in the bad fixture" "domains_bad.ml"
+      (Filename.basename file)
+  | _ -> Alcotest.fail "D001 should point at the captured-ref write"
+
+(* --- Diagnostic merge: dedup, ordering, JSON schema --- *)
+
+let diag_pool =
+  [ Diagnostic.error ~file:"b.scn" ~line:4 ~code:"S002" "unknown node";
+    Diagnostic.warning ~file:"a.scn" ~line:9 ~code:"T002" "disconnected";
+    Diagnostic.error ~file:"a.scn" ~line:9 ~code:"T002" "unreachable core";
+    Diagnostic.info ~code:"A004" "alloc summary";
+    Diagnostic.error ~file:"b.scn" ~line:4 ~code:"S002" "unknown node";
+    Diagnostic.warning ~file:"a.scn" ~line:2 ~code:"L001" "self seed" ]
+
+let test_merge_dedup () =
+  let merged = Diagnostic.merge diag_pool in
+  (* Same code at the same site: the exact duplicate collapses, and the
+     warning/error pair keeps only the error. *)
+  Alcotest.(check (list string))
+    "deduplicated and in report order"
+    [ "A004"; "L001"; "T002"; "S002" ]
+    (codes merged);
+  let t002 = List.find (fun d -> d.Diagnostic.code = "T002") merged in
+  Alcotest.(check string) "kept the max-severity message" "unreachable core"
+    t002.Diagnostic.message
+
+let report_string diags =
+  Format.asprintf "%a" Diagnostic.pp_report (Diagnostic.merge diags)
+
+let test_report_order_independent () =
+  Alcotest.(check string) "byte-identical report either way"
+    (report_string diag_pool)
+    (report_string (List.rev diag_pool))
+
+let prop_merge_order_independent =
+  QCheck2.Test.make
+    ~name:"merge is a pure function of the diagnostic set" ~count:200
+    (QCheck2.Gen.shuffle_l diag_pool)
+    (fun shuffled -> Diagnostic.merge shuffled = Diagnostic.merge diag_pool)
+
+let json_field name json =
+  match Obs_json.member name json with
+  | Ok v -> v
+  | Error e -> Alcotest.fail e
+
+let json_int name json =
+  match Obs_json.to_int (json_field name json) with
+  | Ok i -> i
+  | Error e -> Alcotest.fail e
+
+let test_json_schema () =
+  let json = Diagnostic.report_to_json (Diagnostic.merge diag_pool) in
+  Alcotest.(check int) "schema_version" Diagnostic.schema_version
+    (json_int "schema_version" json);
+  Alcotest.(check int) "top-level error count" 2 (json_int "errors" json);
+  let summary = json_field "summary" json in
+  Alcotest.(check int) "summary errors" 2 (json_int "errors" summary);
+  Alcotest.(check int) "summary warnings" 1 (json_int "warnings" summary);
+  Alcotest.(check int) "summary infos" 1 (json_int "infos" summary);
+  let fam = json_field "by_family" summary in
+  List.iter
+    (fun key ->
+      Alcotest.(check int) (key ^ " counted once") 1 (json_int key fam))
+    [ "S0xx"; "T0xx"; "L0xx"; "A0xx" ]
+
+let test_family () =
+  List.iter
+    (fun (code, fam) ->
+      Alcotest.(check string) code fam (Diagnostic.family code))
+    [ ("T002", "T0xx"); ("S101", "S1xx"); ("A001", "A0xx"); ("D005", "D0xx") ]
+
 (* --- Generator specs (T02x) --- *)
 
 let generator_fixtures =
@@ -317,6 +431,11 @@ let () =
            test_ablation_triggers_r001;
          Alcotest.test_case "src" `Quick test_src_fixtures;
          Alcotest.test_case "src scoping" `Quick test_src_lint_scoping;
+         Alcotest.test_case "src comment tricks" `Quick
+           test_src_comment_tricks;
+         Alcotest.test_case "alloc artifacts" `Quick test_alloc_fixtures;
+         Alcotest.test_case "domains artifacts" `Quick
+           test_domains_fixtures;
          Alcotest.test_case "generators" `Quick test_generator_fixtures;
          Alcotest.test_case "generators counted" `Quick
            test_generator_fixture_counts;
@@ -324,8 +443,15 @@ let () =
            test_generator_lint_accepts_valid_specs;
          Alcotest.test_case "locations" `Quick
            test_scenario_errors_carry_lines ]);
+      ("diagnostics",
+       [ Alcotest.test_case "merge dedup" `Quick test_merge_dedup;
+         Alcotest.test_case "report order-independent" `Quick
+           test_report_order_independent;
+         Alcotest.test_case "json schema" `Quick test_json_schema;
+         Alcotest.test_case "families" `Quick test_family ]);
       ("properties",
        qsuite
          [ prop_builtin_entries_pass;
            prop_consistent_entries_pass;
-           prop_broken_max_cost_fails ]) ]
+           prop_broken_max_cost_fails;
+           prop_merge_order_independent ]) ]
