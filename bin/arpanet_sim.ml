@@ -375,12 +375,23 @@ let cmd =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
   in
   let domains =
-    Arg.(value
-         & opt int (Routing_metric.Domain_pool.default_size ())
+    let nonneg_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok n
+        | _ ->
+          Error (`Msg (Printf.sprintf "expected a domain count >= 0, got %S" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    let resolve n = Routing_metric.Domain_pool.resolve ?requested:n () in
+    Term.(const resolve $ Arg.(value & opt (some nonneg_int) None
          & info [ "domains" ] ~docv:"N"
              ~doc:"Domains used for parallel all-pairs SPF (1 = sequential; \
-                   results are identical either way). Defaults to \
-                   $(b,ARPANET_DOMAINS) or 1.")
+                   results are identical either way).  $(b,0) sizes to \
+                   this machine; unset defers to $(b,ARPANET_DOMAINS) \
+                   (same rules) and then 1 — one resolution path shared \
+                   with $(b,arpanet_sweep)."))
   in
   let file =
     Arg.(value & opt (some file) None

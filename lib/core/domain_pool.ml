@@ -1,28 +1,55 @@
 (* A small reusable pool of worker domains for embarrassingly parallel
-   loops (per-source SPF).  Hand-rolled on Domain + Mutex/Condition so the
-   library picks up no dependency beyond the OCaml 5 stdlib.
+   loops (per-source SPF, sweep grid points).  Hand-rolled on Domain +
+   Mutex/Condition so the library picks up no dependency beyond the
+   OCaml 5 stdlib.
 
-   Work items are plain indices handed out through an atomic counter —
-   [chunk] consecutive indices at a time, so fine-grained loops do not
-   serialize on the counter's cache line.  Scheduling is racy but the
-   *results* are not: every index is executed exactly once and callers
-   write results into per-index slots, making the outcome independent of
-   which domain ran what.  A pool of size 1 spawns no domains at all and
-   runs the loop inline — the sequential reference path. *)
+   Two handout disciplines share one pool:
+
+   - [parallel_for] hands out [chunk] consecutive indices at a time
+     through one shared atomic counter — the right shape for fine, even
+     bodies (per-source Dijkstra) where the counter's cache line is the
+     only contention.
+   - [parallel_for_dynamic] gives every participating domain its own
+     atomic index range and lets idle domains steal the top half of the
+     largest remainder — the right shape for coarse, uneven bodies
+     (sweep grid points spanning 5-period toys and 10k-node meshes)
+     where a heavy item must not serialize a whole static share behind
+     it.
+
+   Scheduling is racy but the *results* are not: every index is executed
+   exactly once and callers write results into per-index slots, making
+   the outcome independent of which domain ran what.  A pool of size 1
+   spawns no domains at all and runs the loop inline — the sequential
+   reference path. *)
 
 type probe = {
   chunk_begin : label:int -> lo:int -> hi:int -> unit;
   chunk_end : label:int -> lo:int -> hi:int -> unit;
 }
 
+(* A participant's remaining index range, packed into one atomic int
+   (see [pack] below).  The record wrapper is load-bearing: an
+   [int Atomic.t array] has an abstract element type, so every access
+   would compile to the generic maybe-float array path (tag test plus a
+   float-boxing branch) — wrapping in a concrete record makes the array
+   manifestly an addr array and keeps [claim_block]/[steal]
+   allocation-free. *)
+type steal_slot = { range : int Atomic.t }
+
+(* How a job's indices are handed to domains. *)
+type handout =
+  | Chunked of { chunk : int; next : int Atomic.t }
+      (* shared counter; [chunk] consecutive indices per visit *)
+  | Stealing of { grain : int; ranges : steal_slot array }
+      (* per-participant [lo, hi) ranges, packed; see [pack] below *)
+
 type job = {
   make_f : unit -> int -> unit;
       (* each participating domain materializes its own body once (letting
          it close over private scratch) and then feeds it indices *)
   n : int;
-  chunk : int;
+  handout : handout;
   label : int; (* passed through to the probe; -1 = unlabeled *)
-  next : int Atomic.t; (* next index to hand out *)
   completed : int Atomic.t; (* indices finished (ran or skipped on error) *)
   mutable failure : exn option; (* first exception, re-raised by the caller *)
 }
@@ -48,58 +75,166 @@ let set_probe t probe = t.probe <- probe
 
 let default_env_var = "ARPANET_DOMAINS"
 
-let default_size () =
-  match Sys.getenv_opt default_env_var with
-  | None -> 1
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> min n 128
-    | Some _ | None -> 1)
-
 let recommended_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* One resolution path for every CLI and library default: an explicit
+   count wins, [0] means "size to this machine", anything else falls
+   back to the environment (same rules), then to 1 — so `--domains 0`
+   and `ARPANET_DOMAINS=0` agree everywhere. *)
+let resolve ?requested () =
+  let of_int n =
+    if n = 0 then Some (recommended_size ())
+    else if n >= 1 then Some (min n 128)
+    else None
+  in
+  let from_env () =
+    match Sys.getenv_opt default_env_var with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Option.value (of_int n) ~default:1
+      | None -> 1)
+  in
+  match requested with
+  | Some n -> (
+    match of_int n with
+    | Some size -> size
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Domain_pool.resolve: bad domain count %d" n))
+  | None -> from_env ()
+
+let default_size () = resolve ()
 
 let record_failure t job e =
   Mutex.lock t.mutex;
   if job.failure = None then job.failure <- Some e;
   Mutex.unlock t.mutex
 
-(* Pull chunks of indices until the job is drained. *)
-let drain t job =
+let[@inline] finish_block t job count =
+  let done_ = count + Atomic.fetch_and_add job.completed count in
+  if done_ = job.n then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.work_done;
+    Mutex.unlock t.mutex
+  end
+
+(* Run one claimed block through the body, reporting to the probe and
+   capturing (not propagating) the first failure. *)
+let run_block t job f ~lo ~hi =
+  let probe = t.probe in
+  (match probe with
+  | Some p -> p.chunk_begin ~label:job.label ~lo ~hi
+  | None -> ());
+  (try
+     for i = lo to hi - 1 do
+       f i
+     done
+   with e -> record_failure t job e);
+  (match probe with
+  | Some p -> p.chunk_end ~label:job.label ~lo ~hi
+  | None -> ());
+  finish_block t job (hi - lo)
+
+(* --- shared-counter handout ---------------------------------------- *)
+
+(* Pull chunks of indices until the counter passes [n]. *)
+let chunked_drain t job ~chunk ~next f =
+  let continue_ = ref true in
+  while !continue_ do
+    let base = Atomic.fetch_and_add next chunk in
+    if base >= job.n then continue_ := false
+    else run_block t job f ~lo:base ~hi:(min job.n (base + chunk))
+  done
+
+(* --- work-stealing handout ----------------------------------------- *)
+
+(* A participant's remaining range [lo, hi) packed into one immediate
+   int: [lo] in the upper bits, [hi] in the lower 31.  Every transition
+   is a single CAS on the packed value, and the packed value alone
+   carries the range's meaning — so a stale read that happens to CAS
+   successfully still performs a valid transition (ABA is harmless) and
+   each index is handed out exactly once. *)
+
+let range_bits = 31
+
+let range_mask = (1 lsl range_bits) - 1
+
+let[@inline] pack ~lo ~hi = (lo lsl range_bits) lor hi
+
+let[@inline] range_lo r = r lsr range_bits
+
+let[@inline] range_hi r = r land range_mask
+
+(* Claim the next block for participant [me]: from the bottom of its own
+   range while it lasts, then by stealing from the others — the top half
+   of a range still worth splitting, or the whole remainder of a small
+   one.  Returns the claimed block as [pack ~lo ~hi], or -1 when every
+   range is drained.  Pure integer CAS traffic: the sweep's
+   point-dispatch loop runs through here and must not allocate. *)
+let rec claim_block ranges me grain =
+  let mine = (Array.unsafe_get ranges me).range in
+  let r = Atomic.get mine in
+  let lo = range_lo r and hi = range_hi r in
+  if lo < hi then begin
+    let stop = if hi - lo <= grain then hi else lo + grain in
+    if Atomic.compare_and_set mine r (pack ~lo:stop ~hi) then pack ~lo ~hi:stop
+    else claim_block ranges me grain
+  end
+  else steal ranges me grain ((me + 1) mod Array.length ranges)
+[@@hot_path]
+
+and steal ranges me grain victim =
+  if victim = me then -1
+  else begin
+    let v = (Array.unsafe_get ranges victim).range in
+    let r = Atomic.get v in
+    let lo = range_lo r and hi = range_hi r in
+    let len = hi - lo in
+    if len = 0 then steal ranges me grain ((victim + 1) mod Array.length ranges)
+    else if len <= grain then
+      (* Not worth splitting: take the whole remainder. *)
+      if Atomic.compare_and_set v r (pack ~lo:hi ~hi) then pack ~lo ~hi
+      else claim_block ranges me grain
+    else begin
+      (* Steal the top half; the victim keeps draining its bottom, so
+         both sides stay in the cache region they started in. *)
+      let mid = lo + ((len + 1) / 2) in
+      if Atomic.compare_and_set v r (pack ~lo ~hi:mid) then begin
+        (* Publish the loot as [me]'s own range.  Between the CAS and
+           this store the stolen indices are invisible to other thieves,
+           which at worst idles them early — [me] itself drains the
+           range before asking again. *)
+        Atomic.set (Array.unsafe_get ranges me).range (pack ~lo:mid ~hi);
+        claim_block ranges me grain
+      end
+      else claim_block ranges me grain
+    end
+  end
+[@@hot_path]
+
+let stealing_drain t job ~grain ~ranges ~me f =
+  let continue_ = ref true in
+  while !continue_ do
+    let blk = claim_block ranges me grain in
+    if blk < 0 then continue_ := false
+    else run_block t job f ~lo:(range_lo blk) ~hi:(range_hi blk)
+  done
+
+(* ------------------------------------------------------------------- *)
+
+let drain t job ~me =
   let f =
     try job.make_f ()
     with e ->
       record_failure t job e;
       fun _ -> ()
   in
-  let continue_ = ref true in
-  while !continue_ do
-    let base = Atomic.fetch_and_add job.next job.chunk in
-    if base >= job.n then continue_ := false
-    else begin
-      let stop = min job.n (base + job.chunk) in
-      let probe = t.probe in
-      (match probe with
-      | Some p -> p.chunk_begin ~label:job.label ~lo:base ~hi:stop
-      | None -> ());
-      (try
-         for i = base to stop - 1 do
-           f i
-         done
-       with e -> record_failure t job e);
-      (match probe with
-      | Some p -> p.chunk_end ~label:job.label ~lo:base ~hi:stop
-      | None -> ());
-      let count = stop - base in
-      let done_ = count + Atomic.fetch_and_add job.completed count in
-      if done_ = job.n then begin
-        Mutex.lock t.mutex;
-        Condition.broadcast t.work_done;
-        Mutex.unlock t.mutex
-      end
-    end
-  done
+  match job.handout with
+  | Chunked { chunk; next } -> chunked_drain t job ~chunk ~next f
+  | Stealing { grain; ranges } -> stealing_drain t job ~grain ~ranges ~me f
 
-let rec worker_loop t last_generation =
+let rec worker_loop t ~me last_generation =
   Mutex.lock t.mutex;
   while
     (not t.stopping)
@@ -112,8 +247,8 @@ let rec worker_loop t last_generation =
     let generation = t.generation in
     let job = Option.get t.job in
     Mutex.unlock t.mutex;
-    drain t job;
-    worker_loop t generation
+    drain t job ~me;
+    worker_loop t ~me generation
   end
 
 let shutdown t =
@@ -139,8 +274,11 @@ let create size =
       probe = None }
   in
   if size > 1 then begin
+    (* The caller is participant 0; workers take 1 .. size-1 — the slot
+       each drains first under the stealing handout. *)
     t.workers <-
-      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+      List.init (size - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t ~me:(i + 1) 0));
     (* If the pool is dropped without an explicit shutdown, release the
        workers rather than leaving them blocked forever.  Joining from a
        finalizer is unsafe, so just signal; the domains exit promptly and
@@ -155,16 +293,9 @@ let create size =
   end;
   t
 
-let run_job t ~chunk ~label ~make_f n =
-  let chunk = max 1 chunk in
+let run_job t ~label ~handout ~make_f n =
   let job =
-    { make_f;
-      n;
-      chunk;
-      label;
-      next = Atomic.make 0;
-      completed = Atomic.make 0;
-      failure = None }
+    { make_f; n; handout; label; completed = Atomic.make 0; failure = None }
   in
   Mutex.lock t.mutex;
   if t.stopping then begin
@@ -180,7 +311,7 @@ let run_job t ~chunk ~label ~make_f n =
   Condition.broadcast t.work_ready;
   Mutex.unlock t.mutex;
   (* The caller is a full member of the crew. *)
-  drain t job;
+  drain t job ~me:0;
   Mutex.lock t.mutex;
   while Atomic.get job.completed < job.n do
     Condition.wait t.work_done t.mutex
@@ -207,10 +338,12 @@ let run_inline t ~label n f =
           f i
         done)
 
+let chunked ~chunk = Chunked { chunk = max 1 chunk; next = Atomic.make 0 }
+
 let parallel_for ?(chunk = 1) ?(label = -1) t n f =
   if n <= 0 then ()
   else if t.size <= 1 || n = 1 then run_inline t ~label n f
-  else run_job t ~chunk ~label ~make_f:(fun () -> f) n
+  else run_job t ~label ~handout:(chunked ~chunk) ~make_f:(fun () -> f) n
 
 let parallel_for_with ?(chunk = 1) ?(label = -1) t ~init n f =
   if n <= 0 then ()
@@ -219,8 +352,30 @@ let parallel_for_with ?(chunk = 1) ?(label = -1) t ~init n f =
     run_inline t ~label n (fun i -> f s i)
   end
   else
-    run_job t ~chunk ~label
+    run_job t ~label ~handout:(chunked ~chunk)
       ~make_f:(fun () ->
         let s = init () in
         fun i -> f s i)
       n
+
+(* Initial split: equal slices in index order, so participant [k] starts
+   in its own region and stealing only kicks in once someone runs dry. *)
+let initial_ranges ~participants n =
+  Array.init participants (fun k ->
+      { range =
+          Atomic.make
+            (pack ~lo:(k * n / participants) ~hi:((k + 1) * n / participants))
+      })
+
+let parallel_for_dynamic ?(grain = 1) ?(label = -1) t n f =
+  if n <= 0 then ()
+  else if t.size <= 1 || n = 1 then run_inline t ~label n f
+  else if n > range_mask then
+    invalid_arg "Domain_pool.parallel_for_dynamic: more than 2^31 items"
+  else
+    run_job t ~label
+      ~handout:
+        (Stealing
+           { grain = max 1 grain;
+             ranges = initial_ranges ~participants:t.size n })
+      ~make_f:(fun () -> f) n

@@ -62,15 +62,42 @@ val parallel_for_with :
     the idiom for reusable per-domain scratch (Dijkstra work arrays).
     States never cross domains, so [f] may mutate its state freely. *)
 
+val parallel_for_dynamic :
+  ?grain:int -> ?label:int -> t -> int -> (int -> unit) -> unit
+(** Like {!parallel_for}, but with a work-stealing handout: every
+    participating domain starts with an equal slice of [0 .. n-1] and
+    claims [grain] indices at a time from the bottom of its own slice;
+    a domain that runs dry steals the top half of another's remaining
+    range (or the whole remainder when it is no bigger than [grain]).
+    Built for coarse, {e uneven} bodies — sweep grid points mixing toy
+    and 10k-node scenarios — where a heavy item must not serialize the
+    rest of a static share behind it.  Same contract as
+    {!parallel_for} otherwise: every index runs exactly once, first
+    exception re-raised after the loop drains, probe fired per claimed
+    block.  [grain] defaults to 1.
+
+    @raise Invalid_argument if [n >= 2^31] (ranges are packed into one
+    immediate int). *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent; the pool cannot be used
     afterwards.  Pools that are simply dropped release their workers via a
     finalizer, so calling this is only required for prompt reclamation. *)
 
 val default_size : unit -> int
-(** Pool size selected by the [ARPANET_DOMAINS] environment variable
-    (clamped to [1, 128]); 1 — the sequential path — when unset or
-    unparseable. *)
+(** [resolve ()] — pool size selected by the [ARPANET_DOMAINS]
+    environment variable alone. *)
+
+val resolve : ?requested:int -> unit -> int
+(** The one domain-count resolution path shared by every CLI.
+    [resolve ~requested ()] maps an explicit request — a [--domains]
+    argument — to a pool size: [n >= 1] is clamped to [1, 128], and [0]
+    means "size to this machine" ({!recommended_size}).  With no
+    [?requested], the [ARPANET_DOMAINS] environment variable is read
+    under the same rules ([0] → {!recommended_size}), and an unset or
+    unparseable variable yields 1, the sequential path.
+
+    @raise Invalid_argument if [requested] is negative. *)
 
 val default_env_var : string
 (** ["ARPANET_DOMAINS"]. *)

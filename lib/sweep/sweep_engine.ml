@@ -8,7 +8,7 @@ type point = {
   seed : int;
 }
 
-type outcome = { point : point; indicators : Measure.indicators }
+type outcome = { point : point; hash : string; indicators : Measure.indicators }
 
 type report = { outcomes : outcome array; json : Obs_json.t }
 
@@ -35,73 +35,165 @@ let points (spec : Sweep_spec.t) =
     spec.scenarios;
   List.rev !acc
 
-(* Scenario files are read once up front; each point re-parses the
-   cached text so every simulator owns a private graph and traffic
-   matrix — scripted link failures must not leak between concurrently
-   running points. *)
-let preload_texts (spec : Sweep_spec.t) =
-  let texts = Hashtbl.create 4 in
-  List.iter
-    (function
-      | Sweep_spec.Builtin _ -> ()
-      | Sweep_spec.File path ->
-        if not (Hashtbl.mem texts path) then
-          Hashtbl.add texts path
-            (In_channel.with_open_text path In_channel.input_all))
-    spec.scenarios;
-  texts
+(* ---------------------------------------------------------------- *)
+(* Point identity.  A point's hash names the exact work it stands for —
+   scenario *content* (not just its path), metric, scale, seed and the
+   period budget — and deliberately nothing about the grid it sits in,
+   so shard files survive re-sharding and a resumed run survives adding
+   axes to the spec.  MD5 (stdlib [Digest]) is plenty: this is a cache
+   key, not a security boundary. *)
 
-let builtin_sim ?tracer (spec : Sweep_spec.t) p =
-  let graph =
-    match p.scenario with
-    | "arpanet" -> Arpanet.topology ()
-    | "milnet" -> Milnet.topology ()
-    | other -> invalid_arg (Printf.sprintf "Sweep_engine: unknown builtin %S" other)
+let hash_version = "arpanet-sweep-point-v1"
+
+let point_hash ~scenario_digest (spec : Sweep_spec.t) p =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ hash_version;
+            scenario_digest;
+            p.scenario;
+            Metric.kind_name p.metric;
+            Printf.sprintf "%h" p.scale;
+            string_of_int p.seed;
+            string_of_int spec.periods;
+            string_of_int spec.warmup ]))
+
+(* ---------------------------------------------------------------- *)
+(* Parse-once preparation.  Everything domains share is built here,
+   sequentially, and never written afterwards: graphs and parsed scripts
+   are immutable, and the per-(scenario, seed) traffic templates are
+   private to the tables until [prepare] returns.  Per point the only
+   remaining work besides the simulation itself is one
+   [Traffic_matrix.scale] — a fresh private matrix, so scripted
+   link/traffic events cannot leak between concurrently running
+   points. *)
+
+type prepared = {
+  spec : Sweep_spec.t;
+  pts : point array;
+  hashes : string array;  (* hashes.(i) belongs to pts.(i) *)
+  graphs : (string, Graph.t) Hashtbl.t;  (* builtin name -> topology *)
+  scripts : (string, Script.t) Hashtbl.t;  (* file path -> parsed script *)
+  templates : (string * int, Traffic_matrix.t) Hashtbl.t;
+      (* (scenario, seed) -> unscaled demand template *)
+}
+
+let prepared_points prep = prep.pts
+
+let point_hashes prep = prep.hashes
+
+let builtin_graph name =
+  match name with
+  | "arpanet" -> Arpanet.topology ()
+  | "milnet" -> Milnet.topology ()
+  | other -> invalid_arg (Printf.sprintf "Sweep_engine: unknown builtin %S" other)
+
+let builtin_peak name rng graph =
+  match name with
+  | "arpanet" -> Arpanet.peak_traffic rng graph
+  | _ -> Milnet.peak_traffic rng graph
+
+let prepare (spec : Sweep_spec.t) =
+  let pts = Array.of_list (points spec) in
+  let graphs = Hashtbl.create 4 in
+  let scripts = Hashtbl.create 4 in
+  let digests = Hashtbl.create 4 in
+  List.iter
+    (fun sc ->
+      let name = Sweep_spec.scenario_name sc in
+      if not (Hashtbl.mem digests name) then
+        match sc with
+        | Sweep_spec.Builtin b ->
+          Hashtbl.add graphs name (builtin_graph b);
+          Hashtbl.add digests name ("builtin:" ^ b)
+        | Sweep_spec.File path ->
+          let text = In_channel.with_open_text path In_channel.input_all in
+          (match Script.parse text with
+          | Ok s -> Hashtbl.add scripts name s
+          | Error e ->
+            invalid_arg (Printf.sprintf "Sweep_engine: scenario %S: %s" name e));
+          Hashtbl.add digests name (Digest.to_hex (Digest.string text)))
+    spec.scenarios;
+  let templates = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      let key = (p.scenario, p.seed) in
+      if not (Hashtbl.mem templates key) then
+        let template =
+          match Hashtbl.find_opt scripts p.scenario with
+          | None ->
+            builtin_peak p.scenario (Rng.create p.seed)
+              (Hashtbl.find graphs p.scenario)
+          | Some script ->
+            (* Per-seed demand jitter (±10 %, visiting flows in the
+               matrix's deterministic iteration order) turns one scenario
+               file into a small family of comparable traffic
+               realisations; the point's load scale composes on top at
+               dispatch time.  Scripted [scale] events stay relative to
+               these demands. *)
+            let rng = Rng.create p.seed in
+            let template =
+              Traffic_matrix.create ~nodes:(Traffic_matrix.nodes script.traffic)
+            in
+            Traffic_matrix.iter script.traffic (fun ~src ~dst demand ->
+                let jitter = Rng.uniform rng ~lo:0.9 ~hi:1.1 in
+                Traffic_matrix.set template ~src ~dst (demand *. jitter));
+            template
+        in
+        Hashtbl.add templates key template)
+    pts;
+  let hashes =
+    Array.map
+      (fun p -> point_hash ~scenario_digest:(Hashtbl.find digests p.scenario) spec p)
+      pts
   in
-  let peak =
-    match p.scenario with
-    | "arpanet" -> Arpanet.peak_traffic (Rng.create p.seed) graph
-    | _ -> Milnet.peak_traffic (Rng.create p.seed) graph
-  in
-  let traffic = Traffic_matrix.scale peak p.scale in
+  { spec; pts; hashes; graphs; scripts; templates }
+
+(* ---------------------------------------------------------------- *)
+(* Running points.  Each point's simulator is private — built from the
+   shared immutable spec plus one fresh scaled matrix — and runs with
+   [~domains:1] so pools never nest. *)
+
+let builtin_sim ?tracer prep p =
+  let graph = Hashtbl.find prep.graphs p.scenario in
+  let template = Hashtbl.find prep.templates (p.scenario, p.seed) in
+  let traffic = Traffic_matrix.scale template p.scale in
   let sim = Flow_sim.create ~domains:1 ?tracer graph p.metric traffic in
-  for _ = 1 to spec.periods do
+  for _ = 1 to prep.spec.periods do
     ignore (Flow_sim.step sim)
   done;
   sim
 
-let scripted_sim ?tracer (spec : Sweep_spec.t) texts p =
-  let text = Hashtbl.find texts p.scenario in
-  let script =
-    match Script.parse text with
-    | Ok s -> s
-    | Error e ->
-      invalid_arg (Printf.sprintf "Sweep_engine: scenario %S: %s" p.scenario e)
-  in
-  (* Per-seed demand jitter (±10 %, visiting flows in the matrix's
-     deterministic iteration order) turns one scenario file into a small
-     family of comparable traffic realisations; the load scale composes
-     on top.  Scripted [scale] events stay relative to these demands. *)
-  let rng = Rng.create p.seed in
-  let traffic = Traffic_matrix.create ~nodes:(Traffic_matrix.nodes script.traffic) in
-  Traffic_matrix.iter script.traffic (fun ~src ~dst demand ->
-      let jitter = Rng.uniform rng ~lo:0.9 ~hi:1.1 in
-      Traffic_matrix.set traffic ~src ~dst (demand *. jitter *. p.scale));
+let scripted_sim ?tracer prep p =
+  let script = Hashtbl.find prep.scripts p.scenario in
+  let template = Hashtbl.find prep.templates (p.scenario, p.seed) in
+  let traffic = Traffic_matrix.scale template p.scale in
   Script.run ~domains:1 ?tracer ~metric:p.metric { script with traffic }
-    ~periods:spec.periods
+    ~periods:prep.spec.periods
 
-let run_point ?tracer (spec : Sweep_spec.t) texts p =
+let run_point ?tracer prep i =
+  let p = prep.pts.(i) in
   let sim =
-    match p.scenario with
-    | "arpanet" | "milnet" -> builtin_sim ?tracer spec p
-    | _ -> scripted_sim ?tracer spec texts p
+    if Hashtbl.mem prep.scripts p.scenario then scripted_sim ?tracer prep p
+    else builtin_sim ?tracer prep p
   in
-  let indicators = Flow_sim.indicators sim ~skip:spec.warmup () in
+  let indicators = Flow_sim.indicators sim ~skip:prep.spec.warmup () in
+  { point = p; hash = prep.hashes.(i); indicators }
+
+(* ---------------------------------------------------------------- *)
+(* Report assembly.  Per-point telemetry registries are a pure function
+   of (point index, indicators) — [Measure.export] under a point label —
+   so they are regenerated here rather than carried through shard files
+   or resumes, and merged in point-index order: the report's bytes
+   depend only on which points it covers, never on the domain count,
+   the shard layout, or the order workers finished. *)
+
+let point_registry p indicators =
   let registry = Obs_metrics.create () in
   Measure.export
     ~labels:[ ("point", Printf.sprintf "%05d" p.index) ]
     registry indicators;
-  ({ point = p; indicators }, registry)
+  registry
 
 let indicators_json (i : Measure.indicators) =
   Obs_json.Obj
@@ -130,57 +222,19 @@ let outcome_json o =
       ("metric", Obs_json.String (Metric.kind_name o.point.metric));
       ("scale", Obs_json.Float o.point.scale);
       ("seed", Obs_json.Int o.point.seed);
+      ("hash", Obs_json.String o.hash);
       ("indicators", indicators_json o.indicators)
     ]
 
-let run ?(domains = Domain_pool.default_size ()) ?(tracer = Tracer.null)
-    (spec : Sweep_spec.t) =
-  let pts = Array.of_list (points spec) in
-  let texts = preload_texts spec in
-  let n = Array.length pts in
-  let slots = Array.make n None in
-  (* Each point's whole simulation is one span on the track of whichever
-     domain ran it, index range in the args — Perfetto shows the sweep's
-     work distribution directly. *)
-  let tr_point = Tracer.intern tracer "sweep_point" in
-  let one i =
-    Tracer.span_begin_range tracer tr_point ~lo:i ~hi:(i + 1);
-    let r = run_point ~tracer spec texts pts.(i) in
-    Tracer.span_end tracer tr_point;
-    slots.(i) <- Some r
-  in
-  (if domains > 1 && n > 1 then (
-     let pool = Domain_pool.create domains in
-     if Tracer.enabled tracer then
-       Domain_pool.set_probe pool (Some (Tracer.pool_probe tracer));
-     Fun.protect
-       ~finally:(fun () -> Domain_pool.shutdown pool)
-       (fun () -> Domain_pool.parallel_for pool n one))
-   else
-     for i = 0 to n - 1 do
-       one i
-     done);
-  let outcomes =
-    Array.map
-      (function
-        | Some (o, _) -> o
-        | None -> invalid_arg "Sweep_engine: point did not complete")
-      slots
-  in
-  (* One registry per point, merged in point-index order: the report's
-     bytes depend only on the grid, never on the domain count or the
-     order workers finished.  Deliberately no domain/core metadata in
-     the report itself — that lives in the bench records. *)
+let report_of_outcomes (spec : Sweep_spec.t) outcomes =
   let master = Obs_metrics.create () in
   Obs_metrics.set_meta master "tool" "arpanet_sweep";
-  Obs_metrics.set_meta master "points" (string_of_int n);
+  Obs_metrics.set_meta master "points" (string_of_int (Array.length outcomes));
   Obs_metrics.set_meta master "periods" (string_of_int spec.periods);
   Obs_metrics.set_meta master "warmup" (string_of_int spec.warmup);
   Array.iter
-    (function
-      | Some (_, registry) -> Obs_metrics.merge ~into:master registry
-      | None -> ())
-    slots;
+    (fun o -> Obs_metrics.merge ~into:master (point_registry o.point o.indicators))
+    outcomes;
   let json =
     Obs_metrics.to_json master
       ~extra:
@@ -188,6 +242,218 @@ let run ?(domains = Domain_pool.default_size ()) ?(tracer = Tracer.null)
         ]
   in
   { outcomes; json }
+
+(* ---------------------------------------------------------------- *)
+
+let run_prepared ?(domains = Domain_pool.default_size ())
+    ?(tracer = Tracer.null) ?subset ?reuse prep =
+  let selected =
+    match subset with
+    | None -> Array.init (Array.length prep.pts) Fun.id
+    | Some keep ->
+      Array.of_list
+        (List.filter (fun i -> keep prep.pts.(i))
+           (List.init (Array.length prep.pts) Fun.id))
+  in
+  let slots = Array.make (Array.length selected) None in
+  (* Points whose hash the caller already has an answer for are filled
+     in up front and never dispatched — this is what makes [--resume]
+     skip finished work. *)
+  let todo =
+    match reuse with
+    | None -> Array.mapi (fun s i -> (s, i)) selected
+    | Some lookup ->
+      let pending = ref [] in
+      Array.iteri
+        (fun s i ->
+          match lookup prep.hashes.(i) with
+          | Some indicators ->
+            slots.(s) <-
+              Some { point = prep.pts.(i); hash = prep.hashes.(i); indicators }
+          | None -> pending := (s, i) :: !pending)
+        selected;
+      Array.of_list (List.rev !pending)
+  in
+  let n = Array.length todo in
+  (* Each point's whole simulation is one span on the track of whichever
+     domain ran it, index range in the args — Perfetto shows the sweep's
+     work distribution directly. *)
+  let tr_point = Tracer.intern tracer "sweep_point" in
+  let one k =
+    let s, i = todo.(k) in
+    Tracer.span_begin_range tracer tr_point ~lo:i ~hi:(i + 1);
+    let o = run_point ~tracer prep i in
+    Tracer.span_end tracer tr_point;
+    slots.(s) <- Some o
+  in
+  (if domains > 1 && n > 1 then (
+     let pool = Domain_pool.create domains in
+     if Tracer.enabled tracer then
+       Domain_pool.set_probe pool (Some (Tracer.pool_probe tracer));
+     (* Grid points are wildly uneven — a hier10k point can cost 1000×
+        an arpanet toy — so handout is work-stealing, not static
+        chunks: a domain that lands a heavy point keeps it while the
+        others drain and then steal the rest of its share. *)
+     Fun.protect
+       ~finally:(fun () -> Domain_pool.shutdown pool)
+       (fun () -> Domain_pool.parallel_for_dynamic pool n one))
+   else
+     for k = 0 to n - 1 do
+       one k
+     done);
+  let outcomes =
+    Array.map
+      (function
+        | Some o -> o
+        | None -> invalid_arg "Sweep_engine: point did not complete")
+      slots
+  in
+  report_of_outcomes prep.spec outcomes
+
+let run ?domains ?tracer spec = run_prepared ?domains ?tracer (prepare spec)
+
+(* ---------------------------------------------------------------- *)
+(* Reading reports back.  Shards and resumes only need each stored
+   point's (hash, indicators): registries regenerate from indicators,
+   and grid coordinates come from the prepared spec, not the file.
+   Floats survive the trip exactly — the printer emits the shortest
+   representation that round-trips — so a merged or resumed report is
+   byte-identical to an uninterrupted run. *)
+
+let ( let* ) = Result.bind
+
+let float_field name j =
+  match Obs_json.member name j with
+  | Error _ -> Result.Error (Printf.sprintf "missing indicator %S" name)
+  | Ok Obs_json.Null -> Ok Float.nan (* the printer maps NaN to null *)
+  | Ok v ->
+    (match Obs_json.to_float v with
+    | Ok f -> Ok f
+    | Error _ -> Result.Error (Printf.sprintf "indicator %S is not a number" name))
+
+let indicators_of_json j : (Measure.indicators, string) result =
+  let* elapsed_s = float_field "elapsed_s" j in
+  let* internode_traffic_bps = float_field "internode_traffic_bps" j in
+  let* round_trip_delay_ms = float_field "round_trip_delay_ms" j in
+  let* updates_per_s = float_field "updates_per_s" j in
+  let* update_period_per_node_s = float_field "update_period_per_node_s" j in
+  let* actual_path_hops = float_field "actual_path_hops" j in
+  let* minimum_path_hops = float_field "minimum_path_hops" j in
+  let* path_ratio = float_field "path_ratio" j in
+  let* dropped_per_s = float_field "dropped_per_s" j in
+  let* overhead_bps = float_field "overhead_bps" j in
+  let* delay_p50_ms = float_field "delay_p50_ms" j in
+  let* delay_p95_ms = float_field "delay_p95_ms" j in
+  let* delay_p99_ms = float_field "delay_p99_ms" j in
+  let* route_changes_per_period = float_field "route_changes_per_period" j in
+  let* next_hop_flips_per_period = float_field "next_hop_flips_per_period" j in
+  let* link_flips_per_period = float_field "link_flips_per_period" j in
+  Ok
+    { Measure.elapsed_s;
+      internode_traffic_bps;
+      round_trip_delay_ms;
+      updates_per_s;
+      update_period_per_node_s;
+      actual_path_hops;
+      minimum_path_hops;
+      path_ratio;
+      dropped_per_s;
+      overhead_bps;
+      delay_p50_ms;
+      delay_p95_ms;
+      delay_p99_ms;
+      route_changes_per_period;
+      next_hop_flips_per_period;
+      link_flips_per_period }
+
+let stored_points json =
+  let* pts =
+    match Obs_json.member "points" json with
+    | Ok (Obs_json.List pts) -> Ok pts
+    | Ok _ -> Result.Error "report \"points\" is not a list"
+    | Error _ -> Result.Error "report has no \"points\" list"
+  in
+  let rec decode k acc = function
+    | [] -> Ok (List.rev acc)
+    | item :: rest ->
+      let ctx msg = Printf.sprintf "points[%d]: %s" k msg in
+      let* hash =
+        match Obs_json.member "hash" item with
+        | Ok (Obs_json.String h) -> Ok h
+        | Ok _ -> Result.Error (ctx "\"hash\" is not a string")
+        | Error _ -> Result.Error (ctx "missing \"hash\"")
+      in
+      let* indicators =
+        match Obs_json.member "indicators" item with
+        | Ok ind -> Result.map_error ctx (indicators_of_json ind)
+        | Error _ -> Result.Error (ctx "missing \"indicators\"")
+      in
+      decode (k + 1) ((hash, indicators) :: acc) rest
+  in
+  decode 0 [] pts
+
+(* ---------------------------------------------------------------- *)
+(* Merging shard reports.  Points are matched purely by hash; the
+   prepared spec supplies order and coordinates, so merge order — and
+   any intermediate partial merge — cannot change the result. *)
+
+let merge ?(allow_partial = false) prep shards =
+  let table = Hashtbl.create (Array.length prep.pts) in
+  let known = Hashtbl.create (Array.length prep.pts) in
+  Array.iter (fun h -> Hashtbl.replace known h ()) prep.hashes;
+  let rec gather k = function
+    | [] -> Ok ()
+    | shard :: rest ->
+      let* pts = Result.map_error (Printf.sprintf "shard %d: %s" k) (stored_points shard) in
+      let* () =
+        List.fold_left
+          (fun acc (hash, indicators) ->
+            let* () = acc in
+            if not (Hashtbl.mem known hash) then
+              Result.Error
+                (Printf.sprintf
+                   "shard %d: point %s is not in this spec's grid (spec or \
+                    scenario changed since the shard was written?)"
+                   k hash)
+            else
+              match Hashtbl.find_opt table hash with
+              | None ->
+                Hashtbl.add table hash indicators;
+                Ok ()
+              | Some prev ->
+                (* Runs are deterministic, so a point appearing in two
+                   shards must agree; disagreement means the shards came
+                   from different builds or scenarios. *)
+                if
+                  Obs_json.to_string (indicators_json prev)
+                  = Obs_json.to_string (indicators_json indicators)
+                then Ok ()
+                else
+                  Result.Error
+                    (Printf.sprintf
+                       "shard %d: point %s conflicts with an earlier shard" k
+                       hash))
+          (Ok ()) pts
+      in
+      gather (k + 1) rest
+  in
+  let* () = gather 0 shards in
+  let present = ref [] in
+  let missing = ref 0 in
+  Array.iteri
+    (fun i p ->
+      match Hashtbl.find_opt table prep.hashes.(i) with
+      | Some indicators ->
+        present := { point = p; hash = prep.hashes.(i); indicators } :: !present
+      | None -> incr missing)
+    prep.pts;
+  if !missing > 0 && not allow_partial then
+    Result.Error
+      (Printf.sprintf "%d of %d grid points missing from the given shards"
+         !missing (Array.length prep.pts))
+  else Ok (report_of_outcomes prep.spec (Array.of_list (List.rev !present)))
+
+(* ---------------------------------------------------------------- *)
 
 let csv_columns =
   [ "index"; "scenario"; "metric"; "scale"; "seed"; "elapsed_s";

@@ -1,18 +1,25 @@
 open! Import
 
-(** The parallel scenario-sweep engine behind [arpanet_sweep].
+(** The parallel scenario-sweep fabric behind [arpanet_sweep].
 
     A {!Sweep_spec.t} declares a grid of (scenario × metric × load scale
-    × seed) points; {!run} executes every point — each its own flow
-    simulator over [periods] routing periods — fanning points across a
-    {!Domain_pool} and folding the results into one report.
+    × seed) points.  {!prepare} parses every scenario {e once} into an
+    immutable shared spec — topology, parsed script, per-(scenario, seed)
+    traffic template — and stamps each point with a stable content hash;
+    {!run_prepared} then executes points (each its own flow simulator
+    over [periods] routing periods) over a work-stealing
+    {!Domain_pool.parallel_for_dynamic} handout and folds the results
+    into one report.  {!merge} rebuilds the same report from shard files,
+    and the [?reuse] hook skips points an earlier report already
+    answers — both keyed by the point hash.
 
     Determinism is load-bearing: points are enumerated in a fixed axis
-    order, every point builds a private graph and traffic matrix from
-    its own seed, per-point telemetry registries are merged in point
-    order (not completion order), and the report carries no domain or
-    core counts — so the report is {e byte-identical} under any
-    [domains] setting.  [test_sweep] pins this. *)
+    order, each runs against a private scaled copy of the shared traffic
+    template, per-point telemetry registries are regenerated from
+    indicators and merged in point order (not completion order), and the
+    report carries no domain or core counts — so the report is
+    {e byte-identical} under any [domains] setting, shard layout, or
+    resume history.  [test_sweep] pins this. *)
 
 type point = {
   index : int;  (** position in the {!points} enumeration *)
@@ -22,34 +29,103 @@ type point = {
   seed : int;
 }
 
-type outcome = { point : point; indicators : Measure.indicators }
+type outcome = {
+  point : point;
+  hash : string;  (** the point's stable identity; see {!point_hashes} *)
+  indicators : Measure.indicators;
+}
 
 type report = {
-  outcomes : outcome array;  (** one per point, in index order *)
+  outcomes : outcome array;  (** one per covered point, in index order *)
   json : Obs_json.t;
       (** merged telemetry snapshot plus a ["points"] array of per-point
-          indicator objects *)
+          indicator objects (each carrying its ["hash"]) *)
 }
 
 val points : Sweep_spec.t -> point list
 (** The grid in execution order: scenarios outermost, then metrics,
     scales, seeds. *)
 
-val run : ?domains:int -> ?tracer:Tracer.t -> Sweep_spec.t -> report
-(** Run every point.  [domains] (default {!Domain_pool.default_size})
-    sizes the pool points are distributed over; each point's simulator
-    runs with [~domains:1] so pools never nest.  Scenario files are read
-    once and re-parsed per point, keeping concurrently running points
-    free of shared mutable state.
+(** {2 Parse-once preparation} *)
+
+type prepared
+(** A spec parsed once into immutable shared state: builtin topologies,
+    parsed scenario scripts, per-(scenario, seed) demand templates, and
+    per-point hashes.  All domains read it concurrently; nothing in it
+    is written after {!prepare} returns. *)
+
+val prepare : Sweep_spec.t -> prepared
+(** Read and parse every scenario a single time and precompute the
+    demand template for every (scenario, seed) pair.
+    @raise Invalid_argument if a scenario file fails to parse (lint
+    first — [arpanet_sweep] does) and [Sys_error] if one is
+    unreadable. *)
+
+val prepared_points : prepared -> point array
+
+val point_hashes : prepared -> string array
+(** [point_hashes prep].(i) identifies [prepared_points prep].(i): the
+    MD5 of (scenario {e content} digest × scenario × metric × scale ×
+    seed × periods × warmup) under a version tag.  Grid-shape
+    independent — the same point keeps its hash when axes are added or
+    the grid is re-sharded — and content-sensitive: editing a scenario
+    file invalidates its points. *)
+
+(** {2 Running} *)
+
+val run_prepared :
+  ?domains:int ->
+  ?tracer:Tracer.t ->
+  ?subset:(point -> bool) ->
+  ?reuse:(string -> Measure.indicators option) ->
+  prepared ->
+  report
+(** Run every prepared point and assemble the report.
+
+    [domains] (default {!Domain_pool.default_size}) sizes the pool
+    points are distributed over — with a work-stealing handout, so
+    heavy points don't serialize a static share behind them; each
+    point's simulator runs with [~domains:1] so pools never nest.
+
+    [subset] (default: everything) restricts the run to the points it
+    accepts — the [--shard i/n] primitive.  Excluded points simply do
+    not appear in the report; indices and hashes keep their full-grid
+    values.
+
+    [reuse] is consulted once per selected point with the point's hash;
+    returning [Some indicators] adopts that answer without simulating —
+    the [--resume] primitive.  Because registries regenerate from
+    indicators, a resumed report is byte-identical to a fresh run.
 
     [tracer] (default {!Tracer.null}) flight-records the sweep: each
-    point becomes a ["sweep_point"] span (point index in its args) on the
-    track of whichever worker domain ran it, the pool's chunk draining is
-    probed, and inside every point the simulator's routing periods, SPF
-    refreshes and floods record as usual.  The tracer never influences
-    the report — reports stay byte-identical with or without one.
-    @raise Invalid_argument if a scenario file fails to parse (lint
-    first — [arpanet_sweep] does) and [Sys_error] if one is unreadable. *)
+    simulated point becomes a ["sweep_point"] span (point index in its
+    args) on the track of whichever worker domain ran it, the pool's
+    block draining is probed, and inside every point the simulator's
+    routing periods, SPF refreshes and floods record as usual.  The
+    tracer never influences the report. *)
+
+val run : ?domains:int -> ?tracer:Tracer.t -> Sweep_spec.t -> report
+(** [run spec = run_prepared (prepare spec)]. *)
+
+(** {2 Shards and resumes} *)
+
+val stored_points :
+  Obs_json.t -> ((string * Measure.indicators) list, string) result
+(** Decode a report (or shard) produced by this module back into its
+    (hash, indicators) pairs — everything a merge or resume needs.
+    Floats round-trip exactly through the deterministic printer, so
+    re-emitting a stored point is byte-stable. *)
+
+val merge :
+  ?allow_partial:bool -> prepared -> Obs_json.t list -> (report, string) result
+(** Fold shard reports into one report for the prepared grid.  Points
+    are matched purely by hash, so merge order and grouping cannot
+    change the bytes: merging shards one at a time through partial
+    intermediates equals merging them all at once.  Errors: a shard
+    that does not decode, a hash outside the prepared grid (the spec or
+    a scenario changed since the shard was written), two shards
+    disagreeing about a point, or — unless [allow_partial] (default
+    false) — grid points covered by no shard. *)
 
 val csv : report -> string
 (** One header line plus one row per point: grid coordinates, the ten

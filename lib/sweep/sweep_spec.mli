@@ -58,6 +58,11 @@ val lint : t -> issue list
     duplicate axis value (warning), [S104] bad seed, [S105] scale out of
     range, [S106] bad period/warmup budget. *)
 
+val shard_of_string : string -> (int * int, issue) result
+(** Parse a [--shard] argument ["I/N"] — this process runs grid points
+    whose index ≡ I (mod N).  Any shape problem — not [I/N], [N < 1],
+    [I] outside [\[0, N)] — is one [S107] error. *)
+
 val lint_file : string -> issue list * t option
 (** Read, {!parse}, {!lint}; unreadable files are an [S100] error and
     [None]. *)

@@ -1,14 +1,19 @@
 (* Tests for the sweep subsystem and the aggregated flow assignment.
 
-   The two load-bearing contracts:
+   The load-bearing contracts:
    + Load_assign.assign distributes exactly the same load as the
      historical per-flow tree climb (qcheck, random topologies and
      traffic; first hops exactly equal, offered loads equal to rounding);
-   + Sweep_engine.run produces byte-identical reports under any domain
-     count (the merge order and point enumeration are fixed).
+   + Domain_pool.parallel_for_dynamic runs every index exactly once
+     under any (domains, grain) — the steal protocol cannot drop or
+     duplicate work (qcheck, uneven bodies to force stealing);
+   + Sweep_engine reports are byte-identical under any domain count,
+     shard layout, or resume history (work-stealing handout, hash-keyed
+     merge, and registry regeneration are all order-independent).
 
-   Plus the S1xx spec lint: every fixture trips exactly its code, and
-   the shipped example spec is clean. *)
+   Plus the S1xx spec lint: every fixture trips exactly its code, the
+   --shard argument grammar (S107), and the shipped example spec is
+   clean. *)
 
 module Node = Routing_topology.Node
 module Link = Routing_topology.Link
@@ -18,6 +23,7 @@ module Rng = Routing_stats.Rng
 module Metric = Routing_metric.Metric
 module Spf_engine = Routing_spf.Spf_engine
 module Load_assign = Routing_sim.Load_assign
+module Domain_pool = Routing_metric.Domain_pool
 module Sweep_spec = Routing_sweep.Sweep_spec
 module Sweep_engine = Routing_sweep.Sweep_engine
 module Sweep_check = Routing_check.Sweep_check
@@ -111,6 +117,45 @@ let test_assignment_scratch_reuse () =
   Alcotest.(check (array (float 0.))) "offered stable across rounds" o1 o2;
   Alcotest.(check (array int)) "first hops stable across rounds" f1 f2
 
+(* --- work-stealing handout ----------------------------------------- *)
+
+(* Every index exactly once, any pool geometry.  Bodies spin an amount
+   that varies wildly with the index so the initial equal slices go out
+   of balance and stealing actually happens; each index writes only its
+   own slot, so a duplicate run would show up as a count of 2 (and as a
+   data race under the TSan job, which runs this suite). *)
+let dynamic_case =
+  QCheck.make ~print:(fun (n, domains, grain) ->
+      Printf.sprintf "n=%d domains=%d grain=%d" n domains grain)
+    QCheck.Gen.(triple (int_bound 200) (int_range 1 5) (int_range 1 7))
+
+let run_dynamic_case (n, domains, grain) =
+  let counts = Array.make (max n 1) 0 in
+  let spun = Array.make (max n 1) 0 in
+  let pool = Domain_pool.create domains in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.shutdown pool)
+    (fun () ->
+      Domain_pool.parallel_for_dynamic ~grain pool n (fun i ->
+          let spin = if i land 7 = 0 then 2000 else 10 in
+          let acc = ref 0 in
+          for k = 1 to spin do
+            acc := !acc + ((i + k) land 15)
+          done;
+          spun.(i) <- !acc;
+          counts.(i) <- counts.(i) + 1));
+  Array.iteri
+    (fun i c ->
+      if i < n && c <> 1 then
+        QCheck.Test.fail_reportf "index %d ran %d times (n=%d)" i c n)
+    counts;
+  true
+
+let prop_dynamic_exactly_once =
+  QCheck.Test.make ~count:80
+    ~name:"parallel_for_dynamic runs every index exactly once" dynamic_case
+    run_dynamic_case
+
 (* --- sweep engine -------------------------------------------------- *)
 
 let small_spec =
@@ -154,6 +199,176 @@ let test_report_round_trips () =
     Alcotest.(check bool) "report JSON round-trips" true
       (Obs_json.equal round r.Sweep_engine.json)
   | Error e -> Alcotest.failf "report does not re-parse: %s" e
+
+(* --- sweep fabric: stealing, shards, resume ------------------------ *)
+
+let report_bytes (r : Sweep_engine.report) = Obs_json.to_string r.Sweep_engine.json
+
+(* Random tiny grids: the work-stealing fan-out must reproduce the
+   sequential report byte for byte whatever the grid shape, scenario
+   mix, or domain count. *)
+let grid_case =
+  QCheck.make ~print:(fun (seed, scales, with_file, domains) ->
+      Printf.sprintf "seed=%d scales=%d file=%b domains=%d" seed scales
+        with_file domains)
+    QCheck.Gen.(
+      quad (int_bound 1000) (int_range 1 3) bool (int_range 2 4))
+
+let grid_spec (seed, scales, with_file, _domains) =
+  { Sweep_spec.scenarios =
+      (Sweep_spec.Builtin "arpanet"
+       :: (if with_file then [ Sweep_spec.File (scenario "two_region.scn") ] else []));
+    metrics = [ Metric.D_spf; Metric.Hn_spf ];
+    scales = List.init scales (fun i -> 0.7 +. (0.2 *. float_of_int i));
+    seeds = [ seed; seed + 1 ];
+    periods = 3;
+    warmup = 1 }
+
+let run_grid_case case =
+  let _, _, _, domains = case in
+  let spec = grid_spec case in
+  let sequential = Sweep_engine.run ~domains:1 spec in
+  let stolen = Sweep_engine.run ~domains spec in
+  if report_bytes sequential <> report_bytes stolen then
+    QCheck.Test.fail_reportf "work-stealing report differs at %d domains" domains;
+  true
+
+let prop_stealing_byte_identical =
+  QCheck.Test.make ~count:6
+    ~name:"work-stealing reports == sequential (random grids)" grid_case
+    run_grid_case
+
+let test_resume_byte_identity () =
+  (* Interrupt a grid mid-flight (only shard 0/2 of the points ran, as
+     if the process died), then resume from the partial report: the
+     resumed report must be byte-identical to an uninterrupted run, and
+     the reused points must not re-simulate. *)
+  let prep = Sweep_engine.prepare small_spec in
+  let uninterrupted = Sweep_engine.run_prepared ~domains:1 prep in
+  let partial =
+    Sweep_engine.run_prepared ~domains:1
+      ~subset:(fun p -> p.Sweep_engine.index mod 2 = 0)
+      prep
+  in
+  let stored =
+    match Sweep_engine.stored_points partial.Sweep_engine.json with
+    | Ok pts -> pts
+    | Error e -> Alcotest.failf "partial report does not decode: %s" e
+  in
+  Alcotest.(check int) "partial covers half the grid"
+    ((Array.length (Sweep_engine.prepared_points prep) + 1) / 2)
+    (List.length stored);
+  let table = Hashtbl.create 16 in
+  List.iter (fun (h, ind) -> Hashtbl.replace table h ind) stored;
+  let reused = ref 0 in
+  let resumed =
+    Sweep_engine.run_prepared ~domains:1
+      ~reuse:(fun h ->
+        match Hashtbl.find_opt table h with
+        | Some ind ->
+          incr reused;
+          Some ind
+        | None -> None)
+      prep
+  in
+  Alcotest.(check int) "every stored point reused" (List.length stored) !reused;
+  Alcotest.(check string) "resumed report == uninterrupted report"
+    (report_bytes uninterrupted) (report_bytes resumed)
+
+let test_shard_merge_associativity () =
+  let prep = Sweep_engine.prepare small_spec in
+  let full = Sweep_engine.run_prepared ~domains:1 prep in
+  let shard k =
+    (Sweep_engine.run_prepared ~domains:1
+       ~subset:(fun p -> p.Sweep_engine.index mod 3 = k)
+       prep)
+      .Sweep_engine.json
+  in
+  let s0 = shard 0 and s1 = shard 1 and s2 = shard 2 in
+  let merged shards =
+    match Sweep_engine.merge prep shards with
+    | Ok r -> report_bytes r
+    | Error e -> Alcotest.failf "merge failed: %s" e
+  in
+  Alcotest.(check string) "merge(s0,s1,s2) == single run" (report_bytes full)
+    (merged [ s0; s1; s2 ]);
+  Alcotest.(check string) "merge order irrelevant" (report_bytes full)
+    (merged [ s2; s0; s1 ]);
+  (* Associativity through a partial intermediate: (s0 + s1) + s2. *)
+  let s01 =
+    match Sweep_engine.merge ~allow_partial:true prep [ s0; s1 ] with
+    | Ok r -> r.Sweep_engine.json
+    | Error e -> Alcotest.failf "partial merge failed: %s" e
+  in
+  Alcotest.(check string) "merge(merge(s0,s1), s2) == single run"
+    (report_bytes full)
+    (merged [ s01; s2 ]);
+  (* Incomplete without allow_partial is an error, not a report. *)
+  (match Sweep_engine.merge prep [ s0; s1 ] with
+  | Ok _ -> Alcotest.fail "incomplete merge unexpectedly succeeded"
+  | Error _ -> ());
+  (* A shard from a different grid is rejected by hash. *)
+  let other =
+    Sweep_engine.prepare { small_spec with Sweep_spec.periods = 7 }
+  in
+  match Sweep_engine.merge other [ s0; s1; s2 ] with
+  | Ok _ -> Alcotest.fail "foreign shards unexpectedly merged"
+  | Error _ -> ()
+
+let test_point_hashes () =
+  let prep = Sweep_engine.prepare small_spec in
+  let hashes = Sweep_engine.point_hashes prep in
+  let distinct = List.sort_uniq compare (Array.to_list hashes) in
+  Alcotest.(check int) "hashes are distinct per point" (Array.length hashes)
+    (List.length distinct);
+  (* Grid-shape independence: dropping a scale axis value keeps the
+     surviving points' hashes, so shards and resumes survive spec
+     edits that only reshape the grid. *)
+  let narrowed =
+    Sweep_engine.prepare { small_spec with Sweep_spec.scales = [ 1.1 ] }
+  in
+  let pts = Sweep_engine.prepared_points prep in
+  let narrowed_pts = Sweep_engine.prepared_points narrowed in
+  let narrowed_hashes = Sweep_engine.point_hashes narrowed in
+  Array.iteri
+    (fun j (np : Sweep_engine.point) ->
+      let matching = ref None in
+      Array.iteri
+        (fun i (p : Sweep_engine.point) ->
+          if
+            p.scenario = np.scenario && p.metric = np.metric
+            && p.scale = np.scale && p.seed = np.seed
+          then matching := Some i)
+        pts;
+      match !matching with
+      | None -> Alcotest.fail "narrowed grid is not a subset"
+      | Some i ->
+        Alcotest.(check string) "same point, same hash" hashes.(i)
+          narrowed_hashes.(j))
+    narrowed_pts;
+  (* Content sensitivity: the same period budget under different
+     periods must hash differently (it is different work). *)
+  let longer =
+    Sweep_engine.point_hashes
+      (Sweep_engine.prepare { small_spec with Sweep_spec.periods = 6 })
+  in
+  Alcotest.(check bool) "periods change the hash" false
+    (String.equal hashes.(0) longer.(0))
+
+let test_shard_of_string () =
+  let ok s = match Sweep_spec.shard_of_string s with
+    | Ok v -> v
+    | Error (i : Sweep_spec.issue) -> Alcotest.failf "%S rejected: %s" s i.message
+  in
+  let bad s = match Sweep_spec.shard_of_string s with
+    | Ok (i, n) -> Alcotest.failf "%S accepted as %d/%d" s i n
+    | Error (issue : Sweep_spec.issue) ->
+      Alcotest.(check string) "S107" "S107" issue.code
+  in
+  Alcotest.(check (pair int int)) "0/4" (0, 4) (ok "0/4");
+  Alcotest.(check (pair int int)) "3/4" (3, 4) (ok "3/4");
+  Alcotest.(check (pair int int)) "0/1" (0, 1) (ok "0/1");
+  bad "4/4"; bad "-1/4"; bad "0/0"; bad "x/2"; bad "1"; bad "1/"; bad "/2"
 
 (* --- registry merge ------------------------------------------------ *)
 
@@ -240,6 +455,16 @@ let () =
             test_report_domain_independent;
           Alcotest.test_case "report round-trips" `Quick test_report_round_trips
         ] );
+      ( "fabric",
+        [ QCheck_alcotest.to_alcotest prop_dynamic_exactly_once;
+          QCheck_alcotest.to_alcotest prop_stealing_byte_identical;
+          Alcotest.test_case "resume byte-identity" `Quick
+            test_resume_byte_identity;
+          Alcotest.test_case "shard-merge associativity" `Quick
+            test_shard_merge_associativity;
+          Alcotest.test_case "point hashes" `Quick test_point_hashes;
+          Alcotest.test_case "--shard grammar (S107)" `Quick
+            test_shard_of_string ] );
       ( "merge",
         [ Alcotest.test_case "registry merge" `Quick test_registry_merge ] );
       ( "spec",
