@@ -1452,16 +1452,11 @@ let sim_bench_rows ~quota_s =
   let engine = Spf_engine.create g in
   Spf_engine.refresh engine ~cost:(fun lid -> costs.(Link.id_to_int lid));
   let tree_for = Spf_engine.tree engine in
-  let flows =
-    let acc = ref [] in
-    Traffic_matrix.iter tm (fun ~src ~dst demand ->
-        acc := { Load_assign.src; dst; demand_bps = demand } :: !acc);
-    Array.of_list (List.rev !acc)
-  in
-  let nf = Array.length flows in
+  let flows = Routing_sim.Flow_store.of_matrix tm in
+  let nf = Routing_sim.Flow_store.length flows in
   let assignment = Load_assign.create g in
   let baseline = Load_assign.create g in
-  let sending = Array.map (fun f -> f.Load_assign.demand_bps) flows in
+  let sending = Array.sub (Routing_sim.Flow_store.demand_col flows) 0 nf in
   let offered = Array.make nl 0. in
   let first_hop = Array.make nf (-2) in
   let tests =
@@ -1483,13 +1478,116 @@ let sim_bench_rows ~quota_s =
   in
   run_benchmarks ~quota_s tests
 
+(* Million-flow fast path: >= 1e6 heavy-tailed host-level flows through
+   one period's load spread.  The steady-state sequential pass must
+   allocate zero minor words (the runtime gate behind the A0xx static
+   analysis), and the parallel pass must reproduce the sequential output
+   bit for bit before it is allowed on the scoreboard. *)
+let million_flow_rows ~quick () =
+  let g = mesh200 () in
+  let nl = Graph.link_count g in
+  let costs = Array.init nl (fun i -> 1 + ((i * 37) mod 60)) in
+  let engine = Spf_engine.create g in
+  Spf_engine.refresh engine ~cost:(fun lid -> costs.(Link.id_to_int lid));
+  let tree_for = Spf_engine.tree engine in
+  let nf = 1_000_000 in
+  let flows =
+    Routing_sim.Flow_store.heavy_tailed (Rng.create 7) ~nodes:200 ~flows:nf
+      ~total_bps:2e9
+      ~size:(Routing_sim.Flow_store.Pareto { alpha = 1.2 })
+  in
+  let t = Load_assign.create g in
+  let sending = Array.sub (Routing_sim.Flow_store.demand_col flows) 0 nf in
+  let offered = Array.make nl 0. in
+  let first_hop = Array.make nf (-2) in
+  let assign_once () =
+    Array.fill offered 0 nl 0.;
+    Load_assign.assign t ~flows ~tree_for ~sending ~offered ~first_hop
+  in
+  (* Warm the scratch (grouping cache, per-destination buffers); after
+     that the pass must be exactly allocation-free. *)
+  assign_once ();
+  assign_once ();
+  let before = Gc.minor_words () in
+  assign_once ();
+  let dminor = Gc.minor_words () -. before in
+  if dminor <> 0. then
+    failwith
+      (Printf.sprintf
+         "million-flow steady-state assignment allocated %.0f minor words"
+         dminor);
+  let reps = if quick then 2 else 8 in
+  let time_reps f =
+    let s0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let s1 = Gc.quick_stat () in
+    let per x = x /. float_of_int reps in
+    ( per dt,
+      per (s1.Gc.minor_words -. s0.Gc.minor_words),
+      per (s1.Gc.major_words -. s0.Gc.major_words) )
+  in
+  let seq_s, seq_minor, seq_major = time_reps assign_once in
+  (* Parallel pass: first prove it reproduces the sequential bytes (the
+     stream replay preserves the float-add order), then time it.  On a
+     one-core pool the dispatch falls back to sequential, which is the
+     honest number for that box. *)
+  let offered_seq = Array.copy offered in
+  let fh_seq = Array.copy first_hop in
+  let pool = Domain_pool.create (min 4 (Domain.recommended_domain_count ())) in
+  let par_s, par_minor, par_major =
+    Fun.protect
+      ~finally:(fun () -> Domain_pool.shutdown pool)
+      (fun () ->
+        let assign_par () =
+          Array.fill offered 0 nl 0.;
+          Load_assign.assign ~pool t ~flows ~tree_for ~sending ~offered
+            ~first_hop
+        in
+        assign_par ();
+        Array.iteri
+          (fun l o ->
+            if Int64.bits_of_float o <> Int64.bits_of_float offered_seq.(l)
+            then
+              failwith
+                (Printf.sprintf
+                   "parallel million-flow assignment differs on link %d" l))
+          offered;
+        Array.iteri
+          (fun fi h ->
+            if h <> fh_seq.(fi) then
+              failwith
+                (Printf.sprintf
+                   "parallel million-flow first hop differs on flow %d" fi))
+          first_hop;
+        time_reps assign_par)
+  in
+  let fps s = float_of_int nf /. Float.max s 1e-12 in
+  note
+    "million-flow assignment: %d flows, %.2f Mflows/s sequential (0 minor \
+     words steady state), %.2f Mflows/s parallel@."
+    nf
+    (fps seq_s /. 1e6)
+    (fps par_s /. 1e6);
+  let rows =
+    [ ( "mesh200 million-flow assignment (sequential)",
+        (seq_s *. 1e9, seq_minor, seq_major) );
+      ( "mesh200 million-flow assignment (parallel)",
+        (par_s *. 1e9, par_minor, par_major) ) ]
+  in
+  (rows, (nf, fps seq_s, fps par_s))
+
 let sweep_spec_of_points ~points ~periods =
   { Sweep_spec.scenarios = [ Sweep_spec.Builtin "arpanet" ];
     metrics = [ Metric.D_spf; Metric.Hn_spf ];
     scales = [ 0.7; 1.0 ];
     seeds = List.init (max 1 (points / 4)) (fun i -> i + 1);
     periods;
-    warmup = min 2 (periods - 1) }
+    warmup = min 2 (periods - 1);
+    critical_load = None }
 
 (* The shipped paper grid is the headline sweep workload; fall back to
    the synthetic grid when the spec is not where the repo keeps it
@@ -1498,6 +1596,61 @@ let paper_sweep_spec ~points ~periods =
   match Sweep_spec.load "scenarios/paper_sweep.json" with
   | Ok spec -> ("scenarios/paper_sweep.json", spec)
   | Error _ -> ("synthetic arpanet grid", sweep_spec_of_points ~points ~periods)
+
+(* A critical-load ramp over the ARPANET builtin: drive offered load
+   from half to 2.5x nominal and let the engine locate the phase-change
+   knee per metric.  `sim-quick` runs the tiny version as a CI smoke
+   assertion (the detector must return a finite knee on the ramp); the
+   full run records the knees in BENCH_sim.json. *)
+let ramp_spec_of ~steps ~seeds ~periods =
+  let lo = 0.5 and hi = 2.5 in
+  { Sweep_spec.scenarios = [ Sweep_spec.Builtin "arpanet" ];
+    metrics = [ Metric.D_spf; Metric.Hn_spf ];
+    scales =
+      List.init steps (fun i ->
+          lo +. ((hi -. lo) *. float_of_int i /. float_of_int (steps - 1)));
+    seeds;
+    periods;
+    warmup = min 2 (periods - 1);
+    critical_load =
+      Some { Sweep_spec.ramp_from = lo; ramp_to = hi; ramp_steps = steps } }
+
+let critical_load_knees ~quick =
+  let spec =
+    if quick then ramp_spec_of ~steps:4 ~seeds:[ 1 ] ~periods:3
+    else ramp_spec_of ~steps:6 ~seeds:[ 1; 2 ] ~periods:12
+  in
+  let report = Sweep_engine.run ~domains:1 spec in
+  let knees = report.Sweep_engine.knees in
+  if knees = [] then failwith "critical-load ramp located no knee";
+  List.iter
+    (fun (k : Sweep_engine.knee) ->
+      let on_ramp x = Float.is_finite x && x >= 0.5 && x <= 2.5 in
+      if not (on_ramp k.Sweep_engine.k_scale_delay
+              && on_ramp k.Sweep_engine.k_scale_throughput) then
+        failwith
+          (Printf.sprintf "critical-load knee off the ramp for %s/%s"
+             k.Sweep_engine.k_scenario
+             (Metric.kind_name k.Sweep_engine.k_metric));
+      note
+        "critical load %s/%s: delay knee at x%g (%.1f ms rtt), throughput \
+         knee at x%g@."
+        k.Sweep_engine.k_scenario
+        (Metric.kind_name k.Sweep_engine.k_metric)
+        k.Sweep_engine.k_scale_delay k.Sweep_engine.k_delay_ms
+        k.Sweep_engine.k_scale_throughput)
+    knees;
+  knees
+
+let knee_json (k : Sweep_engine.knee) =
+  Obs_json.Obj
+    [ ("scenario", Obs_json.String k.Sweep_engine.k_scenario);
+      ("metric", Obs_json.String (Metric.kind_name k.Sweep_engine.k_metric));
+      ("scale_delay_knee", Obs_json.Float k.Sweep_engine.k_scale_delay);
+      ("scale_throughput_knee", Obs_json.Float k.Sweep_engine.k_scale_throughput);
+      ("round_trip_delay_ms_at_knee", Obs_json.Float k.Sweep_engine.k_delay_ms);
+      ( "internode_traffic_bps_at_knee",
+        Obs_json.Float k.Sweep_engine.k_throughput_bps ) ]
 
 (* Wall-clock sweep throughput across pool sizes, plus the byte-identity
    check the sweep engine's determinism contract rests on.  The spec is
@@ -1530,7 +1683,7 @@ let sweep_rows ~spec ~domain_counts =
    | [] -> ());
   List.map (fun (domains, pps, _) -> (domains, pps)) reports
 
-let write_sim_json path ~cores ~sweep_src ~rows ~sweep =
+let write_sim_json path ~cores ~sweep_src ~rows ~sweep ~million ~knees =
   let reg = Obs_metrics.create () in
   Obs_metrics.set_meta reg "benchmark" "flow-sim hot path + sweep throughput";
   Obs_metrics.set_meta reg "units"
@@ -1593,7 +1746,15 @@ let write_sim_json path ~cores ~sweep_src ~rows ~sweep =
                   ratio
                     (List.assoc_opt 4 sweep)
                     (Option.map (fun pps -> 4. *. pps)
-                       (List.assoc_opt 1 sweep)) ) ] ) ]
+                       (List.assoc_opt 1 sweep)) ) ] );
+          (let nf, seq_fps, par_fps = million in
+           ( "million_flow",
+             Obs_json.Obj
+               [ ("flows_per_period", Obs_json.Int nf);
+                 ("flows_per_s_sequential", Obs_json.Float seq_fps);
+                 ("flows_per_s_parallel", Obs_json.Float par_fps);
+                 ("steady_state_minor_words", Obs_json.Int 0) ] ));
+          ("critical_load", Obs_json.List (List.map knee_json knees)) ]
   in
   (* The record must survive its own codec — CI's schema check. *)
   (match Obs_json.of_string (Obs_json.to_string json) with
@@ -1616,6 +1777,8 @@ let bench_sim ~quick () =
        "sim-quick — flow-sim smoke benchmarks (tiny quota and grid, no file)"
      else "sim — flow-sim hot path and sweep throughput");
   let rows = sim_bench_rows ~quota_s:(if quick then 0.02 else 0.5) in
+  let mf_rows, million = million_flow_rows ~quick () in
+  let rows = rows @ mf_rows in
   print_rows rows;
   let sweep_src, sweep =
     if quick then
@@ -1633,9 +1796,10 @@ let bench_sim ~quick () =
         sweep_src)
     sweep;
   note "sweep reports byte-identical across domain counts@.";
+  let knees = critical_load_knees ~quick in
   let cores = Domain.recommended_domain_count () in
   let path = if quick then None else Some "BENCH_sim.json" in
-  write_sim_json path ~cores ~sweep_src ~rows ~sweep;
+  write_sim_json path ~cores ~sweep_src ~rows ~sweep ~million ~knees;
   if not quick then note "wrote BENCH_sim.json@."
 
 (* ------------------------------------------------------------------ *)

@@ -71,7 +71,34 @@ let resume_lookup ~quiet path =
              (rerunning every point)" path e;
       None
 
-let run_merge ~quiet ~out ~csv_out spec merge_paths =
+(* The report's summary views on the console: the route-stability
+   ranking when there is something to compare, the located critical-load
+   knees whenever a ramp produced them. *)
+let print_summary (report : Sweep_engine.report) =
+  (match report.rankings with
+  | [] | [ _ ] -> ()
+  | rankings ->
+    Format.printf "route stability (most stable first):@.";
+    List.iter
+      (fun (r : Sweep_engine.ranking) ->
+        Format.printf
+          "  %d. %s/%s  score %d  routes %.2f/period  nh-flips %.2f  \
+           link-flips %.2f@."
+          r.r_rank r.r_scenario
+          (Routing_metric.Metric.kind_name r.r_metric)
+          r.r_score r.r_route_changes r.r_nh_flips r.r_link_flips)
+      rankings);
+  List.iter
+    (fun (k : Sweep_engine.knee) ->
+      Format.printf
+        "critical load %s/%s: delay knee at x%g (%.1f ms rtt), throughput \
+         knee at x%g (%.3g bps)@."
+        k.k_scenario
+        (Routing_metric.Metric.kind_name k.k_metric)
+        k.k_scale_delay k.k_delay_ms k.k_scale_throughput k.k_throughput_bps)
+    report.knees
+
+let run_merge ~quiet ~out ~csv_out ~summary_out spec merge_paths =
   let prep = Sweep_engine.prepare spec in
   let rec read acc = function
     | [] -> Ok (List.rev acc)
@@ -87,6 +114,9 @@ let run_merge ~quiet ~out ~csv_out spec merge_paths =
   | Ok report ->
     write_text out (Obs_json.to_string_pretty report.Sweep_engine.json ^ "\n");
     Option.iter (fun path -> write_text path (Sweep_engine.csv report)) csv_out;
+    Option.iter
+      (fun path -> write_text path (Sweep_engine.summary_csv report))
+      summary_out;
     if not quiet then begin
       Format.printf "merge: %d point%s from %d shard%s -> %s@."
         (Array.length report.Sweep_engine.outcomes)
@@ -94,11 +124,14 @@ let run_merge ~quiet ~out ~csv_out spec merge_paths =
         (List.length merge_paths)
         (if List.length merge_paths = 1 then "" else "s")
         out;
-      Option.iter (Format.printf "csv: %s@.") csv_out
+      Option.iter (Format.printf "csv: %s@.") csv_out;
+      Option.iter (Format.printf "summary: %s@.") summary_out;
+      print_summary report
     end;
     0
 
-let run_sweep ~quiet ~out ~csv_out ~domains ~chrome_trace ~shard ~resume spec =
+let run_sweep ~quiet ~out ~csv_out ~summary_out ~domains ~chrome_trace ~shard
+    ~resume spec =
   let t0 = Unix.gettimeofday () in
   (* Untimed clock: the trace orders events by sequence number, so the
      file is deterministic and replay digests are comparable across
@@ -129,6 +162,9 @@ let run_sweep ~quiet ~out ~csv_out ~domains ~chrome_trace ~shard ~resume spec =
   write_text out (Obs_json.to_string_pretty report.Sweep_engine.json ^ "\n");
   Option.iter (fun path -> write_text path (Sweep_engine.csv report)) csv_out;
   Option.iter
+    (fun path -> write_text path (Sweep_engine.summary_csv report))
+    summary_out;
+  Option.iter
     (fun path ->
       Trace_export.write_chrome tracer path;
       if not quiet then
@@ -155,12 +191,14 @@ let run_sweep ~quiet ~out ~csv_out ~domains ~chrome_trace ~shard ~resume spec =
       domains
       (if domains = 1 then "" else "s")
       out;
-    Option.iter (Format.printf "csv: %s@.") csv_out
+    Option.iter (Format.printf "csv: %s@.") csv_out;
+    Option.iter (Format.printf "summary: %s@.") summary_out;
+    print_summary report
   end;
   0
 
-let run spec_path out csv_out domains_arg chrome_trace shard_arg merge_paths
-    resume no_check quiet =
+let run spec_path out csv_out summary_out domains_arg chrome_trace shard_arg
+    merge_paths resume no_check quiet =
   let shard =
     Option.map
       (fun s ->
@@ -192,10 +230,11 @@ let run spec_path out csv_out domains_arg chrome_trace shard_arg merge_paths
     | None, _ -> Diagnostic.exit_code diags
     | Some _, _ :: _ when not no_check -> Diagnostic.exit_code diags
     | Some spec, _ ->
-      if merge_paths <> [] then run_merge ~quiet ~out ~csv_out spec merge_paths
+      if merge_paths <> [] then
+        run_merge ~quiet ~out ~csv_out ~summary_out spec merge_paths
       else
-        run_sweep ~quiet ~out ~csv_out ~domains ~chrome_trace ~shard ~resume
-          spec)
+        run_sweep ~quiet ~out ~csv_out ~summary_out ~domains ~chrome_trace
+          ~shard ~resume spec)
 
 open Cmdliner
 
@@ -221,6 +260,15 @@ let cmd =
          & info [ "csv" ] ~docv:"FILE"
              ~doc:"Also write one CSV row of Table-1 indicators per grid \
                    point.")
+  in
+  let summary_out =
+    Arg.(value & opt (some string) None
+         & info [ "summary" ] ~docv:"FILE"
+             ~doc:"Also write the summary CSV: one $(b,ranking) row per \
+                   (scenario, metric) pair ordering the metrics by their \
+                   route-change counters, plus one $(b,knee) row per \
+                   critical-load knee when the spec declares a \
+                   $(b,critical_load) ramp.")
   in
   let nonneg_int =
     let parse s =
@@ -295,7 +343,7 @@ let cmd =
                --merge/--resume read (S108); otherwise the spec lint's \
                exit code (1 warnings, 2 errors)." ])
     Term.(
-      const run $ spec $ out $ csv_out $ domains $ chrome_trace $ shard
-      $ merge $ resume $ no_check $ quiet)
+      const run $ spec $ out $ csv_out $ summary_out $ domains $ chrome_trace
+      $ shard $ merge $ resume $ no_check $ quiet)
 
 let () = exit (Cmd.eval' cmd)

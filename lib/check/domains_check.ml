@@ -3,9 +3,9 @@
    The L0xx source lint (Src_check) catches textual hazards in the
    Domain-parallel SPF path; this pass works on what the type checker
    saw.  It finds every closure handed to [Domain_pool.parallel_for] /
-   [parallel_for_with] / [parallel_for_dynamic] in the build's .cmt
-   files and flags shared mutable state the body captures from its
-   enclosing scope:
+   [parallel_for_with] / [parallel_for_dynamic] /
+   [parallel_for_dynamic_with] in the build's .cmt files and flags
+   shared mutable state the body captures from its enclosing scope:
 
    - D001 error   a captured ref is assigned (:=, incr, decr) in the body
    - D002 error   a captured record's mutable field is set in the body
@@ -32,7 +32,8 @@ open Typedtree
 let parallel_entrypoints =
   [ "Domain_pool.parallel_for";
     "Domain_pool.parallel_for_with";
-    "Domain_pool.parallel_for_dynamic" ]
+    "Domain_pool.parallel_for_dynamic";
+    "Domain_pool.parallel_for_dynamic_with" ]
 
 let path_matches names p =
   let n = Path.name p in

@@ -44,9 +44,11 @@ type handout =
       (* per-participant [lo, hi) ranges, packed; see [pack] below *)
 
 type job = {
-  make_f : unit -> int -> unit;
+  make_f : int -> int -> unit;
       (* each participating domain materializes its own body once (letting
-         it close over private scratch) and then feeds it indices *)
+         it close over private scratch) and then feeds it indices; the
+         first argument is the participant's slot in [0, size) — the
+         caller is 0 — so bodies can key cached per-slot state *)
   n : int;
   handout : handout;
   label : int; (* passed through to the probe; -1 = unlabeled *)
@@ -225,7 +227,7 @@ let stealing_drain t job ~grain ~ranges ~me f =
 
 let drain t job ~me =
   let f =
-    try job.make_f ()
+    try job.make_f me
     with e ->
       record_failure t job e;
       fun _ -> ()
@@ -343,7 +345,7 @@ let chunked ~chunk = Chunked { chunk = max 1 chunk; next = Atomic.make 0 }
 let parallel_for ?(chunk = 1) ?(label = -1) t n f =
   if n <= 0 then ()
   else if t.size <= 1 || n = 1 then run_inline t ~label n f
-  else run_job t ~label ~handout:(chunked ~chunk) ~make_f:(fun () -> f) n
+  else run_job t ~label ~handout:(chunked ~chunk) ~make_f:(fun _me -> f) n
 
 let parallel_for_with ?(chunk = 1) ?(label = -1) t ~init n f =
   if n <= 0 then ()
@@ -353,7 +355,7 @@ let parallel_for_with ?(chunk = 1) ?(label = -1) t ~init n f =
   end
   else
     run_job t ~label ~handout:(chunked ~chunk)
-      ~make_f:(fun () ->
+      ~make_f:(fun _me ->
         let s = init () in
         fun i -> f s i)
       n
@@ -378,4 +380,23 @@ let parallel_for_dynamic ?(grain = 1) ?(label = -1) t n f =
         (Stealing
            { grain = max 1 grain;
              ranges = initial_ranges ~participants:t.size n })
-      ~make_f:(fun () -> f) n
+      ~make_f:(fun _me -> f) n
+
+let parallel_for_dynamic_with ?(grain = 1) ?(label = -1) t ~init n f =
+  if n <= 0 then ()
+  else if t.size <= 1 || n = 1 then begin
+    let s = init 0 in
+    run_inline t ~label n (fun i -> f s i)
+  end
+  else if n > range_mask then
+    invalid_arg "Domain_pool.parallel_for_dynamic_with: more than 2^31 items"
+  else
+    run_job t ~label
+      ~handout:
+        (Stealing
+           { grain = max 1 grain;
+             ranges = initial_ranges ~participants:t.size n })
+      ~make_f:(fun me ->
+        let s = init me in
+        fun i -> f s i)
+      n

@@ -79,6 +79,26 @@ val parallel_for_dynamic :
     @raise Invalid_argument if [n >= 2^31] (ranges are packed into one
     immediate int). *)
 
+val parallel_for_dynamic_with :
+  ?grain:int ->
+  ?label:int ->
+  t ->
+  init:(int -> 's) ->
+  int ->
+  ('s -> int -> unit) ->
+  unit
+(** {!parallel_for_dynamic} with per-domain private state, the way
+    {!parallel_for_with} extends {!parallel_for}: every participating
+    domain evaluates [init slot] once before claiming indices, where
+    [slot] is the participant's stable slot in [0, {!size}) — the caller
+    is slot 0.  Because at most one domain holds a given slot per loop,
+    [init] may hand out scratch {e cached by slot} across loops
+    (allocation-free steady state) instead of allocating fresh state per
+    call.  States never cross domains during a loop; [f] may mutate its
+    state freely.
+
+    @raise Invalid_argument if [n >= 2^31]. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent; the pool cannot be used
     afterwards.  Pools that are simply dropped release their workers via a

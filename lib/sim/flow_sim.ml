@@ -22,8 +22,6 @@ type period_stats = {
   link_flips : int;
 }
 
-type flow = Load_assign.flow = { src : Node.t; dst : Node.t; demand_bps : float }
-
 (* Telemetry handles, resolved once when the bundle is attached.  The flow
    simulator keeps no series of its own, so the registry's are the only
    copies. *)
@@ -157,10 +155,14 @@ let hist_grow h =
   h.h_nh_flips <- growi h.h_nh_flips;
   h.h_link_flips <- growi h.h_link_flips
 
+(* Below this many flows the parallel assignment path's fork/join and
+   job bookkeeping cost more than the sweep itself; stay sequential. *)
+let parallel_flow_threshold = 4096
+
 type t = {
   graph : Graph.t;
   mutable metric : Metric.t;
-  mutable flows : flow array;
+  mutable flows : Flow_store.t;
   mutable flooders : Flooder.t array;
   link_up : bool array;
   utilization : float array; (* most recent period, raw offered/capacity *)
@@ -175,7 +177,6 @@ type t = {
   mutable stagger : float; (* fraction of nodes applying updates one period late *)
   mutable prev_costs : int array; (* flooded costs as of the previous period *)
   mutable adaptive_sources : bool;
-  throttle : (int * int, float) Hashtbl.t; (* (src,dst) -> send fraction *)
   mutable prev_first_hop : int array; (* per flow index; -1 = none yet *)
   mutable prev2_first_hop : int array; (* first hop two periods ago *)
   (* Per-period scratch, sized once and reused forever: the hot path
@@ -222,11 +223,6 @@ type t = {
   obs : obs_state option;
 }
 
-let flows_of_matrix tm =
-  Traffic_matrix.fold tm ~init:[] ~f:(fun acc ~src ~dst demand_bps ->
-      { src; dst; demand_bps } :: acc)
-  |> List.rev |> Array.of_list
-
 let make_flooders graph =
   Array.init (Graph.node_count graph) (fun i ->
       Flooder.create graph ~owner:(Node.of_int i))
@@ -258,7 +254,7 @@ let create_with ?(domains = Domain_pool.default_size ()) ?telemetry ?tracer
   let t =
     { graph;
       metric;
-      flows = flows_of_matrix tm;
+      flows = Flow_store.of_matrix tm;
       flooders = make_flooders graph;
       link_up;
       utilization = Array.make nl 0.;
@@ -272,7 +268,6 @@ let create_with ?(domains = Domain_pool.default_size ()) ?telemetry ?tracer
       prev_costs =
         Array.init nl (fun i -> Metric.cost metric (Link.id_of_int i));
       adaptive_sources = false;
-      throttle = Hashtbl.create 256;
       prev_first_hop = [||];
       prev2_first_hop = [||];
       assign = Load_assign.create graph;
@@ -388,23 +383,16 @@ let[@inline] gc_finish = function Some a -> Gc_account.finish a | None -> ()
 (* End-to-end source adaptation: the 1987 ARPANET's users backed off under
    loss (TCP and the IMP's own end-to-end mechanisms), so offered traffic
    tracked what the network could carry.  Multiplicative decrease on
-   significant loss, slow additive recovery. *)
-let[@inline] throttle_of t flow =
-  if not t.adaptive_sources then 1.
-  else
-    Option.value ~default:1.
-      (Hashtbl.find_opt t.throttle (Node.to_int flow.src, Node.to_int flow.dst))
-
-let update_throttle t flow ~loss_fraction =
-  if t.adaptive_sources then begin
-    let key = (Node.to_int flow.src, Node.to_int flow.dst) in
-    let current = throttle_of t flow in
-    let next =
-      if loss_fraction > 0.02 then Float.max 0.05 (current *. 0.7)
-      else Float.min 1. (current +. 0.05)
-    in
-    Hashtbl.replace t.throttle key next
-  end
+   significant loss, slow additive recovery.  The per-flow throttle lives
+   in the flow store's float column: updating it is one unboxed array
+   write per flow, no hashing, no boxing — and when adaptation is off the
+   column just stays at 1, so the sending pass multiplies by 1.0 (IEEE
+   bit-exact) instead of branching. *)
+let[@inline] step_throttle throttle fi ~loss_fraction =
+  let current = throttle.(fi) in
+  throttle.(fi) <-
+    (if loss_fraction > 0.02 then Float.max 0.05 (current *. 0.7)
+     else Float.min 1. (current +. 0.05))
 
 let tick t =
   let tr = t.tracer in
@@ -428,7 +416,9 @@ let tick t =
   for i = 0 to nl - 1 do
     t.prev_costs.(i) <- Metric.cost t.metric (Link.id_of_int i)
   done;
-  let nf = Array.length t.flows in
+  let nf = Flow_store.length t.flows in
+  let demand = Flow_store.demand_col t.flows in
+  let throttle = Flow_store.throttle_col t.flows in
   if Array.length t.prev_first_hop <> nf then begin
     t.prev_first_hop <- Array.make nf (-1);
     t.prev2_first_hop <- Array.make nf (-1)
@@ -440,15 +430,20 @@ let tick t =
     t.flow_share <- Array.make nf 0.;
     t.flow_hops <- Array.make nf (-1)
   end;
+  (* Vectorized sending pass over the store's columns.  With adaptation
+     off every throttle is 1 and the multiply is bit-exact identity. *)
   for fi = 0 to nf - 1 do
-    t.sending.(fi) <- t.flows.(fi).demand_bps *. throttle_of t t.flows.(fi)
+    t.sending.(fi) <- demand.(fi) *. throttle.(fi)
   done;
   (* Pass 1: aggregate demand by destination and push subtree loads across
-     each source's tree — O(V+E) per source instead of a walk per flow. *)
+     each source's tree — O(V+E) per source instead of a walk per flow.
+     Above the threshold, source stripes fan out over the domain pool;
+     the stream-replay reduction keeps results bit-identical. *)
   Array.fill t.offered 0 nl 0.;
   Tracer.span_begin tr t.tr_assign;
   let a_started = span_start t in
-  Load_assign.assign t.assign ~flows:t.flows ~tree_for:t.tree_for_f
+  let pool = if nf >= parallel_flow_threshold then t.pool else None in
+  Load_assign.assign ?pool t.assign ~flows:t.flows ~tree_for:t.tree_for_f
     ~sending:t.sending ~offered:t.offered ~first_hop:t.first_hop;
   span_stop t "flow_assign" a_started;
   Tracer.span_end tr t.tr_assign;
@@ -495,29 +490,29 @@ let tick t =
   Load_assign.metrics_into t.assign ~flows:t.flows ~tree_for:t.tree_for_f
     ~link_delay:t.link_delay ~link_pass:t.link_pass ~delay_s:t.flow_delay
     ~share:t.flow_share ~hops:t.flow_hops;
+  let fsrc = Flow_store.src_col t.flows in
+  let fdst = Flow_store.dst_col t.flows in
+  let adaptive = t.adaptive_sources in
   for fi = 0 to nf - 1 do
     let sending = t.sending.(fi) in
     acc.f_offered <- acc.f_offered +. sending;
     let hops = t.flow_hops.(fi) in
     if hops < 0 then begin
       acc.f_dropped <- acc.f_dropped +. sending;
-      if t.adaptive_sources then
-        update_throttle t t.flows.(fi) ~loss_fraction:1.
+      if adaptive then step_throttle throttle fi ~loss_fraction:1.
     end
     else begin
       let share = t.flow_share.(fi) in
-      if t.adaptive_sources then
-        update_throttle t t.flows.(fi) ~loss_fraction:(1. -. share);
+      if adaptive then step_throttle throttle fi ~loss_fraction:(1. -. share);
       let carried = sending *. share in
       acc.f_delivered <- acc.f_delivered +. carried;
       acc.f_dropped <- acc.f_dropped +. (sending -. carried);
       acc.f_delay_w <- acc.f_delay_w +. (t.flow_delay.(fi) *. carried);
       acc.f_hops_w <- acc.f_hops_w +. (float_of_int hops *. carried);
-      let flow = t.flows.(fi) in
-      let min_tree = Spf_engine.tree t.min_engine flow.src in
+      let min_tree = Spf_engine.tree t.min_engine (Node.of_int fsrc.(fi)) in
+      let d = fdst.(fi) in
       let mh =
-        if Spf_tree.reached min_tree flow.dst then
-          Spf_tree.hops min_tree flow.dst
+        if Spf_tree.reached_i min_tree d then Spf_tree.hops_i min_tree d
         else hops
       in
       acc.f_min_hops_w <- acc.f_min_hops_w +. (float_of_int mh *. carried)
@@ -680,8 +675,19 @@ let step t =
 let run t ~periods = List.init periods (fun _ -> step t)
 
 let set_traffic t tm =
-  t.flows <- flows_of_matrix tm;
+  t.flows <- Flow_store.of_matrix tm;
   t.prev_first_hop <- [||]
+
+(* Install a host-level flow store directly — the million-flow path the
+   heavy-tailed generator feeds.  AIMD throttles ride in the store, so a
+   swapped-in store starts from its own throttle column. *)
+let set_flows t store =
+  if Flow_store.nodes store <> Graph.node_count t.graph then
+    invalid_arg "Flow_sim.set_flows: store built for a different node count";
+  t.flows <- store;
+  t.prev_first_hop <- [||]
+
+let flows t = t.flows
 
 let switch_metric t kind =
   Log.info (fun m ->
@@ -704,7 +710,7 @@ let set_link_up t lid up =
 
 let set_adaptive_sources t enabled =
   t.adaptive_sources <- enabled;
-  if not enabled then Hashtbl.reset t.throttle
+  if not enabled then Flow_store.reset_throttle t.flows
 
 let set_stagger t fraction =
   if fraction < 0. || fraction > 1. then invalid_arg "Flow_sim.set_stagger";

@@ -107,6 +107,19 @@ val run : t -> periods:int -> period_stats list
 val set_traffic : t -> Traffic_matrix.t -> unit
 (** Replace the offered traffic from the next period on. *)
 
+val set_flows : t -> Flow_store.t -> unit
+(** Install a flow store directly — e.g. a host-level heavy-tailed store
+    from {!Flow_store.heavy_tailed} with many flows per (src, dst) pair.
+    AIMD throttles live in the store's throttle column, so the new store
+    starts from its own column (fresh stores: all 1).  Above ~4k flows the
+    per-period assignment fans source stripes over the domain pool with
+    bit-identical results ({!Load_assign.assign}).
+    @raise Invalid_argument if the store's node count differs from the
+    graph's. *)
+
+val flows : t -> Flow_store.t
+(** The currently installed flow store (live, not a copy). *)
+
 val switch_metric : t -> Metric.kind -> unit
 (** Swap the metric mid-run — installing the HNM patch.  Link costs restart
     from the new metric's idle values and flood immediately, as a software
@@ -123,8 +136,10 @@ val set_adaptive_sources : t -> bool -> unit
     1987 ARPANET's hosts did back off (TCP and the IMP end-to-end
     mechanisms), which is why the paper's Table 1 shows delivered traffic
     tracking offered traffic even under the unstable metric; without it
-    the simulator offers the full matrix relentlessly.  Disabling clears
-    all throttles. *)
+    the simulator offers the full matrix relentlessly.  Throttles are
+    per-flow, stored unboxed in the flow store's throttle column; the
+    adaptation step is one array pass.  Disabling resets every throttle
+    to 1. *)
 
 val set_stagger : t -> float -> unit
 (** What-if knob for §3.2's third oscillation ingredient ("all the nodes

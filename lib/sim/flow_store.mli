@@ -1,0 +1,63 @@
+(** Struct-of-arrays flow store.
+
+    Flows are stored column-wise — int arrays for endpoints, unboxed
+    float arrays for demand and the per-flow AIMD throttle — so
+    million-flow assignment and adaptation passes stream through flat
+    memory with no per-flow boxing.  Structural changes (appends) bump
+    {!version}, letting consumers key caches of derived state on
+    [(store, version)]; throttle mutation is deliberately not
+    structural. *)
+
+open! Import
+
+type t
+
+val create : nodes:int -> t
+(** An empty store over node ids [\[0, nodes)]. *)
+
+val nodes : t -> int
+val length : t -> int
+
+val version : t -> int
+(** Bumped on every {!add}.  Unchanged by throttle writes. *)
+
+val add : t -> src:Node.t -> dst:Node.t -> demand_bps:float -> unit
+(** Append a flow with throttle 1.
+    @raise Invalid_argument if an endpoint is outside the node range. *)
+
+val src_col : t -> int array
+val dst_col : t -> int array
+val demand_col : t -> float array
+
+val throttle_col : t -> float array
+(** Per-flow AIMD send fraction in [\[0, 1]].  Columns are the live
+    backing arrays over indices [\[0, length t)]; they are replaced
+    wholesale when the store grows, so re-fetch after any {!add}. *)
+
+val reset_throttle : t -> unit
+(** Reopen every flow: throttle back to 1. *)
+
+val total_demand_bps : t -> float
+
+val of_matrix : Traffic_matrix.t -> t
+(** One flow per nonzero matrix entry, in [Traffic_matrix.iter]
+    (row-major) order — the historical flow order of [Flow_sim]. *)
+
+val to_matrix : t -> Traffic_matrix.t
+
+val aggregate : t -> t
+(** Merge flows sharing an ordered (src, dst) pair into one flow at the
+    pair's first occurrence, demands summed, throttles reset to 1. *)
+
+(** Per-flow size distribution for {!heavy_tailed}. *)
+type size_dist = Pareto of { alpha : float } | Lognormal of { sigma : float }
+
+val heavy_tailed :
+  Rng.t -> nodes:int -> flows:int -> total_bps:float -> size:size_dist -> t
+(** [heavy_tailed rng ~nodes ~flows ~total_bps ~size] draws [flows]
+    host-level flows: endpoints gravity-weighted (log-uniform node
+    masses over one decade), self-pairs rejected, sizes from [size],
+    then rescaled so the demands sum to [total_bps] exactly.
+    Deterministic in [rng]'s seed.  Flows are {e not} aggregated — use
+    {!aggregate} for the matrix-level view.
+    @raise Invalid_argument if [nodes < 2] or [flows < 0]. *)

@@ -19,24 +19,76 @@ open! Import
    labels every node with its first-hop link, path delay and survival
    share, making the per-flow metrics pass O(1) per flow.
 
-   Everything here writes into caller- or self-owned scratch sized once;
-   steady-state periods allocate nothing. *)
+   Sources are independent up to the shared [offered] sums, so the pass
+   also parallelizes: stripes of consecutive sources run on pool domains,
+   each recording its (link, load) contributions into a per-stripe stream
+   in sweep order instead of summing into [offered] directly.  Replaying
+   the streams in stripe order afterwards performs the float additions in
+   exactly the sequential source order, so the parallel path is
+   bit-identical to the sequential one at any domain count.
 
-type flow = { src : Node.t; dst : Node.t; demand_bps : float }
+   Everything here writes into caller- or self-owned scratch sized once;
+   steady-state periods allocate nothing on the sequential path (stream
+   growth on the parallel path is amortized and reaches a fixed point). *)
 
 (* Tree depth is bounded by the composite-weight encoding's 8-bit hop
    field, so counting sort over hop counts needs this many buckets. *)
 let max_hops = 256
 
+(* Sources per parallel work item: big enough to amortize handout
+   overhead, small enough that a 200-node graph still yields a dozen
+   stealable stripes. *)
+let stripe_width = 16
+
+(* Per-participant sweep scratch for the parallel path.  A participant
+   slot is held by at most one domain per loop, so slot-indexed scratch
+   is race-free (see [Domain_pool.parallel_for_dynamic_with]). *)
+type scratch = {
+  p_acc : float array;
+  p_order : int array;
+  p_bucket : int array;
+  p_first_link : int array;
+}
+
+(* Per-stripe contribution stream: (link, load) pushes recorded in sweep
+   order, replayed in stripe order for bit-identity with the sequential
+   pass. *)
+type stream = {
+  mutable q_link : int array;
+  mutable q_val : float array;
+  mutable q_len : int;
+}
+
+let new_stream () = { q_link = [||]; q_val = [||]; q_len = 0 }
+
+(* Out of line so the push fast path stays allocation-free; growth
+   reaches a fixed point after the first few periods. *)
+let[@inline never] grow_stream st =
+  let cap = Array.length st.q_link in
+  let cap' = if cap = 0 then 256 else 2 * cap in
+  let link = Array.make cap' 0 and value = Array.make cap' 0. in
+  Array.blit st.q_link 0 link 0 st.q_len;
+  Array.blit st.q_val 0 value 0 st.q_len;
+  st.q_link <- link;
+  st.q_val <- value
+
+let[@inline] push st p a =
+  if st.q_len = Array.length st.q_link then grow_stream st;
+  st.q_link.(st.q_len) <- p;
+  st.q_val.(st.q_len) <- a;
+  st.q_len <- st.q_len + 1
+
 type t = {
   graph : Graph.t;
   n : int; (* nodes *)
-  (* CSR-style grouping of flow indices by source node, rebuilt only when
-     the flow array itself is replaced (physical identity). *)
-  mutable grouped : flow array;
+  (* CSR-style grouping of flow indices by source node, keyed on the
+     store's identity and version (appends bump the version; throttle
+     writes don't). *)
+  mutable grouped : Flow_store.t option;
+  mutable grouped_version : int;
   by_src_off : int array; (* n + 1 *)
   mutable by_src_flow : int array;
-  (* per-source sweep scratch *)
+  (* per-source sweep scratch (sequential path) *)
   lsrc : int array; (* per link: its source node, denormalized from the graph *)
   acc : float array; (* per node: pending subtree demand; zeroed on use *)
   order : int array; (* reached nodes, ascending hop count *)
@@ -44,13 +96,17 @@ type t = {
   first_link : int array; (* per node: first link on the root's path to it *)
   delay_to : float array; (* per node: summed link delay from the root *)
   share_to : float array; (* per node: product of link pass-probabilities *)
+  (* parallel-path scratch, sized on first parallel call and reused *)
+  mutable pscratch : scratch array; (* one slot per pool participant *)
+  mutable streams : stream array; (* one per source stripe *)
 }
 
 let create graph =
   let n = Graph.node_count graph in
   { graph;
     n;
-    grouped = [||];
+    grouped = None;
+    grouped_version = -1;
     by_src_off = Array.make (n + 1) 0;
     by_src_flow = [||];
     lsrc =
@@ -61,20 +117,29 @@ let create graph =
     bucket = Array.make (max_hops + 2) 0;
     first_link = Array.make n (-1);
     delay_to = Array.make n 0.;
-    share_to = Array.make n 0. }
+    share_to = Array.make n 0.;
+    pscratch = [||];
+    streams = [||] }
 
 (* Rebuild the by-source grouping (counting sort on source ids, stable in
-   flow order).  Keyed on the array's physical identity: Flow_sim replaces
-   the whole array when traffic changes and never mutates it in place. *)
-let group t flows =
-  if flows != t.grouped then begin
-    let nf = Array.length flows in
+   flow order).  Keyed on (store identity, store version): Flow_sim swaps
+   the store when traffic changes and appends bump the version, while
+   per-period throttle writes leave the grouping valid. *)
+let group t store =
+  let version = Flow_store.version store in
+  let cached =
+    match t.grouped with
+    | Some s -> s == store && t.grouped_version = version
+    | None -> false
+  in
+  if not cached then begin
+    let nf = Flow_store.length store in
+    let src = Flow_store.src_col store in
     if Array.length t.by_src_flow < nf then t.by_src_flow <- Array.make nf 0;
     let off = t.by_src_off in
     Array.fill off 0 (t.n + 1) 0;
     for fi = 0 to nf - 1 do
-      let s = Node.to_int flows.(fi).src in
-      off.(s + 1) <- off.(s + 1) + 1
+      off.(src.(fi) + 1) <- off.(src.(fi) + 1) + 1
     done;
     for s = 1 to t.n do
       off.(s) <- off.(s) + off.(s - 1)
@@ -82,11 +147,12 @@ let group t flows =
     (* [order] doubles as the per-source cursor during placement. *)
     Array.blit off 0 t.order 0 t.n;
     for fi = 0 to nf - 1 do
-      let s = Node.to_int flows.(fi).src in
+      let s = src.(fi) in
       t.by_src_flow.(t.order.(s)) <- fi;
       t.order.(s) <- t.order.(s) + 1
     done;
-    t.grouped <- flows
+    t.grouped <- Some store;
+    t.grouped_version <- version
   end
 
 let link_src t p = t.lsrc.(p)
@@ -96,36 +162,38 @@ let link_src t p = t.lsrc.(p)
    counts fit in 8 bits by construction, but real trees are much
    shallower, so the sort only touches buckets up to the deepest hop seen
    — [bucket] is kept all-zero between calls instead of cleared up front,
-   which would cost more than the sort itself on mid-sized graphs. *)
-let sort_reached t tree =
-  let n = t.n in
-  let b = t.bucket in
+   which would cost more than the sort itself on mid-sized graphs.
+   Toplevel over explicit scratch so the sequential path and every
+   parallel participant share one kernel. *)
+let sort_reached_into tree ~n ~bucket ~order =
   let max_h = ref 0 in
   for i = 0 to n - 1 do
     if Spf_tree.reached_i tree i then begin
       let h = Spf_tree.hops_i tree i in
       if h > !max_h then max_h := h;
-      b.(h + 1) <- b.(h + 1) + 1
+      bucket.(h + 1) <- bucket.(h + 1) + 1
     end
   done;
   let max_h = !max_h in
   for h = 1 to max_h + 1 do
-    b.(h) <- b.(h) + b.(h - 1)
+    bucket.(h) <- bucket.(h) + bucket.(h - 1)
   done;
-  let m = b.(max_h + 1) in
+  let m = bucket.(max_h + 1) in
   for i = 0 to n - 1 do
     if Spf_tree.reached_i tree i then begin
       let h = Spf_tree.hops_i tree i in
-      t.order.(b.(h)) <- i;
-      b.(h) <- b.(h) + 1
+      order.(bucket.(h)) <- i;
+      bucket.(h) <- bucket.(h) + 1
     end
   done;
-  Array.fill b 0 (max_h + 2) 0;
+  Array.fill bucket 0 (max_h + 2) 0;
   m
 [@@hot_path]
 
-let assign t ~flows ~tree_for ~sending ~offered ~first_hop =
-  group t flows;
+let sort_reached t tree =
+  sort_reached_into tree ~n:t.n ~bucket:t.bucket ~order:t.order
+
+let assign_seq t ~dst ~tree_for ~sending ~offered ~first_hop =
   let off = t.by_src_off in
   for s = 0 to t.n - 1 do
     if off.(s) < off.(s + 1) then begin
@@ -133,7 +201,7 @@ let assign t ~flows ~tree_for ~sending ~offered ~first_hop =
       (* Bucket demands onto destinations. *)
       for k = off.(s) to off.(s + 1) - 1 do
         let fi = t.by_src_flow.(k) in
-        let d = Node.to_int flows.(fi).dst in
+        let d = dst.(fi) in
         if Spf_tree.reached_i tree d then t.acc.(d) <- t.acc.(d) +. sending.(fi)
       done;
       let m = sort_reached t tree in
@@ -165,7 +233,7 @@ let assign t ~flows ~tree_for ~sending ~offered ~first_hop =
       done;
       for k = off.(s) to off.(s + 1) - 1 do
         let fi = t.by_src_flow.(k) in
-        let d = Node.to_int flows.(fi).dst in
+        let d = dst.(fi) in
         first_hop.(fi) <-
           (if Spf_tree.reached_i tree d then t.first_link.(d) else -2)
       done
@@ -173,8 +241,110 @@ let assign t ~flows ~tree_for ~sending ~offered ~first_hop =
   done
 [@@hot_path]
 
+(* One stripe of consecutive sources, identical sweep to [assign_seq]
+   except that offered-load contributions go into the stripe's stream
+   (in sweep order) instead of the shared [offered] array.  [first_hop]
+   writes are per-flow and flows belong to exactly one source, so those
+   target disjoint indices across stripes.  Toplevel kernel: the closure
+   handed to the pool only calls this, so it captures no mutable state
+   the domain-safety lint needs to reason about. *)
+let run_stripe t ~scr ~st ~dst ~tree_for ~sending ~first_hop ~s_lo ~s_hi =
+  st.q_len <- 0;
+  let off = t.by_src_off in
+  let acc = scr.p_acc
+  and order = scr.p_order
+  and bucket = scr.p_bucket
+  and first_link = scr.p_first_link in
+  for s = s_lo to s_hi - 1 do
+    if off.(s) < off.(s + 1) then begin
+      let tree = tree_for (Node.of_int s) in
+      for k = off.(s) to off.(s + 1) - 1 do
+        let fi = t.by_src_flow.(k) in
+        let d = dst.(fi) in
+        if Spf_tree.reached_i tree d then acc.(d) <- acc.(d) +. sending.(fi)
+      done;
+      let m = sort_reached_into tree ~n:t.n ~bucket ~order in
+      for k = 0 to m - 1 do
+        let v = order.(k) in
+        let p = Spf_tree.parent_id tree v in
+        first_link.(v) <-
+          (if p < 0 then -1
+           else begin
+             let u = t.lsrc.(p) in
+             if first_link.(u) < 0 then p else first_link.(u)
+           end)
+      done;
+      for k = m - 1 downto 0 do
+        let v = order.(k) in
+        let a = acc.(v) in
+        if a <> 0. then begin
+          acc.(v) <- 0.;
+          let p = Spf_tree.parent_id tree v in
+          if p >= 0 then begin
+            push st p a;
+            let u = t.lsrc.(p) in
+            acc.(u) <- acc.(u) +. a
+          end
+        end
+      done;
+      for k = off.(s) to off.(s + 1) - 1 do
+        let fi = t.by_src_flow.(k) in
+        let d = dst.(fi) in
+        first_hop.(fi) <-
+          (if Spf_tree.reached_i tree d then first_link.(d) else -2)
+      done
+    end
+  done
+[@@hot_path]
+
+(* Stripe order = ascending source order, and within a stripe pushes were
+   recorded in sweep order, so these additions replay the sequential
+   float-accumulation order exactly. *)
+let replay_streams streams ~nstripes ~offered =
+  for qi = 0 to nstripes - 1 do
+    let st = streams.(qi) in
+    let link = st.q_link and value = st.q_val in
+    for j = 0 to st.q_len - 1 do
+      let p = link.(j) in
+      offered.(p) <- offered.(p) +. value.(j)
+    done
+  done
+[@@hot_path]
+
+let assign_parallel t pool ~dst ~tree_for ~sending ~first_hop ~offered =
+  let nstripes = (t.n + stripe_width - 1) / stripe_width in
+  let psize = Domain_pool.size pool in
+  if Array.length t.pscratch < psize then
+    t.pscratch <-
+      Array.init psize (fun _ ->
+          { p_acc = Array.make t.n 0.;
+            p_order = Array.make t.n 0;
+            p_bucket = Array.make (max_hops + 2) 0;
+            p_first_link = Array.make t.n (-1) });
+  if Array.length t.streams < nstripes then
+    t.streams <- Array.init nstripes (fun _ -> new_stream ());
+  let pscratch = t.pscratch and streams = t.streams in
+  Domain_pool.parallel_for_dynamic_with pool
+    ~init:(fun me -> pscratch.(me))
+    nstripes
+    (fun scr qi ->
+      let s_lo = qi * stripe_width in
+      let s_hi = min t.n (s_lo + stripe_width) in
+      run_stripe t ~scr ~st:streams.(qi) ~dst ~tree_for ~sending ~first_hop
+        ~s_lo ~s_hi);
+  replay_streams streams ~nstripes ~offered
+
+let assign ?pool t ~flows ~tree_for ~sending ~offered ~first_hop =
+  group t flows;
+  let dst = Flow_store.dst_col flows in
+  match pool with
+  | Some pool when Domain_pool.size pool > 1 && t.n > 1 ->
+    assign_parallel t pool ~dst ~tree_for ~sending ~first_hop ~offered
+  | _ -> assign_seq t ~dst ~tree_for ~sending ~offered ~first_hop
+
 let iter_metrics t ~flows ~tree_for ~link_delay ~link_pass ~f =
   group t flows;
+  let dst = Flow_store.dst_col flows in
   let off = t.by_src_off in
   for s = 0 to t.n - 1 do
     if off.(s) < off.(s + 1) then begin
@@ -196,7 +366,7 @@ let iter_metrics t ~flows ~tree_for ~link_delay ~link_pass ~f =
       done;
       for k = off.(s) to off.(s + 1) - 1 do
         let fi = t.by_src_flow.(k) in
-        let d = Node.to_int flows.(fi).dst in
+        let d = dst.(fi) in
         if Spf_tree.reached_i tree d then
           f fi ~reached:true ~delay_s:t.delay_to.(d) ~share:t.share_to.(d)
             ~hops:(Spf_tree.hops_i tree d)
@@ -212,6 +382,7 @@ let iter_metrics t ~flows ~tree_for ~link_delay ~link_pass ~f =
 let metrics_into t ~flows ~tree_for ~link_delay ~link_pass ~delay_s ~share
     ~hops =
   group t flows;
+  let dst = Flow_store.dst_col flows in
   let off = t.by_src_off in
   for s = 0 to t.n - 1 do
     if off.(s) < off.(s + 1) then begin
@@ -233,7 +404,7 @@ let metrics_into t ~flows ~tree_for ~link_delay ~link_pass ~delay_s ~share
       done;
       for k = off.(s) to off.(s + 1) - 1 do
         let fi = t.by_src_flow.(k) in
-        let d = Node.to_int flows.(fi).dst in
+        let d = dst.(fi) in
         if Spf_tree.reached_i tree d then begin
           delay_s.(fi) <- t.delay_to.(d);
           share.(fi) <- t.share_to.(d);
@@ -255,11 +426,11 @@ let metrics_into t ~flows ~tree_for ~link_delay ~link_pass ~delay_s ~share
    the per-hop graph record lookups the old path iterator performed — not
    the denormalized [lsrc] table, which belongs to the new design. *)
 let assign_baseline t ~flows ~tree_for ~sending ~offered ~first_hop =
+  let src = Flow_store.src_col flows and dst = Flow_store.dst_col flows in
   let link_src p = Node.to_int (Graph.link t.graph (Link.id_of_int p)).Link.src in
-  for fi = 0 to Array.length flows - 1 do
-    let flow = flows.(fi) in
-    let tree = tree_for flow.src in
-    let d = Node.to_int flow.dst in
+  for fi = 0 to Flow_store.length flows - 1 do
+    let tree = tree_for (Node.of_int src.(fi)) in
+    let d = dst.(fi) in
     if Spf_tree.reached_i tree d then begin
       let fh = ref (-1) in
       let v = ref d in

@@ -11,54 +11,64 @@ open! Import
     sweep labels each node with its first-hop link, cumulative delay and
     survival share so per-flow metrics cost O(1).
 
-    A [t] holds reusable scratch for one graph; steady-state calls
-    allocate nothing.  Results are deterministic: sweeps visit nodes in
-    (hop count, node id) order and flows in their array order, so equal
-    inputs give bit-equal outputs — though the {e floating-point grouping}
-    differs from the per-flow baseline, which accumulates flow-by-flow
-    (sums agree to rounding; the qcheck property in [test_sweep] pins
-    this). *)
+    Flows live in a {!Flow_store.t} (struct-of-arrays), and {!assign} can
+    spread source stripes over a {!Domain_pool.t}: each stripe records
+    its (link, load) contributions into a private stream in sweep order,
+    replayed in stripe order afterwards — the float additions happen in
+    exactly the sequential source order, so parallel output is
+    bit-identical to sequential at any domain count.
 
-type flow = { src : Node.t; dst : Node.t; demand_bps : float }
+    A [t] holds reusable scratch for one graph; steady-state sequential
+    calls allocate nothing.  Results are deterministic: sweeps visit
+    nodes in (hop count, node id) order and flows in their store order,
+    so equal inputs give bit-equal outputs — though the {e floating-point
+    grouping} differs from the per-flow baseline, which accumulates
+    flow-by-flow (sums agree to rounding; the qcheck property in
+    [test_sweep] pins this). *)
 
 type t
 
 val create : Graph.t -> t
 
 val assign :
+  ?pool:Domain_pool.t ->
   t ->
-  flows:flow array ->
+  flows:Flow_store.t ->
   tree_for:(Node.t -> Spf_tree.t) ->
   sending:float array ->
   offered:float array ->
   first_hop:int array ->
   unit
-(** Add every flow's sending rate ([sending.(i)] for [flows.(i)], bps) to
-    [offered.(l)] for each link [l] on its path — [offered] is {b not}
+(** Add every flow's sending rate ([sending.(i)] for flow index [i], bps)
+    to [offered.(l)] for each link [l] on its path — [offered] is {b not}
     cleared first — and set [first_hop.(i)] to the flow's first link id,
     [-1] when the destination {e is} the source, or [-2] when the
     destination is unreachable on the source's tree.
 
-    The flow-to-source grouping is cached on the physical identity of
-    [flows]: replace the array to change traffic, don't mutate it. *)
+    With [?pool] (of size > 1), source stripes run on pool domains with
+    bit-identical results (see above); [tree_for] must then be safe to
+    call concurrently — a pure lookup of pre-computed trees.
+
+    The flow-to-source grouping is cached on the store's identity and
+    {!Flow_store.version}; throttle writes don't invalidate it. *)
 
 val iter_metrics :
   t ->
-  flows:flow array ->
+  flows:Flow_store.t ->
   tree_for:(Node.t -> Spf_tree.t) ->
   link_delay:float array ->
   link_pass:float array ->
   f:(int -> reached:bool -> delay_s:float -> share:float -> hops:int -> unit) ->
   unit
 (** Call [f] once per flow index (sources in node order, a source's flows
-    in array order) with its path totals over the per-link tables:
+    in store order) with its path totals over the per-link tables:
     [delay_s] the sum of [link_delay], [share] the product of [link_pass],
     [hops] the path length.  Unreached flows get
     [~reached:false ~delay_s:0. ~share:0. ~hops:0]. *)
 
 val metrics_into :
   t ->
-  flows:flow array ->
+  flows:Flow_store.t ->
   tree_for:(Node.t -> Spf_tree.t) ->
   link_delay:float array ->
   link_pass:float array ->
@@ -74,12 +84,13 @@ val metrics_into :
 
 val assign_baseline :
   t ->
-  flows:flow array ->
+  flows:Flow_store.t ->
   tree_for:(Node.t -> Spf_tree.t) ->
   sending:float array ->
   offered:float array ->
   first_hop:int array ->
   unit
-(** The historical per-flow tree climb, identical contract to {!assign}
-    (up to floating-point grouping of the sums).  Kept as the reference
-    implementation for property tests and the [bench sim] speedup row. *)
+(** The historical per-flow tree climb, identical contract to the
+    sequential {!assign} (up to floating-point grouping of the sums).
+    Kept as the reference implementation for property tests and the
+    [bench sim] speedup row. *)

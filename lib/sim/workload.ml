@@ -32,12 +32,13 @@ let create ?(size = Exponential 600.) rng engine tm ~inject =
     scale = 1.;
     generated = 0 }
 
+(* At least one header's worth of bits so service times never vanish —
+   for fixed sizes too: a [Fixed 0.] flow must not inject zero-bit
+   packets whose service completes instantly. *)
 let draw_bits t =
   match t.size with
-  | Fixed b -> b
-  | Exponential mean ->
-    (* At least one header's worth of bits so service times never vanish. *)
-    Float.max 64. (Rng.exponential t.rng ~mean)
+  | Fixed b -> Float.max 64. b
+  | Exponential mean -> Float.max 64. (Rng.exponential t.rng ~mean)
 
 let rec schedule_next t flow =
   let rate = flow.rate_pps *. t.scale in

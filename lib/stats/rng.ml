@@ -55,6 +55,24 @@ let poisson t ~mean =
     max 0 (int_of_float (Float.round (mean +. (z *. sqrt mean))))
   end
 
+let normal t =
+  (* Box-Muller, cosine branch; one draw per call keeps the stream
+     position a simple function of the call count. *)
+  let u1 = Float.max epsilon_float (float t 1.) in
+  let u2 = float t 1. in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let pareto t ~alpha ~x_min =
+  if alpha <= 0. then invalid_arg "Rng.pareto: alpha <= 0";
+  if x_min <= 0. then invalid_arg "Rng.pareto: x_min <= 0";
+  let u = ref (float t 1.) in
+  if !u = 0. then u := epsilon_float;
+  x_min *. (!u ** (-1. /. alpha))
+
+let lognormal t ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Rng.lognormal: sigma < 0";
+  exp (mu +. (sigma *. normal t))
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -39,6 +39,18 @@ val poisson : t -> mean:float -> int
 (** Poisson-distributed count (Knuth's method below mean 30, normal
     approximation above for speed). *)
 
+val normal : t -> float
+(** Standard normal draw (Box–Muller; one uniform pair per call). *)
+
+val pareto : t -> alpha:float -> x_min:float -> float
+(** Pareto-distributed with tail exponent [alpha] and scale [x_min]
+    (so every draw is at least [x_min]) — heavy-tailed flow sizes.
+    @raise Invalid_argument if [alpha <= 0] or [x_min <= 0]. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Lognormal draw [exp (mu + sigma·Z)].
+    @raise Invalid_argument if [sigma < 0]. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 

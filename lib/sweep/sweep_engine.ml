@@ -10,7 +10,31 @@ type point = {
 
 type outcome = { point : point; hash : string; indicators : Measure.indicators }
 
-type report = { outcomes : outcome array; json : Obs_json.t }
+type ranking = {
+  r_scenario : string;
+  r_metric : Metric.kind;
+  r_rank : int;
+  r_score : int;
+  r_route_changes : float;
+  r_nh_flips : float;
+  r_link_flips : float;
+}
+
+type knee = {
+  k_scenario : string;
+  k_metric : Metric.kind;
+  k_scale_delay : float;
+  k_scale_throughput : float;
+  k_delay_ms : float;
+  k_throughput_bps : float;
+}
+
+type report = {
+  outcomes : outcome array;
+  json : Obs_json.t;
+  rankings : ranking list;
+  knees : knee list;
+}
 
 let points (spec : Sweep_spec.t) =
   (* Fixed axis nesting — scenario outermost, seed innermost — so a
@@ -226,6 +250,171 @@ let outcome_json o =
       ("indicators", indicators_json o.indicators)
     ]
 
+(* ---------------------------------------------------------------- *)
+(* Summary views, computed purely from (spec, outcomes) so merged,
+   sharded and resumed reports carry byte-identical sections. *)
+
+(* Outcomes grouped by (scenario, metric), groups and members both in
+   point-index order. *)
+let outcome_groups outcomes =
+  let table = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iter
+    (fun o ->
+      let key = (o.point.scenario, o.point.metric) in
+      match Hashtbl.find_opt table key with
+      | Some members -> members := o :: !members
+      | None ->
+        Hashtbl.add table key (ref [ o ]);
+        order := key :: !order)
+    outcomes;
+  List.rev_map
+    (fun key -> (key, List.rev !(Hashtbl.find table key)))
+    !order
+  |> List.rev
+
+(* Rzepka & Chołda-style stability rankings: mean the three route-change
+   counters per (scenario, metric), competition-rank each counter
+   (1 + strictly-better count), and order by total score — the summary
+   view of which metric churns routes least.  Ties keep spec order. *)
+let rankings_of_outcomes outcomes =
+  let mean f members =
+    let sum = List.fold_left (fun s o -> s +. f o.indicators) 0. members in
+    sum /. float_of_int (List.length members)
+  in
+  let rows =
+    List.map
+      (fun ((scenario, metric), members) ->
+        ( scenario,
+          metric,
+          mean (fun i -> i.Measure.route_changes_per_period) members,
+          mean (fun i -> i.Measure.next_hop_flips_per_period) members,
+          mean (fun i -> i.Measure.link_flips_per_period) members ))
+      (outcome_groups outcomes)
+  in
+  let rank_of value values =
+    1 + List.length (List.filter (fun v -> v < value) values)
+  in
+  let col f = List.map f rows in
+  let scored =
+    List.map
+      (fun (scenario, metric, rc, nh, lf) ->
+        let score =
+          rank_of rc (col (fun (_, _, v, _, _) -> v))
+          + rank_of nh (col (fun (_, _, _, v, _) -> v))
+          + rank_of lf (col (fun (_, _, _, _, v) -> v))
+        in
+        (score, scenario, metric, rc, nh, lf))
+      rows
+  in
+  let sorted =
+    List.stable_sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> compare a b)
+      scored
+  in
+  List.mapi
+    (fun pos (score, scenario, metric, rc, nh, lf) ->
+      { r_scenario = scenario;
+        r_metric = metric;
+        r_rank = pos + 1;
+        r_score = score;
+        r_route_changes = rc;
+        r_nh_flips = nh;
+        r_link_flips = lf })
+    sorted
+
+(* Knee of a monotone-ish response curve: the point farthest (vertically,
+   after normalizing both axes to [0,1]) from the chord between the
+   curve's endpoints — the standard max-distance knee.  First maximal
+   point wins, so ties resolve to the smallest scale. *)
+let knee_of_curve xs ys =
+  let n = Array.length xs in
+  let dx = xs.(n - 1) -. xs.(0) and dy = ys.(n - 1) -. ys.(0) in
+  let best = ref 0 and best_d = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let xhat = (xs.(i) -. xs.(0)) /. dx in
+    let yhat = if dy = 0. then 0. else (ys.(i) -. ys.(0)) /. dy in
+    let d = Float.abs (yhat -. xhat) in
+    if d > !best_d then begin
+      best := i;
+      best_d := d
+    end
+  done;
+  (xs.(!best), ys.(!best))
+
+(* The critical-load phase study: along a [critical_load] demand ramp,
+   delay stays flat then turns up (its knee: where queueing takes over)
+   while delivered throughput climbs then flattens (its knee: where the
+   network saturates).  Per (scenario, metric) the per-scale seed means
+   form the two curves; [knee_of_curve] locates each transition.  Only
+   computed when the spec declared a ramp and at least 3 distinct scales
+   are present. *)
+let knees_of_outcomes (spec : Sweep_spec.t) outcomes =
+  if spec.critical_load = None then []
+  else
+    List.filter_map
+      (fun ((scenario, metric), members) ->
+        let by_scale = Hashtbl.create 8 in
+        let scale_order = ref [] in
+        List.iter
+          (fun o ->
+            match Hashtbl.find_opt by_scale o.point.scale with
+            | Some cell -> cell := o :: !cell
+            | None ->
+              Hashtbl.add by_scale o.point.scale (ref [ o ]);
+              scale_order := o.point.scale :: !scale_order)
+          members;
+        let scales = List.sort compare !scale_order in
+        if List.length scales < 3 then None
+        else begin
+          let mean f scale =
+            let os = !(Hashtbl.find by_scale scale) in
+            List.fold_left (fun s o -> s +. f o.indicators) 0. os
+            /. float_of_int (List.length os)
+          in
+          let xs = Array.of_list scales in
+          let delay =
+            Array.of_list
+              (List.map (mean (fun i -> i.Measure.round_trip_delay_ms)) scales)
+          in
+          let thru =
+            Array.of_list
+              (List.map
+                 (mean (fun i -> i.Measure.internode_traffic_bps))
+                 scales)
+          in
+          let k_scale_delay, k_delay_ms = knee_of_curve xs delay in
+          let k_scale_throughput, k_throughput_bps = knee_of_curve xs thru in
+          Some
+            { k_scenario = scenario;
+              k_metric = metric;
+              k_scale_delay;
+              k_scale_throughput;
+              k_delay_ms;
+              k_throughput_bps }
+        end)
+      (outcome_groups outcomes)
+
+let ranking_json r =
+  Obs_json.Obj
+    [ ("scenario", Obs_json.String r.r_scenario);
+      ("metric", Obs_json.String (Metric.kind_name r.r_metric));
+      ("rank", Obs_json.Int r.r_rank);
+      ("score", Obs_json.Int r.r_score);
+      ("route_changes_per_period", Obs_json.Float r.r_route_changes);
+      ("next_hop_flips_per_period", Obs_json.Float r.r_nh_flips);
+      ("link_flips_per_period", Obs_json.Float r.r_link_flips)
+    ]
+
+let knee_json k =
+  Obs_json.Obj
+    [ ("scenario", Obs_json.String k.k_scenario);
+      ("metric", Obs_json.String (Metric.kind_name k.k_metric));
+      ("knee_scale_delay", Obs_json.Float k.k_scale_delay);
+      ("knee_scale_throughput", Obs_json.Float k.k_scale_throughput);
+      ("round_trip_delay_ms_at_knee", Obs_json.Float k.k_delay_ms);
+      ("internode_traffic_bps_at_knee", Obs_json.Float k.k_throughput_bps)
+    ]
+
 let report_of_outcomes (spec : Sweep_spec.t) outcomes =
   let master = Obs_metrics.create () in
   Obs_metrics.set_meta master "tool" "arpanet_sweep";
@@ -235,13 +424,24 @@ let report_of_outcomes (spec : Sweep_spec.t) outcomes =
   Array.iter
     (fun o -> Obs_metrics.merge ~into:master (point_registry o.point o.indicators))
     outcomes;
+  let rankings = rankings_of_outcomes outcomes in
+  let knees = knees_of_outcomes spec outcomes in
+  (* Extra sections ride alongside "points"; [stored_points] reads only
+     "points", so shards, merges and resumes are oblivious to them and
+     every report path regenerates them from the same outcomes. *)
   let json =
     Obs_metrics.to_json master
       ~extra:
-        [ ("points", Obs_json.List (Array.to_list (Array.map outcome_json outcomes)))
-        ]
+        (( "points",
+           Obs_json.List (Array.to_list (Array.map outcome_json outcomes)) )
+         :: ( "route_change_rankings",
+              Obs_json.List (List.map ranking_json rankings) )
+         ::
+         (match knees with
+          | [] -> []
+          | ks -> [ ("critical_load", Obs_json.List (List.map knee_json ks)) ]))
   in
-  { outcomes; json }
+  { outcomes; json; rankings; knees }
 
 (* ---------------------------------------------------------------- *)
 
@@ -484,4 +684,34 @@ let csv report =
       |> String.concat "," |> Buffer.add_string buf;
       Buffer.add_char buf '\n')
     report.outcomes;
+  Buffer.contents buf
+
+let summary_columns =
+  [ "kind"; "scenario"; "metric"; "rank"; "score";
+    "route_changes_per_period"; "next_hop_flips_per_period";
+    "link_flips_per_period"; "knee_scale_delay"; "knee_scale_throughput";
+    "round_trip_delay_ms_at_knee"; "internode_traffic_bps_at_knee" ]
+
+let summary_csv report =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (String.concat "," summary_columns);
+  Buffer.add_char buf '\n';
+  let num x = Obs_json.to_string (Obs_json.Float x) in
+  List.iter
+    (fun r ->
+      [ "ranking"; r.r_scenario; Metric.kind_name r.r_metric;
+        string_of_int r.r_rank; string_of_int r.r_score;
+        num r.r_route_changes; num r.r_nh_flips; num r.r_link_flips;
+        ""; ""; ""; "" ]
+      |> String.concat "," |> Buffer.add_string buf;
+      Buffer.add_char buf '\n')
+    report.rankings;
+  List.iter
+    (fun k ->
+      [ "knee"; k.k_scenario; Metric.kind_name k.k_metric; ""; ""; ""; "";
+        ""; num k.k_scale_delay; num k.k_scale_throughput;
+        num k.k_delay_ms; num k.k_throughput_bps ]
+      |> String.concat "," |> Buffer.add_string buf;
+      Buffer.add_char buf '\n')
+    report.knees;
   Buffer.contents buf

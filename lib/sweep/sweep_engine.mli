@@ -35,11 +35,48 @@ type outcome = {
   indicators : Measure.indicators;
 }
 
+(** One (scenario, metric) row of the Rzepka & Chołda-style
+    route-stability ranking: each of the three change counters is
+    averaged over the group's points and competition-ranked against the
+    other groups (rank 1 + number of strictly smaller means); [r_score]
+    sums the three per-counter ranks and [r_rank] is the row's 1-based
+    position when ordered by score (ties keep spec order). *)
+type ranking = {
+  r_scenario : string;
+  r_metric : Metric.kind;
+  r_rank : int;
+  r_score : int;
+  r_route_changes : float;  (** mean route_changes_per_period *)
+  r_nh_flips : float;  (** mean next_hop_flips_per_period *)
+  r_link_flips : float;  (** mean link_flips_per_period *)
+}
+
+(** Where a (scenario, metric) pair's behaviour changes phase along a
+    {!Sweep_spec.ramp}: the scale at which the round-trip-delay curve
+    turns up ([k_scale_delay]) and the one at which delivered throughput
+    flattens ([k_scale_throughput]), each located as the point farthest
+    from the chord between the (seed-averaged, normalized) curve's
+    endpoints.  Present only when the spec declared [critical_load] and
+    the group covers at least 3 distinct scales. *)
+type knee = {
+  k_scenario : string;
+  k_metric : Metric.kind;
+  k_scale_delay : float;
+  k_scale_throughput : float;
+  k_delay_ms : float;  (** round_trip_delay_ms at [k_scale_delay] *)
+  k_throughput_bps : float;
+      (** internode_traffic_bps at [k_scale_throughput] *)
+}
+
 type report = {
   outcomes : outcome array;  (** one per covered point, in index order *)
   json : Obs_json.t;
       (** merged telemetry snapshot plus a ["points"] array of per-point
-          indicator objects (each carrying its ["hash"]) *)
+          indicator objects (each carrying its ["hash"]), a
+          ["route_change_rankings"] section, and — under a
+          [critical_load] ramp — a ["critical_load"] knee section *)
+  rankings : ranking list;  (** ordered by score, most stable first *)
+  knees : knee list;  (** in spec group order; [] without a ramp *)
 }
 
 val points : Sweep_spec.t -> point list
@@ -132,3 +169,11 @@ val csv : report -> string
     Table-1 indicator columns, the streamed one-way delay percentiles
     (p50/p95/p99, ms) and the per-period route-change counters (routes
     changed, A→B→A next-hop flips, per-link cost direction flips). *)
+
+val summary_csv : report -> string
+(** The summary views as one CSV: a ["ranking"] row per
+    (scenario, metric) with the route-change means, ranks and score,
+    then a ["knee"] row per located critical-load knee.  Columns not
+    applicable to a row's kind are empty.  Like the report itself, a
+    pure function of the covered points — byte-identical across domain
+    counts, shards and resumes. *)

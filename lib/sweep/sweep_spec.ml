@@ -2,6 +2,8 @@ open! Import
 
 type scenario = Builtin of string | File of string
 
+type ramp = { ramp_from : float; ramp_to : float; ramp_steps : int }
+
 type t = {
   scenarios : scenario list;
   metrics : Metric.kind list;
@@ -9,6 +11,7 @@ type t = {
   seeds : int list;
   periods : int;
   warmup : int;
+  critical_load : ramp option;
 }
 
 type severity = Error | Warning
@@ -106,6 +109,42 @@ let seeds_field json =
     else Ok (List.init count (fun i -> from + i))
   | Ok _ -> Result.Error "\"seeds\" must be a list of integers or {\"from\",\"count\"}"
 
+(* The [critical_load] ramp expands into an evenly spaced scale grid at
+   parse time, so the engine sees an ordinary scale axis — point hashes,
+   shards and resumes all work unchanged.  Degenerate ramps (flagged by
+   lint as S109) collapse to their starting scale rather than failing
+   the parse, keeping every grid problem in the lint report. *)
+let ramp_scales r =
+  if r.ramp_steps >= 2 && r.ramp_to > r.ramp_from then
+    List.init r.ramp_steps (fun i ->
+        r.ramp_from
+        +. ((r.ramp_to -. r.ramp_from) *. float_of_int i
+            /. float_of_int (r.ramp_steps - 1)))
+  else [ r.ramp_from ]
+
+let ramp_field json =
+  match Obs_json.member "critical_load" json with
+  | Error _ -> Ok None
+  | Ok (Obs_json.Obj _ as r) ->
+    let req field =
+      match Obs_json.member field r with
+      | Error _ ->
+        Result.Error
+          (Printf.sprintf "\"critical_load\" needs a %S field" field)
+      | Ok v ->
+        (match Obs_json.to_float v with
+         | Ok f -> Ok f
+         | Error _ ->
+           Result.Error
+             (Printf.sprintf "\"critical_load\" %S must be a number" field))
+    in
+    let* ramp_from = req "from" in
+    let* ramp_to = req "to" in
+    let* ramp_steps = int_field ~default:8 "steps" r in
+    Ok (Some { ramp_from; ramp_to; ramp_steps })
+  | Ok _ ->
+    Result.Error "\"critical_load\" must be {\"from\",\"to\",\"steps\"}"
+
 let parse text =
   let shaped =
     let* json =
@@ -139,11 +178,24 @@ let parse text =
         |> Result.map List.rev
     in
     let* scales = float_list "scales" json in
-    let scales = Option.value scales ~default:[ 1.0 ] in
+    let* critical_load = ramp_field json in
+    let* () =
+      match (scales, critical_load) with
+      | Some _, Some _ ->
+        Result.Error
+          "\"scales\" and \"critical_load\" are mutually exclusive: the \
+           ramp generates the scale axis"
+      | _ -> Ok ()
+    in
+    let scales =
+      match critical_load with
+      | Some r -> ramp_scales r
+      | None -> Option.value scales ~default:[ 1.0 ]
+    in
     let* seeds = seeds_field json in
     let* periods = int_field ~default:60 "periods" json in
     let* warmup = int_field ~default:0 "warmup" json in
-    Ok { scenarios; metrics; scales; seeds; periods; warmup }
+    Ok { scenarios; metrics; scales; seeds; periods; warmup; critical_load }
   in
   Result.map_error (fun msg -> error "S100" "bad sweep spec: %s" msg) shaped
 
@@ -209,6 +261,21 @@ let lint t =
         (fun s -> if s < 0 then [ error "S104" "negative seed %d" s ] else [])
         t.seeds
   in
+  let ramp_axis =
+    match t.critical_load with
+    | None -> []
+    | Some r ->
+      (if r.ramp_steps < 3 then
+         [ error "S109"
+             "critical_load needs at least 3 steps to locate a knee (got %d)"
+             r.ramp_steps ]
+       else [])
+      @ (if r.ramp_to <= r.ramp_from then
+           [ error "S109"
+               "critical_load ramp is not increasing: to (%g) <= from (%g)"
+               r.ramp_to r.ramp_from ]
+         else [])
+  in
   let budget =
     (if t.periods <= 0 then [ error "S106" "periods must be positive (got %d)" t.periods ]
      else [])
@@ -218,7 +285,7 @@ let lint t =
              t.warmup t.periods ]
        else [])
   in
-  scenario_axis @ metric_axis @ scale_axis @ seed_axis @ budget
+  scenario_axis @ metric_axis @ scale_axis @ ramp_axis @ seed_axis @ budget
 
 (* [--shard I/N]: this process runs grid points whose index ≡ I (mod N).
    Parsed here so the CLI and routing_check agree on the S107 shape. *)

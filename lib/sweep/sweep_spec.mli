@@ -32,13 +32,27 @@ type scenario =
   | Builtin of string  (** ["arpanet"] or ["milnet"] *)
   | File of string  (** a scenario-script path *)
 
+(** A [critical_load] demand ramp: instead of listing [scales]
+    explicitly, the spec names an interval and a step count —
+    [{"critical_load": {"from": 0.5, "to": 3.0, "steps": 8}}] ([steps]
+    defaults to 8) — and the parser expands it into [steps] evenly
+    spaced scales.  The engine then locates the delay and throughput
+    knees along the ramp per (scenario, metric) and publishes them in
+    the report ({!Sweep_engine.report}).  Mutually exclusive with an
+    explicit ["scales"] list. *)
+type ramp = { ramp_from : float; ramp_to : float; ramp_steps : int }
+
 type t = {
   scenarios : scenario list;
   metrics : Metric.kind list;
   scales : float list;
+      (** explicit, or generated from [critical_load] when set *)
   seeds : int list;
   periods : int;  (** routing periods per point *)
   warmup : int;  (** leading periods excluded from indicators *)
+  critical_load : ramp option;
+      (** set iff the scale axis came from a ramp; asks the engine for
+          knee detection *)
 }
 
 type severity = Error | Warning
@@ -56,7 +70,9 @@ val lint : t -> issue list
 (** Every grid problem, in axis order: [S101] unknown scenario (no such
     builtin, missing or unparseable file), [S102] empty axis, [S103]
     duplicate axis value (warning), [S104] bad seed, [S105] scale out of
-    range, [S106] bad period/warmup budget. *)
+    range, [S106] bad period/warmup budget, [S109] degenerate
+    [critical_load] ramp (fewer than 3 steps, or a non-increasing
+    interval). *)
 
 val shard_of_string : string -> (int * int, issue) result
 (** Parse a [--shard] argument ["I/N"] — this process runs grid points

@@ -23,6 +23,7 @@ module Rng = Routing_stats.Rng
 module Metric = Routing_metric.Metric
 module Spf_engine = Routing_spf.Spf_engine
 module Load_assign = Routing_sim.Load_assign
+module Flow_store = Routing_sim.Flow_store
 module Domain_pool = Routing_metric.Domain_pool
 module Sweep_spec = Routing_sweep.Sweep_spec
 module Sweep_engine = Routing_sweep.Sweep_engine
@@ -56,13 +57,13 @@ let run_assignment_case (seed, nodes, chords, nf) =
   let engine = Spf_engine.create g in
   Spf_engine.refresh engine ~cost:(fun lid -> costs.(Link.id_to_int lid));
   let tree_for = Spf_engine.tree engine in
-  let flows =
-    Array.init nf (fun _ ->
-        { Load_assign.src = Node.of_int (Rng.int rng nodes);
-          dst = Node.of_int (Rng.int rng nodes);
-          demand_bps = 100. +. Rng.float rng 10_000. })
-  in
-  let sending = Array.map (fun f -> f.Load_assign.demand_bps) flows in
+  let flows = Flow_store.create ~nodes in
+  for _ = 1 to nf do
+    Flow_store.add flows ~src:(Node.of_int (Rng.int rng nodes))
+      ~dst:(Node.of_int (Rng.int rng nodes))
+      ~demand_bps:(100. +. Rng.float rng 10_000.)
+  done;
+  let sending = Array.sub (Flow_store.demand_col flows) 0 nf in
   let t = Load_assign.create g in
   let offered = Array.make nl 0. in
   let first_hop = Array.make nf (-7) in
@@ -90,6 +91,150 @@ let prop_assignment_matches_baseline =
   QCheck.Test.make ~count:60 ~name:"aggregated assignment == per-flow baseline"
     assignment_case run_assignment_case
 
+(* Parallel assignment must be *bit*-identical to sequential at every
+   domain count: the per-stripe contribution streams are replayed in
+   stripe order, reproducing the sequential float-add order exactly.
+   Compared through Int64 bits — no tolerance. *)
+let bits = Int64.bits_of_float
+
+let run_parallel_case (seed, nodes, chords, nf) =
+  let rng = Rng.create seed in
+  let g = Generators.ring_chord (Rng.copy rng) ~nodes ~chords in
+  let nl = Graph.link_count g in
+  let costs = Array.init nl (fun _ -> 1 + Rng.int rng 60) in
+  let engine = Spf_engine.create g in
+  Spf_engine.refresh engine ~cost:(fun lid -> costs.(Link.id_to_int lid));
+  let tree_for = Spf_engine.tree engine in
+  let flows = Flow_store.create ~nodes in
+  for _ = 1 to nf do
+    Flow_store.add flows ~src:(Node.of_int (Rng.int rng nodes))
+      ~dst:(Node.of_int (Rng.int rng nodes))
+      ~demand_bps:(100. +. Rng.float rng 10_000.)
+  done;
+  let sending = Array.sub (Flow_store.demand_col flows) 0 nf in
+  let t = Load_assign.create g in
+  let offered_seq = Array.make nl 0. in
+  let fh_seq = Array.make nf (-7) in
+  Load_assign.assign t ~flows ~tree_for ~sending ~offered:offered_seq
+    ~first_hop:fh_seq;
+  List.iter
+    (fun domains ->
+      let pool = Domain_pool.create domains in
+      Fun.protect
+        ~finally:(fun () -> Domain_pool.shutdown pool)
+        (fun () ->
+          let offered = Array.make nl 0. in
+          let fh = Array.make nf (-7) in
+          Load_assign.assign ~pool t ~flows ~tree_for ~sending ~offered
+            ~first_hop:fh;
+          Array.iteri
+            (fun l o ->
+              if not (Int64.equal (bits o) (bits offered_seq.(l))) then
+                QCheck.Test.fail_reportf
+                  "link %d: parallel %h <> sequential %h at %d domains" l o
+                  offered_seq.(l) domains)
+            offered;
+          Array.iteri
+            (fun fi h ->
+              if h <> fh_seq.(fi) then
+                QCheck.Test.fail_reportf
+                  "flow %d: parallel first_hop %d <> sequential %d at %d \
+                   domains"
+                  fi h fh_seq.(fi) domains)
+            fh))
+    [ 1; 2; 3; 4 ];
+  true
+
+let prop_parallel_bit_identical =
+  QCheck.Test.make ~count:20
+    ~name:"parallel assignment bit-identical to sequential (1-4 domains)"
+    assignment_case run_parallel_case
+
+(* --- flow store ---------------------------------------------------- *)
+
+let test_store_matrix_round_trip () =
+  let tm = Routing_topology.Traffic_matrix.create ~nodes:9 in
+  let set s d v =
+    Routing_topology.Traffic_matrix.set tm ~src:(Node.of_int s)
+      ~dst:(Node.of_int d) v
+  in
+  set 0 3 1000.;
+  set 3 0 250.;
+  set 8 1 97.5;
+  set 4 4 40.;
+  (* self-demand: refused by the matrix, so it never reaches the store *)
+  let store = Flow_store.of_matrix tm in
+  Alcotest.(check int) "one flow per non-zero off-diagonal cell" 3
+    (Flow_store.length store);
+  Alcotest.(check (float 1e-9)) "total preserved" 1347.5
+    (Flow_store.total_demand_bps store);
+  let back = Flow_store.to_matrix store in
+  for s = 0 to 8 do
+    for d = 0 to 8 do
+      if s <> d then
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "cell %d->%d round-trips" s d)
+          (Routing_topology.Traffic_matrix.get tm ~src:(Node.of_int s)
+             ~dst:(Node.of_int d))
+          (Routing_topology.Traffic_matrix.get back ~src:(Node.of_int s)
+             ~dst:(Node.of_int d))
+    done
+  done;
+  (* aggregate folds duplicate (src, dst) pairs, first occurrence order. *)
+  let dup = Flow_store.create ~nodes:4 in
+  let addf s d v =
+    Flow_store.add dup ~src:(Node.of_int s) ~dst:(Node.of_int d) ~demand_bps:v
+  in
+  addf 0 1 10.;
+  addf 2 3 5.;
+  addf 0 1 7.;
+  let agg = Flow_store.aggregate dup in
+  Alcotest.(check int) "aggregate dedups pairs" 2 (Flow_store.length agg);
+  Alcotest.(check (float 0.)) "aggregate sums demand" 17.
+    (Flow_store.demand_col agg).(0);
+  Alcotest.(check (float 1e-9)) "aggregate preserves total"
+    (Flow_store.total_demand_bps dup)
+    (Flow_store.total_demand_bps agg)
+
+let test_heavy_tailed_determinism () =
+  let draw seed size =
+    Flow_store.heavy_tailed (Rng.create seed) ~nodes:50 ~flows:10_000
+      ~total_bps:1e9 ~size
+  in
+  List.iter
+    (fun size ->
+      let a = draw 42 size and b = draw 42 size in
+      let n = Flow_store.length a in
+      Alcotest.(check int) "requested flow count" 10_000 n;
+      let col f = Array.sub (f a) 0 n and col' f = Array.sub (f b) 0 n in
+      Alcotest.(check (array int)) "same seed, same sources"
+        (col Flow_store.src_col) (col' Flow_store.src_col);
+      Alcotest.(check (array int)) "same seed, same destinations"
+        (col Flow_store.dst_col) (col' Flow_store.dst_col);
+      Array.iteri
+        (fun i d ->
+          if not (Int64.equal (bits d) (bits (Flow_store.demand_col b).(i)))
+          then
+            Alcotest.failf "flow %d: demand %h vs %h with the same seed" i d
+              (Flow_store.demand_col b).(i))
+        (col Flow_store.demand_col);
+      Alcotest.(check bool) "total scaled to target" true
+        (close ~tol:1e-9 1e9 (Flow_store.total_demand_bps a));
+      let src = Flow_store.src_col a and dst = Flow_store.dst_col a in
+      for i = 0 to n - 1 do
+        if src.(i) = dst.(i) then Alcotest.failf "flow %d is a self-flow" i;
+        if src.(i) < 0 || src.(i) >= 50 || dst.(i) < 0 || dst.(i) >= 50 then
+          Alcotest.failf "flow %d endpoints out of range" i
+      done;
+      (* A different seed must actually change the draw. *)
+      let c = draw 43 size in
+      Alcotest.(check bool) "different seed, different flows" false
+        (col Flow_store.demand_col
+        = Array.sub (Flow_store.demand_col c) 0 (Flow_store.length c)
+        && col Flow_store.src_col
+           = Array.sub (Flow_store.src_col c) 0 (Flow_store.length c)))
+    [ Flow_store.Pareto { alpha = 1.3 }; Flow_store.Lognormal { sigma = 2. } ]
+
 (* Repeated [assign] calls over the same scratch must not leak state
    between rounds (the buckets/acc arrays are reused, never reallocated). *)
 let test_assignment_scratch_reuse () =
@@ -98,17 +243,17 @@ let test_assignment_scratch_reuse () =
   let engine = Spf_engine.create g in
   Spf_engine.refresh engine ~cost:(fun lid -> 1 + (Link.id_to_int lid mod 9));
   let tree_for = Spf_engine.tree engine in
-  let flows =
-    Array.init 30 (fun i ->
-        { Load_assign.src = Node.of_int (i mod 12);
-          dst = Node.of_int ((i * 7 + 3) mod 12);
-          demand_bps = float_of_int (1000 * (i + 1)) })
-  in
-  let sending = Array.map (fun f -> f.Load_assign.demand_bps) flows in
+  let flows = Flow_store.create ~nodes:12 in
+  for i = 0 to 29 do
+    Flow_store.add flows ~src:(Node.of_int (i mod 12))
+      ~dst:(Node.of_int ((i * 7 + 3) mod 12))
+      ~demand_bps:(float_of_int (1000 * (i + 1)))
+  done;
+  let sending = Array.sub (Flow_store.demand_col flows) 0 30 in
   let t = Load_assign.create g in
   let round () =
     let offered = Array.make nl 0. in
-    let first_hop = Array.make (Array.length flows) (-7) in
+    let first_hop = Array.make (Flow_store.length flows) (-7) in
     Load_assign.assign t ~flows ~tree_for ~sending ~offered ~first_hop;
     (offered, first_hop)
   in
@@ -165,7 +310,8 @@ let small_spec =
     scales = [ 0.8; 1.1 ];
     seeds = [ 1 ];
     periods = 5;
-    warmup = 1 }
+    warmup = 1;
+    critical_load = None }
 
 let test_points_enumeration () =
   let pts = Sweep_engine.points small_spec in
@@ -187,6 +333,12 @@ let test_report_domain_independent () =
     (Obs_json.to_string r2.Sweep_engine.json);
   Alcotest.(check string) "CSV byte-identical at 1 vs 2 domains"
     (Sweep_engine.csv r1) (Sweep_engine.csv r2);
+  Alcotest.(check string) "summary CSV byte-identical at 1 vs 2 domains"
+    (Sweep_engine.summary_csv r1) (Sweep_engine.summary_csv r2);
+  Alcotest.(check int) "rankings cover every (scenario, metric) group" 4
+    (List.length r1.Sweep_engine.rankings);
+  Alcotest.(check int) "no ramp, no knees" 0
+    (List.length r1.Sweep_engine.knees);
   let lines = String.split_on_char '\n' (String.trim (Sweep_engine.csv r1)) in
   Alcotest.(check int) "CSV: header plus one row per point"
     (1 + Array.length r1.Sweep_engine.outcomes)
@@ -199,6 +351,78 @@ let test_report_round_trips () =
     Alcotest.(check bool) "report JSON round-trips" true
       (Obs_json.equal round r.Sweep_engine.json)
   | Error e -> Alcotest.failf "report does not re-parse: %s" e
+
+(* --- critical-load ramp -------------------------------------------- *)
+
+let test_critical_load_parse () =
+  (match
+     Sweep_spec.parse
+       {|{"scenarios": ["arpanet"], "critical_load": {"from": 0.5, "to": 2.0, "steps": 4}}|}
+   with
+  | Error issue -> Alcotest.failf "ramp spec rejected: %s" issue.message
+  | Ok spec ->
+    Alcotest.(check (list (float 1e-9))) "ramp expands to the scale axis"
+      [ 0.5; 1.0; 1.5; 2.0 ] spec.Sweep_spec.scales;
+    (match spec.Sweep_spec.critical_load with
+    | Some r ->
+      Alcotest.(check (float 0.)) "from recorded" 0.5 r.Sweep_spec.ramp_from;
+      Alcotest.(check (float 0.)) "to recorded" 2.0 r.Sweep_spec.ramp_to;
+      Alcotest.(check int) "steps recorded" 4 r.Sweep_spec.ramp_steps
+    | None -> Alcotest.fail "critical_load not recorded on the spec");
+    Alcotest.(check (list string)) "well-formed ramp lints clean" []
+      (List.map
+         (fun (i : Sweep_spec.issue) -> i.code)
+         (Sweep_spec.lint spec)));
+  match
+    Sweep_spec.parse
+      {|{"scenarios": ["arpanet"], "scales": [1.0], "critical_load": {"from": 0.5, "to": 2.0}}|}
+  with
+  | Ok _ -> Alcotest.fail "scales + critical_load unexpectedly accepted"
+  | Error issue -> Alcotest.(check string) "mutual exclusion" "S100" issue.code
+
+(* A quick ramp over the ARPANET builtin: the engine must locate a
+   finite knee inside the ramp for every (scenario, metric) group and
+   publish both summary views. *)
+let ramp_spec =
+  { Sweep_spec.scenarios = [ Sweep_spec.Builtin "arpanet" ];
+    metrics = [ Metric.D_spf; Metric.Hn_spf ];
+    scales = [ 0.5; 1.0; 1.5; 2.0; 2.5 ];
+    seeds = [ 1 ];
+    periods = 3;
+    warmup = 1;
+    critical_load =
+      Some { Sweep_spec.ramp_from = 0.5; ramp_to = 2.5; ramp_steps = 5 } }
+
+let test_critical_load_knees () =
+  let r = Sweep_engine.run ~domains:1 ramp_spec in
+  Alcotest.(check int) "one knee per (scenario, metric)" 2
+    (List.length r.Sweep_engine.knees);
+  List.iter
+    (fun (k : Sweep_engine.knee) ->
+      let within x = Float.is_finite x && x >= 0.5 && x <= 2.5 in
+      Alcotest.(check bool) "delay knee on the ramp" true
+        (within k.Sweep_engine.k_scale_delay);
+      Alcotest.(check bool) "throughput knee on the ramp" true
+        (within k.Sweep_engine.k_scale_throughput);
+      Alcotest.(check bool) "knee observations are finite" true
+        (Float.is_finite k.Sweep_engine.k_delay_ms
+        && Float.is_finite k.Sweep_engine.k_throughput_bps))
+    r.Sweep_engine.knees;
+  (match r.Sweep_engine.rankings with
+  | first :: _ -> Alcotest.(check int) "best group ranks 1" 1 first.Sweep_engine.r_rank
+  | [] -> Alcotest.fail "ramp report has no rankings");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report JSON carries the critical_load section" true
+    (contains (Obs_json.to_string r.Sweep_engine.json) "\"critical_load\"");
+  let lines =
+    String.split_on_char '\n' (String.trim (Sweep_engine.summary_csv r))
+  in
+  Alcotest.(check int) "summary CSV: header + 2 ranking + 2 knee rows" 5
+    (List.length lines)
 
 (* --- sweep fabric: stealing, shards, resume ------------------------ *)
 
@@ -222,7 +446,8 @@ let grid_spec (seed, scales, with_file, _domains) =
     scales = List.init scales (fun i -> 0.7 +. (0.2 *. float_of_int i));
     seeds = [ seed; seed + 1 ];
     periods = 3;
-    warmup = 1 }
+    warmup = 1;
+    critical_load = None }
 
 let run_grid_case case =
   let _, _, _, domains = case in
@@ -408,7 +633,8 @@ let sweep_fixtures =
     ("sweep_duplicates.json", "S103");
     ("sweep_bad_seed.json", "S104");
     ("sweep_bad_scale.json", "S105");
-    ("sweep_bad_budget.json", "S106") ]
+    ("sweep_bad_budget.json", "S106");
+    ("sweep_bad_ramp.json", "S109") ]
 
 let test_shipped_spec_clean () =
   (* The shipped example names scenario files relative to the repo root,
@@ -447,14 +673,25 @@ let () =
   Alcotest.run "sweep"
     [ ( "assignment",
         [ QCheck_alcotest.to_alcotest prop_assignment_matches_baseline;
+          QCheck_alcotest.to_alcotest prop_parallel_bit_identical;
           Alcotest.test_case "scratch reuse" `Quick test_assignment_scratch_reuse
         ] );
+      ( "flow store",
+        [ Alcotest.test_case "matrix round-trip and aggregate" `Quick
+            test_store_matrix_round_trip;
+          Alcotest.test_case "heavy-tailed generator determinism" `Quick
+            test_heavy_tailed_determinism ] );
       ( "engine",
         [ Alcotest.test_case "points enumeration" `Quick test_points_enumeration;
           Alcotest.test_case "domain-count independence" `Quick
             test_report_domain_independent;
           Alcotest.test_case "report round-trips" `Quick test_report_round_trips
         ] );
+      ( "critical load",
+        [ Alcotest.test_case "ramp parse and lint" `Quick
+            test_critical_load_parse;
+          Alcotest.test_case "knees located on a quick ramp" `Quick
+            test_critical_load_knees ] );
       ( "fabric",
         [ QCheck_alcotest.to_alcotest prop_dynamic_exactly_once;
           QCheck_alcotest.to_alcotest prop_stealing_byte_identical;
